@@ -1,0 +1,104 @@
+// Command figures regenerates the data series behind every figure of
+// the paper's evaluation (§4):
+//
+//	-fig 2    miss rates, four strategies, f in {0.25, 0.5, 0.75}
+//	-fig 3    read rates with read skipping, same runs
+//	-fig 4    Random strategy, f halved down to five slots
+//	-fig 5    five full traversals: paging baseline vs out-of-core
+//	-fig all  everything (default)
+//
+// Default dimensions are CI-scaled; pass -full for the paper's own
+// dimensions (1288 taxa for Figures 2-4; a multi-GiB footprint sweep
+// for Figure 5 — expect a long run), or set -taxa/-sites directly
+// (e.g. -taxa 1908 -sites 1424 for the paper's supplement dataset).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oocphylo/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5 or all")
+	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
+	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
+	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
+	seed := fs.Int64("seed", 42, "random seed")
+	rounds := fs.Int("rounds", 0, "SPR rounds for the search workload (0 = default)")
+	full := fs.Bool("full", false, "use the paper's dimensions (slow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.SearchWorkloadConfig{
+		Taxa: *taxa, Sites: *sites, Seed: *seed, Rounds: *rounds,
+	}
+	f5 := experiments.Figure5Config{Taxa: *f5taxa, Seed: *seed}
+	if *full {
+		if cfg.Taxa == 0 {
+			cfg.Taxa = 1288
+		}
+		if cfg.Sites == 0 {
+			cfg.Sites = 1200
+		}
+		if f5.Taxa == 0 {
+			f5.Taxa = 1024
+			f5.RAMBytes = 256 << 20
+			f5.Widths = []int{512, 1024, 2048, 4096, 8192, 16384}
+		}
+	}
+
+	want := func(n string) bool { return *fig == "all" || *fig == n }
+	out := os.Stdout
+
+	if want("2") {
+		fmt.Fprintln(out, "== Figure 2: vector miss rates per replacement strategy ==")
+		res, err := experiments.RunFigure2(cfg, nil, false)
+		if err != nil {
+			return err
+		}
+		experiments.WriteMissRateTable(out, res, "tree search workload, no read skipping")
+		fmt.Fprintln(out)
+	}
+	if want("3") {
+		fmt.Fprintln(out, "== Figure 3: read rates with read skipping ==")
+		res, err := experiments.RunFigure2(cfg, nil, true)
+		if err != nil {
+			return err
+		}
+		experiments.WriteMissRateTable(out, res, "tree search workload, read skipping enabled")
+		fmt.Fprintln(out)
+	}
+	if want("4") {
+		fmt.Fprintln(out, "== Figure 4: Random strategy, f halved to five slots ==")
+		res, err := experiments.RunFigure4(cfg, 0.75, 5)
+		if err != nil {
+			return err
+		}
+		experiments.WriteMissRateTable(out, res, "tree search workload, RAND strategy")
+		fmt.Fprintln(out)
+	}
+	if want("5") {
+		fmt.Fprintln(out, "== Figure 5: standard (paging) vs out-of-core, 5 full traversals ==")
+		rows, err := experiments.RunFigure5(f5)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFigure5Table(out, rows, f5)
+	}
+	if !want("2") && !want("3") && !want("4") && !want("5") {
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	return nil
+}

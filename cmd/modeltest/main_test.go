@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func writePhy(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "d.phy")
+	phy := `5 24
+a ACGTACGTACGTACGTACGTACGT
+b ACGTACGAACGTACGTACGTACGA
+c ACGAACGAACGTTCGTACGTACGA
+d TCGAACGAACGTTCGTACGAACGA
+e TCGAACGAACGCTCGTACGAACGA
+`
+	if err := os.WriteFile(path, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestModeltestRanksModels(t *testing.T) {
+	phy := writePhy(t)
+	out, err := capture(t, "-s", phy, "-gamma=false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"JC69", "K80", "HKY85", "GTR", "Best model by AIC:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "+G4") {
+		t.Error("gamma variants should be absent with -gamma=false")
+	}
+}
+
+func TestModeltestGammaAndBIC(t *testing.T) {
+	phy := writePhy(t)
+	out, err := capture(t, "-s", phy, "-criterion", "BIC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+G4") || !strings.Contains(out, "Best model by BIC:") {
+		t.Errorf("gamma/BIC output incomplete:\n%s", out)
+	}
+}
+
+func TestModeltestFixedTopology(t *testing.T) {
+	phy := writePhy(t)
+	nwk := filepath.Join(t.TempDir(), "t.nwk")
+	_ = os.WriteFile(nwk, []byte("((a:0.1,b:0.1):0.1,c:0.1,(d:0.1,e:0.1):0.1);"), 0o644)
+	if _, err := capture(t, "-s", phy, "-t", nwk, "-gamma=false"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeltestErrors(t *testing.T) {
+	phy := writePhy(t)
+	cases := [][]string{
+		{},
+		{"-s", "/does/not/exist"},
+		{"-s", phy, "-criterion", "DIC"},
+		{"-s", phy, "-t", "/does/not/exist.nwk"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestModeltestInvariantVariants(t *testing.T) {
+	phy := writePhy(t)
+	out, err := capture(t, "-s", phy, "-gamma=false", "-invariant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+I") {
+		t.Errorf("+I variants missing:\n%s", out)
+	}
+}

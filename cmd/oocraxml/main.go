@@ -1,0 +1,524 @@
+// Command oocraxml is the reproduction's RAxML-like driver: it reads an
+// alignment (relaxed PHYLIP or FASTA) and runs a Maximum-Likelihood
+// analysis whose ancestral probability vectors live either fully in RAM
+// (the standard implementation) or behind the out-of-core manager with
+// a hard memory limit — the paper's -L flag.
+//
+// Modes (-f, following the paper's modified RAxML):
+//
+//	s   ML tree search with lazy SPR (default)
+//	e   evaluate: branch lengths and Γ shape on a fixed topology
+//	z   k full tree traversals on a fixed topology (the paper's §4.3
+//	    worst-case workload; see -k)
+//
+// Examples:
+//
+//	oocraxml -s data.phy -m HKY -a 0.8
+//	oocraxml -s data.phy -t start.nwk -f z -k 5 -L 1000000000 -strategy lru
+//	oocraxml -s data.fasta -fasta -f e -t tree.nwk -L 50000000 -strategy topological -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/bootstrap"
+	"oocphylo/internal/checkpoint"
+	"oocphylo/internal/distance"
+	"oocphylo/internal/model"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/parsimony"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/search"
+	"oocphylo/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "oocraxml:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	alignPath   string
+	fasta       bool
+	aa          bool
+	treePath    string
+	mode        string
+	modelName   string
+	kappa       float64
+	alpha       float64
+	cats        int
+	traversals  int
+	memLimit    int64
+	strategy    string
+	backing     string
+	noReadSkip  bool
+	sprRadius   int
+	rounds      int
+	seed        int64
+	outTree     string
+	printStats  bool
+	emptyFreqs  bool
+	threads     int
+	prefetch    bool
+	startTree   string
+	optModel    bool
+	bootstraps  int
+	checkpoint  string
+	resume      string
+	aaModelPath string
+	pinv        float64
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("oocraxml", flag.ContinueOnError)
+	var o options
+	fs.StringVar(&o.alignPath, "s", "", "alignment file (relaxed PHYLIP; use -fasta for FASTA)")
+	fs.BoolVar(&o.fasta, "fasta", false, "alignment is FASTA rather than PHYLIP")
+	fs.BoolVar(&o.aa, "aa", false, "amino-acid data (default DNA)")
+	fs.StringVar(&o.treePath, "t", "", "starting/fixed tree in Newick format (default: random topology)")
+	fs.StringVar(&o.mode, "f", "s", "mode: s=search (SPR), n=search (NNI), e=evaluate, z=full traversals")
+	fs.StringVar(&o.modelName, "m", "GTR", "substitution model: JC, K80, HKY, GTR (DNA); POISSON or PAML (AA)")
+	fs.StringVar(&o.aaModelPath, "aamodel", "", "empirical AA model in PAML .dat format (WAG, LG, ...) for -m PAML")
+	fs.Float64Var(&o.kappa, "kappa", 2.0, "transition/transversion ratio for K80/HKY")
+	fs.Float64Var(&o.alpha, "a", 1.0, "Gamma shape parameter (0 disables rate heterogeneity)")
+	fs.Float64Var(&o.pinv, "pinv", 0, "proportion of invariant sites (+I); optimised in evaluate/search modes when > 0")
+	fs.IntVar(&o.cats, "c", 4, "number of discrete Gamma rate categories")
+	fs.IntVar(&o.traversals, "k", 5, "full traversals for -f z")
+	fs.Int64Var(&o.memLimit, "L", 0, "ancestral-vector RAM limit in bytes (0 = all in RAM)")
+	fs.StringVar(&o.strategy, "strategy", "lru", "replacement strategy: random, lru, lfu, topological")
+	fs.StringVar(&o.backing, "backing", "", "backing file for out-of-core vectors (default: temp file)")
+	fs.BoolVar(&o.noReadSkip, "no-read-skipping", false, "disable the read-skipping optimisation")
+	fs.IntVar(&o.sprRadius, "radius", 5, "lazy-SPR rearrangement radius")
+	fs.IntVar(&o.rounds, "rounds", 10, "maximum SPR improvement rounds")
+	fs.Int64Var(&o.seed, "seed", 42, "random seed (starting trees, random strategy)")
+	fs.IntVar(&o.threads, "threads", 1, "PLF kernel worker goroutines (results are identical for any value)")
+	fs.BoolVar(&o.prefetch, "prefetch", false, "enable plan-driven vector prefetching (out-of-core runs)")
+	fs.StringVar(&o.startTree, "start", "parsimony", "starting tree when -t is absent: parsimony, nj or random")
+	fs.BoolVar(&o.optModel, "optimize-model", false, "also optimise GTR exchangeabilities (search/evaluate modes)")
+	fs.IntVar(&o.bootstraps, "bootstrap", 0, "bootstrap replicates; annotates the result tree with support values")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a resumable checkpoint here after every search round")
+	fs.StringVar(&o.resume, "resume", "", "resume tree and model parameters from this checkpoint")
+	fs.StringVar(&o.outTree, "w", "", "write the result tree to this file (default stdout)")
+	fs.BoolVar(&o.printStats, "stats", false, "print engine and out-of-core access statistics")
+	fs.BoolVar(&o.emptyFreqs, "uniform-freqs", false, "use uniform base frequencies instead of empirical")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.alignPath == "" {
+		fs.Usage()
+		return fmt.Errorf("an alignment (-s) is required")
+	}
+
+	pats, err := loadAlignment(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Alignment: %d taxa, %d sites, %d patterns (%s)\n",
+		pats.NumTaxa(), pats.TotalSites(), pats.NumPatterns(), pats.Alphabet.Type)
+
+	var t *tree.Tree
+	var m *model.Model
+	if o.resume != "" {
+		st, err := checkpoint.Load(o.resume)
+		if err != nil {
+			return err
+		}
+		t, m, err = st.Restore()
+		if err != nil {
+			return err
+		}
+		if t.NumTips != pats.NumTaxa() {
+			return fmt.Errorf("checkpoint tree has %d tips, alignment %d taxa", t.NumTips, pats.NumTaxa())
+		}
+		fmt.Fprintf(out, "Resumed from %s (round %d, lnL %.4f)\n", o.resume, st.Round, st.LnL)
+	} else {
+		m, err = buildModel(o, pats)
+		if err != nil {
+			return err
+		}
+		t, err = loadOrRandomTree(o, pats)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "Model: %s, %d rate categories", m.Name, m.Cats())
+	if m.Cats() > 1 {
+		fmt.Fprintf(out, " (alpha = %g)", m.Alpha)
+	}
+	fmt.Fprintln(out)
+
+	vecLen := plf.VectorLength(m, pats.NumPatterns())
+	prov, mgr, cleanup, err := buildProvider(o, t, vecLen, out)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	e, err := plf.New(t, pats, m, prov)
+	if err != nil {
+		return err
+	}
+	e.SetWorkers(o.threads)
+	e.EnablePrefetch(o.prefetch)
+
+	start := time.Now()
+	var lnl float64
+	switch o.mode {
+	case "s":
+		opts := search.Options{
+			SPRRadius:     o.sprRadius,
+			MaxRounds:     o.rounds,
+			OptimizeModel: m.Cats() > 1,
+		}
+		if o.checkpoint != "" {
+			opts.RoundCallback = func(round int, lnl float64) error {
+				return checkpoint.Save(o.checkpoint, checkpoint.Capture(t, m, lnl, round))
+			}
+		}
+		res, err := search.New(e, opts).Run()
+		if err != nil {
+			return err
+		}
+		lnl = res.LnL
+		fmt.Fprintf(out, "Search: %d rounds, %d moves tested, %d accepted\n",
+			res.Rounds, res.TestedMoves, res.AcceptedMoves)
+		if m.Cats() > 1 {
+			fmt.Fprintf(out, "Final alpha: %.4f\n", res.Alpha)
+		}
+		if o.optModel && m.Exch != nil {
+			s := search.New(e, search.Options{})
+			exch, lnl2, err := s.OptimizeExchangeabilities(3, 0.05)
+			if err != nil {
+				return err
+			}
+			if lnl2 > lnl {
+				lnl = lnl2
+			}
+			fmt.Fprintf(out, "GTR rates (AC AG AT CG CT GT): %.4g\n", exch)
+		}
+	case "n":
+		res, err := search.New(e, search.Options{MaxRounds: o.rounds}).RunNNI()
+		if err != nil {
+			return err
+		}
+		lnl = res.LnL
+		fmt.Fprintf(out, "NNI search: %d rounds\n", res.Rounds)
+	case "e":
+		s := search.New(e, search.Options{})
+		lnl, err = s.SmoothBranches(8, 1e-3)
+		if err != nil {
+			return err
+		}
+		if m.Cats() > 1 {
+			if _, lnl2, err := s.OptimizeAlpha(); err == nil && lnl2 > lnl {
+				lnl = lnl2
+			}
+			fmt.Fprintf(out, "Final alpha: %.4f\n", m.Alpha)
+		}
+		if m.PInv > 0 {
+			if _, lnl2, err := s.OptimizePInv(); err == nil && lnl2 > lnl {
+				lnl = lnl2
+			}
+			fmt.Fprintf(out, "Final pInv: %.4f\n", m.PInv)
+		}
+		if o.optModel && m.Exch != nil {
+			exch, lnl2, err := s.OptimizeExchangeabilities(3, 0.05)
+			if err != nil {
+				return err
+			}
+			if lnl2 > lnl {
+				lnl = lnl2
+			}
+			fmt.Fprintf(out, "GTR rates (AC AG AT CG CT GT): %.4g\n", exch)
+		}
+	case "z":
+		for i := 0; i < o.traversals; i++ {
+			if err := e.FullTraversal(t.Edges[0]); err != nil {
+				return err
+			}
+			lnl, err = e.LogLikelihoodAt(t.Edges[0])
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "Completed %d full tree traversals\n", o.traversals)
+	default:
+		return fmt.Errorf("unknown mode %q (want s, n, e or z)", o.mode)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "Log likelihood: %.6f\n", lnl)
+	fmt.Fprintf(out, "Elapsed: %v\n", elapsed.Round(time.Millisecond))
+	if o.printStats {
+		fmt.Fprintf(out, "Engine: %d newviews, %d evaluations, %d sum tables, %d Newton iterations\n",
+			e.Stats.Newviews, e.Stats.Evaluations, e.Stats.SumTables, e.Stats.NewtonIters)
+		if mgr != nil {
+			st := mgr.Stats()
+			fmt.Fprintf(out, "Out-of-core: %d requests, %d misses (%.2f%%), %d reads (%.2f%%), %d writes, %d skipped reads\n",
+				st.Requests, st.Misses, 100*st.MissRate(), st.Reads, 100*st.ReadRate(), st.Writes, st.SkippedReads)
+			if ps := mgr.PrefetchStats(); ps.Issued > 0 {
+				fmt.Fprintf(out, "Prefetch: %d issued, %d reads, %d hits, %d wasted\n",
+					ps.Issued, ps.Reads, ps.Hits, ps.Wasted)
+			}
+		}
+	}
+
+	newick := tree.WriteNewick(t)
+	if o.bootstraps > 0 && (o.mode == "s" || o.mode == "n" || o.mode == "e") {
+		annotated, err := runBootstrap(o, pats, m, t, out)
+		if err != nil {
+			return err
+		}
+		newick = annotated
+	}
+	if o.mode == "s" || o.mode == "n" || o.mode == "e" {
+		if o.outTree != "" {
+			if err := os.WriteFile(o.outTree, []byte(newick+"\n"), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "Tree written to %s\n", o.outTree)
+		} else {
+			fmt.Fprintln(out, newick)
+		}
+	}
+	return nil
+}
+
+func loadAlignment(o options) (*bio.Patterns, error) {
+	f, err := os.Open(o.alignPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dtype := bio.DNA
+	if o.aa {
+		dtype = bio.AA
+	}
+	alphabet := bio.NewAlphabet(dtype)
+	var aln *bio.Alignment
+	if o.fasta {
+		aln, err = bio.ReadFASTA(f, alphabet)
+	} else {
+		aln, err = bio.ReadPhylip(f, alphabet)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bio.Compress(aln)
+}
+
+func buildModel(o options, pats *bio.Patterns) (*model.Model, error) {
+	freqs := pats.BaseFrequencies()
+	if o.emptyFreqs {
+		for i := range freqs {
+			freqs[i] = 1 / float64(len(freqs))
+		}
+	}
+	var m *model.Model
+	var err error
+	switch strings.ToUpper(o.modelName) {
+	case "JC":
+		m, err = model.NewJC(pats.Alphabet.States)
+	case "POISSON":
+		m, err = model.NewJC(pats.Alphabet.States)
+	case "PAML":
+		if pats.Alphabet.States != 20 {
+			return nil, fmt.Errorf("-m PAML needs amino-acid data (-aa)")
+		}
+		if o.aaModelPath == "" {
+			return nil, fmt.Errorf("-m PAML requires -aamodel <file.dat>")
+		}
+		f, ferr := os.Open(o.aaModelPath)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer f.Close()
+		m, err = model.ReadPAML(f, strings.ToUpper(
+			strings.TrimSuffix(filepath.Base(o.aaModelPath), filepath.Ext(o.aaModelPath))))
+	case "K80":
+		m, err = model.NewK80(o.kappa)
+	case "HKY":
+		m, err = model.NewHKY(freqs, o.kappa)
+	case "GTR":
+		if pats.Alphabet.States != 4 {
+			return nil, fmt.Errorf("GTR exchangeabilities default to DNA; use POISSON for protein data")
+		}
+		// Without user-supplied rates, GTR with unit exchangeabilities
+		// and empirical frequencies (F81-like); rates would be optimised
+		// in a full implementation of model optimisation.
+		exch := []float64{1, 1, 1, 1, 1, 1}
+		m, err = model.NewGTR(freqs, exch, 4)
+	default:
+		return nil, fmt.Errorf("unknown model %q", o.modelName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if o.alpha > 0 && o.cats > 1 {
+		if err := m.SetGamma(o.alpha, o.cats); err != nil {
+			return nil, err
+		}
+	}
+	if o.pinv > 0 {
+		if err := m.SetInvariant(o.pinv); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func loadOrRandomTree(o options, pats *bio.Patterns) (*tree.Tree, error) {
+	if o.treePath != "" {
+		data, err := os.ReadFile(o.treePath)
+		if err != nil {
+			return nil, err
+		}
+		t, err := tree.ParseNewick(string(data))
+		if err != nil {
+			return nil, err
+		}
+		if t.NumTips != pats.NumTaxa() {
+			return nil, fmt.Errorf("tree has %d tips, alignment %d taxa", t.NumTips, pats.NumTaxa())
+		}
+		return t, nil
+	}
+	return buildStartTree(o.startTree, pats, o.seed)
+}
+
+// buildStartTree constructs a starting topology: randomised-stepwise-
+// addition parsimony (RAxML's default), neighbor joining on JC
+// distances, or a random topology.
+func buildStartTree(kind string, pats *bio.Patterns, seed int64) (*tree.Tree, error) {
+	switch strings.ToLower(kind) {
+	case "parsimony", "mp":
+		return parsimony.StepwiseAddition(pats, rand.New(rand.NewSource(seed)))
+	case "nj":
+		return distance.NJTree(pats)
+	case "random", "rand":
+		return tree.RandomTopology(pats.Names, rand.New(rand.NewSource(seed)), 0.05, 0.15)
+	}
+	return nil, fmt.Errorf("unknown starting tree kind %q (want parsimony, nj or random)", kind)
+}
+
+// buildProvider returns the vector provider: in-memory when no limit is
+// set, otherwise the out-of-core manager over a backing file.
+func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.VectorProvider, *ooc.Manager, func(), error) {
+	n := t.NumInner()
+	noop := func() {}
+	// Validate the strategy name up front so a typo fails even when the
+	// data happens to fit in the limit.
+	switch strings.ToLower(o.strategy) {
+	case "random", "rand", "lru", "lfu", "topological", "topo":
+	default:
+		return nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+	}
+	need := int64(n) * int64(vecLen) * 8
+	if o.memLimit <= 0 || need <= o.memLimit {
+		if o.memLimit > 0 {
+			fmt.Fprintf(out, "Memory limit %d B covers all %d vectors; running in RAM\n", o.memLimit, n)
+		}
+		return plf.NewInMemoryProvider(n, vecLen), nil, noop, nil
+	}
+	slots := int(o.memLimit / (int64(vecLen) * 8))
+	if slots < ooc.MinSlots {
+		return nil, nil, noop, fmt.Errorf(
+			"memory limit %d B holds only %d vectors of %d B; the PLF needs at least %d (m >= 3)",
+			o.memLimit, slots, vecLen*8, ooc.MinSlots)
+	}
+	var strat ooc.Strategy
+	switch strings.ToLower(o.strategy) {
+	case "random", "rand":
+		strat = ooc.NewRandom(rand.New(rand.NewSource(o.seed + 1)))
+	case "lru":
+		strat = ooc.NewLRU(n)
+	case "lfu":
+		strat = ooc.NewLFU(n)
+	case "topological", "topo":
+		strat = ooc.NewTopological(t)
+	default:
+		return nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+	}
+	path := o.backing
+	cleanup := noop
+	if path == "" {
+		f, err := os.CreateTemp("", "oocraxml-vectors-*.bin")
+		if err != nil {
+			return nil, nil, noop, err
+		}
+		path = f.Name()
+		f.Close()
+		cleanup = func() { os.Remove(path) }
+	}
+	store, err := ooc.NewFileStore(path, n, vecLen)
+	if err != nil {
+		cleanup()
+		return nil, nil, noop, err
+	}
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors:   n,
+		VectorLen:    vecLen,
+		Slots:        slots,
+		Strategy:     strat,
+		ReadSkipping: !o.noReadSkip,
+		Store:        store,
+	})
+	if err != nil {
+		store.Close()
+		cleanup()
+		return nil, nil, noop, err
+	}
+	fmt.Fprintf(out, "Out-of-core: %d of %d vectors in RAM (%.1f%%), strategy %s, backing file %s\n",
+		slots, n, 100*float64(slots)/float64(n), strat.Name(), path)
+	closer := cleanup
+	return mgr, mgr, func() { store.Close(); closer() }, nil
+}
+
+// runBootstrap infers o.bootstraps replicate trees (parsimony stepwise-
+// addition starting tree, branch smoothing, one lazy-SPR round per
+// replicate) and returns the main tree's Newick annotated with
+// bipartition support percentages.
+func runBootstrap(o options, pats *bio.Patterns, m *model.Model, ref *tree.Tree, out *os.File) (string, error) {
+	fmt.Fprintf(out, "Running %d bootstrap replicates...\n", o.bootstraps)
+	infer := func(rep int, sample *bio.Patterns) (*tree.Tree, error) {
+		start, err := parsimony.StepwiseAddition(sample, rand.New(rand.NewSource(o.seed+int64(rep))))
+		if err != nil {
+			return nil, err
+		}
+		prov := plf.NewInMemoryProvider(start.NumInner(), plf.VectorLength(m, sample.NumPatterns()))
+		e, err := plf.New(start, sample, m.Clone(), prov)
+		if err != nil {
+			return nil, err
+		}
+		e.SetWorkers(o.threads)
+		if _, err := search.New(e, search.Options{SPRRadius: o.sprRadius, MaxRounds: 1}).Run(); err != nil {
+			return nil, err
+		}
+		return e.T, nil
+	}
+	trees, err := bootstrap.Run(pats, o.bootstraps, o.seed+777, infer)
+	if err != nil {
+		return "", err
+	}
+	sup, err := bootstrap.Support(ref, trees)
+	if err != nil {
+		return "", err
+	}
+	mean := 0.0
+	for _, s := range sup {
+		mean += s
+	}
+	if len(sup) > 0 {
+		mean /= float64(len(sup))
+	}
+	fmt.Fprintf(out, "Mean bipartition support: %.1f%%\n", 100*mean)
+	return bootstrap.NewickWithSupport(ref, sup), nil
+}

@@ -1,0 +1,277 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestData generates a small dataset via the sim pipeline once per
+// test, through the public simseq-equivalent path (we write the files
+// directly to keep the test self-contained).
+func writeTestData(t *testing.T) (phyPath, nwkPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	phyPath = filepath.Join(dir, "data.phy")
+	nwkPath = filepath.Join(dir, "tree.nwk")
+	phy := `6 40
+ta ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+tb ACGTACGTACGAACGTACGTACGTACGTACGTACGTACGA
+tc ACGTACGAACGAACGTACGTACGTTCGTACGTACGTACGA
+td TCGTACGAACGAACGTACGTACGTTCGTACGAACGTACGA
+te TCGTACGAACGAACGTACGTACGCTCGTACGAACGTACGA
+tf TCGAACGAACGAACGTACGTACGCTCGTACGAACGTTCGA
+`
+	if err := os.WriteFile(phyPath, []byte(phy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nwk := "((ta:0.1,tb:0.1):0.05,(tc:0.1,td:0.1):0.05,(te:0.1,tf:0.1):0.05);"
+	if err := os.WriteFile(nwkPath, []byte(nwk), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return phyPath, nwkPath
+}
+
+// capture runs the CLI with output captured to a temp file.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestSearchModeInMemory(t *testing.T) {
+	phy, _ := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-m", "HKY", "-a", "0.8", "-rounds", "2", "-stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Alignment: 6 taxa, 40 sites", "Log likelihood:", "Engine:", "("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraversalModeOutOfCore(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-t", nwk, "-f", "z", "-k", "3",
+		"-L", "5000", "-strategy", "random", "-stats", "-prefetch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Out-of-core:", "Completed 3 full tree traversals", "misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEvaluateModeMatchesAcrossProviders(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	inMem, err := capture(t, "-s", phy, "-t", nwk, "-f", "e", "-m", "JC", "-a", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooc, err := capture(t, "-s", phy, "-t", nwk, "-f", "e", "-m", "JC", "-a", "0",
+		"-L", "5000", "-strategy", "topological")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnl := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "Log likelihood:") {
+				return line
+			}
+		}
+		return ""
+	}
+	if lnl(inMem) == "" || lnl(inMem) != lnl(ooc) {
+		t.Errorf("likelihoods differ across providers:\n%q\n%q", lnl(inMem), lnl(ooc))
+	}
+}
+
+func TestStartTreeKinds(t *testing.T) {
+	phy, _ := writeTestData(t)
+	for _, kind := range []string{"parsimony", "nj", "random"} {
+		out, err := capture(t, "-s", phy, "-m", "JC", "-rounds", "1", "-start", kind)
+		if err != nil {
+			t.Fatalf("start=%s: %v", kind, err)
+		}
+		if !strings.Contains(out, "Log likelihood:") {
+			t.Errorf("start=%s: no likelihood in output", kind)
+		}
+	}
+	if _, err := capture(t, "-s", phy, "-start", "upgma"); err == nil {
+		t.Error("unknown start tree kind must fail")
+	}
+}
+
+func TestBootstrapAnnotation(t *testing.T) {
+	phy, _ := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-m", "JC", "-a", "0", "-rounds", "1", "-bootstrap", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bootstrap replicates") || !strings.Contains(out, "Mean bipartition support") {
+		t.Errorf("bootstrap output incomplete:\n%s", out)
+	}
+}
+
+func TestWriteTreeToFile(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	treeOut := filepath.Join(t.TempDir(), "result.nwk")
+	if _, err := capture(t, "-s", phy, "-t", nwk, "-f", "e", "-m", "JC", "-w", treeOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(treeOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "ta") || !strings.HasSuffix(strings.TrimSpace(string(data)), ";") {
+		t.Errorf("result tree malformed: %s", data)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	cases := [][]string{
+		{},                            // no alignment
+		{"-s", "/does/not/exist.phy"}, // missing file
+		{"-s", phy, "-m", "BOGUS"},
+		{"-s", phy, "-f", "q"},
+		{"-s", phy, "-t", "/does/not/exist.nwk"},
+		{"-s", phy, "-L", "100"}, // limit below 3 slots
+		{"-s", phy, "-L", "20000", "-strategy", "bogus"},
+		{"-s", phy, "-t", nwk, "-aa"}, // AA alphabet on DNA data fails parse
+	}
+	for _, args := range cases {
+		if _, err := capture(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}
+
+func TestFASTAInput(t *testing.T) {
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "d.fa")
+	content := ">x\nACGTACGTAC\n>y\nACGAACGTAC\n>z\nACGAACGAAC\n"
+	if err := os.WriteFile(fa, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "-s", fa, "-fasta", "-m", "JC", "-a", "0", "-rounds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3 taxa, 10 sites") {
+		t.Errorf("fasta input not parsed:\n%s", out)
+	}
+}
+
+func TestCheckpointAndResume(t *testing.T) {
+	phy, _ := writeTestData(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	// A fresh search from a random start should run at least one round
+	// and write the checkpoint.
+	out, err := capture(t, "-s", phy, "-m", "HKY", "-a", "0.8", "-rounds", "3",
+		"-start", "random", "-seed", "1", "-checkpoint", ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Skipf("no round completed with an improvement; checkpoint not written (%s)", out)
+	}
+	resumed, err := capture(t, "-s", phy, "-resume", ckpt, "-rounds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed, "Resumed from") {
+		t.Errorf("resume banner missing:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "Log likelihood:") {
+		t.Error("resumed run did not complete")
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	phy, _ := writeTestData(t)
+	if _, err := capture(t, "-s", phy, "-resume", "/no/such.ckpt"); err == nil {
+		t.Error("missing checkpoint must fail")
+	}
+}
+
+func TestNNIMode(t *testing.T) {
+	phy, _ := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-m", "JC", "-a", "0", "-f", "n", "-rounds", "2", "-start", "nj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "NNI search:") || !strings.Contains(out, "Log likelihood:") {
+		t.Errorf("NNI mode output incomplete:\n%s", out)
+	}
+}
+
+func TestPAMLModelEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	// Protein alignment.
+	fa := filepath.Join(dir, "p.fa")
+	prot := ">p1\nARNDCQEGHILKMFPSTWYV\n>p2\nARNDCQEGHILKMFPSTWYW\n>p3\nARNECQEGHILKMFPSTWYW\n>p4\nGRNECQEGHILKMFPSTWYW\n"
+	if err := os.WriteFile(fa, []byte(prot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic PAML matrix: all rates 1 with mildly non-uniform freqs.
+	var sb strings.Builder
+	for i := 1; i < 20; i++ {
+		for j := 0; j < i; j++ {
+			sb.WriteString("1.0 ")
+		}
+		sb.WriteByte('\n')
+	}
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&sb, "%g ", 1.0/20)
+	}
+	sb.WriteByte('\n')
+	dat := filepath.Join(dir, "synth.dat")
+	if err := os.WriteFile(dat, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "-s", fa, "-fasta", "-aa", "-m", "PAML", "-aamodel", dat,
+		"-a", "0", "-rounds", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Model: SYNTH") || !strings.Contains(out, "Log likelihood:") {
+		t.Errorf("PAML run incomplete:\n%s", out)
+	}
+	// Misconfigurations fail.
+	if _, err := capture(t, "-s", fa, "-fasta", "-aa", "-m", "PAML"); err == nil {
+		t.Error("PAML without -aamodel must fail")
+	}
+	if _, err := capture(t, "-s", fa, "-fasta", "-aa", "-m", "PAML", "-aamodel", "/no/file"); err == nil {
+		t.Error("missing dat file must fail")
+	}
+}
+
+func TestPInvFlag(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-t", nwk, "-f", "e", "-m", "JC", "-pinv", "0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Final pInv:") {
+		t.Errorf("pInv output missing:\n%s", out)
+	}
+	if _, err := capture(t, "-s", phy, "-pinv", "1.5"); err == nil {
+		t.Error("invalid pInv must fail")
+	}
+}

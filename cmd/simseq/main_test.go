@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/tree"
+)
+
+func TestSimseqWritesPhylipAndTree(t *testing.T) {
+	dir := t.TempDir()
+	phy := filepath.Join(dir, "out.phy")
+	nwk := filepath.Join(dir, "out.nwk")
+	if err := run([]string{"-taxa", "12", "-sites", "80", "-seed", "5", "-o", phy, "-tree", nwk}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(phy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	aln, err := bio.ReadPhylip(f, bio.NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NumTaxa() != 12 || aln.NumSites() != 80 {
+		t.Fatalf("dims %dx%d", aln.NumTaxa(), aln.NumSites())
+	}
+	data, err := os.ReadFile(nwk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tree.ParseNewick(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 12 {
+		t.Fatalf("tree tips = %d", tr.NumTips)
+	}
+	// Tree taxa match alignment rows.
+	for _, name := range aln.Names {
+		if tr.TipByName(name) == nil {
+			t.Errorf("taxon %q not in tree", name)
+		}
+	}
+}
+
+func TestSimseqFASTAAndAA(t *testing.T) {
+	dir := t.TempDir()
+	fa := filepath.Join(dir, "out.fa")
+	if err := run([]string{"-taxa", "5", "-sites", "30", "-aa", "-fasta", "-o", fa}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(fa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	aln, err := bio.ReadFASTA(f, bio.NewAAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NumTaxa() != 5 || aln.NumSites() != 30 {
+		t.Fatalf("dims %dx%d", aln.NumTaxa(), aln.NumSites())
+	}
+}
+
+func TestSimseqReproducible(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.phy"), filepath.Join(dir, "b.phy")
+	if err := run([]string{"-taxa", "8", "-sites", "50", "-seed", "9", "-o", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-taxa", "8", "-sites", "50", "-seed", "9", "-o", b}); err != nil {
+		t.Fatal(err)
+	}
+	da, _ := os.ReadFile(a)
+	db, _ := os.ReadFile(b)
+	if string(da) != string(db) {
+		t.Error("same seed must produce identical output")
+	}
+}
+
+func TestSimseqErrors(t *testing.T) {
+	if err := run([]string{"-taxa", "1"}); err == nil {
+		t.Error("one taxon must fail")
+	}
+	if err := run([]string{"-taxa", "4", "-sites", "0"}); err == nil {
+		t.Error("zero sites must fail")
+	}
+	if err := run([]string{"-taxa", "4", "-o", filepath.Join("no", "such", "dir", "x.phy")}); err == nil {
+		t.Error("bad output path must fail")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag must fail")
+	}
+}

@@ -1,0 +1,128 @@
+// Pipeline: the complete analysis workflow a systematist would run,
+// end to end — model selection, starting-tree construction, ML search
+// under a memory budget, and bootstrap support — all against the
+// out-of-core vector manager.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/bootstrap"
+	"oocphylo/internal/model"
+	"oocphylo/internal/modelsel"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/parsimony"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/search"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func main() {
+	// 0. Data: 20 taxa x 1200 sites simulated under HKY+Γ.
+	dataset, err := sim.NewDataset(sim.Config{Taxa: 20, Sites: 1200, GammaAlpha: 0.6, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pats := dataset.Patterns
+	fmt.Printf("data: %d taxa x %d sites (%d patterns)\n\n",
+		pats.NumTaxa(), pats.TotalSites(), pats.NumPatterns())
+
+	// 1. Model selection on an NJ topology.
+	fmt.Println("== step 1: model selection (AIC) ==")
+	fits, err := modelsel.EvaluateDNA(pats, modelsel.Options{Gamma: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range fits[:3] {
+		fmt.Printf("  %-10s lnL %10.2f  AIC %10.2f\n", f.Name, f.LnL, f.AIC)
+	}
+	best := fits[0]
+	fmt.Printf("  selected: %s\n\n", best.Name)
+
+	// 2. Build the selected model and a parsimony starting tree.
+	m, err := model.NewHKY(pats.BaseFrequencies(), 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !math.IsNaN(best.Alpha) {
+		if err := m.SetGamma(best.Alpha, 4); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start, err := parsimony.StepwiseAddition(pats, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== step 2: parsimony starting tree built ==")
+
+	// 3. ML search with ancestral vectors under a hard memory budget.
+	vecLen := plf.VectorLength(m, pats.NumPatterns())
+	n := start.NumInner()
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors:   n,
+		VectorLen:    vecLen,
+		Slots:        ooc.SlotsForFraction(0.25, n),
+		Strategy:     ooc.NewLRU(n),
+		ReadSkipping: true,
+		Store:        ooc.NewMemStore(n, vecLen),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := plf.New(start, pats, m, mgr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := search.New(engine, search.Options{
+		SPRRadius: 6, MaxRounds: 6, OptimizeModel: m.Cats() > 1,
+	}).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== step 3: ML search (25%% of vectors in RAM) ==\n")
+	fmt.Printf("  lnL %.2f after %d rounds (miss rate %.2f%%)\n",
+		res.LnL, res.Rounds, 100*mgr.Stats().MissRate())
+	fmt.Printf("  distance to generating topology: RF = %d\n\n",
+		tree.RFDistance(engine.T, dataset.Tree))
+
+	// 4. Bootstrap support for the ML tree.
+	fmt.Println("== step 4: bootstrap (20 replicates) ==")
+	infer := func(rep int, sample *bio.Patterns) (*tree.Tree, error) {
+		st, err := parsimony.StepwiseAddition(sample, rand.New(rand.NewSource(int64(rep))))
+		if err != nil {
+			return nil, err
+		}
+		e, err := plf.New(st, sample, m.Clone(),
+			plf.NewInMemoryProvider(st.NumInner(), plf.VectorLength(m, sample.NumPatterns())))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := search.New(e, search.Options{SPRRadius: 4, MaxRounds: 1}).Run(); err != nil {
+			return nil, err
+		}
+		return e.T, nil
+	}
+	reps, err := bootstrap.Run(pats, 20, 7, infer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := bootstrap.Support(engine.T, reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, minS := 0.0, 1.0
+	for _, s := range sup {
+		mean += s
+		if s < minS {
+			minS = s
+		}
+	}
+	mean /= float64(len(sup))
+	fmt.Printf("  mean support %.0f%%, weakest split %.0f%%\n\n", 100*mean, 100*minS)
+	fmt.Println(bootstrap.NewickWithSupport(engine.T, sup))
+}

@@ -1,0 +1,3 @@
+module oocphylo
+
+go 1.22

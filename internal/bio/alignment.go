@@ -1,0 +1,257 @@
+package bio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Alignment is a multiple sequence alignment: one equal-length encoded
+// sequence per taxon. Sequences hold state masks, not raw characters.
+type Alignment struct {
+	// Alphabet encodes/decodes the sequences.
+	Alphabet *Alphabet
+	// Names holds the taxon labels, in row order.
+	Names []string
+	// Seqs holds one encoded sequence per taxon; all rows share a length.
+	Seqs [][]StateMask
+}
+
+// ErrEmptyAlignment is returned when an alignment has no taxa or no sites.
+var ErrEmptyAlignment = errors.New("bio: empty alignment")
+
+// NewAlignment creates an empty alignment over the given alphabet.
+func NewAlignment(a *Alphabet) *Alignment {
+	return &Alignment{Alphabet: a}
+}
+
+// NumTaxa returns the number of sequences.
+func (m *Alignment) NumTaxa() int { return len(m.Seqs) }
+
+// NumSites returns the alignment length (0 when empty).
+func (m *Alignment) NumSites() int {
+	if len(m.Seqs) == 0 {
+		return 0
+	}
+	return len(m.Seqs[0])
+}
+
+// AddEncoded appends a pre-encoded sequence.
+func (m *Alignment) AddEncoded(name string, seq []StateMask) error {
+	if len(m.Seqs) > 0 && len(seq) != m.NumSites() {
+		return fmt.Errorf("bio: sequence %q has %d sites, alignment has %d", name, len(seq), m.NumSites())
+	}
+	m.Names = append(m.Names, name)
+	m.Seqs = append(m.Seqs, seq)
+	return nil
+}
+
+// AddString encodes and appends a raw character sequence.
+func (m *Alignment) AddString(name, seq string) error {
+	enc := make([]StateMask, len(seq))
+	for i := 0; i < len(seq); i++ {
+		mask, err := m.Alphabet.Mask(seq[i])
+		if err != nil {
+			return fmt.Errorf("bio: sequence %q, site %d: %w", name, i+1, err)
+		}
+		enc[i] = mask
+	}
+	return m.AddEncoded(name, enc)
+}
+
+// String returns sequence row i decoded back to characters.
+func (m *Alignment) StringSeq(i int) string {
+	seq := m.Seqs[i]
+	buf := make([]byte, len(seq))
+	for j, mask := range seq {
+		buf[j] = m.Alphabet.Char(mask)
+	}
+	return string(buf)
+}
+
+// Validate checks structural invariants: non-empty, consistent lengths,
+// unique names and no zero masks.
+func (m *Alignment) Validate() error {
+	if m.NumTaxa() == 0 || m.NumSites() == 0 {
+		return ErrEmptyAlignment
+	}
+	if len(m.Names) != len(m.Seqs) {
+		return fmt.Errorf("bio: %d names for %d sequences", len(m.Names), len(m.Seqs))
+	}
+	seen := make(map[string]bool, len(m.Names))
+	for i, name := range m.Names {
+		if name == "" {
+			return fmt.Errorf("bio: sequence %d has an empty name", i)
+		}
+		if seen[name] {
+			return fmt.Errorf("bio: duplicate taxon name %q", name)
+		}
+		seen[name] = true
+		if len(m.Seqs[i]) != m.NumSites() {
+			return fmt.Errorf("bio: sequence %q has %d sites, expected %d", name, len(m.Seqs[i]), m.NumSites())
+		}
+		for j, mask := range m.Seqs[i] {
+			if mask == 0 || mask > m.Alphabet.AllStates() {
+				return fmt.Errorf("bio: sequence %q, site %d: invalid mask %#x", name, j+1, mask)
+			}
+		}
+	}
+	return nil
+}
+
+// TaxonIndex returns the row of the named taxon, or -1.
+func (m *Alignment) TaxonIndex(name string) int {
+	for i, n := range m.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Patterns is a site-pattern-compressed view of an alignment: identical
+// columns are collapsed into a single pattern with an integer weight.
+// The likelihood of an alignment is the weighted sum of per-pattern
+// log-likelihoods, so the engine operates exclusively on Patterns.
+type Patterns struct {
+	// Alphabet is the source alignment's alphabet.
+	Alphabet *Alphabet
+	// Names holds the taxon labels, row order preserved.
+	Names []string
+	// Columns holds, per taxon, one mask per unique site pattern.
+	Columns [][]StateMask
+	// Weights holds the multiplicity of each pattern; its sum equals the
+	// original alignment length.
+	Weights []int
+}
+
+// NumTaxa returns the number of sequences.
+func (p *Patterns) NumTaxa() int { return len(p.Columns) }
+
+// NumPatterns returns the number of unique site patterns.
+func (p *Patterns) NumPatterns() int { return len(p.Weights) }
+
+// TotalSites returns the original (uncompressed) alignment length.
+func (p *Patterns) TotalSites() int {
+	s := 0
+	for _, w := range p.Weights {
+		s += w
+	}
+	return s
+}
+
+// Compress collapses identical alignment columns into weighted patterns.
+// Patterns are emitted in a deterministic order (lexicographic over the
+// column masks), so identical alignments compress identically regardless
+// of map iteration order.
+func Compress(m *Alignment) (*Patterns, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n, s := m.NumTaxa(), m.NumSites()
+	type patInfo struct {
+		firstCol int
+		weight   int
+	}
+	index := make(map[string]*patInfo, s)
+	key := make([]byte, n*4)
+	for col := 0; col < s; col++ {
+		for row := 0; row < n; row++ {
+			v := m.Seqs[row][col]
+			key[row*4+0] = byte(v)
+			key[row*4+1] = byte(v >> 8)
+			key[row*4+2] = byte(v >> 16)
+			key[row*4+3] = byte(v >> 24)
+		}
+		k := string(key)
+		if pi, ok := index[k]; ok {
+			pi.weight++
+			continue
+		}
+		index[k] = &patInfo{firstCol: col, weight: 1}
+	}
+	// Deterministic order: by column content via the first column index
+	// after sorting on the key bytes.
+	keys := make([]string, 0, len(index))
+	for k := range index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	p := &Patterns{
+		Alphabet: m.Alphabet,
+		Names:    append([]string(nil), m.Names...),
+		Columns:  make([][]StateMask, n),
+		Weights:  make([]int, len(keys)),
+	}
+	for row := 0; row < n; row++ {
+		p.Columns[row] = make([]StateMask, len(keys))
+	}
+	for j, k := range keys {
+		pi := index[k]
+		p.Weights[j] = pi.weight
+		for row := 0; row < n; row++ {
+			p.Columns[row][j] = m.Seqs[row][pi.firstCol]
+		}
+	}
+	return p, nil
+}
+
+// Uncompress expands the patterns back to a full alignment with each
+// pattern repeated by its weight (column order is by pattern, not the
+// original site order, which the likelihood does not depend on).
+func (p *Patterns) Uncompress() *Alignment {
+	m := NewAlignment(p.Alphabet)
+	for row := range p.Columns {
+		seq := make([]StateMask, 0, p.TotalSites())
+		for j, w := range p.Weights {
+			for k := 0; k < w; k++ {
+				seq = append(seq, p.Columns[row][j])
+			}
+		}
+		m.Names = append(m.Names, p.Names[row])
+		m.Seqs = append(m.Seqs, seq)
+	}
+	return m
+}
+
+// BaseFrequencies returns the empirical state frequencies of the
+// patterns, counting an ambiguous character as a fractional observation
+// split uniformly over its states. The result sums to one.
+func (p *Patterns) BaseFrequencies() []float64 {
+	k := p.Alphabet.States
+	freqs := make([]float64, k)
+	total := 0.0
+	for row := range p.Columns {
+		for j, mask := range p.Columns[row] {
+			w := float64(p.Weights[j])
+			bits := 0
+			for s := 0; s < k; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					bits++
+				}
+			}
+			if bits == k {
+				continue // gaps carry no information
+			}
+			share := w / float64(bits)
+			for s := 0; s < k; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					freqs[s] += share
+					total += share
+				}
+			}
+		}
+	}
+	if total == 0 {
+		// Degenerate all-gap data: fall back to uniform.
+		for s := range freqs {
+			freqs[s] = 1 / float64(k)
+		}
+		return freqs
+	}
+	for s := range freqs {
+		freqs[s] /= total
+	}
+	return freqs
+}

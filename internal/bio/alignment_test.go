@@ -1,0 +1,238 @@
+package bio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustAlignment(t *testing.T, rows map[string]string) *Alignment {
+	t.Helper()
+	m := NewAlignment(NewDNAAlphabet())
+	// Deterministic insertion order.
+	names := []string{"t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8"}
+	for _, n := range names {
+		if s, ok := rows[n]; ok {
+			if err := m.AddString(n, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return m
+}
+
+func TestAlignmentBasics(t *testing.T) {
+	m := mustAlignment(t, map[string]string{
+		"t1": "ACGT",
+		"t2": "ACGA",
+	})
+	if m.NumTaxa() != 2 || m.NumSites() != 4 {
+		t.Fatalf("dims = %dx%d", m.NumTaxa(), m.NumSites())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.TaxonIndex("t2") != 1 || m.TaxonIndex("nope") != -1 {
+		t.Error("TaxonIndex broken")
+	}
+	if m.StringSeq(0) != "ACGT" {
+		t.Errorf("StringSeq = %q", m.StringSeq(0))
+	}
+}
+
+func TestAlignmentRejectsRaggedRows(t *testing.T) {
+	m := NewAlignment(NewDNAAlphabet())
+	if err := m.AddString("a", "ACGT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddString("b", "ACG"); err == nil {
+		t.Error("ragged row must be rejected")
+	}
+}
+
+func TestAlignmentRejectsBadChars(t *testing.T) {
+	m := NewAlignment(NewDNAAlphabet())
+	if err := m.AddString("a", "AC!T"); err == nil {
+		t.Error("invalid character must be rejected")
+	}
+}
+
+func TestValidateCatchesDuplicatesAndEmpties(t *testing.T) {
+	m := NewAlignment(NewDNAAlphabet())
+	if err := m.Validate(); err == nil {
+		t.Error("empty alignment must fail validation")
+	}
+	_ = m.AddString("a", "ACGT")
+	_ = m.AddString("a", "ACGT")
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate names must fail validation")
+	}
+	m2 := NewAlignment(NewDNAAlphabet())
+	_ = m2.AddEncoded("", []StateMask{1, 2})
+	if err := m2.Validate(); err == nil {
+		t.Error("empty name must fail validation")
+	}
+	m3 := NewAlignment(NewDNAAlphabet())
+	_ = m3.AddEncoded("x", []StateMask{0, 1})
+	if err := m3.Validate(); err == nil {
+		t.Error("zero mask must fail validation")
+	}
+}
+
+func TestCompressCollapsesAndWeights(t *testing.T) {
+	m := mustAlignment(t, map[string]string{
+		"t1": "AAACGA",
+		"t2": "CCCGTC",
+		"t3": "GGGTAG",
+	})
+	// Columns: (A,C,G) x3, (C,G,T), (G,T,A), (A,C,G) -> 3 unique patterns,
+	// one with weight 4.
+	p, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPatterns() != 3 {
+		t.Fatalf("patterns = %d, want 3", p.NumPatterns())
+	}
+	if p.TotalSites() != 6 {
+		t.Fatalf("total sites = %d", p.TotalSites())
+	}
+	maxW := 0
+	for _, w := range p.Weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW != 4 {
+		t.Errorf("dominant pattern weight = %d, want 4", maxW)
+	}
+}
+
+func TestCompressDeterministic(t *testing.T) {
+	m := mustAlignment(t, map[string]string{
+		"t1": "ACGTACGTNN--RY",
+		"t2": "TTTTACGAACGTAC",
+	})
+	p1, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumPatterns() != p2.NumPatterns() {
+		t.Fatal("pattern count differs between runs")
+	}
+	for j := range p1.Weights {
+		if p1.Weights[j] != p2.Weights[j] {
+			t.Fatal("weights differ between runs")
+		}
+		for row := range p1.Columns {
+			if p1.Columns[row][j] != p2.Columns[row][j] {
+				t.Fatal("columns differ between runs")
+			}
+		}
+	}
+}
+
+func TestCompressUncompressRoundTripProperty(t *testing.T) {
+	letters := []byte("ACGTRYSWKMBDHVN-")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		s := 1 + r.Intn(40)
+		m := NewAlignment(NewDNAAlphabet())
+		for i := 0; i < n; i++ {
+			buf := make([]byte, s)
+			for j := range buf {
+				buf[j] = letters[r.Intn(len(letters))]
+			}
+			if err := m.AddString(string(rune('a'+i))+"x", string(buf)); err != nil {
+				return false
+			}
+		}
+		p, err := Compress(m)
+		if err != nil {
+			return false
+		}
+		if p.TotalSites() != s {
+			return false
+		}
+		// Round trip: compressing the uncompressed patterns must yield an
+		// identical pattern set.
+		back, err := Compress(p.Uncompress())
+		if err != nil {
+			return false
+		}
+		if back.NumPatterns() != p.NumPatterns() {
+			return false
+		}
+		for j := range p.Weights {
+			if back.Weights[j] != p.Weights[j] {
+				return false
+			}
+			for row := range p.Columns {
+				if back.Columns[row][j] != p.Columns[row][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBaseFrequencies(t *testing.T) {
+	m := mustAlignment(t, map[string]string{
+		"t1": "AACC",
+		"t2": "AACC",
+	})
+	p, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.BaseFrequencies()
+	if math.Abs(f[0]-0.5) > 1e-12 || math.Abs(f[1]-0.5) > 1e-12 || f[2] != 0 || f[3] != 0 {
+		t.Errorf("frequencies = %v", f)
+	}
+	sum := 0.0
+	for _, x := range f {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+}
+
+func TestBaseFrequenciesIgnoreGapsSplitAmbiguity(t *testing.T) {
+	m := mustAlignment(t, map[string]string{
+		"t1": "R-",
+		"t2": "--",
+	})
+	p, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := p.BaseFrequencies()
+	// Only the R counts: half A, half G.
+	if math.Abs(f[0]-0.5) > 1e-12 || math.Abs(f[2]-0.5) > 1e-12 {
+		t.Errorf("frequencies = %v", f)
+	}
+}
+
+func TestBaseFrequenciesAllGaps(t *testing.T) {
+	m := mustAlignment(t, map[string]string{"t1": "--", "t2": "--"})
+	p, err := Compress(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range p.BaseFrequencies() {
+		if math.Abs(x-0.25) > 1e-12 {
+			t.Errorf("all-gap data should give uniform frequencies, got %v", x)
+		}
+	}
+}

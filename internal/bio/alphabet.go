@@ -1,0 +1,222 @@
+// Package bio provides the molecular-sequence substrate of the
+// likelihood engine: character alphabets with IUPAC ambiguity encoding,
+// multiple-sequence-alignment containers, FASTA and relaxed-PHYLIP
+// readers/writers, and site-pattern compression.
+//
+// Characters are stored as bit masks (one bit per state), the encoding
+// RAxML uses for its tip vectors: an ambiguous character is the OR of
+// the states it may represent, and a gap or unknown character has every
+// state bit set.
+package bio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StateMask is a set of character states encoded one bit per state.
+// For DNA the low four bits mean A, C, G, T; for amino-acid data the low
+// twenty bits follow the alphabetical one-letter order ARNDCQEGHILKMFPSTWYV.
+type StateMask uint32
+
+// DataType identifies the kind of molecular data an Alphabet models.
+type DataType int
+
+const (
+	// DNA is four-state nucleotide data with IUPAC ambiguity codes.
+	DNA DataType = iota
+	// AA is twenty-state amino-acid data.
+	AA
+)
+
+// Alphabet translates between sequence characters and state masks.
+type Alphabet struct {
+	// Type is the molecular data type.
+	Type DataType
+	// States is the number of character states (4 for DNA, 20 for AA).
+	States int
+	// letters holds the canonical unambiguous characters by state index.
+	letters []byte
+	// toMask maps an upper-case byte to its mask; zero means invalid.
+	toMask [256]StateMask
+}
+
+// AllStates returns the mask with every state bit set (gap / unknown).
+func (a *Alphabet) AllStates() StateMask {
+	return StateMask(1)<<uint(a.States) - 1
+}
+
+// Mask returns the state mask for character c, accepting lower- and
+// upper-case input. Unknown characters return an error.
+func (a *Alphabet) Mask(c byte) (StateMask, error) {
+	m := a.toMask[c]
+	if m == 0 {
+		return 0, fmt.Errorf("bio: character %q is not valid for %v data", c, a.Type)
+	}
+	return m, nil
+}
+
+// Char returns a printable character for mask m: the canonical letter
+// for single states, the IUPAC code where one exists, and '?' otherwise.
+func (a *Alphabet) Char(m StateMask) byte {
+	if m == a.AllStates() {
+		return '-'
+	}
+	// Exact single state.
+	if m != 0 && m&(m-1) == 0 {
+		for i := 0; i < a.States; i++ {
+			if m == 1<<uint(i) {
+				return a.letters[i]
+			}
+		}
+	}
+	if a.Type == DNA {
+		for c, mm := range dnaCodes {
+			if mm == m {
+				return c
+			}
+		}
+	}
+	if a.Type == AA {
+		for c, mm := range aaAmbiguous {
+			if mm == m {
+				return c
+			}
+		}
+	}
+	return '?'
+}
+
+// IsAmbiguous reports whether m represents more than one state.
+func (a *Alphabet) IsAmbiguous(m StateMask) bool {
+	return m&(m-1) != 0
+}
+
+// SingleState returns the state index for an unambiguous mask and -1 for
+// an ambiguous one.
+func (a *Alphabet) SingleState(m StateMask) int {
+	if m == 0 || m&(m-1) != 0 {
+		return -1
+	}
+	for i := 0; i < a.States; i++ {
+		if m == 1<<uint(i) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t DataType) String() string {
+	switch t {
+	case DNA:
+		return "DNA"
+	case AA:
+		return "AA"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(t))
+	}
+}
+
+// DNA state bits in alphabetical order.
+const (
+	maskA StateMask = 1 << iota
+	maskC
+	maskG
+	maskT
+)
+
+// dnaCodes lists the IUPAC nucleotide ambiguity characters.
+var dnaCodes = map[byte]StateMask{
+	'A': maskA,
+	'C': maskC,
+	'G': maskG,
+	'T': maskT,
+	'U': maskT,
+	'R': maskA | maskG,
+	'Y': maskC | maskT,
+	'S': maskC | maskG,
+	'W': maskA | maskT,
+	'K': maskG | maskT,
+	'M': maskA | maskC,
+	'B': maskC | maskG | maskT,
+	'D': maskA | maskG | maskT,
+	'H': maskA | maskC | maskT,
+	'V': maskA | maskC | maskG,
+	'N': maskA | maskC | maskG | maskT,
+	'X': maskA | maskC | maskG | maskT,
+	'?': maskA | maskC | maskG | maskT,
+	'-': maskA | maskC | maskG | maskT,
+	'O': maskA | maskC | maskG | maskT,
+}
+
+// aaOrder is the canonical one-letter amino-acid order used by PAML,
+// PHYLIP and RAxML: Ala Arg Asn Asp Cys Gln Glu Gly His Ile Leu Lys Met
+// Phe Pro Ser Thr Trp Tyr Val.
+const aaOrder = "ARNDCQEGHILKMFPSTWYV"
+
+// aaAmbiguous lists the amino-acid ambiguity characters.
+var aaAmbiguous map[byte]StateMask
+
+// NewDNAAlphabet returns the nucleotide alphabet with IUPAC ambiguity
+// support; gaps and unknowns map to the fully ambiguous mask.
+func NewDNAAlphabet() *Alphabet {
+	a := &Alphabet{Type: DNA, States: 4, letters: []byte("ACGT")}
+	for c, m := range dnaCodes {
+		a.toMask[c] = m
+		a.toMask[lower(c)] = m
+	}
+	return a
+}
+
+// NewAAAlphabet returns the twenty-state amino-acid alphabet. B, Z and J
+// map to their standard two-state ambiguity sets; X, ?, -, * and U map
+// to the fully ambiguous mask.
+func NewAAAlphabet() *Alphabet {
+	a := &Alphabet{Type: AA, States: 20, letters: []byte(aaOrder)}
+	for i := 0; i < 20; i++ {
+		c := aaOrder[i]
+		a.toMask[c] = 1 << uint(i)
+		a.toMask[lower(c)] = 1 << uint(i)
+	}
+	for c, m := range aaAmbiguous {
+		a.toMask[c] = m
+		a.toMask[lower(c)] = m
+	}
+	return a
+}
+
+// NewAlphabet returns the alphabet for the given data type.
+func NewAlphabet(t DataType) *Alphabet {
+	switch t {
+	case DNA:
+		return NewDNAAlphabet()
+	case AA:
+		return NewAAAlphabet()
+	default:
+		panic(fmt.Sprintf("bio: unknown data type %d", int(t)))
+	}
+}
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+func init() {
+	idx := func(c byte) StateMask {
+		return 1 << uint(strings.IndexByte(aaOrder, c))
+	}
+	all := StateMask(1)<<20 - 1
+	aaAmbiguous = map[byte]StateMask{
+		'B': idx('D') | idx('N'),
+		'Z': idx('E') | idx('Q'),
+		'J': idx('I') | idx('L'),
+		'X': all,
+		'?': all,
+		'-': all,
+		'*': all,
+		'U': all,
+	}
+}

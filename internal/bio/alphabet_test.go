@@ -1,0 +1,133 @@
+package bio
+
+import (
+	"math/bits"
+	"testing"
+)
+
+func TestDNAAlphabetBasics(t *testing.T) {
+	a := NewDNAAlphabet()
+	if a.States != 4 {
+		t.Fatalf("DNA states = %d", a.States)
+	}
+	if a.AllStates() != 0xF {
+		t.Fatalf("AllStates = %#x", a.AllStates())
+	}
+	cases := map[byte]StateMask{
+		'A': 1, 'C': 2, 'G': 4, 'T': 8, 'U': 8,
+		'R': 5, 'Y': 10, 'S': 6, 'W': 9, 'K': 12, 'M': 3,
+		'B': 14, 'D': 13, 'H': 11, 'V': 7,
+		'N': 15, '-': 15, '?': 15, 'X': 15,
+	}
+	for c, want := range cases {
+		got, err := a.Mask(c)
+		if err != nil {
+			t.Fatalf("Mask(%q): %v", c, err)
+		}
+		if got != want {
+			t.Errorf("Mask(%q) = %#x, want %#x", c, got, want)
+		}
+		lc := c + 'a' - 'A'
+		if c >= 'A' && c <= 'Z' {
+			if lg, err := a.Mask(lc); err != nil || lg != want {
+				t.Errorf("lowercase Mask(%q) = %#x, %v", lc, lg, err)
+			}
+		}
+	}
+	if _, err := a.Mask('!'); err == nil {
+		t.Error("invalid character must error")
+	}
+	if _, err := a.Mask('E'); err == nil {
+		t.Error("'E' is not a nucleotide code")
+	}
+}
+
+func TestDNACharRoundTrip(t *testing.T) {
+	a := NewDNAAlphabet()
+	for _, c := range []byte("ACGTRYSWKMBDHV") {
+		m, err := a.Mask(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Char(m); got != c {
+			t.Errorf("Char(Mask(%q)) = %q", c, got)
+		}
+	}
+	// Fully ambiguous renders as gap.
+	if a.Char(a.AllStates()) != '-' {
+		t.Error("full mask should render '-'")
+	}
+}
+
+func TestAAAlphabetBasics(t *testing.T) {
+	a := NewAAAlphabet()
+	if a.States != 20 {
+		t.Fatalf("AA states = %d", a.States)
+	}
+	for i := 0; i < 20; i++ {
+		c := aaOrder[i]
+		m, err := a.Mask(c)
+		if err != nil {
+			t.Fatalf("Mask(%q): %v", c, err)
+		}
+		if m != 1<<uint(i) {
+			t.Errorf("Mask(%q) = %#x, want bit %d", c, m, i)
+		}
+		if a.SingleState(m) != i {
+			t.Errorf("SingleState(%#x) = %d, want %d", m, a.SingleState(m), i)
+		}
+		if a.Char(m) != c {
+			t.Errorf("Char round trip failed for %q", c)
+		}
+	}
+	// Ambiguity codes.
+	b, _ := a.Mask('B')
+	if bits.OnesCount32(uint32(b)) != 2 {
+		t.Errorf("B should cover two states, mask %#x", b)
+	}
+	x, _ := a.Mask('X')
+	if x != a.AllStates() {
+		t.Errorf("X should be fully ambiguous, mask %#x", x)
+	}
+	gap, _ := a.Mask('-')
+	if gap != a.AllStates() {
+		t.Error("gap should be fully ambiguous")
+	}
+	if _, err := a.Mask('1'); err == nil {
+		t.Error("digit must be invalid")
+	}
+}
+
+func TestSingleStateAndAmbiguity(t *testing.T) {
+	a := NewDNAAlphabet()
+	if a.SingleState(0) != -1 {
+		t.Error("zero mask has no single state")
+	}
+	if a.SingleState(3) != -1 {
+		t.Error("mask 3 is ambiguous")
+	}
+	if a.SingleState(4) != 2 {
+		t.Error("mask 4 is state 2 (G)")
+	}
+	if a.IsAmbiguous(4) {
+		t.Error("G is not ambiguous")
+	}
+	if !a.IsAmbiguous(5) {
+		t.Error("R is ambiguous")
+	}
+}
+
+func TestNewAlphabetDispatch(t *testing.T) {
+	if NewAlphabet(DNA).States != 4 || NewAlphabet(AA).States != 20 {
+		t.Error("NewAlphabet dispatch broken")
+	}
+	if DNA.String() != "DNA" || AA.String() != "AA" {
+		t.Error("DataType.String broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown data type must panic")
+		}
+	}()
+	NewAlphabet(DataType(99))
+}

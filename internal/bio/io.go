@@ -1,0 +1,186 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadFASTA parses a FASTA stream into an alignment over alphabet a.
+// Header lines start with '>'; the taxon name is the first whitespace-
+// delimited token after it. Sequence data may span multiple lines.
+func ReadFASTA(r io.Reader, a *Alphabet) (*Alignment, error) {
+	m := NewAlignment(a)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var (
+		name string
+		seq  strings.Builder
+		line int
+	)
+	flush := func() error {
+		if name == "" {
+			return nil
+		}
+		if seq.Len() == 0 {
+			return fmt.Errorf("bio: fasta record %q has no sequence data", name)
+		}
+		if err := m.AddString(name, seq.String()); err != nil {
+			return err
+		}
+		name = ""
+		seq.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if text[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			fields := strings.Fields(text[1:])
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("bio: fasta line %d: empty header", line)
+			}
+			name = fields[0]
+			continue
+		}
+		if name == "" {
+			return nil, fmt.Errorf("bio: fasta line %d: sequence data before first header", line)
+		}
+		seq.WriteString(text)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bio: reading fasta: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteFASTA writes the alignment as FASTA with 70-column sequence lines.
+func WriteFASTA(w io.Writer, m *Alignment) error {
+	bw := bufio.NewWriter(w)
+	for i := range m.Seqs {
+		if _, err := fmt.Fprintf(bw, ">%s\n", m.Names[i]); err != nil {
+			return err
+		}
+		s := m.StringSeq(i)
+		for off := 0; off < len(s); off += 70 {
+			end := off + 70
+			if end > len(s) {
+				end = len(s)
+			}
+			if _, err := fmt.Fprintln(bw, s[off:end]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPhylip parses a relaxed sequential PHYLIP stream: a header line
+// with the taxon and site counts, then one record per taxon whose name
+// is the first whitespace-delimited token (no 10-character limit) and
+// whose sequence may continue on subsequent lines until the declared
+// length is reached. Interleaved files whose first block carries full-
+// length rows also parse.
+func ReadPhylip(r io.Reader, a *Alphabet) (*Alignment, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("bio: reading phylip: %w", err)
+		}
+		return nil, fmt.Errorf("bio: phylip: missing header")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 2 {
+		return nil, fmt.Errorf("bio: phylip: header %q must contain taxon and site counts", sc.Text())
+	}
+	ntaxa, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("bio: phylip: bad taxon count %q", header[0])
+	}
+	nsites, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("bio: phylip: bad site count %q", header[1])
+	}
+	if ntaxa <= 0 || nsites <= 0 {
+		return nil, fmt.Errorf("bio: phylip: non-positive dimensions %d x %d", ntaxa, nsites)
+	}
+
+	m := NewAlignment(a)
+	for t := 0; t < ntaxa; t++ {
+		var name string
+		var seq strings.Builder
+		for seq.Len() < nsites {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return nil, fmt.Errorf("bio: reading phylip: %w", err)
+				}
+				return nil, fmt.Errorf("bio: phylip: unexpected end of file in record %d (%q)", t+1, name)
+			}
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			if name == "" {
+				fields := strings.Fields(text)
+				name = fields[0]
+				for _, f := range fields[1:] {
+					seq.WriteString(f)
+				}
+				continue
+			}
+			for _, f := range strings.Fields(text) {
+				seq.WriteString(f)
+			}
+		}
+		s := seq.String()
+		if len(s) != nsites {
+			return nil, fmt.Errorf("bio: phylip: taxon %q has %d sites, header declares %d", name, len(s), nsites)
+		}
+		if err := m.AddString(name, s); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if m.NumSites() != nsites || m.NumTaxa() != ntaxa {
+		return nil, fmt.Errorf("bio: phylip: parsed %dx%d, header declares %dx%d",
+			m.NumTaxa(), m.NumSites(), ntaxa, nsites)
+	}
+	return m, nil
+}
+
+// WritePhylip writes the alignment in relaxed sequential PHYLIP format.
+func WritePhylip(w io.Writer, m *Alignment) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", m.NumTaxa(), m.NumSites()); err != nil {
+		return err
+	}
+	width := 0
+	for _, n := range m.Names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for i := range m.Seqs {
+		if _, err := fmt.Fprintf(bw, "%-*s  %s\n", width, m.Names[i], m.StringSeq(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

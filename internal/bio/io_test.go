@@ -1,0 +1,171 @@
+package bio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFASTA(t *testing.T) {
+	in := `>t1 some description
+ACGT
+ACGT
+>t2
+acgtacgt
+
+>t3
+NNNN----
+`
+	m, err := ReadFASTA(strings.NewReader(in), NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTaxa() != 3 || m.NumSites() != 8 {
+		t.Fatalf("dims = %dx%d", m.NumTaxa(), m.NumSites())
+	}
+	if m.Names[0] != "t1" || m.Names[1] != "t2" {
+		t.Errorf("names = %v", m.Names)
+	}
+	if m.StringSeq(0) != "ACGTACGT" {
+		t.Errorf("seq0 = %q", m.StringSeq(0))
+	}
+	if m.StringSeq(1) != "ACGTACGT" {
+		t.Errorf("lowercase not normalised: %q", m.StringSeq(1))
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	cases := []string{
+		"ACGT\n",             // data before header
+		">a\n>b\nACGT\n",     // record without data
+		">\nACGT\n",          // empty header
+		">a\nAC\n>b\nACGT\n", // ragged
+		">a\nAZGT\n",         // bad character for DNA
+	}
+	for _, in := range cases {
+		if _, err := ReadFASTA(strings.NewReader(in), NewDNAAlphabet()); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	m := NewAlignment(NewDNAAlphabet())
+	_ = m.AddString("alpha", strings.Repeat("ACGTRYN-", 30))
+	_ = m.AddString("beta", strings.Repeat("TTTTACG-", 30))
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf, NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTaxa() != 2 || back.NumSites() != 240 {
+		t.Fatalf("dims = %dx%d", back.NumTaxa(), back.NumSites())
+	}
+	for i := range m.Seqs {
+		if back.StringSeq(i) != m.StringSeq(i) {
+			t.Errorf("row %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadPhylipSequential(t *testing.T) {
+	in := `4 12
+taxon_one   ACGTACGTACGT
+taxon_two   TTTTACGTACGA
+taxon_three ACGAACGAACGA
+taxon_four  ACG-ACG-ACG-
+`
+	m, err := ReadPhylip(strings.NewReader(in), NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumTaxa() != 4 || m.NumSites() != 12 {
+		t.Fatalf("dims = %dx%d", m.NumTaxa(), m.NumSites())
+	}
+	if m.Names[2] != "taxon_three" {
+		t.Errorf("names = %v", m.Names)
+	}
+	if m.StringSeq(3) != "ACG-ACG-ACG-" {
+		t.Errorf("seq3 = %q", m.StringSeq(3))
+	}
+}
+
+func TestReadPhylipMultiline(t *testing.T) {
+	in := `2 8
+a ACGT
+ACGT
+b TTTT
+ACGA
+`
+	m, err := ReadPhylip(strings.NewReader(in), NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StringSeq(0) != "ACGTACGT" || m.StringSeq(1) != "TTTTACGA" {
+		t.Errorf("multi-line parse wrong: %q %q", m.StringSeq(0), m.StringSeq(1))
+	}
+}
+
+func TestReadPhylipSpacedSequences(t *testing.T) {
+	in := "1 12\nx ACGT ACGT ACGT\n"
+	m, err := ReadPhylip(strings.NewReader(in), NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StringSeq(0) != "ACGTACGTACGT" {
+		t.Errorf("spaced sequence parse wrong: %q", m.StringSeq(0))
+	}
+}
+
+func TestReadPhylipErrors(t *testing.T) {
+	cases := []string{
+		"",                      // no header
+		"x y\nfoo ACGT\n",       // bad header numbers
+		"0 4\n",                 // zero taxa
+		"2 4\na ACGT\n",         // truncated
+		"1 4\na ACGTT\n",        // declared length exceeded mid-token is fine, but 5 != 4
+		"1 4\na AC\n",           // EOF before full length
+		"2 4\na ACGT\na ACGT\n", // duplicate names
+	}
+	for _, in := range cases {
+		if _, err := ReadPhylip(strings.NewReader(in), NewDNAAlphabet()); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestPhylipRoundTrip(t *testing.T) {
+	m := NewAlignment(NewDNAAlphabet())
+	_ = m.AddString("taxon_with_long_name", "ACGTRY")
+	_ = m.AddString("b", "NNNNNN")
+	var buf bytes.Buffer
+	if err := WritePhylip(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPhylip(&buf, NewDNAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Seqs {
+		if back.Names[i] != m.Names[i] || back.StringSeq(i) != m.StringSeq(i) {
+			t.Errorf("row %d differs after round trip", i)
+		}
+	}
+}
+
+func TestReadFASTAProtein(t *testing.T) {
+	in := ">p1\nARNDCQEGHILKMFPSTWYV\n>p2\nXXXXXXXXXXXXXXXXXXXX\n"
+	m, err := ReadFASTA(strings.NewReader(in), NewAAAlphabet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSites() != 20 {
+		t.Fatalf("sites = %d", m.NumSites())
+	}
+	if m.StringSeq(0) != "ARNDCQEGHILKMFPSTWYV" {
+		t.Errorf("protein round trip failed: %q", m.StringSeq(0))
+	}
+}

@@ -1,0 +1,243 @@
+// Package bootstrap implements Felsenstein's nonparametric bootstrap
+// for phylogenies: site resampling on top of the pattern-compression
+// machinery (a bootstrap replicate is just a new weight vector — no
+// sequence data is copied), replicate inference through a pluggable
+// search function, and bipartition support mapped onto a reference
+// tree — the standard companion analysis of every PLF-based program,
+// and a natural consumer of the out-of-core engine since each
+// replicate repeats the full search workload.
+package bootstrap
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/tree"
+)
+
+// Resample draws TotalSites() sites with replacement and returns a
+// pattern set with the resampled weights. Patterns drawn zero times are
+// dropped. Sampling is over sites (each original pattern is picked with
+// probability weight/total), which is exactly the classical bootstrap.
+func Resample(pats *bio.Patterns, rng *rand.Rand) *bio.Patterns {
+	total := pats.TotalSites()
+	// Cumulative weights for O(log n) site -> pattern lookup.
+	cum := make([]int, pats.NumPatterns())
+	acc := 0
+	for i, w := range pats.Weights {
+		acc += w
+		cum[i] = acc
+	}
+	counts := make([]int, pats.NumPatterns())
+	for s := 0; s < total; s++ {
+		x := rng.Intn(total) + 1
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		counts[lo]++
+	}
+	out := &bio.Patterns{
+		Alphabet: pats.Alphabet,
+		Names:    append([]string(nil), pats.Names...),
+		Columns:  make([][]bio.StateMask, pats.NumTaxa()),
+	}
+	for p, c := range counts {
+		if c == 0 {
+			continue
+		}
+		out.Weights = append(out.Weights, c)
+		for row := range pats.Columns {
+			if out.Columns[row] == nil {
+				out.Columns[row] = make([]bio.StateMask, 0, pats.NumPatterns())
+			}
+			out.Columns[row] = append(out.Columns[row], pats.Columns[row][p])
+		}
+		_ = p
+	}
+	return out
+}
+
+// SearchFunc infers a tree for one bootstrap replicate.
+type SearchFunc func(replicate int, pats *bio.Patterns) (*tree.Tree, error)
+
+// Run performs `replicates` bootstrap inferences. Each replicate gets
+// its own deterministic sub-seed, so runs are reproducible given seed.
+func Run(pats *bio.Patterns, replicates int, seed int64, search SearchFunc) ([]*tree.Tree, error) {
+	if replicates < 1 {
+		return nil, fmt.Errorf("bootstrap: need at least 1 replicate, got %d", replicates)
+	}
+	if search == nil {
+		return nil, fmt.Errorf("bootstrap: search function is required")
+	}
+	trees := make([]*tree.Tree, 0, replicates)
+	for rep := 0; rep < replicates; rep++ {
+		rng := rand.New(rand.NewSource(seed + int64(rep)*1_000_003))
+		sample := Resample(pats, rng)
+		t, err := search(rep, sample)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap: replicate %d: %w", rep, err)
+		}
+		trees = append(trees, t)
+	}
+	return trees, nil
+}
+
+// Support returns, for every internal edge of ref (keyed by edge
+// index), the fraction of replicate trees containing the same
+// bipartition. Replicates must cover the same taxon set.
+func Support(ref *tree.Tree, replicates []*tree.Tree) (map[int]float64, error) {
+	if len(replicates) == 0 {
+		return nil, fmt.Errorf("bootstrap: no replicate trees")
+	}
+	want := strings.Join(ref.TipNames(), "\x00")
+	counts := make(map[string]int)
+	for i, r := range replicates {
+		if strings.Join(r.TipNames(), "\x00") != want {
+			return nil, fmt.Errorf("bootstrap: replicate %d has a different taxon set", i)
+		}
+		for split := range tree.Bipartitions(r) {
+			counts[split]++
+		}
+	}
+	// Key ref's own splits the same way Bipartitions does, but per edge.
+	out := make(map[int]float64)
+	refSplits := edgeBipartitions(ref)
+	n := float64(len(replicates))
+	for idx, split := range refSplits {
+		out[idx] = float64(counts[split]) / n
+	}
+	return out, nil
+}
+
+// edgeBipartitions returns the canonical split key per internal edge
+// index (mirrors tree.Bipartitions' canonicalisation).
+func edgeBipartitions(t *tree.Tree) map[int]string {
+	names := t.TipNames()
+	rank := make(map[string]int, len(names))
+	for i, n := range names {
+		rank[n] = i
+	}
+	out := make(map[int]string)
+	for _, e := range t.Edges {
+		if e.N[0].IsTip() || e.N[1].IsTip() {
+			continue
+		}
+		var side []int
+		var walk func(n, from *tree.Node)
+		walk = func(n, from *tree.Node) {
+			if n.IsTip() {
+				side = append(side, rank[n.Name])
+				return
+			}
+			for _, adj := range n.Adj {
+				if o := adj.Other(n); o != from {
+					walk(o, n)
+				}
+			}
+		}
+		walk(e.N[0], e.N[1])
+		sort.Ints(side)
+		if len(side) > 0 && side[0] == 0 {
+			in := make(map[int]bool, len(side))
+			for _, r := range side {
+				in[r] = true
+			}
+			other := make([]int, 0, len(names)-len(side))
+			for r := range names {
+				if !in[r] {
+					other = append(other, r)
+				}
+			}
+			side = other
+		}
+		out[e.Index] = fmt.Sprint(side)
+	}
+	return out
+}
+
+// ClusterSupport is one bipartition with its replicate frequency.
+type ClusterSupport struct {
+	// Split is the canonical bipartition key (see tree.Bipartitions).
+	Split string
+	// Frequency in [0, 1].
+	Frequency float64
+}
+
+// MajorityClusters returns the bipartitions occurring in more than
+// `threshold` (e.g. 0.5) of the replicates, most frequent first. By the
+// majority-rule theorem these splits are mutually compatible for
+// threshold >= 0.5.
+func MajorityClusters(replicates []*tree.Tree, threshold float64) ([]ClusterSupport, error) {
+	if len(replicates) == 0 {
+		return nil, fmt.Errorf("bootstrap: no replicate trees")
+	}
+	counts := make(map[string]int)
+	for _, r := range replicates {
+		for split := range tree.Bipartitions(r) {
+			counts[split]++
+		}
+	}
+	n := float64(len(replicates))
+	var out []ClusterSupport
+	for split, c := range counts {
+		if f := float64(c) / n; f > threshold {
+			out = append(out, ClusterSupport{Split: split, Frequency: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Frequency != out[j].Frequency {
+			return out[i].Frequency > out[j].Frequency
+		}
+		return out[i].Split < out[j].Split
+	})
+	return out, nil
+}
+
+// NewickWithSupport serialises ref with per-edge support values (in
+// percent) as internal node labels, RAxML-style.
+func NewickWithSupport(ref *tree.Tree, support map[int]float64) string {
+	var b strings.Builder
+	anchor := ref.Nodes[ref.NumTips]
+	b.WriteByte('(')
+	for i, e := range anchor.Adj {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeSupportSubtree(&b, e.Other(anchor), anchor, e, support)
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+func writeSupportSubtree(b *strings.Builder, n, parent *tree.Node, via *tree.Edge, support map[int]float64) {
+	if n.IsTip() {
+		fmt.Fprintf(b, "%s:%g", n.Name, via.Length)
+		return
+	}
+	b.WriteByte('(')
+	first := true
+	for _, e := range n.Adj {
+		if e == via {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		writeSupportSubtree(b, e.Other(n), n, e, support)
+	}
+	b.WriteByte(')')
+	if s, ok := support[via.Index]; ok {
+		fmt.Fprintf(b, "%d", int(s*100+0.5))
+	}
+	fmt.Fprintf(b, ":%g", via.Length)
+}

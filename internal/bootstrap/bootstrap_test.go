@@ -1,0 +1,190 @@
+package bootstrap
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/distance"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func TestResamplePreservesTotalSites(t *testing.T) {
+	f := func(seed int64) bool {
+		d, err := sim.NewDataset(sim.Config{Taxa: 8, Sites: 120, Seed: seed})
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		r := Resample(d.Patterns, rng)
+		if r.TotalSites() != d.Patterns.TotalSites() {
+			return false
+		}
+		if r.NumTaxa() != d.Patterns.NumTaxa() {
+			return false
+		}
+		// Every resampled pattern must exist in the original.
+		orig := make(map[string]bool)
+		key := func(p *bio.Patterns, col int) string {
+			var sb strings.Builder
+			for row := range p.Columns {
+				sb.WriteByte(byte(p.Columns[row][col]))
+				sb.WriteByte(byte(p.Columns[row][col] >> 8))
+			}
+			return sb.String()
+		}
+		for c := 0; c < d.Patterns.NumPatterns(); c++ {
+			orig[key(d.Patterns, c)] = true
+		}
+		for c := 0; c < r.NumPatterns(); c++ {
+			if !orig[key(r, c)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResampleVaries(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 6, Sites: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Resample(d.Patterns, rand.New(rand.NewSource(1)))
+	b := Resample(d.Patterns, rand.New(rand.NewSource(2)))
+	same := a.NumPatterns() == b.NumPatterns()
+	if same {
+		for i := range a.Weights {
+			if a.Weights[i] != b.Weights[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds should give different resamples")
+	}
+	// Same seed: identical.
+	c := Resample(d.Patterns, rand.New(rand.NewSource(1)))
+	if a.NumPatterns() != c.NumPatterns() {
+		t.Error("same seed must give identical resamples")
+	}
+}
+
+func TestRunAndSupportOnCleanData(t *testing.T) {
+	// Strong signal: every replicate should recover the same topology,
+	// so all reference splits get 100% support.
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 3000, GammaAlpha: 8, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nj := func(rep int, pats *bio.Patterns) (*tree.Tree, error) {
+		return distance.NJTree(pats)
+	}
+	trees, err := Run(d.Patterns, 10, 7, nj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 10 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	ref, err := distance.NJTree(d.Patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := Support(ref, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != ref.NumTips-3 {
+		t.Fatalf("support for %d edges, want %d internal edges", len(sup), ref.NumTips-3)
+	}
+	low := 0
+	for _, s := range sup {
+		if s < 0 || s > 1 {
+			t.Fatalf("support %v out of range", s)
+		}
+		if s < 0.7 {
+			low++
+		}
+	}
+	if low > 2 {
+		t.Errorf("clean data should give near-unanimous support; %d edges below 0.7: %v", low, sup)
+	}
+}
+
+func TestSupportValidation(t *testing.T) {
+	a, _ := tree.ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := tree.ParseNewick("((a:1,b:1):1,(c:1,e:1):1);") // different taxa
+	if _, err := Support(a, nil); err == nil {
+		t.Error("no replicates must fail")
+	}
+	if _, err := Support(a, []*tree.Tree{b}); err == nil {
+		t.Error("mismatched taxon sets must fail")
+	}
+	same, _ := tree.ParseNewick("((a:1,c:1):1,(b:1,d:1):1);")
+	sup, err := Support(a, []*tree.Tree{a.Clone(), same})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sup {
+		if s != 0.5 {
+			t.Errorf("split present in 1 of 2 replicates should read 0.5, got %v", s)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d, _ := sim.NewDataset(sim.Config{Taxa: 5, Sites: 50, Seed: 1})
+	if _, err := Run(d.Patterns, 0, 1, nil); err == nil {
+		t.Error("zero replicates must fail")
+	}
+	if _, err := Run(d.Patterns, 1, 1, nil); err == nil {
+		t.Error("nil search must fail")
+	}
+}
+
+func TestMajorityClusters(t *testing.T) {
+	a, _ := tree.ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := tree.ParseNewick("((a:1,c:1):1,(b:1,d:1):1);")
+	trees := []*tree.Tree{a, a.Clone(), a.Clone(), b}
+	cs, err := MajorityClusters(trees, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("expected 1 majority split, got %d", len(cs))
+	}
+	if cs[0].Frequency != 0.75 {
+		t.Errorf("frequency = %v, want 0.75", cs[0].Frequency)
+	}
+	if _, err := MajorityClusters(nil, 0.5); err == nil {
+		t.Error("empty input must fail")
+	}
+}
+
+func TestNewickWithSupportRoundTrips(t *testing.T) {
+	ref, _ := tree.ParseNewick("((a:0.1,b:0.2):0.3,(c:0.4,d:0.5):0.6);")
+	sup, err := Support(ref, []*tree.Tree{ref.Clone(), ref.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewickWithSupport(ref, sup)
+	if !strings.Contains(s, ")100:") {
+		t.Errorf("expected a 100%% support label, got %s", s)
+	}
+	// The annotated string still parses (labels on inner nodes are legal).
+	back, err := tree.ParseNewick(s)
+	if err != nil {
+		t.Fatalf("annotated newick does not parse: %v\n%s", err, s)
+	}
+	if tree.RFDistance(back, ref) != 0 {
+		t.Error("annotation changed the topology")
+	}
+}

@@ -1,0 +1,145 @@
+// Package checkpoint persists and restores the state of a running
+// analysis: topology with branch lengths, full model parameterisation
+// and progress metadata. The paper's closing claim — "given enough
+// execution time and disk space, the out-of-core version can be
+// deployed to essentially infer trees on datasets of arbitrary size"
+// (§4.3) — implies runs long enough that surviving interruption
+// matters; this package makes the search driver resumable.
+//
+// Checkpoints are JSON documents written atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous checkpoint.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"oocphylo/internal/model"
+	"oocphylo/internal/tree"
+)
+
+// FormatVersion identifies the checkpoint schema.
+const FormatVersion = 1
+
+// State is everything needed to resume an analysis.
+type State struct {
+	// Version is the checkpoint schema version.
+	Version int `json:"version"`
+	// Newick holds the current tree with branch lengths.
+	Newick string `json:"newick"`
+	// States, Freqs, Exch, Alpha and Cats reconstruct the model.
+	States int       `json:"states"`
+	Freqs  []float64 `json:"freqs"`
+	Exch   []float64 `json:"exch,omitempty"`
+	Alpha  float64   `json:"alpha,omitempty"` // 0 = rate homogeneity
+	Cats   int       `json:"cats"`
+	// PInv is the +I proportion (0 = disabled).
+	PInv float64 `json:"pinv,omitempty"`
+	// LnL and Round record progress for reporting.
+	LnL   float64 `json:"lnl"`
+	Round int     `json:"round"`
+	// Meta carries arbitrary driver annotations (dataset path, seed...).
+	Meta map[string]string `json:"meta,omitempty"`
+}
+
+// Capture snapshots a live analysis into a State.
+func Capture(t *tree.Tree, m *model.Model, lnl float64, round int) *State {
+	st := &State{
+		Version: FormatVersion,
+		Newick:  tree.WriteNewick(t),
+		States:  m.States,
+		Freqs:   append([]float64(nil), m.Freqs...),
+		Exch:    append([]float64(nil), m.Exch...),
+		Cats:    m.Cats(),
+		LnL:     lnl,
+		Round:   round,
+	}
+	if m.Cats() > 1 && !math.IsInf(m.Alpha, 0) {
+		st.Alpha = m.Alpha
+	}
+	st.PInv = m.PInv
+	return st
+}
+
+// Restore rebuilds the tree and model from the snapshot.
+func (st *State) Restore() (*tree.Tree, *model.Model, error) {
+	if st.Version != FormatVersion {
+		return nil, nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", st.Version, FormatVersion)
+	}
+	t, err := tree.ParseNewick(st.Newick)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: restoring tree: %w", err)
+	}
+	exch := st.Exch
+	if len(exch) == 0 {
+		// Homogeneous exchangeabilities as a fallback.
+		exch = make([]float64, st.States*(st.States-1)/2)
+		for i := range exch {
+			exch[i] = 1
+		}
+	}
+	m, err := model.NewGTR(st.Freqs, exch, st.States)
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: restoring model: %w", err)
+	}
+	if st.Alpha > 0 && st.Cats > 1 {
+		if err := m.SetGamma(st.Alpha, st.Cats); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: restoring gamma: %w", err)
+		}
+	}
+	if st.PInv > 0 {
+		if err := m.SetInvariant(st.PInv); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint: restoring +I: %w", err)
+		}
+	}
+	return t, m, nil
+}
+
+// Save writes the checkpoint atomically.
+func Save(path string, st *State) error {
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: writing: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: syncing: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: committing: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint.
+func Load(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading: %w", err)
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decoding: %w", err)
+	}
+	return &st, nil
+}

@@ -1,0 +1,185 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oocphylo/internal/model"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 200, GammaAlpha: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewGTR(d.Patterns.BaseFrequencies(), []float64{0.7, 2.4, 1.1, 0.9, 3.0, 1.0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGamma(0.55, 4); err != nil {
+		t.Fatal(err)
+	}
+	lnlOf := func(tr *tree.Tree, mm *model.Model) float64 {
+		e, err := plf.New(tr, d.Patterns, mm,
+			plf.NewInMemoryProvider(tr.NumInner(), plf.VectorLength(mm, d.Patterns.NumPatterns())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnl, err := e.LogLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lnl
+	}
+	origLnl := lnlOf(d.Tree.Clone(), m)
+
+	st := Capture(d.Tree, m, origLnl, 3)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Round != 3 || loaded.LnL != origLnl {
+		t.Errorf("progress metadata lost: %+v", loaded)
+	}
+	rt, rm, err := loaded.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.RFDistance(rt, d.Tree) != 0 {
+		t.Error("topology changed through checkpoint")
+	}
+	if rm.Alpha != 0.55 || rm.Cats() != 4 {
+		t.Errorf("gamma lost: alpha=%v cats=%d", rm.Alpha, rm.Cats())
+	}
+	// The restored analysis reproduces the likelihood (to round-off of
+	// the serialised branch lengths).
+	restoredLnl := lnlOf(rt, rm)
+	if math.Abs(restoredLnl-origLnl) > 1e-6*math.Abs(origLnl) {
+		t.Errorf("restored lnL %v differs from original %v", restoredLnl, origLnl)
+	}
+}
+
+func TestRestoreHomogeneousModel(t *testing.T) {
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,c:0.3);")
+	m, _ := model.NewJC(4)
+	st := Capture(tr, m, -12.5, 0)
+	rt, rm, err := st.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Cats() != 1 {
+		t.Errorf("homogeneous model restored with %d categories", rm.Cats())
+	}
+	if rt.NumTips != 3 {
+		t.Error("tree lost")
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.ckpt")
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,c:0.3);")
+	m, _ := model.NewJC(4)
+	if err := Save(path, Capture(tr, m, -1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a newer state; no stray temp files remain.
+	if err := Save(path, Capture(tr, m, -2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("stray files after save: %v", entries)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 2 {
+		t.Error("overwrite did not take effect")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ckpt")
+	_ = os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Error("corrupt file must fail")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	st := &State{Version: 99}
+	if _, _, err := st.Restore(); err == nil {
+		t.Error("wrong version must fail")
+	}
+	st = &State{Version: FormatVersion, Newick: "((", States: 4, Freqs: []float64{1, 1, 1, 1}, Cats: 1}
+	if _, _, err := st.Restore(); err == nil {
+		t.Error("bad newick must fail")
+	}
+	st = &State{Version: FormatVersion, Newick: "(a:1,b:1,c:1);", States: 4, Freqs: []float64{1, -1, 1, 1}, Cats: 1}
+	if _, _, err := st.Restore(); err == nil {
+		t.Error("bad frequencies must fail")
+	}
+}
+
+func TestSaveErrors(t *testing.T) {
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,c:0.3);")
+	m, _ := model.NewJC(4)
+	st := Capture(tr, m, -1, 1)
+	if err := Save(filepath.Join("/no", "such", "dir", "x.ckpt"), st); err == nil {
+		t.Error("unwritable directory must fail")
+	}
+}
+
+func TestRestoreFallbackExchangeabilities(t *testing.T) {
+	// A checkpoint without Exch (e.g. written by a non-GTR model whose
+	// Exch slice was empty) restores with unit exchangeabilities.
+	st := &State{
+		Version: FormatVersion,
+		Newick:  "(a:0.1,b:0.2,c:0.3);",
+		States:  4,
+		Freqs:   []float64{0.25, 0.25, 0.25, 0.25},
+		Cats:    1,
+	}
+	_, m, err := st.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Exch {
+		if e != 1 {
+			t.Errorf("fallback exchangeability %v, want 1", e)
+		}
+	}
+}
+
+func TestCheckpointPersistsPInv(t *testing.T) {
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,c:0.3);")
+	m, _ := model.NewJC(4)
+	_ = m.SetGamma(0.7, 4)
+	if err := m.SetInvariant(0.35); err != nil {
+		t.Fatal(err)
+	}
+	_, rm, err := Capture(tr, m, -5, 2).Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.PInv != 0.35 {
+		t.Errorf("PInv lost through checkpoint: %v", rm.PInv)
+	}
+}

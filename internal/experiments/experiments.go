@@ -1,0 +1,454 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§4), shared by cmd/figures and the top-level benchmark
+// suite:
+//
+//   - Figures 2 and 3: vector miss rate and (with read skipping) read
+//     rate during a tree search, for the four replacement strategies at
+//     memory fractions f ∈ {0.25, 0.5, 0.75}.
+//   - Figure 4: miss rate of the Random strategy as f is halved down to
+//     five RAM slots.
+//   - Figure 5: elapsed time of five full tree traversals, standard
+//     version under (simulated) OS paging versus the out-of-core
+//     version confined to a fixed RAM budget, as the ancestral-vector
+//     footprint grows past physical memory.
+//
+// Paper-scale dimensions (1288/1908 taxa for Figures 2-4, 8192 taxa and
+// 1-32 GB footprints for Figure 5) run in minutes; the defaults used by
+// `go test -bench` are scaled down but preserve every ratio the figures
+// turn on (the f values and the footprint/RAM over-subscription span).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/search"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+	"oocphylo/internal/vm"
+)
+
+// StrategyNames lists the paper's four replacement strategies in its
+// plotting order.
+var StrategyNames = []string{"Topological", "LFU", "RAND", "LRU"}
+
+// NewStrategy instantiates a replacement strategy by name for a tree
+// with numVectors ancestral vectors.
+func NewStrategy(name string, numVectors int, t *tree.Tree, seed int64) (ooc.Strategy, error) {
+	switch name {
+	case "RAND":
+		return ooc.NewRandom(rand.New(rand.NewSource(seed))), nil
+	case "LRU":
+		return ooc.NewLRU(numVectors), nil
+	case "LFU":
+		return ooc.NewLFU(numVectors), nil
+	case "Topological":
+		return ooc.NewTopological(t), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown strategy %q", name)
+}
+
+// SearchWorkloadConfig describes the Figures 2-4 workload: an ML tree
+// search on a simulated dataset of the paper's dimensions.
+type SearchWorkloadConfig struct {
+	// Taxa and Sites set the dataset dimensions (paper: 1288×1200 and
+	// 1908×1424).
+	Taxa, Sites int
+	// Seed fixes dataset and starting tree.
+	Seed int64
+	// SPRRadius and Rounds bound the search effort.
+	SPRRadius, Rounds int
+	// GammaAlpha sets the simulated rate heterogeneity (Γ4 model, like
+	// the paper's runs).
+	GammaAlpha float64
+}
+
+func (c *SearchWorkloadConfig) fill() {
+	if c.Taxa == 0 {
+		c.Taxa = 128
+	}
+	if c.Sites == 0 {
+		c.Sites = 200
+	}
+	if c.SPRRadius == 0 {
+		c.SPRRadius = 5
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 2
+	}
+	if c.GammaAlpha == 0 {
+		c.GammaAlpha = 0.8
+	}
+}
+
+// MissRateResult is one point of Figures 2-4.
+type MissRateResult struct {
+	// Strategy is the replacement policy name.
+	Strategy string
+	// F is the fraction of vectors held in RAM; Slots the resulting m.
+	F     float64
+	Slots int
+	// Stats are the manager's counters over the whole search.
+	Stats ooc.Stats
+	// LnL is the final likelihood (identical across strategies and f by
+	// the paper's determinism argument — verified in tests).
+	LnL float64
+}
+
+// runSearchWorkload runs the standard tree-search workload over an OOC
+// manager with the given strategy and slot count and returns the
+// counters.
+func runSearchWorkload(cfg SearchWorkloadConfig, strategyName string, slots int, readSkip bool) (MissRateResult, error) {
+	var res MissRateResult
+	d, err := sim.NewDataset(sim.Config{
+		Taxa: cfg.Taxa, Sites: cfg.Sites, GammaAlpha: cfg.GammaAlpha, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	names := make([]string, d.Tree.NumTips)
+	for i := range names {
+		names[i] = d.Tree.Nodes[i].Name
+	}
+	start, err := tree.RandomTopology(names, rand.New(rand.NewSource(cfg.Seed+1)), 0.05, 0.15)
+	if err != nil {
+		return res, err
+	}
+	vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+	strat, err := NewStrategy(strategyName, start.NumInner(), start, cfg.Seed+2)
+	if err != nil {
+		return res, err
+	}
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors:   start.NumInner(),
+		VectorLen:    vecLen,
+		Slots:        slots,
+		Strategy:     strat,
+		ReadSkipping: readSkip,
+		Store:        ooc.NewMemStore(start.NumInner(), vecLen),
+	})
+	if err != nil {
+		return res, err
+	}
+	e, err := plf.New(start, d.Patterns, d.Model, mgr)
+	if err != nil {
+		return res, err
+	}
+	sr, err := search.New(e, search.Options{SPRRadius: cfg.SPRRadius, MaxRounds: cfg.Rounds}).Run()
+	if err != nil {
+		return res, err
+	}
+	res.Strategy = strategyName
+	res.Slots = slots
+	res.Stats = mgr.Stats()
+	res.LnL = sr.LnL
+	return res, nil
+}
+
+// RunFigure2 reproduces Figure 2 (and, with readSkip = true, Figure 3):
+// the four strategies at the given memory fractions. Fractions default
+// to the paper's {0.25, 0.50, 0.75}.
+func RunFigure2(cfg SearchWorkloadConfig, fractions []float64, readSkip bool) ([]MissRateResult, error) {
+	cfg.fill()
+	if len(fractions) == 0 {
+		fractions = []float64{0.25, 0.50, 0.75}
+	}
+	var out []MissRateResult
+	for _, name := range StrategyNames {
+		for _, f := range fractions {
+			slots := ooc.SlotsForFraction(f, cfg.Taxa-2)
+			r, err := runSearchWorkload(cfg, name, slots, readSkip)
+			if err != nil {
+				return nil, fmt.Errorf("strategy %s f=%v: %w", name, f, err)
+			}
+			r.F = f
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RunFigure4 reproduces Figure 4: the Random strategy with the memory
+// fraction halved from startF until only minSlots slots remain (the
+// paper halts at five).
+func RunFigure4(cfg SearchWorkloadConfig, startF float64, minSlots int) ([]MissRateResult, error) {
+	cfg.fill()
+	if startF == 0 {
+		startF = 0.75
+	}
+	if minSlots < ooc.MinSlots {
+		minSlots = 5 // the paper's smallest configuration
+	}
+	n := cfg.Taxa - 2
+	var out []MissRateResult
+	prevSlots := -1
+	for f := startF; ; f /= 2 {
+		slots := int(f*float64(n) + 0.5)
+		if slots < minSlots {
+			slots = minSlots
+		}
+		if slots == prevSlots {
+			break
+		}
+		prevSlots = slots
+		r, err := runSearchWorkload(cfg, "RAND", slots, false)
+		if err != nil {
+			return nil, err
+		}
+		r.F = f
+		out = append(out, r)
+		if slots == minSlots {
+			break
+		}
+	}
+	return out, nil
+}
+
+// WriteMissRateTable renders Figure 2/3/4 results as an aligned text
+// table mirroring the paper's plots (one row per strategy×f).
+func WriteMissRateTable(w io.Writer, results []MissRateResult, title string) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-12s %7s %7s %10s %10s %10s %12s\n",
+		"strategy", "f", "slots", "requests", "miss%", "read%", "lnL")
+	sorted := append([]MissRateResult(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Strategy != sorted[j].Strategy {
+			return sorted[i].Strategy < sorted[j].Strategy
+		}
+		return sorted[i].F < sorted[j].F
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(w, "%-12s %7.4f %7d %10d %9.2f%% %9.2f%% %12.2f\n",
+			r.Strategy, r.F, r.Slots, r.Stats.Requests,
+			100*r.Stats.MissRate(), 100*r.Stats.ReadRate(), r.LnL)
+	}
+}
+
+// Figure5Config describes the §4.3 real-test-case experiment.
+type Figure5Config struct {
+	// Taxa is the tree size (paper: 8192).
+	Taxa int
+	// Widths are the alignment widths to sweep; each implies an
+	// ancestral-vector footprint of (Taxa-2)·8·4·cats·width bytes.
+	Widths []int
+	// RAMBytes is the machine's physical memory available to ancestral
+	// vectors; the standard version pages against this budget (paper:
+	// 2 GB machine).
+	RAMBytes int64
+	// OOCBytes is the out-of-core manager's slot budget (paper: the OOC
+	// runs were confined to 1 GB via -L on the 2 GB machine). Defaults
+	// to RAMBytes/2.
+	OOCBytes int64
+	// Traversals is the number of full tree traversals (paper: 5; the
+	// -f z workload).
+	Traversals int
+	// Device models the swap/backing disk.
+	Device iosim.Device
+	// Seed fixes the simulated dataset.
+	Seed int64
+	// GammaAlpha sets rate heterogeneity (Γ4, as in the paper).
+	GammaAlpha float64
+	// Readahead is the paging simulator's readahead window.
+	Readahead int
+}
+
+func (c *Figure5Config) fill() {
+	if c.Taxa == 0 {
+		// Fewer taxa but paper-proportioned vectors: at these widths each
+		// ancestral vector spans hundreds of 4 KiB pages, like the
+		// paper's 8192-taxon × multi-thousand-site datasets (a 10k-site
+		// DNA Γ4 vector is 1.28 MB = 320 pages, §3.1).
+		c.Taxa = 64
+	}
+	if c.RAMBytes == 0 {
+		c.RAMBytes = 24 << 20
+	}
+	if c.OOCBytes == 0 {
+		c.OOCBytes = c.RAMBytes / 2
+	}
+	if c.Traversals == 0 {
+		c.Traversals = 5
+	}
+	if c.Device.Name == "" {
+		c.Device = iosim.HDD()
+	}
+	if c.GammaAlpha == 0 {
+		c.GammaAlpha = 0.8
+	}
+	if len(c.Widths) == 0 {
+		// Footprint sweep crossing the RAM budget, mirroring the paper's
+		// 1-32 GB on a 2 GB machine: from fits-in-RAM to ~16x over.
+		c.Widths = []int{128, 256, 512, 1024, 2048, 4096}
+	}
+}
+
+// Figure5Row is one x-position of Figure 5.
+type Figure5Row struct {
+	// Sites is the alignment width.
+	Sites int
+	// FootprintBytes is the total ancestral-vector memory requirement
+	// (the figure's x axis).
+	FootprintBytes int64
+	// OverSubscription is FootprintBytes / RAMBytes.
+	OverSubscription float64
+	// StandardIO / OOCLRUIO / OOCRandIO are the modelled I/O times.
+	StandardIO, OOCLRUIO, OOCRandIO time.Duration
+	// StandardCompute etc. are the measured CPU times of the same
+	// workload (identical numerics, so they differ only by noise).
+	StandardCompute, OOCLRUCompute, OOCRandCompute time.Duration
+	// MajorFaults is the paging simulator's fault count (the paper
+	// reports page-fault counts rising from 346,861 to 902,489).
+	MajorFaults int64
+	// OOCLRUMisses / OOCRandMisses are the managers' vector misses.
+	OOCLRUMisses, OOCRandMisses int64
+	// LnLStandard and LnLOOC must match exactly (correctness guard).
+	LnLStandard, LnLOOC float64
+}
+
+// StandardTotal returns modelled I/O plus measured compute.
+func (r Figure5Row) StandardTotal() time.Duration { return r.StandardIO + r.StandardCompute }
+
+// OOCLRUTotal returns modelled I/O plus measured compute.
+func (r Figure5Row) OOCLRUTotal() time.Duration { return r.OOCLRUIO + r.OOCLRUCompute }
+
+// OOCRandTotal returns modelled I/O plus measured compute.
+func (r Figure5Row) OOCRandTotal() time.Duration { return r.OOCRandIO + r.OOCRandCompute }
+
+// fullTraversalWorkload runs k full tree traversals plus an evaluation,
+// returning the final log-likelihood and the measured compute time.
+func fullTraversalWorkload(e *plf.Engine, t *tree.Tree, k int) (float64, time.Duration, error) {
+	startT := time.Now()
+	var lnl float64
+	for i := 0; i < k; i++ {
+		if err := e.FullTraversal(t.Edges[0]); err != nil {
+			return 0, 0, err
+		}
+		var err error
+		lnl, err = e.LogLikelihoodAt(t.Edges[0])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return lnl, time.Since(startT), nil
+}
+
+// RunFigure5 reproduces Figure 5: for each alignment width, the same
+// five-full-traversal workload is executed three times — standard
+// storage over simulated OS paging, and out-of-core with LRU and with
+// Random replacement under the same RAM budget — and each run's
+// modelled I/O time is charged to the same disk model.
+func RunFigure5(cfg Figure5Config) ([]Figure5Row, error) {
+	cfg.fill()
+	var out []Figure5Row
+	for _, width := range cfg.Widths {
+		row, err := runFigure5Row(cfg, width)
+		if err != nil {
+			return nil, fmt.Errorf("width %d: %w", width, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runFigure5Row(cfg Figure5Config, width int) (Figure5Row, error) {
+	var row Figure5Row
+	d, err := sim.NewDataset(sim.Config{
+		Taxa: cfg.Taxa, Sites: width, GammaAlpha: cfg.GammaAlpha, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return row, err
+	}
+	vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+	n := d.Tree.NumInner()
+	row.Sites = width
+	row.FootprintBytes = int64(n) * int64(vecLen) * 8
+	row.OverSubscription = float64(row.FootprintBytes) / float64(cfg.RAMBytes)
+
+	// Standard version under simulated paging.
+	{
+		var clock iosim.Clock
+		prov, err := vm.NewPagedProvider(n, vecLen, cfg.RAMBytes, cfg.Device, &clock, cfg.Readahead)
+		if err != nil {
+			return row, err
+		}
+		e, err := plf.New(d.Tree.Clone(), d.Patterns, d.Model, prov)
+		if err != nil {
+			return row, err
+		}
+		lnl, compute, err := fullTraversalWorkload(e, e.T, cfg.Traversals)
+		if err != nil {
+			return row, err
+		}
+		row.LnLStandard = lnl
+		row.StandardIO = clock.Elapsed()
+		row.StandardCompute = compute
+		row.MajorFaults = prov.Memory().Stats().MajorFaults
+	}
+
+	// Out-of-core runs (the paper plots LRU and Random), confined to the
+	// smaller OOC budget like the paper's -L flag.
+	slots := int(cfg.OOCBytes / (int64(vecLen) * 8))
+	if slots < ooc.MinSlots {
+		slots = ooc.MinSlots
+	}
+	runOOC := func(strat ooc.Strategy) (time.Duration, time.Duration, int64, float64, error) {
+		var clock iosim.Clock
+		store := ooc.NewSimStore(ooc.NewMemStore(n, vecLen), cfg.Device, &clock)
+		mgr, err := ooc.NewManager(ooc.Config{
+			NumVectors: n, VectorLen: vecLen, Slots: slots,
+			Strategy: strat, ReadSkipping: true, Store: store,
+		})
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		e, err := plf.New(d.Tree.Clone(), d.Patterns, d.Model, mgr)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		lnl, compute, err := fullTraversalWorkload(e, e.T, cfg.Traversals)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		return clock.Elapsed(), compute, mgr.Stats().Misses, lnl, nil
+	}
+	io1, c1, m1, l1, err := runOOC(ooc.NewLRU(n))
+	if err != nil {
+		return row, err
+	}
+	row.OOCLRUIO, row.OOCLRUCompute, row.OOCLRUMisses = io1, c1, m1
+	io2, c2, m2, l2, err := runOOC(ooc.NewRandom(rand.New(rand.NewSource(cfg.Seed + 9))))
+	if err != nil {
+		return row, err
+	}
+	row.OOCRandIO, row.OOCRandCompute, row.OOCRandMisses = io2, c2, m2
+	row.LnLOOC = l1
+	if l1 != row.LnLStandard || l2 != row.LnLStandard {
+		return row, fmt.Errorf("correctness violation: standard %v, ooc lru %v, ooc rand %v",
+			row.LnLStandard, l1, l2)
+	}
+	return row, nil
+}
+
+// WriteFigure5Table renders the Figure 5 series as text.
+func WriteFigure5Table(w io.Writer, rows []Figure5Row, cfg Figure5Config) {
+	cfg.fill()
+	fmt.Fprintf(w, "Figure 5: %d full traversals, %d taxa, machine RAM %d MiB, OOC limit %d MiB, device %s\n",
+		cfg.Traversals, cfg.Taxa, cfg.RAMBytes>>20, cfg.OOCBytes>>20, cfg.Device.Name)
+	fmt.Fprintf(w, "%8s %12s %8s %14s %14s %14s %12s %10s\n",
+		"sites", "footprint", "over", "standard", "ooc-lru", "ooc-rand", "pagefaults", "speedup")
+	for _, r := range rows {
+		speedup := float64(r.StandardTotal()) / float64(r.OOCLRUTotal())
+		fmt.Fprintf(w, "%8d %11.1fM %7.2fx %14v %14v %14v %12d %9.2fx\n",
+			r.Sites, float64(r.FootprintBytes)/(1<<20), r.OverSubscription,
+			r.StandardTotal().Round(time.Millisecond),
+			r.OOCLRUTotal().Round(time.Millisecond),
+			r.OOCRandTotal().Round(time.Millisecond),
+			r.MajorFaults, speedup)
+	}
+}

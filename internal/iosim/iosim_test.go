@@ -1,0 +1,77 @@
+package iosim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferTimeComposition(t *testing.T) {
+	d := Device{Name: "x", Latency: 10 * time.Millisecond, Bandwidth: 100e6}
+	// 100 MB at 100 MB/s = 1s, plus 10ms latency.
+	got := d.TransferTime(100e6)
+	want := time.Second + 10*time.Millisecond
+	if got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	if d.TransferTime(0) != d.Latency {
+		t.Error("zero bytes costs exactly latency")
+	}
+	if d.TransferTime(-1) != d.Latency {
+		t.Error("negative bytes clamp to zero")
+	}
+	zero := Device{Latency: time.Millisecond}
+	if zero.TransferTime(1e9) != time.Millisecond {
+		t.Error("zero bandwidth means latency only")
+	}
+}
+
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	d := HDD()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return d.TransferTime(x) <= d.TransferTime(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockLedger(t *testing.T) {
+	var c Clock
+	d := Device{Name: "t", Latency: time.Millisecond, Bandwidth: 1e6}
+	c.Charge(d, 1000) // 1ms + 1ms
+	c.Charge(d, 0)    // 1ms
+	c.Advance(5 * time.Millisecond)
+	if c.Ops() != 2 || c.Bytes() != 1000 {
+		t.Errorf("ledger: ops=%d bytes=%d", c.Ops(), c.Bytes())
+	}
+	want := 8 * time.Millisecond
+	if c.Elapsed() != want {
+		t.Errorf("elapsed = %v, want %v", c.Elapsed(), want)
+	}
+	if !strings.Contains(c.String(), "2 ops") {
+		t.Errorf("String() = %q", c.String())
+	}
+	c.Reset()
+	if c.Elapsed() != 0 || c.Ops() != 0 || c.Bytes() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestPresetsSanity(t *testing.T) {
+	hdd, ssd := HDD(), SSD()
+	if hdd.Name != "hdd" || ssd.Name != "ssd" {
+		t.Error("preset names wrong")
+	}
+	if hdd.Latency <= ssd.Latency {
+		t.Error("HDD latency must exceed SSD latency")
+	}
+	if hdd.Bandwidth >= ssd.Bandwidth {
+		t.Error("HDD bandwidth must be below SSD bandwidth")
+	}
+}

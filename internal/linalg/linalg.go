@@ -1,0 +1,184 @@
+// Package linalg implements the small dense linear algebra the
+// likelihood models need: a cyclic-Jacobi eigensolver for real symmetric
+// matrices and a handful of matrix helpers. Matrices are stored
+// row-major in flat []float64 slices; the dimensions involved are tiny
+// (4 states for DNA, 20 for protein), so simplicity and numerical
+// robustness beat asymptotic cleverness.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotConverged is returned by SymmetricEigen when the Jacobi sweeps
+// fail to annihilate the off-diagonal mass within the sweep budget.
+// For the matrix sizes used here this indicates NaN/Inf inputs.
+var ErrNotConverged = errors.New("linalg: Jacobi iteration did not converge")
+
+// MulMat computes the n×n matrix product C = A·B. C must not alias A or B.
+func MulMat(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		ci := c[i*n : (i+1)*n]
+		for k := range ci {
+			ci[k] = 0
+		}
+		ai := a[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			bk := b[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				ci[j] += aik * bk[j]
+			}
+		}
+	}
+}
+
+// MulMatVec computes the matrix-vector product y = A·x for an n×n A.
+// y must not alias x.
+func MulMatVec(y, a, x []float64, n int) {
+	for i := 0; i < n; i++ {
+		s := 0.0
+		ai := a[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s += ai[j] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Transpose writes Aᵀ into dst. dst must not alias a.
+func Transpose(dst, a []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst[j*n+i] = a[i*n+j]
+		}
+	}
+}
+
+// Identity writes the n×n identity into dst.
+func Identity(dst []float64, n int) {
+	for i := range dst[:n*n] {
+		dst[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		dst[i*n+i] = 1
+	}
+}
+
+// MaxAbsDiff returns max_ij |a_ij - b_ij| over the first n*n entries.
+func MaxAbsDiff(a, b []float64, n int) float64 {
+	m := 0.0
+	for i := 0; i < n*n; i++ {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SymmetricEigen computes the eigendecomposition A = V·diag(λ)·Vᵀ of a
+// real symmetric n×n matrix using the cyclic Jacobi method. The input is
+// not modified. Column k of the returned V (i.e. v[i*n+k] over i) is the
+// unit eigenvector for eigenvalue values[k]. Eigen pairs are sorted by
+// ascending eigenvalue. Symmetry is enforced by averaging a with aᵀ,
+// so tiny asymmetries from upstream floating-point noise are harmless.
+func SymmetricEigen(a []float64, n int) (values []float64, v []float64, err error) {
+	if len(a) < n*n {
+		return nil, nil, fmt.Errorf("linalg: matrix slice too short: %d < %d", len(a), n*n)
+	}
+	w := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := 0.5 * (a[i*n+j] + a[j*n+i])
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, nil, fmt.Errorf("linalg: non-finite entry at (%d,%d)", i, j)
+			}
+			w[i*n+j] = x
+		}
+	}
+	v = make([]float64, n*n)
+	Identity(v, n)
+	values = make([]float64, n)
+
+	if n == 1 {
+		values[0] = w[0]
+		return values, v, nil
+	}
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w[i*n+j] * w[i*n+j]
+			}
+		}
+		if off < 1e-30 {
+			for i := 0; i < n; i++ {
+				values[i] = w[i*n+i]
+			}
+			sortEigen(values, v, n)
+			return values, v, nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app := w[p*n+p]
+				aqq := w[q*n+q]
+				// Rotation angle from the standard Jacobi formulas.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e150 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				tau := s / (1 + c)
+
+				w[p*n+p] = app - t*apq
+				w[q*n+q] = aqq + t*apq
+				w[p*n+q] = 0
+				w[q*n+p] = 0
+				for i := 0; i < n; i++ {
+					if i != p && i != q {
+						aip := w[i*n+p]
+						aiq := w[i*n+q]
+						w[i*n+p] = aip - s*(aiq+tau*aip)
+						w[i*n+q] = aiq + s*(aip-tau*aiq)
+						w[p*n+i] = w[i*n+p]
+						w[q*n+i] = w[i*n+q]
+					}
+				}
+				for i := 0; i < n; i++ {
+					vip := v[i*n+p]
+					viq := v[i*n+q]
+					v[i*n+p] = vip - s*(viq+tau*vip)
+					v[i*n+q] = viq + s*(vip-tau*viq)
+				}
+			}
+		}
+	}
+	return nil, nil, ErrNotConverged
+}
+
+func sortEigen(values, v []float64, n int) {
+	// Insertion sort over eigen pairs; n <= 20, cost irrelevant.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && values[j] < values[j-1]; j-- {
+			values[j], values[j-1] = values[j-1], values[j]
+			for r := 0; r < n; r++ {
+				v[r*n+j], v[r*n+j-1] = v[r*n+j-1], v[r*n+j]
+			}
+		}
+	}
+}

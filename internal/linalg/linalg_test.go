@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatIdentity(t *testing.T) {
+	n := 4
+	a := []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	id := make([]float64, n*n)
+	Identity(id, n)
+	c := make([]float64, n*n)
+	MulMat(c, a, id, n)
+	if MaxAbsDiff(a, c, n) != 0 {
+		t.Error("A*I != A")
+	}
+	MulMat(c, id, a, n)
+	if MaxAbsDiff(a, c, n) != 0 {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulMatKnown(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	c := make([]float64, 4)
+	MulMat(c, a, b, 2)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("c = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestMulMatVec(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	x := []float64{1, 0, -1}
+	y := make([]float64, 3)
+	MulMatVec(y, a, x, 3)
+	want := []float64{-2, -2, -2}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	at := make([]float64, 9)
+	Transpose(at, a, 3)
+	back := make([]float64, 9)
+	Transpose(back, at, 3)
+	if MaxAbsDiff(a, back, 3) != 0 {
+		t.Error("double transpose must be identity")
+	}
+	if at[0*3+1] != a[1*3+0] {
+		t.Error("transpose wrong")
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	a := []float64{3, 0, 0, 0, -1, 0, 0, 0, 7}
+	vals, v, err := SymmetricEigen(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 3, 7}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Errorf("vals = %v, want %v", vals, want)
+		}
+	}
+	checkDecomposition(t, a, vals, v, 3, 1e-12)
+}
+
+func TestSymmetricEigen2x2Known(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := []float64{2, 1, 1, 2}
+	vals, v, err := SymmetricEigen(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Errorf("vals = %v, want [1 3]", vals)
+	}
+	checkDecomposition(t, a, vals, v, 2, 1e-12)
+}
+
+func TestSymmetricEigen1x1(t *testing.T) {
+	vals, v, err := SymmetricEigen([]float64{5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 5 || v[0] != 1 {
+		t.Errorf("1x1 eigen wrong: %v %v", vals, v)
+	}
+}
+
+func TestSymmetricEigenRejectsBadInput(t *testing.T) {
+	if _, _, err := SymmetricEigen([]float64{1, 2}, 3); err == nil {
+		t.Error("short slice must error")
+	}
+	if _, _, err := SymmetricEigen([]float64{math.NaN(), 0, 0, 1}, 2); err == nil {
+		t.Error("NaN input must error")
+	}
+	if _, _, err := SymmetricEigen([]float64{math.Inf(1), 0, 0, 1}, 2); err == nil {
+		t.Error("Inf input must error")
+	}
+}
+
+// checkDecomposition verifies A ≈ V diag(vals) Vᵀ and VᵀV ≈ I.
+func checkDecomposition(t *testing.T, a, vals, v []float64, n int, tol float64) {
+	t.Helper()
+	// Orthonormality.
+	vt := make([]float64, n*n)
+	Transpose(vt, v, n)
+	prod := make([]float64, n*n)
+	MulMat(prod, vt, v, n)
+	id := make([]float64, n*n)
+	Identity(id, n)
+	if d := MaxAbsDiff(prod, id, n); d > tol {
+		t.Errorf("VᵀV deviates from I by %v", d)
+	}
+	// Reconstruction.
+	vd := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			vd[i*n+j] = v[i*n+j] * vals[j]
+		}
+	}
+	rec := make([]float64, n*n)
+	MulMat(rec, vd, vt, n)
+	if d := MaxAbsDiff(rec, a, n); d > tol*10 {
+		t.Errorf("reconstruction deviates by %v", d)
+	}
+}
+
+func TestSymmetricEigenRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(19) // up to 20x20, the protein case
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := r.NormFloat64() * 10
+				a[i*n+j] = x
+				a[j*n+i] = x
+			}
+		}
+		vals, v, err := SymmetricEigen(a, n)
+		if err != nil {
+			return false
+		}
+		// Sorted eigenvalues.
+		for i := 1; i < n; i++ {
+			if vals[i] < vals[i-1] {
+				return false
+			}
+		}
+		// Trace preserved.
+		trA, trL := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trA += a[i*n+i]
+			trL += vals[i]
+		}
+		if math.Abs(trA-trL) > 1e-8*(1+math.Abs(trA)) {
+			return false
+		}
+		// A v_k = λ_k v_k column-wise.
+		col := make([]float64, n)
+		av := make([]float64, n)
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				col[i] = v[i*n+k]
+			}
+			MulMatVec(av, a, col, n)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[k]*col[i]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSymmetricEigen4(b *testing.B)  { benchEigen(b, 4) }
+func BenchmarkSymmetricEigen20(b *testing.B) { benchEigen(b, 20) }
+
+func benchEigen(b *testing.B, n int) {
+	r := rand.New(rand.NewSource(7))
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			x := r.NormFloat64()
+			a[i*n+j] = x
+			a[j*n+i] = x
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SymmetricEigen(a, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned by Brent when the supplied interval is empty.
+var ErrNoBracket = errors.New("mathx: invalid bracketing interval")
+
+// Brent minimises f over [lo, hi] using Brent's method (golden-section
+// steps with parabolic interpolation when safe). It returns the abscissa
+// and value of the minimum. tol is the relative x tolerance; values below
+// ~sqrt(machine epsilon) buy nothing.
+func Brent(f func(float64) float64, lo, hi, tol float64, maxIter int) (xmin, fmin float64, err error) {
+	if !(lo < hi) {
+		return 0, 0, ErrNoBracket
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	const cgold = 0.3819660112501051 // 2 - golden ratio
+	const zeps = 1e-12
+
+	a, b := lo, hi
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	var d, e float64
+
+	for iter := 0; iter < maxIter; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + zeps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return x, fx, nil
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Attempt parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x, fx, nil
+}
+
+// NewtonResult reports how a Newton-Raphson root search ended.
+type NewtonResult int
+
+const (
+	// NewtonConverged means |step| fell below the tolerance.
+	NewtonConverged NewtonResult = iota
+	// NewtonMaxIter means the iteration budget was exhausted; the best
+	// iterate so far is returned.
+	NewtonMaxIter
+	// NewtonClampedLow / NewtonClampedHigh mean the iterate was pinned at
+	// a bound for two consecutive steps, i.e. the optimum lies at (or
+	// beyond) the boundary.
+	NewtonClampedLow
+	NewtonClampedHigh
+)
+
+// Newton finds a root of fdf's first return value within [lo, hi] by
+// guarded Newton-Raphson. fdf returns (f(x), f'(x)); in branch-length
+// optimisation these are the first and second derivative of the
+// log-likelihood. The iterate is clamped to [lo, hi]; when the Newton
+// step is invalid (non-finite, or f' >= 0 where a maximum is sought the
+// caller should pre-negate) the step is replaced by a bisection-like
+// damped move toward the appropriate bound.
+func Newton(fdf func(float64) (float64, float64), x0, lo, hi, tol float64, maxIter int) (float64, NewtonResult) {
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 64
+	}
+	x := math.Min(math.Max(x0, lo), hi)
+	clampedAt := 0 // -1 low, +1 high, consecutive count tracked via prev
+	prevClamp := 0
+	for i := 0; i < maxIter; i++ {
+		f, df := fdf(x)
+		if f == 0 {
+			return x, NewtonConverged
+		}
+		var step float64
+		if df != 0 && !math.IsNaN(df) && !math.IsInf(df, 0) && !math.IsNaN(f) {
+			step = f / df
+		} else {
+			step = 0
+		}
+		var nx float64
+		if step != 0 && !math.IsNaN(step) && !math.IsInf(step, 0) {
+			nx = x - step
+		} else {
+			// Derivative information unusable: damped move following the
+			// sign of f (assuming f decreasing across the root, as for
+			// d lnL / dt which is positive below the optimum).
+			if f > 0 {
+				nx = math.Min(x*4+1e-8, hi)
+			} else {
+				nx = math.Max(x/4, lo)
+			}
+		}
+		clampedAt = 0
+		if nx <= lo {
+			nx = lo
+			clampedAt = -1
+		} else if nx >= hi {
+			nx = hi
+			clampedAt = 1
+		}
+		if clampedAt != 0 && clampedAt == prevClamp {
+			if clampedAt < 0 {
+				return lo, NewtonClampedLow
+			}
+			return hi, NewtonClampedHigh
+		}
+		prevClamp = clampedAt
+		if math.Abs(nx-x) < tol*(math.Abs(x)+tol) {
+			return nx, NewtonConverged
+		}
+		x = nx
+	}
+	return x, NewtonMaxIter
+}

@@ -1,0 +1,129 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBrentQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x-2)*(x-2) + 3 }
+	x, fx, err := Brent(f, -10, 10, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 2, 1e-6) || !almostEqual(fx, 3, 1e-10) {
+		t.Errorf("Brent found (%v, %v), want (2, 3)", x, fx)
+	}
+}
+
+func TestBrentAsymmetric(t *testing.T) {
+	// A likelihood-like curve: -log of a gamma density, minimum at
+	// (shape-1)/rate for shape=3, rate=2 -> x=1.
+	f := func(x float64) float64 { return -(2*math.Log(x) - 2*x) }
+	x, _, err := Brent(f, 1e-6, 50, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, 1, 1e-6) {
+		t.Errorf("Brent min at %v, want 1", x)
+	}
+}
+
+func TestBrentBoundaryMinimum(t *testing.T) {
+	// Monotone increasing function: the minimum is at the lower bound.
+	f := func(x float64) float64 { return x }
+	x, _, err := Brent(f, 3, 9, 1e-9, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x > 3+1e-4 {
+		t.Errorf("Brent should converge to the lower bound, got %v", x)
+	}
+}
+
+func TestBrentBadInterval(t *testing.T) {
+	if _, _, err := Brent(func(x float64) float64 { return x }, 5, 5, 1e-9, 10); err == nil {
+		t.Error("degenerate interval must error")
+	}
+	if _, _, err := Brent(func(x float64) float64 { return x }, 7, 2, 1e-9, 10); err == nil {
+		t.Error("reversed interval must error")
+	}
+}
+
+func TestBrentRandomQuadraticsProperty(t *testing.T) {
+	f := func(centerRaw, offRaw float64) bool {
+		c := math.Mod(centerRaw, 50)
+		off := 1 + math.Abs(math.Mod(offRaw, 20))
+		q := func(x float64) float64 { return (x - c) * (x - c) }
+		x, _, err := Brent(q, c-off, c+off*1.3, 1e-10, 300)
+		return err == nil && almostEqual(x+1, c+1, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewtonFindsRoot(t *testing.T) {
+	// f(x) = cos(x) - x has a root at ~0.7390851332.
+	fdf := func(x float64) (float64, float64) {
+		return math.Cos(x) - x, -math.Sin(x) - 1
+	}
+	x, res := Newton(fdf, 0.5, 0, 2, 1e-12, 100)
+	if res != NewtonConverged {
+		t.Fatalf("result = %v, want converged", res)
+	}
+	if !almostEqual(x, 0.7390851332151607, 1e-8) {
+		t.Errorf("root = %v", x)
+	}
+}
+
+func TestNewtonLikelihoodShape(t *testing.T) {
+	// dL/dt for a two-state toy likelihood: f(t) = exp(-t)(1 - t); root of
+	// the derivative d/dt [t e^{-t}] = (1-t)e^{-t} at t=1.
+	fdf := func(t float64) (float64, float64) {
+		return (1 - t) * math.Exp(-t), (t - 2) * math.Exp(-t)
+	}
+	x, res := Newton(fdf, 0.3, 1e-8, 10, 1e-12, 100)
+	if res != NewtonConverged || !almostEqual(x, 1, 1e-8) {
+		t.Errorf("got x=%v res=%v, want x=1 converged", x, res)
+	}
+}
+
+func TestNewtonClampsAtBounds(t *testing.T) {
+	// f strictly positive: Newton keeps pushing up; with f' negative the
+	// step x - f/f' moves right, so it should clamp high.
+	fdf := func(x float64) (float64, float64) { return 1, -0.1 }
+	x, res := Newton(fdf, 0.5, 0, 3, 1e-12, 100)
+	if res != NewtonClampedHigh || x != 3 {
+		t.Errorf("got x=%v res=%v, want clamped high at 3", x, res)
+	}
+	// Mirror case clamps low.
+	fdf = func(x float64) (float64, float64) { return -1, -0.1 }
+	x, res = Newton(fdf, 0.5, 0.001, 3, 1e-12, 100)
+	if res != NewtonClampedLow || x != 0.001 {
+		t.Errorf("got x=%v res=%v, want clamped low", x, res)
+	}
+}
+
+func TestNewtonSurvivesBadDerivatives(t *testing.T) {
+	// Zero derivative everywhere: must not divide by zero or loop forever.
+	calls := 0
+	fdf := func(x float64) (float64, float64) {
+		calls++
+		return 1, 0
+	}
+	_, res := Newton(fdf, 1, 0.01, 100, 1e-10, 50)
+	if res == NewtonConverged {
+		t.Error("cannot converge on constant-derivative input")
+	}
+	if calls == 0 {
+		t.Error("function never evaluated")
+	}
+	// NaN derivative path.
+	fdf = func(x float64) (float64, float64) { return math.NaN(), math.NaN() }
+	x, _ := Newton(fdf, 1, 0.01, 100, 1e-10, 50)
+	if math.IsNaN(x) {
+		t.Error("iterate must stay finite under NaN inputs")
+	}
+}

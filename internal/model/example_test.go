@@ -1,0 +1,36 @@
+package model_test
+
+import (
+	"fmt"
+
+	"oocphylo/internal/model"
+)
+
+func ExampleNewHKY() {
+	m, err := model.NewHKY([]float64{0.3, 0.2, 0.2, 0.3}, 4.0)
+	if err != nil {
+		panic(err)
+	}
+	if err := m.SetGamma(0.5, 4); err != nil {
+		panic(err)
+	}
+	fmt.Println(m.Name, "with", m.Cats(), "rate categories")
+	// Transition matrix for a branch of 0.1 substitutions/site at rate 1.
+	p := make([]float64, 16)
+	m.PMatrix(p, 0.1, 1.0)
+	fmt.Printf("P[A->A] = %.4f, P[A->G] = %.4f (transition), P[A->C] = %.4f (transversion)\n",
+		p[0*4+0], p[0*4+2], p[0*4+1])
+	// Output:
+	// HKY85 with 4 rate categories
+	// P[A->A] = 0.9172, P[A->G] = 0.0497 (transition), P[A->C] = 0.0132 (transversion)
+}
+
+func ExampleModel_SetInvariant() {
+	m, _ := model.NewJC(4)
+	if err := m.SetInvariant(0.25); err != nil {
+		panic(err)
+	}
+	fmt.Printf("+I proportion: %.2f\n", m.PInv)
+	// Output:
+	// +I proportion: 0.25
+}

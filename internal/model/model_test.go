@@ -1,0 +1,352 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJCAnalyticTransitionProbabilities(t *testing.T) {
+	m, err := NewJC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	for _, bt := range []float64{0.01, 0.1, 0.5, 1.0, 5.0} {
+		m.PMatrix(p, bt, 1)
+		same := 0.25 + 0.75*math.Exp(-4*bt/3)
+		diff := 0.25 - 0.25*math.Exp(-4*bt/3)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := diff
+				if i == j {
+					want = same
+				}
+				if math.Abs(p[i*4+j]-want) > 1e-10 {
+					t.Fatalf("t=%v: P[%d][%d] = %v, want %v", bt, i, j, p[i*4+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestK80AnalyticTransitionProbabilities(t *testing.T) {
+	kappa := 4.0
+	m, err := NewK80(kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic K80 with rate matrix normalised to mean rate one:
+	// using beta = 1/(kappa+2), transversions rate beta, transitions kappa*beta.
+	p := make([]float64, 16)
+	bt := 0.3
+	m.PMatrix(p, bt, 1)
+	beta := 1 / (kappa + 2)
+	e1 := math.Exp(-4 * beta * bt)
+	e2 := math.Exp(-2 * beta * (kappa + 1) * bt)
+	same := 0.25 + 0.25*e1 + 0.5*e2
+	transition := 0.25 + 0.25*e1 - 0.5*e2
+	transversion := 0.25 - 0.25*e1
+	// Order A,C,G,T: A->G is a transition; A->C, A->T transversions.
+	if math.Abs(p[0*4+0]-same) > 1e-10 {
+		t.Errorf("P[A][A] = %v, want %v", p[0], same)
+	}
+	if math.Abs(p[0*4+2]-transition) > 1e-10 {
+		t.Errorf("P[A][G] = %v, want %v", p[2], transition)
+	}
+	if math.Abs(p[0*4+1]-transversion) > 1e-10 {
+		t.Errorf("P[A][C] = %v, want %v", p[1], transversion)
+	}
+	if math.Abs(p[0*4+3]-transversion) > 1e-10 {
+		t.Errorf("P[A][T] = %v, want %v", p[3], transversion)
+	}
+}
+
+func randomGTR(t *testing.T, rng *rand.Rand, states int) *Model {
+	t.Helper()
+	freqs := make([]float64, states)
+	for i := range freqs {
+		freqs[i] = 0.05 + rng.Float64()
+	}
+	exch := make([]float64, states*(states-1)/2)
+	for i := range exch {
+		exch[i] = 0.1 + 3*rng.Float64()
+	}
+	m, err := NewGTR(freqs, exch, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPMatrixStochasticity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, states := range []int{4, 20} {
+		m := randomGTR(t, rng, states)
+		p := make([]float64, states*states)
+		for _, bt := range []float64{1e-6, 0.01, 0.3, 2, 50} {
+			m.PMatrix(p, bt, 1)
+			for i := 0; i < states; i++ {
+				row := 0.0
+				for j := 0; j < states; j++ {
+					if p[i*states+j] < 0 {
+						t.Fatalf("negative probability at t=%v", bt)
+					}
+					row += p[i*states+j]
+				}
+				if math.Abs(row-1) > 1e-9 {
+					t.Fatalf("states=%d t=%v: row %d sums to %v", states, bt, i, row)
+				}
+			}
+		}
+	}
+}
+
+func TestPMatrixLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomGTR(t, rng, 4)
+	p := make([]float64, 16)
+	// P(0) = I.
+	m.PMatrix(p, 0, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(p[i*4+j]-want) > 1e-12 {
+				t.Fatalf("P(0) != I at (%d,%d): %v", i, j, p[i*4+j])
+			}
+		}
+	}
+	// P(inf) rows converge to the equilibrium frequencies.
+	m.PMatrix(p, 500, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(p[i*4+j]-m.Freqs[j]) > 1e-9 {
+				t.Fatalf("P(inf) row %d does not match freqs: %v vs %v", i, p[i*4+j], m.Freqs[j])
+			}
+		}
+	}
+}
+
+func TestDetailedBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomGTR(t, rng, 4)
+	p := make([]float64, 16)
+	m.PMatrix(p, 0.7, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			lhs := m.Freqs[i] * p[i*4+j]
+			rhs := m.Freqs[j] * p[j*4+i]
+			if math.Abs(lhs-rhs) > 1e-12 {
+				t.Fatalf("detailed balance broken at (%d,%d): %v vs %v", i, j, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestChapmanKolmogorovProperty(t *testing.T) {
+	// P(s)·P(t) = P(s+t) for any reversible model.
+	f := func(seed int64, sRaw, tRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomGTRQuick(rng, 4)
+		if m == nil {
+			return true
+		}
+		s := math.Abs(math.Mod(sRaw, 2)) + 0.001
+		u := math.Abs(math.Mod(tRaw, 2)) + 0.001
+		ps := make([]float64, 16)
+		pt := make([]float64, 16)
+		pst := make([]float64, 16)
+		m.PMatrix(ps, s, 1)
+		m.PMatrix(pt, u, 1)
+		m.PMatrix(pst, s+u, 1)
+		prod := make([]float64, 16)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				acc := 0.0
+				for k := 0; k < 4; k++ {
+					acc += ps[i*4+k] * pt[k*4+j]
+				}
+				prod[i*4+j] = acc
+			}
+		}
+		for i := range prod {
+			if math.Abs(prod[i]-pst[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGTRQuick(rng *rand.Rand, states int) *Model {
+	freqs := make([]float64, states)
+	for i := range freqs {
+		freqs[i] = 0.05 + rng.Float64()
+	}
+	exch := make([]float64, states*(states-1)/2)
+	for i := range exch {
+		exch[i] = 0.1 + 3*rng.Float64()
+	}
+	m, err := NewGTR(freqs, exch, states)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func TestMeanRateNormalisation(t *testing.T) {
+	// For small t, P_ii(t) ~ 1 - q_i t and sum_i pi_i q_i = 1.
+	rng := rand.New(rand.NewSource(5))
+	for _, states := range []int{4, 20} {
+		m := randomGTR(t, rng, states)
+		p := make([]float64, states*states)
+		const dt = 1e-7
+		m.PMatrix(p, dt, 1)
+		rate := 0.0
+		for i := 0; i < states; i++ {
+			rate += m.Freqs[i] * (1 - p[i*states+i])
+		}
+		rate /= dt
+		if math.Abs(rate-1) > 1e-4 {
+			t.Errorf("states=%d: mean rate %v, want 1", states, rate)
+		}
+	}
+}
+
+func TestSetGamma(t *testing.T) {
+	m, err := NewJC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cats() != 1 {
+		t.Fatal("fresh model should be rate-homogeneous")
+	}
+	if err := m.SetGamma(0.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cats() != 4 || m.Alpha != 0.5 {
+		t.Fatal("SetGamma did not install categories")
+	}
+	mean := 0.0
+	for _, r := range m.Rates {
+		mean += r
+	}
+	if math.Abs(mean/4-1) > 1e-9 {
+		t.Errorf("category rates mean %v, want 1", mean/4)
+	}
+	if err := m.SetGamma(-1, 4); err == nil {
+		t.Error("negative alpha must error")
+	}
+	// PMatrices emits one stochastic matrix per category.
+	ps := make([]float64, 4*16)
+	m.PMatrices(ps, 0.2)
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 4; i++ {
+			row := 0.0
+			for j := 0; j < 4; j++ {
+				row += ps[c*16+i*4+j]
+			}
+			if math.Abs(row-1) > 1e-9 {
+				t.Fatalf("category %d row %d sums to %v", c, i, row)
+			}
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewGTR([]float64{1, 1, 1}, []float64{1, 1, 1, 1, 1, 1}, 4); err == nil {
+		t.Error("wrong frequency count must error")
+	}
+	if _, err := NewGTR([]float64{1, -1, 1, 1}, []float64{1, 1, 1, 1, 1, 1}, 4); err == nil {
+		t.Error("negative frequency must error")
+	}
+	if _, err := NewGTR([]float64{1, 1, 1, 1}, []float64{1, 1, 1}, 4); err == nil {
+		t.Error("wrong exchangeability count must error")
+	}
+	if _, err := NewGTR([]float64{1, 1, 1, 1}, []float64{1, 1, 1, 1, 1, 0}, 4); err == nil {
+		t.Error("zero exchangeability must error")
+	}
+	if _, err := NewJC(1); err == nil {
+		t.Error("one state must error")
+	}
+	if _, err := NewK80(0); err == nil {
+		t.Error("kappa=0 must error")
+	}
+	if _, err := NewHKY([]float64{0.1, 0.2, 0.3, 0.4}, -2); err == nil {
+		t.Error("negative kappa must error")
+	}
+}
+
+func TestFrequenciesAreNormalised(t *testing.T) {
+	m, err := NewGTR([]float64{2, 2, 2, 2}, []float64{1, 1, 1, 1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Freqs {
+		if math.Abs(f-0.25) > 1e-12 {
+			t.Errorf("frequency %v, want 0.25", f)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m, err := NewHKY([]float64{0.3, 0.2, 0.2, 0.3}, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.SetGamma(1.0, 4)
+	c := m.Clone()
+	_ = c.SetGamma(0.2, 8)
+	if m.Cats() != 4 || c.Cats() != 8 {
+		t.Error("clone shares gamma state")
+	}
+	c.Freqs[0] = 0.9
+	if m.Freqs[0] == 0.9 {
+		t.Error("clone shares frequency storage")
+	}
+}
+
+func TestPoissonAAName(t *testing.T) {
+	m, err := NewJC(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 20 || m.Name != "Poisson20" {
+		t.Errorf("AA Poisson model mislabeled: %s/%d", m.Name, m.States)
+	}
+}
+
+func BenchmarkPMatrixDNA(b *testing.B) {
+	m, _ := NewJC(4)
+	p := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PMatrix(p, 0.1, 1)
+	}
+}
+
+func BenchmarkPMatricesDNAGamma4(b *testing.B) {
+	m, _ := NewJC(4)
+	_ = m.SetGamma(0.7, 4)
+	p := make([]float64, 4*16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PMatrices(p, 0.1)
+	}
+}
+
+func BenchmarkPMatrixAA(b *testing.B) {
+	m, _ := NewJC(20)
+	p := make([]float64, 400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.PMatrix(p, 0.1, 1)
+	}
+}

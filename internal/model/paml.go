@@ -1,0 +1,80 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadPAML parses an empirical amino-acid model in PAML's .dat format —
+// the distribution format of WAG, LG, JTT, Dayhoff and friends: a
+// lower-triangular matrix of 190 exchangeabilities (19 rows, row i
+// holding i+1 values, amino acids in ARNDCQEGHILKMFPSTWYV order),
+// followed by the 20 equilibrium frequencies. Whitespace (including
+// line breaks within rows) is flexible; everything after the first 210
+// numbers is ignored (PAML files carry trailing commentary).
+//
+// The repository ships no empirical matrices of its own — they are
+// data, not code; drop the published .dat file next to your alignment
+// and load it here (oocraxml: -m PAML -aamodel wag.dat).
+func ReadPAML(r io.Reader, name string) (*Model, error) {
+	var nums []float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<22)
+	for sc.Scan() && len(nums) < 210 {
+		for _, field := range strings.Fields(sc.Text()) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				// PAML files may end with taxon commentary; stop at the
+				// first non-number only if we already have everything.
+				if len(nums) >= 210 {
+					break
+				}
+				return nil, fmt.Errorf("model: paml: unexpected token %q after %d numbers", field, len(nums))
+			}
+			nums = append(nums, v)
+			if len(nums) == 210 {
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("model: paml: %w", err)
+	}
+	if len(nums) < 210 {
+		return nil, fmt.Errorf("model: paml: found %d numbers, need 190 rates + 20 frequencies", len(nums))
+	}
+	lower := nums[:190]
+	freqs := nums[190:210]
+
+	// The lower triangle is ordered row-wise: entry (i, j) for i > j.
+	// Our NewGTR wants the upper triangle row-wise: (i, j) for i < j,
+	// which by symmetry is the same set keyed the other way around.
+	exch := make([]float64, 190)
+	idx := 0
+	for i := 1; i < 20; i++ {
+		for j := 0; j < i; j++ {
+			// (i, j) with i > j corresponds to upper-triangle (j, i).
+			exch[upperIndex(j, i, 20)] = lower[idx]
+			idx++
+		}
+	}
+	m, err := NewGTR(freqs, exch, 20)
+	if err != nil {
+		return nil, fmt.Errorf("model: paml: %w", err)
+	}
+	if name == "" {
+		name = "PAML20"
+	}
+	m.Name = name
+	return m, nil
+}
+
+// upperIndex maps (i, j) with i < j to the row-wise upper-triangle
+// position used by NewGTR.
+func upperIndex(i, j, k int) int {
+	// Rows before i contribute (k-1) + (k-2) + ... + (k-i) entries.
+	return i*k - i*(i+1)/2 + (j - i - 1)
+}

@@ -1,0 +1,277 @@
+// Package modelsel ranks substitution models by information criteria
+// (AIC, AICc, BIC), jModelTest-style: every candidate is fitted on a
+// shared topology (branch lengths, Γ shape and free rate parameters
+// optimised per candidate) and scored against the alignment. It is a
+// natural consumer of the whole stack — engine, optimisers, NJ starting
+// trees — and of the out-of-core machinery for alignments whose vectors
+// exceed RAM.
+package modelsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/distance"
+	"oocphylo/internal/mathx"
+	"oocphylo/internal/model"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/search"
+	"oocphylo/internal/tree"
+)
+
+// Fit is one candidate's result.
+type Fit struct {
+	// Name is the model label ("HKY+G4", ...).
+	Name string
+	// LnL is the maximised log-likelihood.
+	LnL float64
+	// K is the number of free parameters (model + branch lengths).
+	K int
+	// AIC, AICc and BIC are the information criteria (lower is better).
+	AIC, AICc, BIC float64
+	// Alpha is the fitted Γ shape (NaN without rate heterogeneity).
+	Alpha float64
+}
+
+// Options tunes the evaluation.
+type Options struct {
+	// Gamma adds a +G4 variant of every base model.
+	Gamma bool
+	// Invariant adds a +I variant of every base model (and +I+G4 when
+	// combined with Gamma).
+	Invariant bool
+	// Topology fixes the evaluation tree; nil means an NJ tree is built
+	// from the data.
+	Topology *tree.Tree
+	// SmoothPasses bounds branch optimisation per candidate (default 4).
+	SmoothPasses int
+}
+
+// EvaluateDNA fits the standard nested DNA ladder — JC69, K80, HKY85,
+// GTR (and their +G4 variants when opts.Gamma) — and returns the fits
+// sorted by AIC.
+func EvaluateDNA(pats *bio.Patterns, opts Options) ([]Fit, error) {
+	if pats.Alphabet.States != 4 {
+		return nil, fmt.Errorf("modelsel: DNA ladder needs 4-state data, got %d", pats.Alphabet.States)
+	}
+	if opts.SmoothPasses <= 0 {
+		opts.SmoothPasses = 4
+	}
+	topo := opts.Topology
+	if topo == nil {
+		var err error
+		topo, err = distance.NJTree(pats)
+		if err != nil {
+			return nil, fmt.Errorf("modelsel: building NJ topology: %w", err)
+		}
+	}
+	freqs := pats.BaseFrequencies()
+
+	type candidate struct {
+		name       string
+		make       func(warmKappa float64) (*model.Model, error)
+		freeParams int // model parameters beyond branch lengths
+		optKappa   bool
+		optGTR     bool
+	}
+	// Order matters: the ladder is walked upward per Γ variant and each
+	// fitted kappa warm-starts the next, richer model — the standard
+	// trick for keeping nested likelihood ordering numerically true.
+	cands := []candidate{
+		{"JC69", func(float64) (*model.Model, error) { return model.NewJC(4) }, 0, false, false},
+		{"K80", func(k float64) (*model.Model, error) { return model.NewK80(k) }, 1, true, false},
+		{"HKY85", func(k float64) (*model.Model, error) { return model.NewHKY(freqs, k) }, 4, true, false},
+		{"GTR", func(k float64) (*model.Model, error) {
+			return model.NewGTR(freqs, []float64{1, k, 1, 1, k, 1}, 4)
+		}, 8, false, true},
+	}
+
+	type variant struct{ gamma, inv bool }
+	variants := []variant{{false, false}}
+	if opts.Invariant {
+		variants = append(variants, variant{false, true})
+	}
+	if opts.Gamma {
+		variants = append(variants, variant{true, false})
+		if opts.Invariant {
+			variants = append(variants, variant{true, true})
+		}
+	}
+	branchParams := len(topo.Edges)
+	n := float64(pats.TotalSites())
+
+	var fits []Fit
+	for _, v := range variants {
+		warmKappa := 2.0
+		for _, c := range cands {
+			m, err := c.make(warmKappa)
+			if err != nil {
+				return nil, err
+			}
+			name := c.name
+			k := c.freeParams + branchParams
+			if v.inv {
+				if err := m.SetInvariant(0.2); err != nil {
+					return nil, err
+				}
+				name += "+I"
+				k++
+			}
+			if v.gamma {
+				if err := m.SetGamma(1.0, 4); err != nil {
+					return nil, err
+				}
+				name += "+G4"
+				k++
+			}
+			lnl, alpha, err := fitOne(topo, pats, m, c.optKappa, c.optGTR, opts.SmoothPasses)
+			if err != nil {
+				return nil, fmt.Errorf("modelsel: fitting %s: %w", name, err)
+			}
+			if c.optKappa && len(m.Exch) == 6 && m.Exch[0] > 0 {
+				warmKappa = m.Exch[1] / m.Exch[0]
+			}
+			kf := float64(k)
+			fit := Fit{
+				Name:  name,
+				LnL:   lnl,
+				K:     k,
+				AIC:   2*kf - 2*lnl,
+				BIC:   kf*math.Log(n) - 2*lnl,
+				Alpha: alpha,
+			}
+			if n-kf-1 > 0 {
+				fit.AICc = fit.AIC + 2*kf*(kf+1)/(n-kf-1)
+			} else {
+				fit.AICc = math.Inf(1)
+			}
+			fits = append(fits, fit)
+		}
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].AIC < fits[j].AIC })
+	return fits, nil
+}
+
+// fitOne optimises one candidate on a clone of the topology.
+func fitOne(topo *tree.Tree, pats *bio.Patterns, m *model.Model, optKappa, optGTR bool, passes int) (float64, float64, error) {
+	t := topo.Clone()
+	prov := plf.NewInMemoryProvider(t.NumInner(), plf.VectorLength(m, pats.NumPatterns()))
+	e, err := plf.New(t, pats, m, prov)
+	if err != nil {
+		return 0, 0, err
+	}
+	s := search.New(e, search.Options{SmoothPasses: passes})
+	lnl, err := s.SmoothBranches(passes, 0.01)
+	if err != nil {
+		return 0, 0, err
+	}
+	alpha := math.NaN()
+	// Alternate rate-parameter, Γ-shape and branch-length optimisation:
+	// they interact (a kappa change shifts the optimal alpha and branch
+	// lengths), and the nested-model invariant lnL(GTR) >= lnL(HKY) >=
+	// lnL(K80) >= lnL(JC) — which the tests enforce — only emerges once
+	// each candidate is near its joint optimum.
+	hasInv := m.PInv > 0
+	rounds := 1
+	if optKappa || optGTR {
+		rounds = 3
+	} else if m.Cats() > 1 || hasInv {
+		rounds = 2
+	}
+	for iter := 0; iter < rounds; iter++ {
+		switch {
+		case optKappa:
+			// One-dimensional kappa optimisation via Brent over the
+			// transition/transversion exchangeability.
+			incumbent := append([]float64(nil), m.Exch...)
+			neg := func(kappa float64) float64 {
+				if err := m.SetExchangeabilities([]float64{1, kappa, 1, 1, kappa, 1}); err != nil {
+					return math.Inf(1)
+				}
+				e.InvalidateAll()
+				l, err := e.LogLikelihood()
+				if err != nil {
+					return math.Inf(1)
+				}
+				return -l
+			}
+			best, negLnl, err := mathx.Brent(neg, 0.05, 100, 1e-4, 60)
+			if err != nil {
+				return 0, 0, err
+			}
+			if -negLnl > lnl {
+				lnl = -negLnl
+				if err := m.SetExchangeabilities([]float64{1, best, 1, 1, best, 1}); err != nil {
+					return 0, 0, err
+				}
+			} else {
+				// Re-apply the incumbent (neg left the last probe set).
+				if err := m.SetExchangeabilities(incumbent); err != nil {
+					return 0, 0, err
+				}
+			}
+			e.InvalidateAll()
+			if lnl, err = e.LogLikelihood(); err != nil {
+				return 0, 0, err
+			}
+		case optGTR:
+			var err error
+			_, lnl, err = s.OptimizeExchangeabilities(2, 0.05)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		if m.Cats() > 1 {
+			var err error
+			alpha, lnl, err = s.OptimizeAlpha()
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		if hasInv {
+			var err error
+			if _, lnl, err = s.OptimizePInv(); err != nil {
+				return 0, 0, err
+			}
+		}
+		lnl2, err := s.SmoothBranches(2, 0.01)
+		if err != nil {
+			return 0, 0, err
+		}
+		if lnl2 > lnl {
+			lnl = lnl2
+		}
+	}
+	return lnl, alpha, nil
+}
+
+// Best returns the fit with the lowest value of the chosen criterion
+// ("AIC", "AICc" or "BIC").
+func Best(fits []Fit, criterion string) (Fit, error) {
+	if len(fits) == 0 {
+		return Fit{}, fmt.Errorf("modelsel: no fits")
+	}
+	val := func(f Fit) float64 {
+		switch criterion {
+		case "AIC":
+			return f.AIC
+		case "AICc":
+			return f.AICc
+		case "BIC":
+			return f.BIC
+		}
+		return math.NaN()
+	}
+	if math.IsNaN(val(fits[0])) {
+		return Fit{}, fmt.Errorf("modelsel: unknown criterion %q", criterion)
+	}
+	best := fits[0]
+	for _, f := range fits[1:] {
+		if val(f) < val(best) {
+			best = f
+		}
+	}
+	return best, nil
+}

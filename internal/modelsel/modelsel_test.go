@@ -1,0 +1,203 @@
+package modelsel
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func TestEvaluateDNARanksGeneratingModelFamily(t *testing.T) {
+	// Data simulated under HKY+G (kappa 4, skewed freqs, alpha 0.5):
+	// models ignoring the transition bias or rate heterogeneity must
+	// score worse; the HKY/GTR +G4 family should win.
+	rng := rand.New(rand.NewSource(3))
+	truth, err := tree.YuleTree(12, 1, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range truth.Edges {
+		e.Length *= 0.1 / (truth.TotalLength() / float64(len(truth.Edges)))
+		if e.Length < tree.MinBranchLength {
+			e.Length = tree.MinBranchLength
+		}
+	}
+	m, err := model.NewHKY([]float64{0.35, 0.15, 0.15, 0.35}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGamma(0.5, 4); err != nil {
+		t.Fatal(err)
+	}
+	aln, err := sim.Evolve(truth, m, 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := bio.Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fits, err := EvaluateDNA(pats, Options{Gamma: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 8 {
+		t.Fatalf("expected 8 fits (4 models x ±G), got %d", len(fits))
+	}
+	// Sorted by AIC ascending.
+	for i := 1; i < len(fits); i++ {
+		if fits[i].AIC < fits[i-1].AIC {
+			t.Fatal("fits not sorted by AIC")
+		}
+	}
+	winner := fits[0]
+	if winner.Name != "HKY85+G4" && winner.Name != "GTR+G4" {
+		t.Errorf("winner = %s, want HKY85+G4 or GTR+G4\nall: %+v", winner.Name, fits)
+	}
+	if math.IsNaN(winner.Alpha) || winner.Alpha < 0.3 || winner.Alpha > 0.9 {
+		t.Errorf("winner alpha = %v, truth 0.5", winner.Alpha)
+	}
+	// JC without gamma must be the (or nearly the) worst fit.
+	var jc Fit
+	for _, f := range fits {
+		if f.Name == "JC69" {
+			jc = f
+		}
+	}
+	if jc.AIC < winner.AIC+100 {
+		t.Errorf("JC69 (%v) should be far worse than the winner (%v)", jc.AIC, winner.AIC)
+	}
+	// More parameters, higher lnL within the nested ladder (same ±G).
+	lnlOf := func(name string) float64 {
+		for _, f := range fits {
+			if f.Name == name {
+				return f.LnL
+			}
+		}
+		t.Fatalf("fit %s missing", name)
+		return 0
+	}
+	if !(lnlOf("GTR+G4") >= lnlOf("HKY85+G4")-0.5 &&
+		lnlOf("HKY85+G4") >= lnlOf("K80+G4")-0.5 &&
+		lnlOf("K80+G4") >= lnlOf("JC69+G4")-0.5) {
+		t.Errorf("nested-model likelihood ordering violated: %+v", fits)
+	}
+}
+
+func TestEvaluateDNAWithFixedTopology(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 8, Sites: 400, GammaAlpha: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := EvaluateDNA(d.Patterns, Options{Topology: d.Tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 4 {
+		t.Fatalf("expected 4 fits without gamma variants, got %d", len(fits))
+	}
+	for _, f := range fits {
+		if math.IsInf(f.LnL, 0) || math.IsNaN(f.LnL) {
+			t.Errorf("%s: bad lnL %v", f.Name, f.LnL)
+		}
+		if f.BIC <= f.AIC {
+			// BIC penalises harder whenever ln(n) > 2 (n >= 8 sites).
+			t.Errorf("%s: BIC %v should exceed AIC %v", f.Name, f.BIC, f.AIC)
+		}
+	}
+}
+
+func TestEvaluateDNARejectsProtein(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 5, Sites: 30, Seed: 1, AA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateDNA(d.Patterns, Options{}); err == nil {
+		t.Error("protein data must be rejected by the DNA ladder")
+	}
+}
+
+func TestBest(t *testing.T) {
+	fits := []Fit{
+		{Name: "a", AIC: 10, AICc: 30, BIC: 20},
+		{Name: "b", AIC: 12, AICc: 13, BIC: 14},
+	}
+	for criterion, want := range map[string]string{"AIC": "a", "AICc": "b", "BIC": "b"} {
+		got, err := Best(fits, criterion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != want {
+			t.Errorf("Best(%s) = %s, want %s", criterion, got.Name, want)
+		}
+	}
+	if _, err := Best(fits, "DIC"); err == nil {
+		t.Error("unknown criterion must fail")
+	}
+	if _, err := Best(nil, "AIC"); err == nil {
+		t.Error("empty fits must fail")
+	}
+}
+
+func TestEvaluateDNAInvariantVariants(t *testing.T) {
+	// Data with a genuine invariant component: the +I (or +I+G4) family
+	// must beat the corresponding base models.
+	rng := rand.New(rand.NewSource(41))
+	truth, err := tree.YuleTree(10, 1, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range truth.Edges {
+		e.Length *= 0.2 / (truth.TotalLength() / float64(len(truth.Edges)))
+		if e.Length < tree.MinBranchLength {
+			e.Length = tree.MinBranchLength
+		}
+	}
+	m, err := model.NewHKY([]float64{0.25, 0.25, 0.25, 0.25}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInvariant(0.5); err != nil {
+		t.Fatal(err)
+	}
+	aln, err := sim.Evolve(truth, m, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := bio.Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fits, err := EvaluateDNA(pats, Options{Invariant: true, Topology: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 8 {
+		t.Fatalf("expected 8 fits (4 models x ±I), got %d", len(fits))
+	}
+	lnlOf := func(name string) float64 {
+		for _, f := range fits {
+			if f.Name == name {
+				return f.LnL
+			}
+		}
+		t.Fatalf("fit %s missing", name)
+		return 0
+	}
+	if lnlOf("HKY85+I") <= lnlOf("HKY85")+5 {
+		t.Errorf("+I should clearly improve fit on invariant-rich data: %v vs %v",
+			lnlOf("HKY85+I"), lnlOf("HKY85"))
+	}
+	// The winner must carry +I; with uniform simulated frequencies K80+I
+	// legitimately beats HKY85+I on AIC (the frequency parameters buy
+	// nothing).
+	if !strings.HasSuffix(fits[0].Name, "+I") {
+		t.Errorf("winner = %s, want an +I model\nall: %+v", fits[0].Name, fits)
+	}
+}

@@ -1,0 +1,119 @@
+package ooc
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func benchManager(b *testing.B, n, vecLen, slots int, strat Strategy, store Store) *Manager {
+	b.Helper()
+	m, err := NewManager(Config{
+		NumVectors: n, VectorLen: vecLen, Slots: slots,
+		Strategy: strat, ReadSkipping: true, Store: store,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkVectorHit(b *testing.B) {
+	m := benchManager(b, 100, 1024, 100, NewLRU(100), NewMemStore(100, 1024))
+	if _, err := m.Vector(0, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Vector(0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVectorMissMemStore(b *testing.B) {
+	n := 256
+	m := benchManager(b, n, 1024, MinSlots, NewLRU(n), NewMemStore(n, 1024))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Round-robin through more items than slots: every access misses.
+		if _, err := m.Vector(i%n, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(m.Stats().MissRate()*100, "miss%")
+}
+
+func BenchmarkVectorMissFileStore(b *testing.B) {
+	n := 64
+	vecLen := 4096 // 32 KiB vectors
+	store, err := NewFileStore(filepath.Join(b.TempDir(), "v.bin"), n, vecLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	m := benchManager(b, n, vecLen, MinSlots, NewLRU(n), store)
+	b.SetBytes(int64(vecLen) * 8 * 2) // one read + one write per swap
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Vector(i%n, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStrategyPickVictim(b *testing.B) {
+	cands := make([]int, 512)
+	for i := range cands {
+		cands[i] = i
+	}
+	b.Run("LRU", func(b *testing.B) {
+		s := NewLRU(1024)
+		for _, c := range cands {
+			s.Touch(c)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PickVictim(cands, 600)
+		}
+	})
+	b.Run("LFU", func(b *testing.B) {
+		s := NewLFU(1024)
+		for _, c := range cands {
+			s.Touch(c)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PickVictim(cands, 600)
+		}
+	})
+	b.Run("Random", func(b *testing.B) {
+		s := NewRandom(rand.New(rand.NewSource(1)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.PickVictim(cands, 600)
+		}
+	})
+}
+
+func BenchmarkFileStoreRoundTrip(b *testing.B) {
+	vecLen := 16384 // 128 KiB, a realistic small vector
+	store, err := NewFileStore(filepath.Join(b.TempDir(), "rt.bin"), 4, vecLen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	buf := make([]float64, vecLen)
+	b.SetBytes(int64(vecLen) * 8 * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.WriteVector(i%4, buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.ReadVector(i%4, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package ooc
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oocphylo/internal/iosim"
+)
+
+func TestFIFOStrategyOrder(t *testing.T) {
+	s := NewFIFO(5)
+	s.Touch(2)
+	s.Touch(0)
+	s.Touch(4)
+	s.Touch(2) // re-touch must NOT refresh FIFO order
+	if v := s.PickVictim([]int{0, 2, 4}, 1); v != 1 {
+		t.Errorf("FIFO picked index %d, want 1 (item 2, inserted first)", v)
+	}
+	// Item 2 re-enters after eviction: it is now youngest.
+	s.Touch(2)
+	if v := s.PickVictim([]int{0, 2, 4}, 1); v != 0 {
+		t.Errorf("after reinsertion, item 0 is oldest; picked %d", v)
+	}
+	s.Reset()
+	if s.next != 0 {
+		t.Error("reset incomplete")
+	}
+	if s.Name() != "FIFO" {
+		t.Error("name wrong")
+	}
+}
+
+func TestClockStrategySecondChance(t *testing.T) {
+	s := NewClock(5)
+	cands := []int{0, 1, 2}
+	s.Touch(0)
+	s.Touch(1)
+	s.Touch(2)
+	// All referenced: the first sweep clears 0,1,2 then picks 0.
+	if v := s.PickVictim(cands, 3); cands[v] != 0 {
+		t.Errorf("clock picked %d, want 0 after full sweep", cands[v])
+	}
+	// 1 and 2 now have cleared bits; hand is past 0.
+	s.Touch(1) // give 1 a second chance
+	if v := s.PickVictim(cands, 3); cands[v] != 2 {
+		t.Errorf("clock picked %d, want 2 (1 was re-referenced)", cands[v])
+	}
+	s.Reset()
+	if s.hand != 0 {
+		t.Error("reset incomplete")
+	}
+	if s.Name() != "CLOCK" {
+		t.Error("name wrong")
+	}
+}
+
+func TestExtraStrategiesDriveManagerCorrectly(t *testing.T) {
+	for _, strat := range []Strategy{NewFIFO(20), NewClock(20)} {
+		m, err := NewManager(Config{
+			NumVectors: 20, VectorLen: 4, Slots: 5,
+			Strategy: strat, Store: NewMemStore(20, 4),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		shadow := make([][4]float64, 20)
+		for op := 0; op < 400; op++ {
+			vi := rng.Intn(20)
+			write := rng.Intn(2) == 0
+			v, err := m.Vector(vi, write)
+			if err != nil {
+				t.Fatalf("%s: %v", strat.Name(), err)
+			}
+			if !write {
+				for j := range v {
+					if v[j] != shadow[vi][j] {
+						t.Fatalf("%s: corruption at vector %d", strat.Name(), vi)
+					}
+				}
+			} else {
+				for j := range v {
+					v[j] = float64(op + j)
+					shadow[vi][j] = v[j]
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", strat.Name(), err)
+			}
+		}
+	}
+}
+
+func TestPrefetchStagesAndCounts(t *testing.T) {
+	m := testManager(t, 10, 4, 4, NewLRU(10), true)
+	// Stage vector 7.
+	if err := m.Prefetch(7); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Resident(7) {
+		t.Fatal("prefetch did not stage the vector")
+	}
+	ps := m.PrefetchStats()
+	if ps.Issued != 1 || ps.Reads != 1 {
+		t.Errorf("prefetch stats: %+v", ps)
+	}
+	// The demand access is a hit and credits the prefetch.
+	before := m.Stats().Misses
+	if _, err := m.Vector(7, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Misses != before {
+		t.Error("prefetched access should not miss")
+	}
+	if m.PrefetchStats().Hits != 1 {
+		t.Errorf("prefetch hit not credited: %+v", m.PrefetchStats())
+	}
+	// Prefetching a resident vector is a free no-op.
+	if err := m.Prefetch(7); err != nil {
+		t.Fatal(err)
+	}
+	if ps := m.PrefetchStats(); ps.Reads != 1 {
+		t.Errorf("resident prefetch must not read: %+v", ps)
+	}
+	// Out-of-range prefetch is advisory, never an error.
+	if err := m.Prefetch(99); err != nil {
+		t.Error("advisory prefetch must not fail on bad index")
+	}
+}
+
+func TestPrefetchWastedCounting(t *testing.T) {
+	m := testManager(t, 10, 4, 3, NewLRU(10), true)
+	if err := m.Prefetch(5); err != nil {
+		t.Fatal(err)
+	}
+	// Three demand faults push 5 out before it is ever used.
+	for vi := 0; vi < 3; vi++ {
+		if _, err := m.Vector(vi, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Resident(5) {
+		t.Fatal("vector 5 should have been evicted")
+	}
+	if ps := m.PrefetchStats(); ps.Wasted != 1 {
+		t.Errorf("wasted prefetch not counted: %+v", ps)
+	}
+}
+
+func TestPrefetchRespectsPins(t *testing.T) {
+	m := testManager(t, 10, 3, 3, NewLRU(10), true)
+	for vi := 0; vi < 3; vi++ {
+		if _, err := m.Vector(vi, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three residents pinned: the prefetch must silently skip.
+	if err := m.Prefetch(8, 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resident(8) {
+		t.Error("prefetch must not evict pinned vectors")
+	}
+	for vi := 0; vi < 3; vi++ {
+		if !m.Resident(vi) {
+			t.Error("pinned vector lost")
+		}
+	}
+}
+
+func TestFloat32FileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f32.bin")
+	s, err := NewFloat32FileStore(path, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	src := []float64{1.5, -2.25, 0.1, 1e30, 3.25e-12}
+	if err := s.WriteVector(1, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 5)
+	if err := s.ReadVector(1, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		rel := math.Abs(dst[i]-src[i]) / math.Max(math.Abs(src[i]), 1e-300)
+		if rel > 1e-6 {
+			t.Errorf("pos %d: %v -> %v (rel err %v)", i, src[i], dst[i], rel)
+		}
+	}
+	// Exactly representable values survive bit-exact.
+	if dst[0] != 1.5 || dst[1] != -2.25 {
+		t.Error("representable values must round trip exactly")
+	}
+	// Bounds and size validation.
+	if err := s.ReadVector(3, dst); err == nil {
+		t.Error("out of range read must fail")
+	}
+	if err := s.WriteVector(0, make([]float64, 4)); err == nil {
+		t.Error("short write must fail")
+	}
+	// The file is half the size of a double-precision store.
+	fi, err := osStat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi != 3*5*4 {
+		t.Errorf("file size %d, want %d", fi, 3*5*4)
+	}
+}
+
+func TestTieredStorePromotionDemotion(t *testing.T) {
+	fast := NewMemStore(10, 4)
+	slow := NewMemStore(10, 4)
+	ts, err := NewTieredStore(fast, slow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	w := func(vi int, v float64) {
+		if err := ts.WriteVector(vi, []float64{v, v, v, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := func(vi int) float64 {
+		buf := make([]float64, 4)
+		if err := ts.ReadVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf[0]
+	}
+	w(0, 10)
+	w(1, 11)
+	w(2, 12) // demotes 0 (least recently touched) to slow
+	if ts.Demotions != 1 {
+		t.Errorf("demotions = %d, want 1", ts.Demotions)
+	}
+	if got := r(0); got != 10 { // served from slow
+		t.Errorf("read(0) = %v", got)
+	}
+	if ts.SlowReads != 1 {
+		t.Errorf("slow reads = %d, want 1", ts.SlowReads)
+	}
+	if got := r(2); got != 12 { // served from fast
+		t.Errorf("read(2) = %v", got)
+	}
+	if ts.FastHits != 1 {
+		t.Errorf("fast hits = %d, want 1", ts.FastHits)
+	}
+	if _, err := NewTieredStore(fast, slow, 0); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}
+
+func TestTieredStoreWithSimulatedDevices(t *testing.T) {
+	// Fast tier = SSD, slow tier = HDD: the three-layer hierarchy the
+	// paper sketches (§5) with per-tier cost accounting.
+	var fastClock, slowClock iosim.Clock
+	fast := NewSimStore(NewMemStore(8, 16), iosim.SSD(), &fastClock)
+	slow := NewSimStore(NewMemStore(8, 16), iosim.HDD(), &slowClock)
+	ts, err := NewTieredStore(fast, slow, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 16)
+	for vi := 0; vi < 8; vi++ {
+		if err := ts.WriteVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for vi := 0; vi < 8; vi++ {
+		if err := ts.ReadVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fastClock.Ops() == 0 || slowClock.Ops() == 0 {
+		t.Error("both tiers should have been exercised")
+	}
+	if fastClock.Elapsed() >= slowClock.Elapsed() {
+		t.Errorf("per-op the fast tier must be cheaper: fast %v total vs slow %v",
+			fastClock.Elapsed(), slowClock.Elapsed())
+	}
+}
+
+// osStat returns the file size (helper keeping the test import list tidy).
+func osStat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,341 @@
+package ooc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MinSlots is the paper's hard floor on resident vectors: computing one
+// ancestral vector needs it and its two children in RAM simultaneously
+// (§3.2, "we must ensure that m >= 3").
+const MinSlots = 3
+
+// WriteBackPolicy controls when an evicted vector is written to the
+// backing store.
+type WriteBackPolicy int
+
+const (
+	// WriteBackAlways writes every evicted vector — the paper's swap
+	// semantics (evict = write old + read new).
+	WriteBackAlways WriteBackPolicy = iota
+	// WriteBackDirty writes only vectors modified since they were
+	// faulted in. Not in the paper; implemented as the natural
+	// extension ablated in the benchmarks.
+	WriteBackDirty
+)
+
+// Stats holds the manager's access counters — the quantities plotted in
+// the paper's Figures 2-4.
+type Stats struct {
+	// Requests counts getxvector-style accesses.
+	Requests int64
+	// Hits counts accesses satisfied from a RAM slot.
+	Hits int64
+	// Misses counts accesses that required a swap.
+	Misses int64
+	// Reads counts vectors actually read from the store (Misses minus
+	// the reads that read skipping eliminated).
+	Reads int64
+	// SkippedReads counts swap-ins whose read was elided (§3.4).
+	SkippedReads int64
+	// Writes counts vectors written back to the store.
+	Writes int64
+	// SkippedWrites counts evictions elided by WriteBackDirty.
+	SkippedWrites int64
+	// BytesRead and BytesWritten total the store traffic.
+	BytesRead, BytesWritten int64
+}
+
+// MissRate returns Misses/Requests (Figure 2's y axis).
+func (s Stats) MissRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Requests)
+}
+
+// ReadRate returns Reads/Requests (Figure 3's y axis). Without read
+// skipping it equals MissRate.
+func (s Stats) ReadRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Reads) / float64(s.Requests)
+}
+
+// Config configures a Manager.
+type Config struct {
+	// NumVectors is n, the total ancestral vector count.
+	NumVectors int
+	// VectorLen is the per-vector payload length in float64s (the
+	// paper's slot width w, in doubles).
+	VectorLen int
+	// Slots is m, the number of RAM slots. Values above NumVectors are
+	// capped (f = 1 holds everything in RAM); values below MinSlots
+	// (when NumVectors allows) are rejected.
+	Slots int
+	// Strategy is the replacement policy; required.
+	Strategy Strategy
+	// ReadSkipping enables §3.4's write-intent read elision.
+	ReadSkipping bool
+	// WriteBack selects the eviction write policy.
+	WriteBack WriteBackPolicy
+	// Store is the backing storage; required.
+	Store Store
+}
+
+// SlotsForFraction returns m = max(MinSlots, round(f*n)) capped at n —
+// the paper's parameterisation of available RAM.
+func SlotsForFraction(f float64, n int) int {
+	m := int(f*float64(n) + 0.5)
+	if m < MinSlots {
+		m = MinSlots
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// Manager is the out-of-core ancestral-vector manager: it implements
+// the plf.VectorProvider contract over a bounded set of RAM slots and a
+// backing Store. It is not safe for concurrent use (neither is the
+// likelihood engine driving it).
+type Manager struct {
+	cfg Config
+
+	// slots holds the m vector-wide RAM buffers.
+	slots [][]float64
+	// slotItem maps slot -> resident item, -1 if empty.
+	slotItem []int
+	// itemSlot maps item -> slot, -1 if on "disk" (the paper's
+	// itemvector: RAM address vs file offset; offsets here are implicit,
+	// vector vi lives at file position vi).
+	itemSlot []int
+	// dirty marks slots written since fault-in (used by WriteBackDirty).
+	dirty []bool
+	// prefetched marks slots staged by Prefetch and not yet demanded.
+	prefetched []bool
+	// candidates is scratch for building the evictable set per miss.
+	candidates []int
+	slotOf     []int // parallel scratch: slot of each candidate
+
+	stats  Stats
+	pstats PrefetchStats
+}
+
+// ErrAllPinned is returned when a miss cannot find an evictable slot
+// because every resident vector is pinned — only possible if the caller
+// pins more than Slots-1 vectors, which the likelihood engine's
+// three-vector working set never does under m >= MinSlots.
+var ErrAllPinned = errors.New("ooc: all resident vectors are pinned; cannot evict")
+
+// NewManager validates cfg and allocates the slot pool. Exactly
+// Slots*VectorLen float64s of vector memory are allocated, enforcing
+// the paper's -L style memory limitation.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.NumVectors < 0 || cfg.VectorLen <= 0 {
+		return nil, fmt.Errorf("ooc: invalid geometry: %d vectors of %d", cfg.NumVectors, cfg.VectorLen)
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("ooc: Store is required")
+	}
+	if cfg.Strategy == nil {
+		return nil, errors.New("ooc: Strategy is required")
+	}
+	if cfg.Slots > cfg.NumVectors {
+		cfg.Slots = cfg.NumVectors
+	}
+	if cfg.Slots < MinSlots && cfg.Slots < cfg.NumVectors {
+		return nil, fmt.Errorf("ooc: %d slots for %d vectors; need at least %d (m >= 3)",
+			cfg.Slots, cfg.NumVectors, MinSlots)
+	}
+	m := &Manager{
+		cfg:        cfg,
+		slots:      make([][]float64, cfg.Slots),
+		slotItem:   make([]int, cfg.Slots),
+		itemSlot:   make([]int, cfg.NumVectors),
+		dirty:      make([]bool, cfg.Slots),
+		prefetched: make([]bool, cfg.Slots),
+	}
+	backing := make([]float64, cfg.Slots*cfg.VectorLen)
+	for i := range m.slots {
+		m.slots[i], backing = backing[:cfg.VectorLen:cfg.VectorLen], backing[cfg.VectorLen:]
+		m.slotItem[i] = -1
+	}
+	for i := range m.itemSlot {
+		m.itemSlot[i] = -1
+	}
+	return m, nil
+}
+
+// NumVectors implements plf.VectorProvider.
+func (m *Manager) NumVectors() int { return m.cfg.NumVectors }
+
+// VectorLen implements plf.VectorProvider.
+func (m *Manager) VectorLen() int { return m.cfg.VectorLen }
+
+// Slots returns m, the resident-vector capacity.
+func (m *Manager) Slots() int { return len(m.slots) }
+
+// Stats returns a copy of the access counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (the strategy state is left intact, so
+// measurement windows can exclude warm-up).
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// Resident reports whether vector vi currently occupies a RAM slot.
+func (m *Manager) Resident(vi int) bool {
+	return vi >= 0 && vi < len(m.itemSlot) && m.itemSlot[vi] >= 0
+}
+
+// Vector implements plf.VectorProvider: the paper's getxvector(). It
+// returns the RAM address of vector vi, swapping it in if necessary.
+// write declares that the caller overwrites the entire vector before
+// reading it, enabling read skipping; pinned lists vector indices that
+// must not be evicted by this call.
+func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
+	if vi < 0 || vi >= m.cfg.NumVectors {
+		return nil, fmt.Errorf("ooc: vector index %d out of range [0, %d)", vi, m.cfg.NumVectors)
+	}
+	m.stats.Requests++
+	m.cfg.Strategy.Touch(vi)
+	if s := m.itemSlot[vi]; s >= 0 {
+		m.stats.Hits++
+		if m.prefetched[s] {
+			m.prefetched[s] = false
+			m.pstats.Hits++
+		}
+		if write {
+			m.dirty[s] = true
+		}
+		return m.slots[s], nil
+	}
+	m.stats.Misses++
+
+	slot, err := m.freeSlot(vi, pinned)
+	if err != nil {
+		return nil, err
+	}
+	// Swap in.
+	skipRead := write && m.cfg.ReadSkipping
+	if skipRead {
+		m.stats.SkippedReads++
+	} else {
+		if err := m.cfg.Store.ReadVector(vi, m.slots[slot]); err != nil {
+			return nil, err
+		}
+		m.stats.Reads++
+		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
+	}
+	m.slotItem[slot] = vi
+	m.itemSlot[vi] = slot
+	m.dirty[slot] = write
+	m.prefetched[slot] = false
+	return m.slots[slot], nil
+}
+
+// freeSlot returns an empty slot, evicting a victim if none is free.
+func (m *Manager) freeSlot(requested int, pinned []int) (int, error) {
+	for s, it := range m.slotItem {
+		if it < 0 {
+			return s, nil
+		}
+	}
+	// Build the evictable candidate set: resident items minus pins.
+	m.candidates = m.candidates[:0]
+	m.slotOf = m.slotOf[:0]
+	for s, it := range m.slotItem {
+		isPinned := false
+		for _, p := range pinned {
+			if p == it {
+				isPinned = true
+				break
+			}
+		}
+		if !isPinned {
+			m.candidates = append(m.candidates, it)
+			m.slotOf = append(m.slotOf, s)
+		}
+	}
+	if len(m.candidates) == 0 {
+		return 0, ErrAllPinned
+	}
+	pick := m.cfg.Strategy.PickVictim(m.candidates, requested)
+	if pick < 0 || pick >= len(m.candidates) {
+		return 0, fmt.Errorf("ooc: strategy %s picked invalid victim %d of %d",
+			m.cfg.Strategy.Name(), pick, len(m.candidates))
+	}
+	victim := m.candidates[pick]
+	slot := m.slotOf[pick]
+	if err := m.evict(victim, slot); err != nil {
+		return 0, err
+	}
+	return slot, nil
+}
+
+// evict writes the victim back (subject to the write-back policy) and
+// releases its slot.
+func (m *Manager) evict(victim, slot int) error {
+	// A clean slot's content matches the store (it was faulted in by a
+	// read and never modified), so WriteBackDirty may skip it safely.
+	if m.cfg.WriteBack == WriteBackAlways || m.dirty[slot] {
+		if err := m.cfg.Store.WriteVector(victim, m.slots[slot]); err != nil {
+			return err
+		}
+		m.stats.Writes++
+		m.stats.BytesWritten += int64(m.cfg.VectorLen) * 8
+	} else {
+		m.stats.SkippedWrites++
+	}
+	m.itemSlot[victim] = -1
+	m.slotItem[slot] = -1
+	m.dirty[slot] = false
+	if m.prefetched[slot] {
+		m.prefetched[slot] = false
+		m.pstats.Wasted++
+	}
+	return nil
+}
+
+// Flush writes every resident vector to the store (used before closing
+// or when handing the store to another consumer).
+func (m *Manager) Flush() error {
+	for s, it := range m.slotItem {
+		if it < 0 {
+			continue
+		}
+		if err := m.cfg.Store.WriteVector(it, m.slots[s]); err != nil {
+			return err
+		}
+		m.stats.Writes++
+		m.stats.BytesWritten += int64(m.cfg.VectorLen) * 8
+		m.dirty[s] = false
+	}
+	return nil
+}
+
+// CheckInvariants validates the item/slot mapping consistency; tests
+// call it after randomised operation sequences.
+func (m *Manager) CheckInvariants() error {
+	seen := make(map[int]int)
+	for s, it := range m.slotItem {
+		if it < 0 {
+			continue
+		}
+		if prev, dup := seen[it]; dup {
+			return fmt.Errorf("ooc: item %d resident in slots %d and %d", it, prev, s)
+		}
+		seen[it] = s
+		if m.itemSlot[it] != s {
+			return fmt.Errorf("ooc: slot %d holds item %d but itemSlot says %d", s, it, m.itemSlot[it])
+		}
+	}
+	for it, s := range m.itemSlot {
+		if s >= 0 && m.slotItem[s] != it {
+			return fmt.Errorf("ooc: itemSlot[%d]=%d but slotItem[%d]=%d", it, s, s, m.slotItem[s])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package ooc
+
+// Prefetching — the paper's §5 future work ("we will assess if
+// pre-fetching can be deployed by means of a prefetch thread"). The
+// traversal plan makes the next vector accesses perfectly predictable,
+// so the likelihood engine can ask the manager to stage the next
+// step's inputs while the current step computes. The manager executes
+// prefetches synchronously (the engine is single-threaded), but the
+// counters separate blocking demand misses from prefetch-staged reads:
+// with an asynchronous prefetch thread the latter would overlap
+// compute, so PrefetchHits is exactly the number of demand misses a
+// prefetch thread would hide.
+
+// PrefetchStats extends the manager counters with prefetch accounting.
+type PrefetchStats struct {
+	// Issued counts Prefetch calls; Reads the store reads they caused
+	// (issued minus already-resident).
+	Issued, Reads int64
+	// Hits counts demand accesses that found their vector resident
+	// because a prefetch staged it.
+	Hits int64
+	// Wasted counts prefetched vectors evicted before any demand access.
+	Wasted int64
+}
+
+// Prefetch stages vector vi into a slot without counting a demand miss.
+// pinned has the same meaning as in Vector. A resident vi is a no-op.
+// Prefetched data is always read from the store (the engine prefetches
+// read-intent inputs only; write-intent targets are cheaper via read
+// skipping).
+func (m *Manager) Prefetch(vi int, pinned ...int) error {
+	if vi < 0 || vi >= m.cfg.NumVectors {
+		return nil // prefetch is advisory; never fail the computation
+	}
+	m.pstats.Issued++
+	// Register the access with the replacement policy: a staged vector
+	// is about to be used, so recency-aware strategies must not pick it
+	// as the very next victim.
+	m.cfg.Strategy.Touch(vi)
+	if m.itemSlot[vi] >= 0 {
+		return nil
+	}
+	slot, err := m.freeSlot(vi, pinned)
+	if err != nil {
+		// No evictable slot (everything pinned): skip the prefetch.
+		if err == ErrAllPinned {
+			return nil
+		}
+		return err
+	}
+	if err := m.cfg.Store.ReadVector(vi, m.slots[slot]); err != nil {
+		return err
+	}
+	m.pstats.Reads++
+	m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
+	m.slotItem[slot] = vi
+	m.itemSlot[vi] = slot
+	m.dirty[slot] = false
+	m.prefetched[slot] = true
+	return nil
+}
+
+// PrefetchStats returns the prefetch counters.
+func (m *Manager) PrefetchStats() PrefetchStats { return m.pstats }

@@ -1,0 +1,82 @@
+package ooc_test
+
+import (
+	"testing"
+
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+)
+
+// TestPrefetchIntegration verifies the §5 future-work prefetcher end to
+// end: plan-driven prefetching must not change any result, and on a
+// full-traversal workload it must convert a substantial share of
+// blocking demand misses into prefetch hits (misses a prefetch thread
+// would overlap with compute).
+func TestPrefetchIntegration(t *testing.T) {
+	run := func(prefetch bool) (float64, ooc.Stats, ooc.PrefetchStats) {
+		tr, pats, m := buildCase(t, 32, 120, 17)
+		vecLen := plf.VectorLength(m, pats.NumPatterns())
+		mgr, err := ooc.NewManager(ooc.Config{
+			NumVectors: tr.NumInner(),
+			VectorLen:  vecLen,
+			Slots:      ooc.SlotsForFraction(0.25, tr.NumInner()),
+			Strategy:   ooc.NewLRU(tr.NumInner()),
+			// Read skipping off so every demand miss costs a read — the
+			// cleanest view of what prefetching converts.
+			ReadSkipping: false,
+			Store:        ooc.NewMemStore(tr.NumInner(), vecLen),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := plf.New(tr, pats, m, mgr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.EnablePrefetch(prefetch)
+		var lnl float64
+		for i := 0; i < 4; i++ {
+			if err := e.FullTraversal(tr.Edges[0]); err != nil {
+				t.Fatal(err)
+			}
+			lnl, err = e.LogLikelihoodAt(tr.Edges[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return lnl, mgr.Stats(), mgr.PrefetchStats()
+	}
+
+	plainLnl, plainStats, _ := run(false)
+	pfLnl, pfStats, pf := run(true)
+
+	if plainLnl != pfLnl {
+		t.Fatalf("prefetching changed the likelihood: %v vs %v", plainLnl, pfLnl)
+	}
+	if pf.Issued == 0 || pf.Hits == 0 {
+		t.Fatalf("prefetcher idle: %+v", pf)
+	}
+	if pfStats.Misses >= plainStats.Misses {
+		t.Errorf("prefetching should reduce demand misses: %d vs %d",
+			pfStats.Misses, plainStats.Misses)
+	}
+	// Accounting ties out: hits + wasted + still-resident = issued reads.
+	if pf.Hits+pf.Wasted > pf.Reads {
+		t.Errorf("prefetch accounting inconsistent: %+v", pf)
+	}
+}
+
+// TestPrefetchNoopOnInMemoryProvider ensures EnablePrefetch is safe on
+// providers that cannot prefetch.
+func TestPrefetchNoopOnInMemoryProvider(t *testing.T) {
+	tr, pats, m := buildCase(t, 12, 60, 19)
+	e, err := plf.New(tr, pats, m,
+		plf.NewInMemoryProvider(tr.NumInner(), plf.VectorLength(m, pats.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnablePrefetch(true)
+	if _, err := e.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+}

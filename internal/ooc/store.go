@@ -1,0 +1,222 @@
+// Package ooc implements the paper's contribution: an out-of-core
+// (external-memory) manager for ancestral probability vectors. All n
+// vectors live in a backing Store (a single binary file in the paper,
+// §3.2); only m = f·n RAM slots are allocated, each exactly one vector
+// wide — the vector is the logical page, so every transfer is a large
+// contiguous I/O far above the hardware block size (§3.1). Every vector
+// access goes through Manager.Vector, the analogue of RAxML's
+// getxvector(): it transparently swaps vectors between slots and the
+// store under a pluggable replacement strategy (Random, LRU, LFU,
+// Topological — §3.3), honours per-call pins so the vectors feeding the
+// current likelihood operation are never evicted, and skips the
+// swap-in read when the caller declares write-only first use ("read
+// skipping", §3.4).
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"oocphylo/internal/iosim"
+)
+
+// Store is the backing storage for ancestral vectors: vector vi
+// occupies the fixed region [vi*vecLen, (vi+1)*vecLen) in float64 units
+// (the paper's single binary file with per-node offsets).
+type Store interface {
+	// ReadVector fills dst with vector vi's stored payload.
+	ReadVector(vi int, dst []float64) error
+	// WriteVector persists src as vector vi's payload.
+	WriteVector(vi int, src []float64) error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is an in-RAM Store used by tests and by simulations where
+// only the I/O accounting, not real disk traffic, matters.
+type MemStore struct {
+	vecLen int
+	data   [][]float64
+}
+
+// NewMemStore creates an in-memory store for numVectors vectors.
+func NewMemStore(numVectors, vecLen int) *MemStore {
+	s := &MemStore{vecLen: vecLen, data: make([][]float64, numVectors)}
+	return s
+}
+
+// ReadVector implements Store. Never-written vectors read as zeros,
+// like a freshly created binary file.
+func (s *MemStore) ReadVector(vi int, dst []float64) error {
+	if vi < 0 || vi >= len(s.data) {
+		return fmt.Errorf("ooc: memstore read out of range: %d", vi)
+	}
+	if len(dst) != s.vecLen {
+		return fmt.Errorf("ooc: memstore read size %d, want %d", len(dst), s.vecLen)
+	}
+	if s.data[vi] == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	copy(dst, s.data[vi])
+	return nil
+}
+
+// WriteVector implements Store.
+func (s *MemStore) WriteVector(vi int, src []float64) error {
+	if vi < 0 || vi >= len(s.data) {
+		return fmt.Errorf("ooc: memstore write out of range: %d", vi)
+	}
+	if len(src) != s.vecLen {
+		return fmt.Errorf("ooc: memstore write size %d, want %d", len(src), s.vecLen)
+	}
+	if s.data[vi] == nil {
+		s.data[vi] = make([]float64, s.vecLen)
+	}
+	copy(s.data[vi], src)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore keeps all vectors contiguously in one binary file — the
+// layout of the paper's proof-of-concept implementation (Figure 1).
+type FileStore struct {
+	f      *os.File
+	vecLen int
+	n      int
+	buf    []byte
+}
+
+// NewFileStore creates (truncating) a backing file sized for numVectors
+// vectors of vecLen float64s each.
+func NewFileStore(path string, numVectors, vecLen int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating backing file: %w", err)
+	}
+	if err := f.Truncate(int64(numVectors) * int64(vecLen) * 8); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sizing backing file: %w", err)
+	}
+	return &FileStore{f: f, vecLen: vecLen, n: numVectors, buf: make([]byte, vecLen*8)}, nil
+}
+
+// ReadVector implements Store via a single positioned read.
+func (s *FileStore) ReadVector(vi int, dst []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: filestore read out of range: %d", vi)
+	}
+	if len(dst) != s.vecLen {
+		return fmt.Errorf("ooc: filestore read size %d, want %d", len(dst), s.vecLen)
+	}
+	if _, err := s.f.ReadAt(s.buf, int64(vi)*int64(s.vecLen)*8); err != nil {
+		return fmt.Errorf("ooc: reading vector %d: %w", vi, err)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[i*8:]))
+	}
+	return nil
+}
+
+// WriteVector implements Store via a single positioned write.
+func (s *FileStore) WriteVector(vi int, src []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: filestore write out of range: %d", vi)
+	}
+	if len(src) != s.vecLen {
+		return fmt.Errorf("ooc: filestore write size %d, want %d", len(src), s.vecLen)
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(s.buf[i*8:], math.Float64bits(v))
+	}
+	if _, err := s.f.WriteAt(s.buf, int64(vi)*int64(s.vecLen)*8); err != nil {
+		return fmt.Errorf("ooc: writing vector %d: %w", vi, err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }
+
+// SimStore wraps a Store and charges every transfer to a simulated
+// device clock. It is how the benchmark harness prices out-of-core I/O
+// without moving real gigabytes.
+type SimStore struct {
+	Inner  Store
+	Device iosim.Device
+	Clock  *iosim.Clock
+}
+
+// NewSimStore wraps inner with accounting on clock for device dev.
+func NewSimStore(inner Store, dev iosim.Device, clock *iosim.Clock) *SimStore {
+	return &SimStore{Inner: inner, Device: dev, Clock: clock}
+}
+
+// ReadVector implements Store.
+func (s *SimStore) ReadVector(vi int, dst []float64) error {
+	s.Clock.Charge(s.Device, int64(len(dst))*8)
+	return s.Inner.ReadVector(vi, dst)
+}
+
+// WriteVector implements Store.
+func (s *SimStore) WriteVector(vi int, src []float64) error {
+	s.Clock.Charge(s.Device, int64(len(src))*8)
+	return s.Inner.WriteVector(vi, src)
+}
+
+// Close implements Store.
+func (s *SimStore) Close() error { return s.Inner.Close() }
+
+// MultiFileStore spreads vectors round-robin over several backing files.
+// The paper found single-file and multi-file performance to differ only
+// minimally (§3.2); this implementation exists so that ablation can be
+// reproduced (BenchmarkStoreLayout).
+type MultiFileStore struct {
+	files []*FileStore
+}
+
+// NewMultiFileStore creates numFiles backing files named
+// path.0, path.1, ... with vectors assigned round-robin.
+func NewMultiFileStore(path string, numFiles, numVectors, vecLen int) (*MultiFileStore, error) {
+	if numFiles < 1 {
+		return nil, fmt.Errorf("ooc: need at least one file, got %d", numFiles)
+	}
+	m := &MultiFileStore{}
+	for i := 0; i < numFiles; i++ {
+		per := numVectors/numFiles + 1
+		fs, err := NewFileStore(fmt.Sprintf("%s.%d", path, i), per, vecLen)
+		if err != nil {
+			m.Close()
+			return nil, err
+		}
+		m.files = append(m.files, fs)
+	}
+	return m, nil
+}
+
+// ReadVector implements Store.
+func (m *MultiFileStore) ReadVector(vi int, dst []float64) error {
+	return m.files[vi%len(m.files)].ReadVector(vi/len(m.files), dst)
+}
+
+// WriteVector implements Store.
+func (m *MultiFileStore) WriteVector(vi int, src []float64) error {
+	return m.files[vi%len(m.files)].WriteVector(vi/len(m.files), src)
+}
+
+// Close implements Store; it closes every underlying file.
+func (m *MultiFileStore) Close() error {
+	var first error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

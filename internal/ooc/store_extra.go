@@ -1,0 +1,152 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Float32FileStore persists ancestral vectors in single precision,
+// halving file size and transfer volume — the storage-side counterpart
+// of the single-precision-arithmetic memory reduction the paper cites
+// (Berger & Stamatakis 2010) as a complementary technique. Values
+// round-trip through float32, so likelihoods computed over this store
+// are approximations (typically agreeing to ~6 significant digits);
+// the paper's bit-exactness criterion applies only to the default
+// double-precision stores.
+type Float32FileStore struct {
+	f      *os.File
+	vecLen int
+	n      int
+	buf    []byte
+}
+
+// NewFloat32FileStore creates (truncating) a single-precision backing
+// file for numVectors vectors of vecLen float64s each.
+func NewFloat32FileStore(path string, numVectors, vecLen int) (*Float32FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating float32 backing file: %w", err)
+	}
+	if err := f.Truncate(int64(numVectors) * int64(vecLen) * 4); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sizing float32 backing file: %w", err)
+	}
+	return &Float32FileStore{f: f, vecLen: vecLen, n: numVectors, buf: make([]byte, vecLen*4)}, nil
+}
+
+// ReadVector implements Store, widening float32 to float64.
+func (s *Float32FileStore) ReadVector(vi int, dst []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: float32 store read out of range: %d", vi)
+	}
+	if len(dst) != s.vecLen {
+		return fmt.Errorf("ooc: float32 store read size %d, want %d", len(dst), s.vecLen)
+	}
+	if _, err := s.f.ReadAt(s.buf, int64(vi)*int64(s.vecLen)*4); err != nil {
+		return fmt.Errorf("ooc: reading vector %d: %w", vi, err)
+	}
+	for i := range dst {
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(s.buf[i*4:])))
+	}
+	return nil
+}
+
+// WriteVector implements Store, narrowing float64 to float32.
+func (s *Float32FileStore) WriteVector(vi int, src []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: float32 store write out of range: %d", vi)
+	}
+	if len(src) != s.vecLen {
+		return fmt.Errorf("ooc: float32 store write size %d, want %d", len(src), s.vecLen)
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint32(s.buf[i*4:], math.Float32bits(float32(v)))
+	}
+	if _, err := s.f.WriteAt(s.buf, int64(vi)*int64(s.vecLen)*4); err != nil {
+		return fmt.Errorf("ooc: writing vector %d: %w", vi, err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (s *Float32FileStore) Close() error { return s.f.Close() }
+
+// TieredStore is the paper's §5 three-layer vision in store form: a
+// bounded fast tier (think accelerator or NVRAM) in front of a large
+// slow tier (disk). Reads hit the fast tier when possible; writes land
+// in the fast tier, demoting the least-recently-touched vector to the
+// slow tier when full. Combined with SimStore wrappers carrying
+// different device models, it prices RAM ⇄ accelerator ⇄ disk
+// hierarchies.
+type TieredStore struct {
+	fast, slow Store
+	capacity   int
+	// inFast maps vector -> recency stamp (0 = not in fast tier).
+	inFast map[int]int64
+	now    int64
+
+	// FastHits and SlowReads count where reads were served.
+	FastHits, SlowReads int64
+	// Demotions counts vectors pushed from fast to slow.
+	Demotions int64
+}
+
+// NewTieredStore layers fast (holding at most capacity vectors) over
+// slow. Both stores must be sized for the full vector count, because
+// any vector may live in either tier over its lifetime.
+func NewTieredStore(fast, slow Store, capacity int) (*TieredStore, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("ooc: tiered store capacity %d < 1", capacity)
+	}
+	return &TieredStore{fast: fast, slow: slow, capacity: capacity, inFast: make(map[int]int64)}, nil
+}
+
+// ReadVector implements Store.
+func (t *TieredStore) ReadVector(vi int, dst []float64) error {
+	if stamp := t.inFast[vi]; stamp != 0 {
+		t.now++
+		t.inFast[vi] = t.now
+		t.FastHits++
+		return t.fast.ReadVector(vi, dst)
+	}
+	t.SlowReads++
+	return t.slow.ReadVector(vi, dst)
+}
+
+// WriteVector implements Store: writes land in the fast tier, demoting
+// the stalest resident if the tier is full.
+func (t *TieredStore) WriteVector(vi int, src []float64) error {
+	if t.inFast[vi] == 0 && len(t.inFast) >= t.capacity {
+		// Demote the least recently touched fast-tier vector.
+		victim, oldest := -1, int64(math.MaxInt64)
+		for v, stamp := range t.inFast {
+			if stamp < oldest {
+				victim, oldest = v, stamp
+			}
+		}
+		buf := make([]float64, len(src))
+		if err := t.fast.ReadVector(victim, buf); err != nil {
+			return err
+		}
+		if err := t.slow.WriteVector(victim, buf); err != nil {
+			return err
+		}
+		delete(t.inFast, victim)
+		t.Demotions++
+	}
+	t.now++
+	t.inFast[vi] = t.now
+	return t.fast.WriteVector(vi, src)
+}
+
+// Close implements Store; it closes both tiers.
+func (t *TieredStore) Close() error {
+	err1 := t.fast.Close()
+	err2 := t.slow.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

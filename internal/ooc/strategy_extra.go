@@ -1,0 +1,100 @@
+package ooc
+
+// Additional replacement strategies beyond the paper's four. FIFO and
+// CLOCK are the classic low-overhead policies the paper's Related Work
+// alludes to via the cache/paging literature; they slot into the same
+// Strategy interface and are exercised by the ablation benchmarks.
+
+// FIFOStrategy evicts the vector that was faulted in first, ignoring
+// recency of use entirely.
+type FIFOStrategy struct {
+	seq  []int64
+	next int64
+}
+
+// NewFIFO returns a FIFO strategy for numItems vectors.
+func NewFIFO(numItems int) *FIFOStrategy {
+	return &FIFOStrategy{seq: make([]int64, numItems)}
+}
+
+// Name implements Strategy.
+func (s *FIFOStrategy) Name() string { return "FIFO" }
+
+// Touch implements Strategy: only the first touch after an eviction
+// (re-entry) matters; the manager calls Touch on every access, so FIFO
+// records the sequence number only when the item has none.
+func (s *FIFOStrategy) Touch(item int) {
+	if s.seq[item] == 0 {
+		s.next++
+		s.seq[item] = s.next
+	}
+}
+
+// PickVictim implements Strategy: oldest entry sequence wins. The
+// victim's sequence is cleared so a re-fault re-stamps it.
+func (s *FIFOStrategy) PickVictim(candidates []int, _ int) int {
+	best := 0
+	for i, it := range candidates {
+		if s.seq[it] < s.seq[candidates[best]] {
+			best = i
+		}
+	}
+	s.seq[candidates[best]] = 0
+	return best
+}
+
+// Reset implements Strategy.
+func (s *FIFOStrategy) Reset() {
+	for i := range s.seq {
+		s.seq[i] = 0
+	}
+	s.next = 0
+}
+
+// ClockStrategy implements the second-chance (CLOCK) approximation of
+// LRU: a reference bit per item, cleared as the clock hand sweeps.
+type ClockStrategy struct {
+	ref  []bool
+	hand int
+}
+
+// NewClock returns a CLOCK strategy for numItems vectors.
+func NewClock(numItems int) *ClockStrategy {
+	return &ClockStrategy{ref: make([]bool, numItems)}
+}
+
+// Name implements Strategy.
+func (s *ClockStrategy) Name() string { return "CLOCK" }
+
+// Touch implements Strategy.
+func (s *ClockStrategy) Touch(item int) { s.ref[item] = true }
+
+// PickVictim implements Strategy: sweep the candidate list (treated as
+// the circular buffer) from the remembered hand position, clearing
+// reference bits until an unreferenced item is found.
+func (s *ClockStrategy) PickVictim(candidates []int, _ int) int {
+	n := len(candidates)
+	if s.hand >= n {
+		s.hand = 0
+	}
+	for sweep := 0; sweep < 2*n; sweep++ {
+		i := (s.hand + sweep) % n
+		it := candidates[i]
+		if !s.ref[it] {
+			s.hand = (i + 1) % n
+			return i
+		}
+		s.ref[it] = false
+	}
+	// All referenced twice over (cannot happen: the first pass cleared
+	// them); fall back to the hand position.
+	return s.hand % n
+}
+
+// Reset implements Strategy.
+func (s *ClockStrategy) Reset() {
+	for i := range s.ref {
+		s.ref[i] = false
+	}
+	s.hand = 0
+}

@@ -1,0 +1,98 @@
+package plf
+
+import (
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/tree"
+)
+
+// benchSetup builds an engine over an in-memory provider.
+func benchSetup(b *testing.B, taxa, sites int, gamma bool, dtype bio.DataType) (*Engine, *tree.Tree) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	names := tipNames(taxa)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := randomAlignment(b, names, sites, rng, dtype)
+	m := randomModel(b, rng, dtype, gamma)
+	prov := NewInMemoryProvider(tr.NumInner(), VectorLength(m, pats.NumPatterns()))
+	e, err := New(tr, pats, m, prov)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e, tr
+}
+
+func BenchmarkFullTraversalDNA(b *testing.B) {
+	e, tr := benchSetup(b, 64, 500, true, bio.DNA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.FullTraversal(tr.Edges[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sitesPerOp := float64(e.nPat * tr.NumInner())
+	b.ReportMetric(sitesPerOp*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+}
+
+func BenchmarkFullTraversalAA(b *testing.B) {
+	e, tr := benchSetup(b, 32, 100, true, bio.AA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.FullTraversal(tr.Edges[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	e, tr := benchSetup(b, 64, 500, true, bio.DNA)
+	if _, err := e.LogLikelihood(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.evaluate(tr.Edges[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeBranch(b *testing.B) {
+	e, tr := benchSetup(b, 64, 500, true, bio.DNA)
+	if _, err := e.LogLikelihood(); err != nil {
+		b.Fatal(err)
+	}
+	edge := tr.Edges[3]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.OptimizeBranch(edge); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartialTraversalWalk(b *testing.B) {
+	// Evaluating every edge in sequence: the partial-traversal fast path.
+	e, tr := benchSetup(b, 64, 300, true, bio.DNA)
+	if _, err := e.LogLikelihood(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, edge := range tr.Edges {
+			if _, err := e.LogLikelihoodAt(edge); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package plf
+
+import (
+	"math"
+
+	"oocphylo/internal/mathx"
+	"oocphylo/internal/tree"
+)
+
+// Branch-length optimisation via analytic derivatives.
+//
+// At a branch {p, q} of length t the per-pattern, per-category site
+// likelihood is
+//
+//	f_ic(t) = Σ_s π_s · x_p[i,c,s] · (P(r_c·t) · x_q[i,c,·])_s .
+//
+// Substituting P = V·exp(Λrt)·V⁻¹ gives f_ic(t) = Σ_k A_ick · e^{λ_k·r_c·t}
+// with the branch-independent sum table
+//
+//	A_ick = (Σ_s π_s·x_p[s]·V[s,k]) · (Σ_j V⁻¹[k,j]·x_q[j]) ,
+//
+// so a Newton iteration on t costs O(nPat·nCat·k) with no further
+// vector accesses — which is why branch optimisation touches only the
+// two endpoint vectors, the access-locality property the paper leans on
+// in §4.2. (RAxML's sumGAMMA/coreGTRGAMMA functions implement the same
+// factorisation.)
+
+// buildSumTable fills e.sumTab for edge and records the combined scale
+// counters in e.sumTabSc. Both endpoint vectors must be valid toward
+// each other (call Traverse first).
+func (e *Engine) buildSumTable(edge *tree.Edge) error {
+	e.Stats.SumTables++
+	k, C := e.nStates, e.nCat
+	p, q := edge.N[0], edge.N[1]
+	var xp, xq []float64
+	var codeP, codeQ []uint16
+	var err error
+	if p.IsTip() {
+		codeP = e.tipCode[p.Index]
+	} else {
+		var pins []int
+		if !q.IsTip() {
+			pins = []int{e.vi(q)}
+		}
+		xp, err = e.prov.Vector(e.vi(p), false, pins...)
+		if err != nil {
+			return err
+		}
+	}
+	if q.IsTip() {
+		codeQ = e.tipCode[q.Index]
+	} else {
+		var pins []int
+		if !p.IsTip() {
+			pins = []int{e.vi(p)}
+		}
+		xq, err = e.prov.Vector(e.vi(q), false, pins...)
+		if err != nil {
+			return err
+		}
+	}
+	for i := range e.sumTabSc {
+		e.sumTabSc[i] = 0
+	}
+	if xp != nil {
+		for i, s := range e.scales[e.vi(p)] {
+			e.sumTabSc[i] += s
+		}
+	}
+	if xq != nil {
+		for i, s := range e.scales[e.vi(q)] {
+			e.sumTabSc[i] += s
+		}
+	}
+
+	freqs := e.M.Freqs
+	evec, ievec := e.M.Evec, e.M.Ievec
+	e.parallelFor(e.nPat, func(lo, hi int) {
+		var left, right [32]float64
+		for i := lo; i < hi; i++ {
+			base := i * C * k
+			for c := 0; c < C; c++ {
+				// left_k = sum_s pi_s x_p[s] V[s][k]
+				var lsrc []float64
+				if codeP != nil {
+					lsrc = e.tipInd[int(codeP[i])*k : (int(codeP[i])+1)*k]
+				} else {
+					lsrc = xp[base+c*k : base+(c+1)*k]
+				}
+				for kk := 0; kk < k; kk++ {
+					left[kk] = 0
+				}
+				for s := 0; s < k; s++ {
+					w := freqs[s] * lsrc[s]
+					if w == 0 {
+						continue
+					}
+					row := evec[s*k : (s+1)*k]
+					for kk := 0; kk < k; kk++ {
+						left[kk] += w * row[kk]
+					}
+				}
+				// right_k = sum_j V^-1[k][j] x_q[j]
+				var rsrc []float64
+				if codeQ != nil {
+					rsrc = e.tipInd[int(codeQ[i])*k : (int(codeQ[i])+1)*k]
+				} else {
+					rsrc = xq[base+c*k : base+(c+1)*k]
+				}
+				for kk := 0; kk < k; kk++ {
+					acc := 0.0
+					row := ievec[kk*k : (kk+1)*k]
+					for j := 0; j < k; j++ {
+						acc += row[j] * rsrc[j]
+					}
+					right[kk] = acc
+				}
+				dst := e.sumTab[base+c*k : base+(c+1)*k]
+				for kk := 0; kk < k; kk++ {
+					dst[kk] = left[kk] * right[kk]
+				}
+			}
+		}
+	})
+	return nil
+}
+
+// sumTableValues returns (lnL, dlnL/dt, d²lnL/dt²) at branch length t
+// from the current sum table. Workers fill per-pattern terms; the
+// reduction is sequential in pattern order, so results are
+// bit-identical for any worker count.
+func (e *Engine) sumTableValues(t float64) (lnl, d1, d2 float64) {
+	k, C := e.nStates, e.nCat
+	rates := e.M.Rates
+	eval := e.M.Eval
+	catW := 1.0 / float64(C)
+	terms := e.siteBuf[:3*e.nPat]
+	e.parallelFor(e.nPat, func(lo, hi int) {
+		var expbuf [32]float64
+		for i := lo; i < hi; i++ {
+			base := i * C * k
+			var f, fp, fpp float64
+			for c := 0; c < C; c++ {
+				r := rates[c]
+				for kk := 0; kk < k; kk++ {
+					expbuf[kk] = math.Exp(eval[kk] * r * t)
+				}
+				tab := e.sumTab[base+c*k : base+(c+1)*k]
+				for kk := 0; kk < k; kk++ {
+					lr := eval[kk] * r
+					a := tab[kk] * expbuf[kk]
+					f += a
+					fp += a * lr
+					fpp += a * lr * lr
+				}
+			}
+			f *= catW
+			fp *= catW
+			fpp *= catW
+			if f < math.SmallestNonzeroFloat64 {
+				f = math.SmallestNonzeroFloat64
+			}
+			w := e.weights[i]
+			lnGamma := math.Log(f) - float64(e.sumTabSc[i])*logScaleFactor
+			gp, gpp := fp/f, fpp/f
+			// +I mixture: the invariant component is branch-length
+			// independent, so derivatives pick up the Γ-component
+			// posterior weight q (1 when the mixture is off).
+			q := gammaWeight(lnGamma, e.M.PInv, e.linv[i])
+			terms[3*i] = w * mixInvariant(lnGamma, e.M.PInv, e.linv[i])
+			terms[3*i+1] = w * q * gp
+			terms[3*i+2] = w * (q*gpp - q*gp*q*gp)
+		}
+	})
+	for i := 0; i < e.nPat; i++ {
+		lnl += terms[3*i]
+		d1 += terms[3*i+1]
+		d2 += terms[3*i+2]
+	}
+	return lnl, d1, d2
+}
+
+// OptimizeBranch Newton-optimises the length of edge, leaving both
+// endpoint vectors valid and the edge set to the best length found. It
+// returns the log-likelihood at the optimised length. The optimum is
+// clamped to [tree.MinBranchLength, tree.MaxBranchLength]; if Newton
+// lands somewhere worse than the starting point (possible on plateaus)
+// the original length is kept.
+func (e *Engine) OptimizeBranch(edge *tree.Edge) (float64, error) {
+	if err := e.Traverse(edge); err != nil {
+		return 0, err
+	}
+	if err := e.buildSumTable(edge); err != nil {
+		return 0, err
+	}
+	t0 := edge.Length
+	lnl0, _, _ := e.sumTableValues(t0)
+	fdf := func(t float64) (float64, float64) {
+		e.Stats.NewtonIters++
+		_, d1, d2 := e.sumTableValues(t)
+		if d2 >= 0 {
+			// Convex region: a raw Newton step would move away from the
+			// maximum. Signal an unusable derivative so the solver takes
+			// a damped step in the uphill direction of d1 instead (the
+			// same guard RAxML's makenewz applies).
+			return d1, math.NaN()
+		}
+		return d1, d2
+	}
+	t1, _ := mathx.Newton(fdf, t0, tree.MinBranchLength, tree.MaxBranchLength, 1e-8, 32)
+	lnl1, _, _ := e.sumTableValues(t1)
+	if lnl1 >= lnl0 {
+		edge.Length = t1
+		return lnl1, nil
+	}
+	return lnl0, nil
+}
+
+// EvaluateAtLength returns the log-likelihood that the current sum
+// table predicts for the given branch length. Exposed for tests (it
+// must agree with a fresh evaluation after setting the length).
+func (e *Engine) EvaluateAtLength(edge *tree.Edge, t float64) (float64, error) {
+	if err := e.Traverse(edge); err != nil {
+		return 0, err
+	}
+	if err := e.buildSumTable(edge); err != nil {
+		return 0, err
+	}
+	lnl, _, _ := e.sumTableValues(t)
+	return lnl, nil
+}

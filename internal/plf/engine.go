@@ -1,0 +1,589 @@
+package plf
+
+import (
+	"fmt"
+	"math"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/tree"
+)
+
+// Scaling constants (RAxML's scheme): whenever every entry of a
+// pattern's block drops below minLikelihood the block is multiplied by
+// 2^256 and the pattern's scale counter is incremented; the evaluation
+// subtracts counter*ln(2^256) per pattern.
+const (
+	scalingExponent = 256
+	logScaleFactor  = scalingExponent * 0.6931471805599453 // ln(2^256)
+)
+
+var (
+	minLikelihood = math.Ldexp(1, -scalingExponent) // 2^-256
+	scaleFactor   = math.Ldexp(1, scalingExponent)  // 2^256
+)
+
+// Stats counts the engine operations a workload performed; the paper's
+// locality arguments (§4.2) are statements about these counters.
+type Stats struct {
+	// Newviews is the number of ancestral-vector (re)computations.
+	Newviews int64
+	// Evaluations is the number of log-likelihood evaluations.
+	Evaluations int64
+	// SumTables is the number of derivative sum-table constructions.
+	SumTables int64
+	// NewtonIters is the number of Newton-Raphson iterations performed
+	// during branch-length optimisation.
+	NewtonIters int64
+}
+
+// Engine evaluates the PLF for one (tree, alignment, model) triple over
+// a pluggable ancestral-vector store. It is not safe for concurrent use.
+type Engine struct {
+	T *tree.Tree
+	M *model.Model
+	P *bio.Patterns
+
+	prov   VectorProvider
+	orient tree.Orientation
+
+	nPat, nCat, nStates int
+	vecLen              int
+	weights             []float64
+
+	// maskList enumerates the distinct tip masks in the alignment;
+	// tipCode[tip][pattern] indexes into it. tipInd holds the 0/1
+	// indicator vector per mask.
+	maskList []bio.StateMask
+	tipCode  [][]uint16
+	tipInd   []float64 // len(maskList) * nStates
+
+	// scales[vi][pattern] holds the per-pattern scaling counters for
+	// inner vector vi. Counters are 4 bytes/site/vector (~3% of vector
+	// memory) and stay in RAM; the paper pages only the probability
+	// vectors themselves.
+	scales [][]int32
+
+	// linv[pattern] is the +I mixture's invariant-component likelihood:
+	// the equilibrium probability mass of the states shared by every
+	// taxon at that pattern (zero when the pattern cannot be constant).
+	linv []float64
+
+	// prefetch enables plan-driven staging of the next step's inputs
+	// when the provider supports it (see EnablePrefetch).
+	prefetch bool
+	// workers is the PLF kernel fan-out (see SetWorkers).
+	workers int
+
+	// Scratch buffers, reused across steps.
+	pL, pR   []float64 // nCat * k * k transition matrices
+	tipSumL  []float64 // nCat * len(maskList) * k
+	tipSumR  []float64
+	sumTab   []float64 // nPat * nCat * k derivative sum table
+	sumTabSc []int32   // nPat combined scale counters for the sum table
+	siteBuf  []float64 // nPat*3 per-pattern values for deterministic reductions
+
+	Stats Stats
+}
+
+// VectorLength returns the number of float64s per ancestral vector for
+// an alignment with nPat patterns under model m — the paper's page size
+// w (in doubles rather than bytes).
+func VectorLength(m *model.Model, nPat int) int {
+	return nPat * m.Cats() * m.States
+}
+
+// New builds an engine. The provider must have been sized with
+// NumVectors() == t.NumInner() and VectorLen() == VectorLength(m, pats).
+func New(t *tree.Tree, pats *bio.Patterns, m *model.Model, prov VectorProvider) (*Engine, error) {
+	if t.NumTips != pats.NumTaxa() {
+		return nil, fmt.Errorf("plf: tree has %d tips, alignment has %d taxa", t.NumTips, pats.NumTaxa())
+	}
+	if m.States != pats.Alphabet.States {
+		return nil, fmt.Errorf("plf: model has %d states, alignment %d", m.States, pats.Alphabet.States)
+	}
+	e := &Engine{
+		T: t, M: m, P: pats,
+		prov:    prov,
+		orient:  tree.NewOrientation(len(t.Nodes)),
+		nPat:    pats.NumPatterns(),
+		nCat:    m.Cats(),
+		nStates: m.States,
+	}
+	e.vecLen = e.nPat * e.nCat * e.nStates
+	if prov.NumVectors() < t.NumInner() {
+		return nil, fmt.Errorf("plf: provider holds %d vectors, tree needs %d", prov.NumVectors(), t.NumInner())
+	}
+	if prov.VectorLen() != e.vecLen {
+		return nil, fmt.Errorf("plf: provider vector length %d, engine needs %d", prov.VectorLen(), e.vecLen)
+	}
+	e.weights = make([]float64, e.nPat)
+	for i, w := range pats.Weights {
+		e.weights[i] = float64(w)
+	}
+
+	// Tip encoding: map each tree tip to its alignment row by name, then
+	// index the distinct masks.
+	maskIdx := make(map[bio.StateMask]uint16)
+	e.tipCode = make([][]uint16, t.NumTips)
+	for ti := 0; ti < t.NumTips; ti++ {
+		ai := -1
+		for r, name := range pats.Names {
+			if name == t.Nodes[ti].Name {
+				ai = r
+				break
+			}
+		}
+		if ai < 0 {
+			return nil, fmt.Errorf("plf: tree tip %q missing from alignment", t.Nodes[ti].Name)
+		}
+		codes := make([]uint16, e.nPat)
+		for p, mask := range pats.Columns[ai] {
+			id, ok := maskIdx[mask]
+			if !ok {
+				id = uint16(len(e.maskList))
+				maskIdx[mask] = id
+				e.maskList = append(e.maskList, mask)
+			}
+			codes[p] = id
+		}
+		e.tipCode[ti] = codes
+	}
+	// 0/1 indicators per distinct mask.
+	e.tipInd = make([]float64, len(e.maskList)*e.nStates)
+	for mi, mask := range e.maskList {
+		for s := 0; s < e.nStates; s++ {
+			if mask&(1<<uint(s)) != 0 {
+				e.tipInd[mi*e.nStates+s] = 1
+			}
+		}
+	}
+
+	e.scales = make([][]int32, t.NumInner())
+	for i := range e.scales {
+		e.scales[i] = make([]int32, e.nPat)
+	}
+	// Invariant-component likelihoods: intersect all taxa's masks per
+	// pattern, then sum the equilibrium frequencies of the shared states.
+	e.linv = make([]float64, e.nPat)
+	for i := 0; i < e.nPat; i++ {
+		shared := pats.Alphabet.AllStates()
+		for row := range pats.Columns {
+			shared &= pats.Columns[row][i]
+		}
+		if shared == 0 {
+			continue
+		}
+		for s := 0; s < e.nStates; s++ {
+			if shared&(1<<uint(s)) != 0 {
+				e.linv[i] += m.Freqs[s]
+			}
+		}
+	}
+	k2 := e.nStates * e.nStates
+	e.pL = make([]float64, e.nCat*k2)
+	e.pR = make([]float64, e.nCat*k2)
+	e.tipSumL = make([]float64, e.nCat*len(e.maskList)*e.nStates)
+	e.tipSumR = make([]float64, e.nCat*len(e.maskList)*e.nStates)
+	e.sumTab = make([]float64, e.nPat*e.nCat*e.nStates)
+	e.sumTabSc = make([]int32, e.nPat)
+	e.siteBuf = make([]float64, e.nPat*3)
+	return e, nil
+}
+
+// Orient exposes the orientation (validity) state of the ancestral
+// vectors. Search drivers invalidate entries after topology edits whose
+// neighborhood keeps stale-but-pointer-consistent vectors (see package
+// search); everything else is maintained automatically.
+func (e *Engine) Orient() tree.Orientation { return e.orient }
+
+// Provider returns the vector provider the engine runs on.
+func (e *Engine) Provider() VectorProvider { return e.prov }
+
+// InvalidateAll marks every ancestral vector stale, forcing the next
+// evaluation to run a full traversal.
+func (e *Engine) InvalidateAll() { e.orient.Invalidate() }
+
+// vi converts a tree node to its vector index.
+func (e *Engine) vi(n *tree.Node) int { return n.Index - e.T.NumTips }
+
+// buildTipSum fills dst[cat][maskID][s] = sum_j P_cat[s][j] * ind[j]:
+// the per-category transition-weighted tip indicator lookup table
+// (RAxML's tipVector precomputation).
+func (e *Engine) buildTipSum(dst, pmats []float64) {
+	k := e.nStates
+	k2 := k * k
+	nm := len(e.maskList)
+	for c := 0; c < e.nCat; c++ {
+		p := pmats[c*k2 : (c+1)*k2]
+		for mi := 0; mi < nm; mi++ {
+			ind := e.tipInd[mi*k : (mi+1)*k]
+			out := dst[(c*nm+mi)*k : (c*nm+mi+1)*k]
+			for s := 0; s < k; s++ {
+				acc := 0.0
+				row := p[s*k : (s+1)*k]
+				for j := 0; j < k; j++ {
+					acc += row[j] * ind[j]
+				}
+				out[s] = acc
+			}
+		}
+	}
+}
+
+// prefetchProvider is satisfied by vector providers that can stage a
+// vector ahead of its demand access (ooc.Manager).
+type prefetchProvider interface {
+	Prefetch(vi int, pinned ...int) error
+}
+
+// EnablePrefetch turns plan-driven prefetching on or off: while a
+// Felsenstein step computes, the next step's read inputs are staged
+// (the paper's §5 prefetch-thread future work; the provider counts how
+// many blocking misses the staging converts into prefetch hits).
+// A no-op when the provider cannot prefetch.
+func (e *Engine) EnablePrefetch(on bool) { e.prefetch = on }
+
+// Execute runs a traversal plan: one Felsenstein step per entry, in
+// order, then records the resulting orientations.
+func (e *Engine) Execute(steps []tree.Step) error {
+	pf, canPrefetch := e.prov.(prefetchProvider)
+	for i := range steps {
+		if e.prefetch && canPrefetch && i+1 < len(steps) {
+			e.prefetchInputs(pf, &steps[i], &steps[i+1])
+		}
+		if err := e.newview(&steps[i]); err != nil {
+			return err
+		}
+	}
+	tree.ApplyOrientation(e.orient, steps)
+	return nil
+}
+
+// prefetchInputs stages next's inner read inputs, pinning cur's working
+// set so the staging cannot evict what the imminent step needs.
+// Prefetch errors are advisory and ignored; a failed prefetch simply
+// leaves the demand access to fault normally.
+func (e *Engine) prefetchInputs(pf prefetchProvider, cur, next *tree.Step) {
+	var pins [3]int
+	np := 0
+	for _, n := range []*tree.Node{cur.Node, cur.Left, cur.Right} {
+		if !n.IsTip() {
+			pins[np] = e.vi(n)
+			np++
+		}
+	}
+	for _, child := range []*tree.Node{next.Left, next.Right} {
+		// cur.Node is commonly next's child (post-order); it is about to
+		// be written by cur's newview, so reading it would be wasted I/O.
+		if child.IsTip() || child == cur.Node {
+			continue
+		}
+		_ = pf.Prefetch(e.vi(child), pins[:np]...)
+	}
+}
+
+// newview computes the ancestral vector at s.Node from its two children
+// across their connecting branches.
+func (e *Engine) newview(s *tree.Step) error {
+	e.Stats.Newviews++
+	k, C, nm := e.nStates, e.nCat, len(e.maskList)
+	e.M.PMatrices(e.pL, s.LeftEdge.Length)
+	e.M.PMatrices(e.pR, s.RightEdge.Length)
+
+	leftTip, rightTip := s.Left.IsTip(), s.Right.IsTip()
+	var xl, xr []float64
+	var scl, scr []int32
+	var codeL, codeR []uint16
+	pvi := e.vi(s.Node)
+	var err error
+	if leftTip {
+		e.buildTipSum(e.tipSumL, e.pL)
+		codeL = e.tipCode[s.Left.Index]
+	} else {
+		lvi := e.vi(s.Left)
+		pins := []int{pvi}
+		if !rightTip {
+			pins = append(pins, e.vi(s.Right))
+		}
+		xl, err = e.prov.Vector(lvi, false, pins...)
+		if err != nil {
+			return err
+		}
+		scl = e.scales[lvi]
+	}
+	if rightTip {
+		e.buildTipSum(e.tipSumR, e.pR)
+		codeR = e.tipCode[s.Right.Index]
+	} else {
+		rvi := e.vi(s.Right)
+		pins := []int{pvi}
+		if !leftTip {
+			pins = append(pins, e.vi(s.Left))
+		}
+		xr, err = e.prov.Vector(rvi, false, pins...)
+		if err != nil {
+			return err
+		}
+		scr = e.scales[rvi]
+	}
+	var pins []int
+	if !leftTip {
+		pins = append(pins, e.vi(s.Left))
+	}
+	if !rightTip {
+		pins = append(pins, e.vi(s.Right))
+	}
+	xp, err := e.prov.Vector(pvi, true, pins...)
+	if err != nil {
+		return err
+	}
+	scp := e.scales[pvi]
+
+	k2 := k * k
+	e.parallelFor(e.nPat, func(lo, hi int) {
+		var la, ra [32]float64 // k <= 20; fixed scratch avoids allocation
+		for i := lo; i < hi; i++ {
+			var cnt int32
+			if scl != nil {
+				cnt += scl[i]
+			}
+			if scr != nil {
+				cnt += scr[i]
+			}
+			base := i * C * k
+			blockMax := 0.0
+			for c := 0; c < C; c++ {
+				// Left factor per state.
+				if leftTip {
+					off := (c*nm + int(codeL[i])) * k
+					copy(la[:k], e.tipSumL[off:off+k])
+				} else {
+					src := xl[base+c*k : base+(c+1)*k]
+					p := e.pL[c*k2 : (c+1)*k2]
+					for s := 0; s < k; s++ {
+						acc := 0.0
+						row := p[s*k : (s+1)*k]
+						for j := 0; j < k; j++ {
+							acc += row[j] * src[j]
+						}
+						la[s] = acc
+					}
+				}
+				if rightTip {
+					off := (c*nm + int(codeR[i])) * k
+					copy(ra[:k], e.tipSumR[off:off+k])
+				} else {
+					src := xr[base+c*k : base+(c+1)*k]
+					p := e.pR[c*k2 : (c+1)*k2]
+					for s := 0; s < k; s++ {
+						acc := 0.0
+						row := p[s*k : (s+1)*k]
+						for j := 0; j < k; j++ {
+							acc += row[j] * src[j]
+						}
+						ra[s] = acc
+					}
+				}
+				dst := xp[base+c*k : base+(c+1)*k]
+				for s := 0; s < k; s++ {
+					v := la[s] * ra[s]
+					dst[s] = v
+					if v > blockMax {
+						blockMax = v
+					}
+				}
+			}
+			if blockMax < minLikelihood {
+				for j := base; j < base+C*k; j++ {
+					xp[j] *= scaleFactor
+				}
+				cnt++
+			}
+			scp[i] = cnt
+		}
+	})
+	return nil
+}
+
+// Traverse makes the vectors at both endpoints of edge valid and
+// oriented toward each other, doing only the work the current
+// orientation state requires.
+func (e *Engine) Traverse(edge *tree.Edge) error {
+	steps := tree.EdgeTraversal(e.T, edge, e.orient)
+	return e.Execute(steps)
+}
+
+// FullTraversal recomputes every ancestral vector oriented toward edge,
+// regardless of current validity (the paper's -f z workload building
+// block).
+func (e *Engine) FullTraversal(edge *tree.Edge) error {
+	e.orient.Invalidate()
+	return e.Traverse(edge)
+}
+
+// LogLikelihoodAt returns the log-likelihood evaluated at the given
+// branch, running whatever partial traversal is needed first.
+func (e *Engine) LogLikelihoodAt(edge *tree.Edge) (float64, error) {
+	if err := e.Traverse(edge); err != nil {
+		return 0, err
+	}
+	return e.evaluate(edge)
+}
+
+// LogLikelihood evaluates at the tree's first branch.
+func (e *Engine) LogLikelihood() (float64, error) {
+	return e.LogLikelihoodAt(e.T.Edges[0])
+}
+
+// mixInvariant folds the +I mixture into a per-pattern log-likelihood:
+// given lnGamma = ln of the variable-component likelihood (already
+// scale-corrected, possibly astronomically small), it returns
+// ln((1-p)·e^lnGamma + p·linv) evaluated stably via log-sum-exp.
+func mixInvariant(lnGamma, p, linv float64) float64 {
+	lnA := math.Log1p(-p) + lnGamma
+	if linv <= 0 {
+		return lnA
+	}
+	lnB := math.Log(p) + math.Log(linv)
+	hi, lo := lnA, lnB
+	if lnB > lnA {
+		hi, lo = lnB, lnA
+	}
+	return hi + math.Log1p(math.Exp(lo-hi))
+}
+
+// gammaWeight returns the posterior weight of the variable (Γ)
+// component in the +I mixture for a pattern with the given
+// log-likelihood parts — the q in d lnL/dt = q · (f'/f)_Γ.
+func gammaWeight(lnGamma, p, linv float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	lnA := math.Log1p(-p) + lnGamma
+	if linv <= 0 {
+		return 1
+	}
+	lnB := math.Log(p) + math.Log(linv)
+	return 1 / (1 + math.Exp(lnB-lnA))
+}
+
+// evaluate computes the log-likelihood at edge without any traversal;
+// both endpoint vectors must already be valid toward each other.
+func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
+	e.Stats.Evaluations++
+	k, C, nm := e.nStates, e.nCat, len(e.maskList)
+	k2 := k * k
+	p, q := edge.N[0], edge.N[1]
+	// Prefer the tip on the q side so the P matrix is applied across the
+	// edge onto q's data.
+	if p.IsTip() && !q.IsTip() {
+		p, q = q, p
+	}
+	e.M.PMatrices(e.pR, edge.Length)
+
+	var xq []float64
+	var scq []int32
+	var codeQ []uint16
+	var err error
+	if q.IsTip() {
+		e.buildTipSum(e.tipSumR, e.pR)
+		codeQ = e.tipCode[q.Index]
+	} else {
+		qvi := e.vi(q)
+		var pins []int
+		if !p.IsTip() {
+			pins = []int{e.vi(p)}
+		}
+		xq, err = e.prov.Vector(qvi, false, pins...)
+		if err != nil {
+			return 0, err
+		}
+		scq = e.scales[qvi]
+	}
+	var xp []float64
+	var scp []int32
+	var codeP []uint16
+	if p.IsTip() {
+		codeP = e.tipCode[p.Index]
+	} else {
+		pvi := e.vi(p)
+		var pins []int
+		if !q.IsTip() {
+			pins = []int{e.vi(q)}
+		}
+		xp, err = e.prov.Vector(pvi, false, pins...)
+		if err != nil {
+			return 0, err
+		}
+		scp = e.scales[pvi]
+	}
+
+	freqs := e.M.Freqs
+	catW := 1.0 / float64(C)
+	// Workers fill per-pattern contributions into siteBuf; the final
+	// summation runs sequentially in pattern order, so the result is
+	// bit-identical for any worker count.
+	contrib := e.siteBuf[:e.nPat]
+	e.parallelFor(e.nPat, func(lo, hi int) {
+		var ra [32]float64
+		for i := lo; i < hi; i++ {
+			var cnt int32
+			if scp != nil {
+				cnt += scp[i]
+			}
+			if scq != nil {
+				cnt += scq[i]
+			}
+			base := i * C * k
+			site := 0.0
+			for c := 0; c < C; c++ {
+				// Right factor: (P x_q) per state, or tip lookup.
+				if codeQ != nil {
+					off := (c*nm + int(codeQ[i])) * k
+					copy(ra[:k], e.tipSumR[off:off+k])
+				} else {
+					src := xq[base+c*k : base+(c+1)*k]
+					pm := e.pR[c*k2 : (c+1)*k2]
+					for s := 0; s < k; s++ {
+						acc := 0.0
+						row := pm[s*k : (s+1)*k]
+						for j := 0; j < k; j++ {
+							acc += row[j] * src[j]
+						}
+						ra[s] = acc
+					}
+				}
+				f := 0.0
+				if codeP != nil {
+					ind := e.tipInd[int(codeP[i])*k : (int(codeP[i])+1)*k]
+					for s := 0; s < k; s++ {
+						f += freqs[s] * ind[s] * ra[s]
+					}
+				} else {
+					src := xp[base+c*k : base+(c+1)*k]
+					for s := 0; s < k; s++ {
+						f += freqs[s] * src[s] * ra[s]
+					}
+				}
+				site += f
+			}
+			site *= catW
+			if site <= 0 {
+				// Fully underflowed pattern: clamp to the smallest
+				// positive double so the search can continue.
+				site = math.SmallestNonzeroFloat64
+			}
+			lnSite := math.Log(site) - float64(cnt)*logScaleFactor
+			if p := e.M.PInv; p > 0 {
+				lnSite = mixInvariant(lnSite, p, e.linv[i])
+			}
+			contrib[i] = e.weights[i] * lnSite
+		}
+	})
+	lnl := 0.0
+	for _, c := range contrib {
+		lnl += c
+	}
+	return lnl, nil
+}

@@ -1,0 +1,63 @@
+package plf
+
+import "sync"
+
+// Pattern-block parallelism. Alignment patterns are independent in
+// every PLF kernel, so newview, evaluate and the derivative sum table
+// can fan out over contiguous pattern blocks. Reductions stay
+// bit-deterministic: workers only fill per-pattern scratch; the final
+// summation always runs sequentially in pattern order, so the result is
+// identical for ANY worker count — the out-of-core exactness criterion
+// (§4.1) survives parallel execution.
+//
+// Provider (getxvector) calls are issued before fan-out, on the calling
+// goroutine only; the out-of-core manager never sees concurrency.
+
+// minPatternsPerWorker bounds fan-out so goroutine overhead cannot
+// dominate small kernels.
+const minPatternsPerWorker = 256
+
+// SetWorkers sets the number of goroutines PLF kernels may use
+// (default 1 = fully sequential). Values below 1 are treated as 1.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// parallelFor splits [0, n) into contiguous blocks and runs fn on each,
+// using up to e.workers goroutines. fn must not touch state outside its
+// block. Falls back to a single call when parallelism cannot pay off.
+func (e *Engine) parallelFor(n int, fn func(lo, hi int)) {
+	w := e.Workers()
+	if w > n/minPatternsPerWorker {
+		w = n / minPatternsPerWorker
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + w - 1) / w
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,126 @@
+package plf
+
+import (
+	"fmt"
+	"math"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/tree"
+)
+
+// ReferenceLogLikelihood computes the log-likelihood by direct textbook
+// recursion — no pattern batching, no scaling, no vector reuse, no
+// provider. It exists purely as a slow, obviously-correct oracle for
+// testing the engine (usable up to a few dozen taxa before numerical
+// underflow; tests stay well inside that).
+func ReferenceLogLikelihood(t *tree.Tree, pats *bio.Patterns, m *model.Model) (float64, error) {
+	if t.NumTips != pats.NumTaxa() {
+		return 0, fmt.Errorf("plf: tree/alignment taxon mismatch")
+	}
+	k := m.States
+	C := m.Cats()
+
+	// Map tree tips to alignment rows.
+	rowOf := make([]int, t.NumTips)
+	for ti := 0; ti < t.NumTips; ti++ {
+		rowOf[ti] = -1
+		for r, name := range pats.Names {
+			if name == t.Nodes[ti].Name {
+				rowOf[ti] = r
+				break
+			}
+		}
+		if rowOf[ti] < 0 {
+			return 0, fmt.Errorf("plf: tip %q missing from alignment", t.Nodes[ti].Name)
+		}
+	}
+
+	pbuf := make([]float64, k*k)
+	// cond returns the conditional likelihood vector of the subtree at n
+	// seen from `from`, for pattern i and category rate r.
+	var cond func(n, from *tree.Node, i int, r float64) []float64
+	cond = func(n, from *tree.Node, i int, r float64) []float64 {
+		out := make([]float64, k)
+		if n.IsTip() {
+			mask := pats.Columns[rowOf[n.Index]][i]
+			for s := 0; s < k; s++ {
+				if mask&(1<<uint(s)) != 0 {
+					out[s] = 1
+				}
+			}
+			return out
+		}
+		for s := range out {
+			out[s] = 1
+		}
+		for _, e := range n.Adj {
+			child := e.Other(n)
+			if child == from {
+				continue
+			}
+			cv := cond(child, n, i, r)
+			m.PMatrix(pbuf, e.Length, r)
+			for s := 0; s < k; s++ {
+				acc := 0.0
+				for j := 0; j < k; j++ {
+					acc += pbuf[s*k+j] * cv[j]
+				}
+				out[s] *= acc
+			}
+		}
+		return out
+	}
+
+	lnl := 0.0
+	for i := 0; i < pats.NumPatterns(); i++ {
+		// +I mixture: equilibrium mass of the states shared by all taxa.
+		linv := 0.0
+		if m.PInv > 0 {
+			shared := pats.Alphabet.AllStates()
+			for row := range pats.Columns {
+				shared &= pats.Columns[row][i]
+			}
+			for s := 0; s < k; s++ {
+				if shared&(1<<uint(s)) != 0 {
+					linv += m.Freqs[s]
+				}
+			}
+		}
+		site := 0.0
+		for c := 0; c < C; c++ {
+			r := m.Rates[c]
+			var f float64
+			if t.NumTips == 2 {
+				// Single branch: root at tip 0.
+				a := t.Nodes[0]
+				av := cond(a, nil, i, r) // just the tip indicator
+				bv := cond(a.Adj[0].Other(a), a, i, r)
+				m.PMatrix(pbuf, a.Adj[0].Length, r)
+				for s := 0; s < k; s++ {
+					acc := 0.0
+					for j := 0; j < k; j++ {
+						acc += pbuf[s*k+j] * bv[j]
+					}
+					f += m.Freqs[s] * av[s] * acc
+				}
+			} else {
+				root := t.Nodes[t.NumTips]
+				rv := cond(root, nil, i, r)
+				for s := 0; s < k; s++ {
+					f += m.Freqs[s] * rv[s]
+				}
+			}
+			site += f
+		}
+		site /= float64(C)
+		if m.PInv > 0 {
+			site = (1-m.PInv)*site + m.PInv*linv
+		}
+		if site <= 0 {
+			return 0, fmt.Errorf("plf: reference underflow at pattern %d", i)
+		}
+		lnl += float64(pats.Weights[i]) * math.Log(site)
+	}
+	return lnl, nil
+}

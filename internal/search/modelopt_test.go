@@ -1,0 +1,227 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func TestOptimizeExchangeabilitiesRecoversKappa(t *testing.T) {
+	// Simulate under HKY with kappa = 4 (exchangeabilities 1,4,1,1,4,1),
+	// then optimise a GTR model starting from unit rates: the recovered
+	// transition/transversion rates should reflect the truth.
+	rng := rand.New(rand.NewSource(5))
+	truthTree, err := tree.YuleTree(12, 1, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range truthTree.Edges {
+		e.Length *= 0.08 / (truthTree.TotalLength() / float64(len(truthTree.Edges)))
+		if e.Length < tree.MinBranchLength {
+			e.Length = tree.MinBranchLength
+		}
+	}
+	truthModel, err := model.NewHKY([]float64{0.25, 0.25, 0.25, 0.25}, 4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := sim.Evolve(truthTree, truthModel, 8000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := bio.Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gtr, err := model.NewGTR(pats.BaseFrequencies(), []float64{1, 1, 1, 1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := plf.New(truthTree.Clone(), pats, gtr,
+		plf.NewInMemoryProvider(truthTree.NumInner(), plf.VectorLength(gtr, pats.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(e, Options{})
+	before, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SmoothBranches(3, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	exch, lnl, err := s.OptimizeExchangeabilities(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lnl <= before {
+		t.Errorf("optimisation did not improve lnL: %v -> %v", before, lnl)
+	}
+	// Order AC, AG, AT, CG, CT, GT; transitions are AG (idx 1) and CT
+	// (idx 4), anchored at GT (idx 5) = 1.
+	ag, ct := exch[1]/exch[5], exch[4]/exch[5]
+	for _, tv := range []float64{exch[0], exch[2], exch[3]} {
+		ratio := ag / (tv / exch[5])
+		if ratio < 2 {
+			t.Errorf("AG transition rate (%v) should clearly exceed transversion (%v)", ag, tv)
+		}
+	}
+	if ag < 2.5 || ag > 6.5 || ct < 2.5 || ct > 6.5 {
+		t.Errorf("recovered transition rates AG=%v CT=%v, truth 4", ag, ct)
+	}
+}
+
+func TestOptimizeExchangeabilitiesRequiresGTR(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 6, Sites: 60, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model.Clone()
+	m.Exch = nil // simulate a non-GTR-parameterised model
+	e, err := plf.New(d.Tree.Clone(), d.Patterns, m,
+		plf.NewInMemoryProvider(d.Tree.NumInner(), plf.VectorLength(m, d.Patterns.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := New(e, Options{}).OptimizeExchangeabilities(1, 0.1); err == nil {
+		t.Error("model without exchangeabilities must fail")
+	}
+}
+
+func TestSetExchangeabilitiesConsistency(t *testing.T) {
+	// Setting the same rates must not change likelihoods; setting the
+	// true rates must beat wrong ones.
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 500, GammaAlpha: 1, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model
+	if m.Exch == nil {
+		t.Skip("dataset model lacks exchangeabilities")
+	}
+	e, err := plf.New(d.Tree.Clone(), d.Patterns, m,
+		plf.NewInMemoryProvider(d.Tree.NumInner(), plf.VectorLength(m, d.Patterns.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetExchangeabilities(m.Exch); err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidateAll()
+	l1, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l0-l1) > 1e-9*math.Abs(l0) {
+		t.Errorf("identical rates changed lnL: %v vs %v", l0, l1)
+	}
+	// Clearly wrong rates must hurt.
+	if err := m.SetExchangeabilities([]float64{10, 0.1, 10, 0.1, 10, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidateAll()
+	l2, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1 {
+		t.Errorf("wrong rates should lower lnL: %v vs %v", l2, l1)
+	}
+}
+
+func TestOptimizePInvRecoversTruth(t *testing.T) {
+	// Simulate with 40% invariant sites; the optimiser should find a
+	// proportion near it (biased slightly low: constant-by-chance sites
+	// trade off against the Γ shape).
+	rng := rand.New(rand.NewSource(17))
+	truth, err := tree.YuleTree(14, 1, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range truth.Edges {
+		e.Length *= 0.15 / (truth.TotalLength() / float64(len(truth.Edges)))
+		if e.Length < tree.MinBranchLength {
+			e.Length = tree.MinBranchLength
+		}
+	}
+	m, err := model.NewHKY([]float64{0.25, 0.25, 0.25, 0.25}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetInvariant(0.4); err != nil {
+		t.Fatal(err)
+	}
+	aln, err := sim.Evolve(truth, m, 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := bio.Compress(aln)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fit from pInv = 0.
+	fit := m.Clone()
+	if err := fit.SetInvariant(0); err != nil {
+		t.Fatal(err)
+	}
+	e, err := plf.New(truth.Clone(), pats, fit,
+		plf.NewInMemoryProvider(truth.NumInner(), plf.VectorLength(fit, pats.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(e, Options{})
+	before, err := s.SmoothBranches(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, lnl, err := s.OptimizePInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lnl < before {
+		t.Errorf("pInv optimisation decreased lnL: %v -> %v", before, lnl)
+	}
+	if p < 0.25 || p > 0.55 {
+		t.Errorf("recovered pInv = %v, truth 0.4", p)
+	}
+}
+
+func TestOptimizePInvOnVariableDataStaysLow(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 2000, GammaAlpha: 10, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := makeEngineForModelopt(t, d)
+	s := New(e, Options{})
+	if _, err := s.SmoothBranches(2, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := s.OptimizePInv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.15 {
+		t.Errorf("data without invariant component fitted pInv = %v", p)
+	}
+}
+
+func makeEngineForModelopt(t *testing.T, d *sim.Dataset) *plf.Engine {
+	t.Helper()
+	e, err := plf.New(d.Tree.Clone(), d.Patterns, d.Model.Clone(),
+		plf.NewInMemoryProvider(d.Tree.NumInner(), plf.VectorLength(d.Model, d.Patterns.NumPatterns())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,91 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func TestNNIRoundImprovesWrongTopology(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 1500, GammaAlpha: 5, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the true tree by one NNI: one round should fix it.
+	start := d.Tree.Clone()
+	var internal *tree.Edge
+	for _, e := range start.Edges {
+		if !e.N[0].IsTip() && !e.N[1].IsTip() {
+			internal = e
+			break
+		}
+	}
+	if _, err := tree.NNI(start, internal, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tree.RFDistance(start, d.Tree) == 0 {
+		t.Fatal("perturbation had no effect")
+	}
+	e := makeEngine(t, d, start)
+	s := New(e, Options{MaxRounds: 4})
+	res, err := s.RunNNI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LnL < res.StartLnL {
+		t.Errorf("NNI search decreased lnL: %v -> %v", res.StartLnL, res.LnL)
+	}
+	if rf := tree.RFDistance(e.T, d.Tree); rf != 0 {
+		t.Errorf("NNI search should recover the true topology, RF = %d", rf)
+	}
+	// Incremental state consistent with a cold recompute.
+	e.InvalidateAll()
+	fresh, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-res.LnL) > 1e-7*(1+math.Abs(fresh)) {
+		t.Errorf("NNI bookkeeping inconsistent: %v vs fresh %v", res.LnL, fresh)
+	}
+	if err := e.T.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNIRejectsKeepTopology(t *testing.T) {
+	// On the true tree with strong data, no NNI should be accepted and
+	// the topology must survive a round untouched.
+	d, err := sim.NewDataset(sim.Config{Taxa: 12, Sites: 2000, GammaAlpha: 5, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := makeEngine(t, d, d.Tree.Clone())
+	s := New(e, Options{})
+	lnl, err := s.SmoothBranches(4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, newLnl, err := s.NNIRound(lnl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved {
+		t.Error("no NNI should improve the true tree on strong data")
+	}
+	if newLnl != lnl {
+		t.Errorf("rejected rounds must not change lnl: %v vs %v", newLnl, lnl)
+	}
+	if rf := tree.RFDistance(e.T, d.Tree); rf != 0 {
+		t.Errorf("round corrupted topology: RF = %d", rf)
+	}
+	e.InvalidateAll()
+	fresh, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-lnl) > 1e-7*(1+math.Abs(fresh)) {
+		t.Errorf("reject path left stale vectors: %v vs fresh %v", lnl, fresh)
+	}
+}

@@ -1,0 +1,381 @@
+// Package search implements a RAxML-style Maximum-Likelihood tree
+// search on top of the plf engine: iterated branch-length smoothing
+// (Newton-Raphson per branch), lazy subtree-pruning-regrafting with a
+// bounded rearrangement radius (RAxML's "Lazy SPR", re-optimising only
+// the insertion branch per candidate and the three affected branches on
+// acceptance), and Γ-shape optimisation by Brent's method.
+//
+// The search is deterministic given the starting tree — the property
+// the paper uses as its correctness criterion (§4.1): under any
+// replacement strategy and any memory fraction f, the out-of-core runs
+// must return exactly the tree and log-likelihood of the standard run.
+//
+// The package is also the workload generator for the paper's Figures
+// 2-4: its access pattern (branch smoothing hammering two vectors,
+// lazy SPR touching small neighborhoods) is what produces the low miss
+// rates the paper reports (§4.2).
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"oocphylo/internal/mathx"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/tree"
+)
+
+// Options tunes the search.
+type Options struct {
+	// SPRRadius bounds the regraft scan around each pruning site in
+	// node-distance (RAxML's rearrangement setting). Default 5.
+	SPRRadius int
+	// MaxRounds caps the number of SPR improvement rounds. Default 10.
+	MaxRounds int
+	// Epsilon is the minimum log-likelihood gain that counts as an
+	// improvement. Default 0.01.
+	Epsilon float64
+	// SmoothPasses caps the branch-length smoothing sweeps per call.
+	// Default 4.
+	SmoothPasses int
+	// OptimizeModel also optimises the Γ shape parameter between rounds
+	// (requires the engine's model to have >= 2 rate categories).
+	OptimizeModel bool
+	// RoundCallback, when non-nil, runs after every completed SPR round
+	// with the round number and current likelihood (checkpointing
+	// hook). A returned error aborts the search.
+	RoundCallback func(round int, lnl float64) error
+}
+
+func (o *Options) fill() {
+	if o.SPRRadius <= 0 {
+		o.SPRRadius = 5
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 10
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.01
+	}
+	if o.SmoothPasses <= 0 {
+		o.SmoothPasses = 4
+	}
+}
+
+// Result reports what the search did.
+type Result struct {
+	// LnL is the final log-likelihood.
+	LnL float64
+	// StartLnL is the log-likelihood of the starting tree after initial
+	// branch smoothing.
+	StartLnL float64
+	// Rounds is the number of SPR rounds executed.
+	Rounds int
+	// AcceptedMoves counts applied SPR rearrangements.
+	AcceptedMoves int
+	// TestedMoves counts evaluated candidate insertions.
+	TestedMoves int
+	// Alpha is the final Γ shape (NaN when not optimised).
+	Alpha float64
+}
+
+// Searcher drives an ML search over one engine.
+type Searcher struct {
+	E    *plf.Engine
+	Opts Options
+}
+
+// New returns a Searcher with filled-in defaults.
+func New(e *plf.Engine, opts Options) *Searcher {
+	opts.fill()
+	return &Searcher{E: e, Opts: opts}
+}
+
+// SmoothBranches optimises every branch length, repeating up to passes
+// sweeps or until a sweep improves the log-likelihood by less than eps.
+// Branches are visited in depth-first order from the first edge, like
+// RAxML's smoothTree: consecutive branches share a node, so each
+// partial traversal touches only a couple of vectors — the access
+// locality the paper's miss rates depend on (§4.2). Returns the final
+// lnL.
+func (s *Searcher) SmoothBranches(passes int, eps float64) (float64, error) {
+	t := s.E.T
+	order := DFSEdges(t)
+	lnl, err := s.E.LogLikelihood()
+	if err != nil {
+		return 0, err
+	}
+	for pass := 0; pass < passes; pass++ {
+		before := lnl
+		for _, e := range order {
+			lnl, err = s.E.OptimizeBranch(e)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if lnl-before < eps {
+			break
+		}
+	}
+	return lnl, nil
+}
+
+// DFSEdges returns all branches in depth-first visitation order
+// starting from the tree's first edge. The order is deterministic.
+func DFSEdges(t *tree.Tree) []*tree.Edge {
+	out := make([]*tree.Edge, 0, len(t.Edges))
+	seen := make([]bool, len(t.Edges))
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		for _, e := range n.Adj {
+			if seen[e.Index] {
+				continue
+			}
+			seen[e.Index] = true
+			out = append(out, e)
+			walk(e.Other(n))
+		}
+	}
+	walk(t.Edges[0].N[0])
+	walk(t.Edges[0].N[1])
+	return out
+}
+
+// OptimizeAlpha Brent-optimises the Γ shape parameter in [0.02, 100].
+// Every trial re-discretises the rates and requires a full traversal —
+// the paper's §4.3 rationale for its full-traversal benchmark workload.
+func (s *Searcher) OptimizeAlpha() (float64, float64, error) {
+	m := s.E.M
+	if m.Cats() < 2 {
+		return 0, 0, errors.New("search: alpha optimisation needs >= 2 rate categories")
+	}
+	ncat := m.Cats()
+	eval := func(alpha float64) float64 {
+		if err := m.SetGamma(alpha, ncat); err != nil {
+			return math.Inf(1)
+		}
+		s.E.InvalidateAll()
+		lnl, err := s.E.LogLikelihood()
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -lnl
+	}
+	start := m.Alpha
+	if math.IsInf(start, 0) || start <= 0 {
+		start = 1
+	}
+	alpha, neg, err := mathx.Brent(eval, 0.02, 100, 1e-4, 60)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Leave the model at the optimum.
+	if err := m.SetGamma(alpha, ncat); err != nil {
+		return 0, 0, err
+	}
+	s.E.InvalidateAll()
+	if _, err := s.E.LogLikelihood(); err != nil {
+		return 0, 0, err
+	}
+	return alpha, -neg, nil
+}
+
+// Run executes the full hill climb: initial smoothing, then SPR rounds
+// until no move improves by Epsilon or MaxRounds is hit.
+func (s *Searcher) Run() (*Result, error) {
+	res := &Result{Alpha: math.NaN()}
+	lnl, err := s.SmoothBranches(s.Opts.SmoothPasses, s.Opts.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	res.StartLnL = lnl
+	if s.Opts.OptimizeModel && s.E.M.Cats() >= 2 {
+		alpha, l, err := s.OptimizeAlpha()
+		if err != nil {
+			return nil, err
+		}
+		res.Alpha = alpha
+		lnl = l
+	}
+	for round := 0; round < s.Opts.MaxRounds; round++ {
+		res.Rounds++
+		improved, newLnl, err := s.sprRound(lnl, res)
+		if err != nil {
+			return nil, err
+		}
+		lnl = newLnl
+		if !improved {
+			break
+		}
+		lnl, err = s.SmoothBranches(s.Opts.SmoothPasses, s.Opts.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		if s.Opts.OptimizeModel && s.E.M.Cats() >= 2 {
+			alpha, l, err := s.OptimizeAlpha()
+			if err != nil {
+				return nil, err
+			}
+			res.Alpha = alpha
+			if l > lnl {
+				lnl = l
+			}
+		}
+		if s.Opts.RoundCallback != nil {
+			if err := s.Opts.RoundCallback(res.Rounds, lnl); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res.LnL = lnl
+	return res, nil
+}
+
+// sprRound tries to improve the tree by one sweep of lazy SPR moves
+// over every (junction, subtree) pair, applying each improving move
+// immediately (greedy, RAxML-style).
+func (s *Searcher) sprRound(lnl float64, res *Result) (bool, float64, error) {
+	t := s.E.T
+	improvedAny := false
+	// Inner nodes are iterated by stable index for determinism.
+	for idx := t.NumTips; idx < len(t.Nodes); idx++ {
+		u := t.Nodes[idx]
+		for side := 0; side < 3; side++ {
+			v := u.Neighbor(side)
+			better, newLnl, err := s.tryMoveSubtree(u, v, lnl)
+			if err != nil {
+				return false, 0, err
+			}
+			res.TestedMoves += better.tested
+			if better.applied {
+				res.AcceptedMoves++
+				improvedAny = true
+				lnl = newLnl
+			}
+		}
+	}
+	return improvedAny, lnl, nil
+}
+
+type moveOutcome struct {
+	applied bool
+	tested  int
+}
+
+// tryMoveSubtree prunes the subtree hanging from junction u via v,
+// scans insertion branches within the radius, and either applies the
+// best improving insertion or restores the original topology.
+//
+// Vector-validity discipline (see the engine docs): a traversal is run
+// at the pendant edge before pruning so every valid vector points at
+// the edit site; the junction's own vector is explicitly invalidated
+// after each topology change because it is the one node whose content
+// can go stale while its orientation pointer still looks consistent.
+func (s *Searcher) tryMoveSubtree(u, v *tree.Node, lnl float64) (moveOutcome, float64, error) {
+	var out moveOutcome
+	e := s.E
+	t := e.T
+	pendant := u.EdgeTo(v)
+	if pendant == nil {
+		return out, lnl, fmt.Errorf("search: %d and %d not adjacent", u.Index, v.Index)
+	}
+	// Point all valid vectors at the edit site.
+	if err := e.Traverse(pendant); err != nil {
+		return out, lnl, err
+	}
+	p, err := tree.PruneSubtree(t, u, v)
+	if err != nil {
+		return out, lnl, err
+	}
+	// Invalidation rule: any node whose adjacency set changes loses its
+	// orientation. A merely stale *pointer* (orientation names a node
+	// that is no longer a neighbor) is caught by the traversal check,
+	// but topology edits can coincidentally restore a neighbor
+	// relationship (e.g. regrafting onto an edge at the old pruning
+	// site) while the node's other children changed — only explicit
+	// invalidation covers that.
+	orient := e.Orient()
+	invalidate := func(nodes ...*tree.Node) {
+		for _, n := range nodes {
+			orient[n.Index] = nil
+		}
+	}
+	invalidate(u, p.MergedEdge().N[0], p.MergedEdge().N[1])
+
+	// Snapshot the orientation state of the pruned tree. Vectors that
+	// still match it when the move concludes were computed pointing at
+	// the edit site, so their subtrees exclude the entire edit region
+	// and they remain valid for both the restored and the rearranged
+	// topology. Vectors recomputed during candidate trials (orientation
+	// differs from the snapshot) carry trial-state contents and must be
+	// invalidated on exit.
+	snap := append(tree.Orientation(nil), orient...)
+	diffInvalidate := func() {
+		for i := range orient {
+			if orient[i] != snap[i] {
+				orient[i] = nil
+			}
+		}
+	}
+
+	merged := p.MergedEdge()
+	pendLen := pendant.Length
+	candidates := tree.EdgesWithinRadius(t, merged, s.Opts.SPRRadius)
+
+	bestLnl := lnl
+	var bestEdge *tree.Edge
+	for _, g := range candidates {
+		if g == merged {
+			continue // re-creates the original topology
+		}
+		gx, gy := g.N[0], g.N[1]
+		if err := p.Regraft(g); err != nil {
+			return out, lnl, err
+		}
+		invalidate(u, gx, gy)
+		out.tested++
+		// Lazy evaluation: optimise only the insertion (pendant) branch.
+		trial, err := e.OptimizeBranch(pendant)
+		if err != nil {
+			return out, lnl, err
+		}
+		if trial > bestLnl {
+			bestLnl = trial
+			bestEdge = g
+		}
+		pendant.Length = pendLen
+		if err := p.Ungraft(); err != nil {
+			return out, lnl, err
+		}
+		invalidate(u, gx, gy)
+	}
+
+	if bestEdge == nil || bestLnl < lnl+s.Opts.Epsilon {
+		// No improvement: restore and leave.
+		if err := p.Restore(); err != nil {
+			return out, lnl, err
+		}
+		diffInvalidate()
+		invalidate(u, merged.N[0], merged.N[1])
+		return out, lnl, nil
+	}
+
+	// Apply the best move permanently and polish the three branches at
+	// the insertion point.
+	bx, by := bestEdge.N[0], bestEdge.N[1]
+	if err := p.Regraft(bestEdge); err != nil {
+		return out, lnl, err
+	}
+	diffInvalidate()
+	invalidate(u, bx, by)
+	newLnl := bestLnl
+	for _, adj := range u.Adj {
+		newLnl, err = e.OptimizeBranch(adj)
+		if err != nil {
+			return out, lnl, err
+		}
+	}
+	out.applied = true
+	return out, newLnl, nil
+}

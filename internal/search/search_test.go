@@ -1,0 +1,291 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+	"oocphylo/internal/tree"
+)
+
+func makeEngine(tb testing.TB, d *sim.Dataset, start *tree.Tree) *plf.Engine {
+	tb.Helper()
+	prov := plf.NewInMemoryProvider(start.NumInner(), plf.VectorLength(d.Model, d.Patterns.NumPatterns()))
+	e, err := plf.New(start, d.Patterns, d.Model, prov)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+func startTree(tb testing.TB, d *sim.Dataset, seed int64) *tree.Tree {
+	tb.Helper()
+	names := make([]string, d.Tree.NumTips)
+	for i := range names {
+		names[i] = d.Tree.Nodes[i].Name
+	}
+	tr, err := tree.RandomTopology(names, rand.New(rand.NewSource(seed)), 0.05, 0.15)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+func TestSmoothBranchesImproves(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 14, Sites: 300, GammaAlpha: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := startTree(t, d, 2)
+	e := makeEngine(t, d, start)
+	before, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(e, Options{})
+	after, err := s.SmoothBranches(6, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after < before {
+		t.Errorf("smoothing decreased lnL: %v -> %v", before, after)
+	}
+	// Engine-internal consistency: a forced fresh evaluation agrees.
+	e.InvalidateAll()
+	fresh, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-after) > 1e-7*(1+math.Abs(fresh)) {
+		t.Errorf("incremental lnL %v disagrees with fresh recompute %v", after, fresh)
+	}
+}
+
+func TestSearchImprovesAndStaysConsistent(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 12, Sites: 400, GammaAlpha: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := startTree(t, d, 4)
+	e := makeEngine(t, d, start)
+	s := New(e, Options{SPRRadius: 6, MaxRounds: 4})
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LnL < res.StartLnL {
+		t.Errorf("search decreased lnL: %v -> %v", res.StartLnL, res.LnL)
+	}
+	if res.TestedMoves == 0 {
+		t.Error("search tested no moves")
+	}
+	// The incremental bookkeeping (partial traversals, orientation
+	// invalidation after SPR) must agree exactly with a cold recompute —
+	// this is the test that catches stale ancestral vectors.
+	e.InvalidateAll()
+	fresh, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fresh-res.LnL) > 1e-7*(1+math.Abs(fresh)) {
+		t.Errorf("search lnL %v disagrees with fresh recompute %v (stale vectors?)", res.LnL, fresh)
+	}
+	if err := e.T.Check(); err != nil {
+		t.Fatalf("search corrupted the tree: %v", err)
+	}
+}
+
+func TestSearchRecoversTrueTopology(t *testing.T) {
+	// Strong signal, moderate size: the hill climb should land on (or
+	// very near) the generating topology.
+	d, err := sim.NewDataset(sim.Config{Taxa: 10, Sites: 2000, GammaAlpha: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := startTree(t, d, 9)
+	if tree.RFDistance(start, d.Tree) == 0 {
+		t.Fatal("start already at truth; pick another seed")
+	}
+	e := makeEngine(t, d, start)
+	s := New(e, Options{SPRRadius: 8, MaxRounds: 8})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rf := tree.RFDistance(e.T, d.Tree); rf > 2 {
+		t.Errorf("search ended RF=%d from the true tree", rf)
+	}
+}
+
+func TestSearchDeterministicGivenStart(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 12, Sites: 300, GammaAlpha: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (float64, string) {
+		d2, _ := sim.NewDataset(sim.Config{Taxa: 12, Sites: 300, GammaAlpha: 1, Seed: 11})
+		start := startTree(t, d2, 12)
+		e := makeEngine(t, d2, start)
+		res, err := New(e, Options{SPRRadius: 5, MaxRounds: 3}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LnL, tree.WriteNewick(e.T)
+	}
+	l1, t1 := run()
+	l2, t2 := run()
+	if l1 != l2 || t1 != t2 {
+		t.Errorf("search is not deterministic: %v vs %v", l1, l2)
+	}
+	_ = d
+}
+
+func TestSearchOOCIdenticalToStandard(t *testing.T) {
+	// The paper's headline §4.1 check on the full search workload: for
+	// each strategy and fraction the OOC run returns exactly the
+	// standard run's tree and likelihood.
+	build := func() (*sim.Dataset, *tree.Tree) {
+		d, err := sim.NewDataset(sim.Config{Taxa: 14, Sites: 250, GammaAlpha: 1, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, startTree(t, d, 22)
+	}
+	d, start := build()
+	eStd := makeEngine(t, d, start)
+	resStd, err := New(eStd, Options{SPRRadius: 5, MaxRounds: 3}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdNewick := tree.WriteNewick(eStd.T)
+
+	for _, f := range []float64{0.25, 0.75} {
+		for _, stratName := range []string{"RAND", "LRU", "Topological"} {
+			d2, start2 := build()
+			vecLen := plf.VectorLength(d2.Model, d2.Patterns.NumPatterns())
+			var strat ooc.Strategy
+			switch stratName {
+			case "RAND":
+				strat = ooc.NewRandom(rand.New(rand.NewSource(5)))
+			case "LRU":
+				strat = ooc.NewLRU(start2.NumInner())
+			case "Topological":
+				strat = ooc.NewTopological(start2)
+			}
+			mgr, err := ooc.NewManager(ooc.Config{
+				NumVectors:   start2.NumInner(),
+				VectorLen:    vecLen,
+				Slots:        ooc.SlotsForFraction(f, start2.NumInner()),
+				Strategy:     strat,
+				ReadSkipping: true,
+				Store:        ooc.NewMemStore(start2.NumInner(), vecLen),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := plf.New(start2, d2.Patterns, d2.Model, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := New(e, Options{SPRRadius: 5, MaxRounds: 3}).Run()
+			if err != nil {
+				t.Fatalf("%s f=%v: %v", stratName, f, err)
+			}
+			if res.LnL != resStd.LnL {
+				t.Errorf("%s f=%v: lnL %v != standard %v", stratName, f, res.LnL, resStd.LnL)
+			}
+			if got := tree.WriteNewick(e.T); got != stdNewick {
+				t.Errorf("%s f=%v: final tree differs from standard", stratName, f)
+			}
+			if mgr.Stats().Misses == 0 {
+				t.Errorf("%s f=%v: workload never missed", stratName, f)
+			}
+		}
+	}
+}
+
+func TestOptimizeAlphaRecoversTruth(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 16, Sites: 3000, GammaAlpha: 0.5, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score on the true topology but start alpha far away.
+	e := makeEngine(t, d, d.Tree.Clone())
+	if err := d.Model.SetGamma(5.0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := New(e, Options{})
+	if _, err := s.SmoothBranches(3, 1e-2); err != nil {
+		t.Fatal(err)
+	}
+	alpha, lnl, err := s.OptimizeAlpha()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha < 0.3 || alpha > 0.8 {
+		t.Errorf("recovered alpha %v, truth 0.5", alpha)
+	}
+	if math.IsNaN(lnl) || math.IsInf(lnl, 0) {
+		t.Error("alpha optimisation returned bad lnL")
+	}
+}
+
+func TestOptimizeAlphaRequiresGamma(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 6, Sites: 50, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := makeEngine(t, d, d.Tree.Clone())
+	if _, _, err := New(e, Options{}).OptimizeAlpha(); err == nil {
+		t.Error("alpha optimisation without gamma categories must fail")
+	}
+}
+
+// TestLocalityBranchOptimisation pins down the paper's §4.2 claim: once
+// a branch's endpoint vectors are valid, optimising that branch touches
+// exactly the two endpoint vectors, however many Newton iterations run.
+func TestLocalityBranchOptimisation(t *testing.T) {
+	d, err := sim.NewDataset(sim.Config{Taxa: 20, Sites: 200, GammaAlpha: 1, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := d.Tree.Clone()
+	vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors: start.NumInner(), VectorLen: vecLen,
+		Slots:    start.NumInner(), // all resident: isolate request counts
+		Strategy: ooc.NewLRU(start.NumInner()),
+		Store:    ooc.NewMemStore(start.NumInner(), vecLen),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := plf.New(start, d.Patterns, d.Model, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick an internal edge and make it current.
+	var edge *tree.Edge
+	for _, c := range start.Edges {
+		if !c.N[0].IsTip() && !c.N[1].IsTip() {
+			edge = c
+			break
+		}
+	}
+	if _, err := e.LogLikelihoodAt(edge); err != nil {
+		t.Fatal(err)
+	}
+	before := mgr.Stats().Requests
+	if _, err := e.OptimizeBranch(edge); err != nil {
+		t.Fatal(err)
+	}
+	delta := mgr.Stats().Requests - before
+	if delta != 2 {
+		t.Errorf("branch optimisation issued %d vector requests, want exactly 2", delta)
+	}
+	if e.Stats.NewtonIters == 0 {
+		t.Error("Newton never iterated; locality claim untested")
+	}
+}

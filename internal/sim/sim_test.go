@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/tree"
+)
+
+func TestEvolveDimensionsAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, err := tree.YuleTree(10, 1, rng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := model.NewJC(4)
+	aln, err := Evolve(tr, m, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aln.NumTaxa() != 10 || aln.NumSites() != 200 {
+		t.Fatalf("dims %dx%d", aln.NumTaxa(), aln.NumSites())
+	}
+	if err := aln.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row names must match tip names.
+	for i := 0; i < tr.NumTips; i++ {
+		if aln.Names[i] != tr.Nodes[i].Name {
+			t.Fatalf("row %d name %q != tip %q", i, aln.Names[i], tr.Nodes[i].Name)
+		}
+	}
+}
+
+func TestEvolveEquilibriumFrequencies(t *testing.T) {
+	// On long sequences the empirical frequencies approach the model's
+	// equilibrium (the root draws from it and the chain preserves it).
+	rng := rand.New(rand.NewSource(2))
+	tr, _ := tree.YuleTree(6, 1, rng, nil)
+	freqs := []float64{0.4, 0.3, 0.2, 0.1}
+	m, err := model.NewHKY(freqs, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, err := Evolve(tr, m, 60000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, _ := bio.Compress(aln)
+	got := pats.BaseFrequencies()
+	for i := range freqs {
+		if math.Abs(got[i]-freqs[i]) > 0.02 {
+			t.Errorf("state %d frequency %v, want ~%v", i, got[i], freqs[i])
+		}
+	}
+}
+
+func TestEvolveTwoTaxaDistanceRecoverable(t *testing.T) {
+	// Simulate a pair at a known distance; the ML estimate must be close.
+	rng := rand.New(rand.NewSource(3))
+	const trueLen = 0.35
+	tr := tree.NewPair("x", "y", trueLen)
+	m, _ := model.NewJC(4)
+	aln, err := Evolve(tr, m, 50000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, _ := bio.Compress(aln)
+	est := tree.NewPair("x", "y", 0.1)
+	prov := plf.NewInMemoryProvider(0, plf.VectorLength(m, pats.NumPatterns()))
+	e, err := plf.New(est, pats, m, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.OptimizeBranch(est.Edges[0]); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Edges[0].Length-trueLen) > 0.03 {
+		t.Errorf("estimated distance %v, want ~%v", est.Edges[0].Length, trueLen)
+	}
+}
+
+func TestEvolveGammaRatesCreateHeterogeneity(t *testing.T) {
+	// With a tiny alpha most sites are near-invariant and a few are
+	// hypervariable; the variance of per-site mismatch counts must
+	// exceed the homogeneous case.
+	rng := rand.New(rand.NewSource(4))
+	tr, _ := tree.YuleTree(12, 1, rng, nil)
+	hom, _ := model.NewJC(4)
+	het, _ := model.NewJC(4)
+	_ = het.SetGamma(0.1, 4)
+	varOf := func(m *model.Model) float64 {
+		aln, err := Evolve(tr, m, 3000, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-site count of taxa differing from row 0.
+		var mean, sq float64
+		n := float64(aln.NumSites())
+		for j := 0; j < aln.NumSites(); j++ {
+			d := 0.0
+			for i := 1; i < aln.NumTaxa(); i++ {
+				if aln.Seqs[i][j] != aln.Seqs[0][j] {
+					d++
+				}
+			}
+			mean += d / n
+			sq += d * d / n
+		}
+		return sq - mean*mean
+	}
+	vHom, vHet := varOf(hom), varOf(het)
+	if vHet <= vHom {
+		t.Errorf("gamma rates should increase site variance: hom %v, het %v", vHom, vHet)
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr, _ := tree.YuleTree(4, 1, rng, nil)
+	m, _ := model.NewJC(4)
+	if _, err := Evolve(tr, m, 0, rng); err == nil {
+		t.Error("zero sites must fail")
+	}
+	m3, _ := model.NewJC(3)
+	if _, err := Evolve(tr, m3, 10, rng); err == nil {
+		t.Error("3-state model has no alphabet; must fail")
+	}
+	broken, _ := tree.YuleTree(4, 1, rng, nil)
+	broken.Edges[0].Length = -1
+	if _, err := Evolve(broken, m, 10, rng); err == nil {
+		t.Error("invalid tree must fail")
+	}
+}
+
+func TestNewDatasetReproducible(t *testing.T) {
+	a, err := NewDataset(Config{Taxa: 20, Sites: 100, GammaAlpha: 0.7, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDataset(Config{Taxa: 20, Sites: 100, GammaAlpha: 0.7, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.RFDistance(a.Tree, b.Tree) != 0 {
+		t.Error("same seed must give same tree")
+	}
+	if a.Patterns.NumPatterns() != b.Patterns.NumPatterns() {
+		t.Error("same seed must give same patterns")
+	}
+	for i := range a.Alignment.Seqs {
+		if a.Alignment.StringSeq(i) != b.Alignment.StringSeq(i) {
+			t.Fatal("same seed must give identical sequences")
+		}
+	}
+	c, err := NewDataset(Config{Taxa: 20, Sites: 100, GammaAlpha: 0.7, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Alignment.Seqs {
+		if a.Alignment.StringSeq(i) != c.Alignment.StringSeq(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestNewDatasetAAAndValidation(t *testing.T) {
+	d, err := NewDataset(Config{Taxa: 6, Sites: 40, Seed: 9, AA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Model.States != 20 || d.Patterns.Alphabet.States != 20 {
+		t.Error("AA dataset should be 20-state")
+	}
+	if _, err := NewDataset(Config{Taxa: 1, Sites: 10}); err == nil {
+		t.Error("one taxon must fail")
+	}
+}
+
+func TestDatasetLikelihoodPipelineWorks(t *testing.T) {
+	// End-to-end smoke: a simulated dataset scores higher on (a tree
+	// near) the truth than on a random topology.
+	d, err := NewDataset(Config{Taxa: 12, Sites: 400, GammaAlpha: 1.0, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := func(tr *tree.Tree) float64 {
+		prov := plf.NewInMemoryProvider(tr.NumInner(), plf.VectorLength(d.Model, d.Patterns.NumPatterns()))
+		e, err := plf.New(tr, d.Patterns, d.Model, prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnl, err := e.LogLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lnl
+	}
+	truth := score(d.Tree.Clone())
+	names := make([]string, d.Tree.NumTips)
+	for i := range names {
+		names[i] = d.Tree.Nodes[i].Name
+	}
+	random, err := tree.RandomTopology(names, rand.New(rand.NewSource(123)), 0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= score(random) {
+		t.Error("true tree should outscore a random topology")
+	}
+}

@@ -1,0 +1,87 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bipartitions returns the set of non-trivial bipartitions (splits)
+// induced by the internal edges of t, keyed by a canonical string. Two
+// trees over the same taxon set are topologically identical iff their
+// bipartition sets are equal. Splits are canonicalised on sorted taxon
+// names with the side not containing the lexicographically smallest
+// taxon enumerated.
+func Bipartitions(t *Tree) map[string]bool {
+	names := t.TipNames()
+	rank := make(map[string]int, len(names))
+	for i, n := range names {
+		rank[n] = i
+	}
+	out := make(map[string]bool)
+	for _, e := range t.Edges {
+		if e.N[0].IsTip() || e.N[1].IsTip() {
+			continue // trivial split
+		}
+		// Collect tip ranks on the N[0] side.
+		var side []int
+		var walk func(n, from *Node)
+		walk = func(n, from *Node) {
+			if n.IsTip() {
+				side = append(side, rank[n.Name])
+				return
+			}
+			for _, adj := range n.Adj {
+				if o := adj.Other(n); o != from {
+					walk(o, n)
+				}
+			}
+		}
+		walk(e.N[0], e.N[1])
+		sort.Ints(side)
+		// Canonicalise: use the side that does NOT contain rank 0.
+		if len(side) > 0 && side[0] == 0 {
+			inSide := make(map[int]bool, len(side))
+			for _, r := range side {
+				inSide[r] = true
+			}
+			other := make([]int, 0, len(names)-len(side))
+			for r := range names {
+				if !inSide[r] {
+					other = append(other, r)
+				}
+			}
+			side = other
+		}
+		key := fmt.Sprint(side)
+		out[key] = true
+	}
+	return out
+}
+
+// RFDistance returns the Robinson-Foulds distance between two trees
+// over the same taxon set: the number of bipartitions present in
+// exactly one of the trees. Zero means topologically identical.
+func RFDistance(a, b *Tree) int {
+	ba, bb := Bipartitions(a), Bipartitions(b)
+	d := 0
+	for k := range ba {
+		if !bb[k] {
+			d++
+		}
+	}
+	for k := range bb {
+		if !ba[k] {
+			d++
+		}
+	}
+	return d
+}
+
+// TotalLength returns the sum of all branch lengths.
+func (t *Tree) TotalLength() float64 {
+	s := 0.0
+	for _, e := range t.Edges {
+		s += e.Length
+	}
+	return s
+}

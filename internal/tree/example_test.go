@@ -1,0 +1,66 @@
+package tree_test
+
+import (
+	"fmt"
+
+	"oocphylo/internal/tree"
+)
+
+func ExampleParseNewick() {
+	t, err := tree.ParseNewick("(human:0.1,chimp:0.12,(mouse:0.4,rat:0.38):0.2);")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tips:", t.NumTips)
+	fmt.Println("inner nodes:", t.NumInner())
+	fmt.Println("branches:", len(t.Edges))
+	fmt.Printf("total length: %.2f\n", t.TotalLength())
+	// Output:
+	// tips: 4
+	// inner nodes: 2
+	// branches: 5
+	// total length: 1.20
+}
+
+func ExampleRFDistance() {
+	a, _ := tree.ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := tree.ParseNewick("((a:1,c:1):1,(b:1,d:1):1);")
+	fmt.Println("RF(a, a):", tree.RFDistance(a, a))
+	fmt.Println("RF(a, b):", tree.RFDistance(a, b))
+	// Output:
+	// RF(a, a): 0
+	// RF(a, b): 2
+}
+
+func ExampleFullTraversal() {
+	t, _ := tree.ParseNewick("(a:1,b:1,(c:1,d:1):1);")
+	steps := tree.FullTraversal(t, t.Edges[0])
+	fmt.Println("Felsenstein steps for a full traversal:", len(steps))
+	// One step per inner node; children always precede parents.
+	// Output:
+	// Felsenstein steps for a full traversal: 2
+}
+
+func ExamplePruneSubtree() {
+	t, _ := tree.ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	// Prune the (a,b) cherry at its junction and regraft it elsewhere.
+	var junction *tree.Node
+	for _, n := range t.InnerNodes() {
+		if n.EdgeTo(t.TipByName("a")) != nil {
+			junction = n
+		}
+	}
+	p, err := tree.PruneSubtree(t, junction, t.TipByName("a"))
+	if err != nil {
+		panic(err)
+	}
+	candidates := tree.EdgesWithinRadius(t, p.MergedEdge(), 2)
+	fmt.Println("regraft candidates:", len(candidates))
+	if err := p.Restore(); err != nil {
+		panic(err)
+	}
+	fmt.Println("valid after restore:", t.Check() == nil)
+	// Output:
+	// regraft candidates: 3
+	// valid after restore: true
+}

@@ -1,0 +1,53 @@
+package tree
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseNewick hardens the parser against arbitrary input: it must
+// never panic, and any tree it accepts must satisfy the structural
+// invariants and survive a write/parse round trip.
+func FuzzParseNewick(f *testing.F) {
+	seeds := []string{
+		"(a:0.1,b:0.2,(c:0.3,d:0.4):0.5);",
+		"((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.05);",
+		"(a,b,(c,d));",
+		"(a:1,b:1);",
+		"('quoted name':1,b:2,c:3);",
+		"(a:1e-3,b:2E4,(c:0.5,d:-1):+0.25);",
+		"(((((x:1,y:1):1,z:1):1,w:1):1,v:1,u:1);",
+		"",
+		"();",
+		"(a",
+		"a;",
+		"(a,b,c,d,e);",
+		"(a:0.1)(b:0.2);",
+		"(a:,b:1,c:1);",
+		"(🌲:1,b:1,c:1);",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseNewick(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("accepted invalid tree from %q: %v", input, err)
+		}
+		// Round trip: what we print must re-parse to the same topology.
+		back, err := ParseNewick(WriteNewick(tr))
+		if err != nil {
+			t.Fatalf("own output does not re-parse: %v\ninput: %q\noutput: %q",
+				err, input, WriteNewick(tr))
+		}
+		if RFDistance(tr, back) != 0 {
+			t.Fatalf("round trip changed topology for %q", input)
+		}
+		if math.Abs(tr.TotalLength()-back.TotalLength()) > 1e-6*(1+tr.TotalLength()) {
+			t.Fatalf("round trip changed total length for %q", input)
+		}
+	})
+}

@@ -1,0 +1,305 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseNewick parses a Newick tree description into an unrooted binary
+// tree. Rooted inputs (a top-level bifurcation) are accepted and
+// unrooted by merging the two root branches. Every inner node must be
+// binary (after unrooting); multifurcations are rejected. Branch
+// lengths are optional and default to DefaultBranchLength; non-positive
+// lengths are clamped to MinBranchLength.
+func ParseNewick(s string) (*Tree, error) {
+	p := &newickParser{src: s}
+	root, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return buildUnrooted(root)
+}
+
+// newickNode is the transient rooted parse tree.
+type newickNode struct {
+	name     string
+	length   float64
+	children []*newickNode
+}
+
+type newickParser struct {
+	src string
+	pos int
+}
+
+func (p *newickParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("tree: newick position %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *newickParser) peek() byte {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		return c
+	}
+	return 0
+}
+
+func (p *newickParser) parse() (*newickNode, error) {
+	root, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	if c := p.peek(); c != ';' && c != 0 {
+		return nil, p.errf("trailing content %q", c)
+	}
+	return root, nil
+}
+
+func (p *newickParser) parseNode() (*newickNode, error) {
+	n := &newickNode{length: -1}
+	if p.peek() == '(' {
+		p.pos++
+		for {
+			child, err := p.parseNode()
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, child)
+			c := p.peek()
+			if c == ',' {
+				p.pos++
+				continue
+			}
+			if c == ')' {
+				p.pos++
+				break
+			}
+			return nil, p.errf("expected ',' or ')', found %q", c)
+		}
+	}
+	// Optional label.
+	n.name = p.parseLabel()
+	// Optional branch length.
+	if p.peek() == ':' {
+		p.pos++
+		l, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		n.length = l
+	}
+	if len(n.children) == 0 && n.name == "" {
+		return nil, p.errf("tip without a name")
+	}
+	return n, nil
+}
+
+func (p *newickParser) parseLabel() string {
+	p.peek() // skip whitespace
+	if p.pos < len(p.src) && p.src[p.pos] == '\'' {
+		// Quoted label.
+		end := strings.IndexByte(p.src[p.pos+1:], '\'')
+		if end < 0 {
+			label := p.src[p.pos+1:]
+			p.pos = len(p.src)
+			return label
+		}
+		label := p.src[p.pos+1 : p.pos+1+end]
+		p.pos += end + 2
+		return label
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ':' || c == ',' || c == ')' || c == '(' || c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			break
+		}
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *newickParser) parseNumber() (float64, error) {
+	p.peek()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if start == p.pos {
+		return 0, p.errf("expected a branch length")
+	}
+	v, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return 0, p.errf("bad branch length %q", p.src[start:p.pos])
+	}
+	return v, nil
+}
+
+func clampLen(l float64) float64 {
+	if l < 0 {
+		return DefaultBranchLength
+	}
+	if l < MinBranchLength {
+		return MinBranchLength
+	}
+	return l
+}
+
+// buildUnrooted converts the rooted parse tree into an unrooted Tree.
+func buildUnrooted(root *newickNode) (*Tree, error) {
+	// Unroot a bifurcating root by merging its two child branches.
+	for len(root.children) == 1 {
+		// Degenerate chain at the root: collapse.
+		child := root.children[0]
+		child.length = -1
+		root = child
+	}
+	if len(root.children) == 2 {
+		a, b := root.children[0], root.children[1]
+		switch {
+		case len(a.children) > 0:
+			// Reroot at a: a absorbs b as a child with the merged length.
+			merged := clampLen(a.length) + clampLen(b.length)
+			if a.length < 0 && b.length < 0 {
+				merged = -1
+			}
+			b.length = merged
+			a.children = append(a.children, b)
+			a.length = -1
+			root = a
+		case len(b.children) > 0:
+			merged := clampLen(a.length) + clampLen(b.length)
+			if a.length < 0 && b.length < 0 {
+				merged = -1
+			}
+			a.length = merged
+			b.children = append(b.children, a)
+			b.length = -1
+			root = b
+		default:
+			// Two-tip tree.
+			t := NewPair(a.name, b.name, clampLen(a.length)+clampLen(b.length))
+			return t, t.Check()
+		}
+	}
+	if len(root.children) != 3 {
+		return nil, fmt.Errorf("tree: newick root has %d children; only binary trees are supported", len(root.children))
+	}
+
+	// Count and collect tips in parse order; verify binarity.
+	var tips []*newickNode
+	var walk func(n *newickNode) error
+	walk = func(n *newickNode) error {
+		if len(n.children) == 0 {
+			tips = append(tips, n)
+			return nil
+		}
+		if n != root && len(n.children) != 2 {
+			return fmt.Errorf("tree: newick inner node with %d children; only binary trees are supported", len(n.children))
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	if len(tips) < 3 {
+		return nil, fmt.Errorf("tree: only %d tips", len(tips))
+	}
+
+	t := &Tree{NumTips: len(tips)}
+	for _, tip := range tips {
+		t.addNode(tip.name)
+	}
+	tipIdx := 0
+	var build func(n *newickNode) *Node
+	build = func(n *newickNode) *Node {
+		if len(n.children) == 0 {
+			node := t.Nodes[tipIdx]
+			tipIdx++
+			return node
+		}
+		node := t.addNode("")
+		for _, c := range n.children {
+			child := build(c)
+			t.addEdge(node, child, clampLen(c.length))
+		}
+		return node
+	}
+	build(root)
+	return t, t.Check()
+}
+
+// WriteNewick serialises the tree in Newick format with branch lengths,
+// using the first inner node (or the single edge for two-tip trees) as
+// the serialisation anchor. The output always ends with ";".
+func WriteNewick(t *Tree) string {
+	var b strings.Builder
+	if t.NumTips == 2 {
+		e := t.Edges[0]
+		fmt.Fprintf(&b, "(%s:%g,%s:%g);", quoteName(e.N[0].Name), e.Length/2, quoteName(e.N[1].Name), e.Length/2)
+		return b.String()
+	}
+	anchor := t.Nodes[t.NumTips] // first inner node
+	b.WriteByte('(')
+	for i, e := range anchor.Adj {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeSubtree(&b, e.Other(anchor), anchor, e)
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+func writeSubtree(b *strings.Builder, n, parent *Node, via *Edge) {
+	if n.IsTip() {
+		fmt.Fprintf(b, "%s:%g", quoteName(n.Name), via.Length)
+		return
+	}
+	b.WriteByte('(')
+	first := true
+	for _, e := range n.Adj {
+		if e == via {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		writeSubtree(b, e.Other(n), n, e)
+	}
+	fmt.Fprintf(b, "):%g", via.Length)
+}
+
+func quoteName(name string) string {
+	if strings.ContainsAny(name, "():;, \t") {
+		return "'" + name + "'"
+	}
+	return name
+}
+
+// TipNames returns the sorted taxon labels.
+func (t *Tree) TipNames() []string {
+	names := make([]string, t.NumTips)
+	for i := 0; i < t.NumTips; i++ {
+		names[i] = t.Nodes[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,167 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseNewickUnrooted(t *testing.T) {
+	tr, err := ParseNewick("(a:0.1,b:0.2,(c:0.3,d:0.4):0.5);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 4 || tr.NumInner() != 2 {
+		t.Fatalf("dims tips=%d inner=%d", tr.NumTips, tr.NumInner())
+	}
+	c := tr.TipByName("c")
+	if c == nil || c.Adj[0].Length != 0.3 {
+		t.Error("branch length for c lost")
+	}
+}
+
+func TestParseNewickRootedIsUnrooted(t *testing.T) {
+	// Rooted 4-taxon tree: the root branches merge (0.05+0.05).
+	tr, err := ParseNewick("((a:0.1,b:0.2):0.05,(c:0.3,d:0.4):0.05);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 4 || tr.NumInner() != 2 || len(tr.Edges) != 5 {
+		t.Fatalf("dims tips=%d inner=%d edges=%d", tr.NumTips, tr.NumInner(), len(tr.Edges))
+	}
+	// The internal edge joins the two cherries with merged length 0.1.
+	e := firstInternalEdge(tr)
+	if e == nil || math.Abs(e.Length-0.1) > 1e-12 {
+		t.Errorf("merged internal branch wrong: %+v", e)
+	}
+}
+
+func TestParseNewickTwoTaxa(t *testing.T) {
+	tr, err := ParseNewick("(a:0.1,b:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 2 || len(tr.Edges) != 1 {
+		t.Fatal("two-taxon parse wrong")
+	}
+	if math.Abs(tr.Edges[0].Length-0.4) > 1e-12 {
+		t.Errorf("merged length = %v, want 0.4", tr.Edges[0].Length)
+	}
+}
+
+func TestParseNewickDefaultsAndClamps(t *testing.T) {
+	tr, err := ParseNewick("(a,b,(c,d));")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Edges {
+		if e.Length != DefaultBranchLength {
+			t.Errorf("missing lengths should default, got %v", e.Length)
+		}
+	}
+	tr2, err := ParseNewick("(a:0,b:1,c:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.TipByName("a").Adj[0].Length != MinBranchLength {
+		t.Error("zero length should clamp to MinBranchLength")
+	}
+}
+
+func TestParseNewickQuotedNames(t *testing.T) {
+	tr, err := ParseNewick("('taxon one':0.1,b:0.2,c:0.3);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TipByName("taxon one") == nil {
+		t.Error("quoted name lost")
+	}
+}
+
+func TestParseNewickErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty (tip without name)
+		"(a:0.1,b:0.2",          // unclosed
+		"(a,b,c,d);",            // multifurcation at root
+		"((a,b,c),d,e);",        // inner multifurcation
+		"(a,b,(c,d)))extra;",    // trailing garbage
+		"(a:x,b:0.1,c:0.1);",    // bad number
+		"(:0.1,b:0.2,c:0.3);",   // unnamed tip
+		"(a:0.1;b:0.2,c:0.3);",  // stray semicolon
+		"((a,b):0.1,(c,d):0.2)", // unrooted OK... rooted 4-taxon is fine, so not an error
+	}
+	for _, in := range cases[:8] {
+		if _, err := ParseNewick(in); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestNewickRoundTripPreservesTopologyAndLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(30)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "tip" + strings.Repeat("x", i%3) + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		orig, err := RandomTopology(names, rng, 0.01, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseNewick(WriteNewick(orig))
+		if err != nil {
+			t.Fatalf("round trip parse: %v\n%s", err, WriteNewick(orig))
+		}
+		if err := back.Check(); err != nil {
+			t.Fatal(err)
+		}
+		if RFDistance(orig, back) != 0 {
+			t.Fatalf("topology changed in round trip (trial %d)", trial)
+		}
+		if math.Abs(orig.TotalLength()-back.TotalLength()) > 1e-9 {
+			t.Fatalf("total length drifted: %v -> %v", orig.TotalLength(), back.TotalLength())
+		}
+	}
+}
+
+func TestWriteNewickQuotesAwkwardNames(t *testing.T) {
+	tr := NewTriplet([3]string{"has space", "b", "c"}, [3]float64{0.1, 0.1, 0.1})
+	s := WriteNewick(tr)
+	if !strings.Contains(s, "'has space'") {
+		t.Errorf("awkward name not quoted: %s", s)
+	}
+	back, err := ParseNewick(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TipByName("has space") == nil {
+		t.Error("quoted name lost in round trip")
+	}
+}
+
+func TestBipartitionsAndRFDistance(t *testing.T) {
+	a, _ := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	b, _ := ParseNewick("((a:1,c:1):1,(b:1,d:1):1);")
+	c, _ := ParseNewick("(a:2,b:2,(c:2,d:2):2);")
+	if RFDistance(a, a) != 0 {
+		t.Error("self distance must be 0")
+	}
+	if RFDistance(a, b) != 2 {
+		t.Errorf("RF(a,b) = %d, want 2", RFDistance(a, b))
+	}
+	// c has the same single split as a (ab|cd).
+	if RFDistance(a, c) != 0 {
+		t.Errorf("RF(a,c) = %d, want 0", RFDistance(a, c))
+	}
+	if len(Bipartitions(a)) != 1 {
+		t.Errorf("4-taxon tree has 1 non-trivial split, got %d", len(Bipartitions(a)))
+	}
+}

@@ -1,0 +1,111 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomTopology builds an unrooted binary tree over the given taxon
+// names by stepwise random addition: each successive tip is grafted
+// onto a uniformly random existing branch. Branch lengths are drawn
+// uniformly from [minLen, maxLen]. Given the same rng state the result
+// is deterministic.
+func RandomTopology(names []string, rng *rand.Rand, minLen, maxLen float64) (*Tree, error) {
+	if len(names) < 2 {
+		return nil, fmt.Errorf("tree: need at least 2 taxa, got %d", len(names))
+	}
+	if minLen <= 0 || maxLen < minLen {
+		return nil, fmt.Errorf("tree: invalid branch length range [%v, %v]", minLen, maxLen)
+	}
+	draw := func() float64 { return minLen + rng.Float64()*(maxLen-minLen) }
+	if len(names) == 2 {
+		return NewPair(names[0], names[1], draw()), nil
+	}
+	t := NewTriplet([3]string{names[0], names[1], names[2]},
+		[3]float64{draw(), draw(), draw()})
+	for _, name := range names[3:] {
+		e := t.Edges[rng.Intn(len(t.Edges))]
+		t.GraftTip(name, e, draw())
+	}
+	// Randomise all branch lengths (GraftTip halves split branches).
+	for _, e := range t.Edges {
+		e.Length = draw()
+	}
+	return t, nil
+}
+
+// YuleTree generates a random tree under a pure-birth (Yule) process
+// with the given birth rate: starting from two lineages, a uniformly
+// chosen extant lineage splits after an exponential waiting time. The
+// resulting rooted ultrametric tree is unrooted for use with the
+// (time-reversible) likelihood models. Tip names are "t1".."tn" unless
+// names is non-nil, in which case len(names) determines n.
+func YuleTree(n int, birthRate float64, rng *rand.Rand, names []string) (*Tree, error) {
+	if names != nil {
+		n = len(names)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("tree: Yule tree needs at least 2 taxa, got %d", n)
+	}
+	if birthRate <= 0 {
+		return nil, fmt.Errorf("tree: birth rate must be positive, got %v", birthRate)
+	}
+	name := func(i int) string {
+		if names != nil {
+			return names[i]
+		}
+		return fmt.Sprintf("t%d", i+1)
+	}
+	// Simulate the rooted process on a scratch structure: each extant
+	// lineage accumulates pendant length between events; on splitting,
+	// the accumulated pendant becomes the internal branch above it.
+	root := &scratchNode{}
+	left, right := &scratchNode{parent: root}, &scratchNode{parent: root}
+	root.children = [2]*scratchNode{left, right}
+	extant := []*scratchNode{left, right}
+	for len(extant) < n {
+		// Exponential waiting time with rate birthRate * k.
+		k := float64(len(extant))
+		dt := rng.ExpFloat64() / (birthRate * k)
+		for _, l := range extant {
+			l.pendant += dt
+		}
+		i := rng.Intn(len(extant))
+		parent := extant[i]
+		c0, c1 := &scratchNode{parent: parent}, &scratchNode{parent: parent}
+		parent.children = [2]*scratchNode{c0, c1}
+		extant[i] = c0
+		extant = append(extant, c1)
+	}
+	// Final stretch so tips are contemporaneous at a positive height.
+	dt := rng.ExpFloat64() / (birthRate * float64(len(extant)))
+	for _, l := range extant {
+		l.pendant += dt
+		if l.pendant < MinBranchLength {
+			l.pendant = MinBranchLength
+		}
+	}
+	for i, l := range extant {
+		l.name = name(i)
+	}
+	newick := scratchNewick(root) + ";"
+	return ParseNewick(newick)
+}
+
+type scratchNode struct {
+	parent   *scratchNode
+	children [2]*scratchNode
+	pendant  float64
+	name     string
+}
+
+func scratchNewick(n *scratchNode) string {
+	if n.children[0] == nil {
+		return fmt.Sprintf("%s:%g", n.name, n.pendant)
+	}
+	inner := "(" + scratchNewick(n.children[0]) + "," + scratchNewick(n.children[1]) + ")"
+	if n.parent == nil {
+		return inner
+	}
+	return fmt.Sprintf("%s:%g", inner, n.pendant)
+}

@@ -1,0 +1,284 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPruneRegraftRestore(t *testing.T) {
+	tr := randomTree(t, 12, 21)
+	ref := tr.Clone()
+	origLen := tr.TotalLength()
+
+	u := tr.InnerNodes()[2]
+	v := u.Neighbor(0)
+	p, err := PruneSubtree(tr, u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pruned state is not a valid full tree (u has degree 1), but the
+	// merged edge must join the former neighbors.
+	m := p.MergedEdge()
+	if m.Other(p.a) != p.b {
+		t.Fatal("merged edge endpoints wrong")
+	}
+	if math.Abs(m.Length-(p.la+p.lb)) > 1e-12 {
+		t.Fatal("merged length must be the sum of the removed branches")
+	}
+
+	// Regraft somewhere in the remaining component.
+	candidates := EdgesWithinRadius(tr, m, 3)
+	var target *Edge
+	for _, e := range candidates {
+		if e != m {
+			target = e
+			break
+		}
+	}
+	if target == nil {
+		t.Skip("no non-trivial candidate at this size")
+	}
+	if err := p.Regraft(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("tree invalid after regraft: %v", err)
+	}
+	if err := p.Ungraft(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("tree invalid after restore: %v", err)
+	}
+	if RFDistance(tr, ref) != 0 {
+		t.Error("restore did not reproduce the original topology")
+	}
+	if math.Abs(tr.TotalLength()-origLen) > 1e-9 {
+		t.Error("branch lengths drifted through prune/restore")
+	}
+}
+
+func TestRestoreWithActiveGraft(t *testing.T) {
+	tr := randomTree(t, 10, 4)
+	ref := tr.Clone()
+	u := tr.InnerNodes()[1]
+	p, err := PruneSubtree(tr, u, u.Neighbor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := EdgesWithinRadius(tr, p.MergedEdge(), 2)
+	for _, e := range cands {
+		if e != p.MergedEdge() {
+			if err := p.Regraft(e); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if err := p.Restore(); err != nil { // must auto-ungraft
+		t.Fatal(err)
+	}
+	if RFDistance(tr, ref) != 0 {
+		t.Error("Restore with active graft did not reproduce original")
+	}
+}
+
+func TestPruneErrors(t *testing.T) {
+	tr := randomTree(t, 8, 2)
+	tip := tr.Tip(0)
+	if _, err := PruneSubtree(tr, tip, tip.Neighbor(0)); err == nil {
+		t.Error("pruning at a tip junction must fail")
+	}
+	u := tr.InnerNodes()[0]
+	if _, err := PruneSubtree(tr, u, tr.Tip(0)); err == nil && u.EdgeTo(tr.Tip(0)) == nil {
+		t.Error("non-adjacent prune must fail")
+	}
+	far := &Node{Index: 999}
+	if _, err := PruneSubtree(tr, u, far); err == nil {
+		t.Error("non-adjacent prune must fail")
+	}
+}
+
+func TestRegraftGuards(t *testing.T) {
+	tr := randomTree(t, 10, 6)
+	u := tr.InnerNodes()[0]
+	p, err := PruneSubtree(tr, u, u.Neighbor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Regraft(p.spare); err == nil {
+		t.Error("regrafting onto the spare must fail")
+	}
+	if err := p.Ungraft(); err == nil {
+		t.Error("Ungraft without graft must fail")
+	}
+	m := p.MergedEdge()
+	if err := p.Regraft(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Regraft(m); err == nil {
+		t.Error("double regraft must fail")
+	}
+	if err := p.Ungraft(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPRMoveProducesDifferentTopology(t *testing.T) {
+	tr := randomTree(t, 15, 33)
+	ref := tr.Clone()
+	moved := false
+	for _, u := range tr.InnerNodes() {
+		for side := 0; side < 3; side++ {
+			p, err := PruneSubtree(tr, u, u.Neighbor(side))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range EdgesWithinRadius(tr, p.MergedEdge(), 10) {
+				if e == p.MergedEdge() {
+					continue
+				}
+				if err := p.Regraft(e); err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.Check(); err != nil {
+					t.Fatalf("invalid after regraft: %v", err)
+				}
+				if RFDistance(tr, ref) > 0 {
+					moved = true
+				}
+				if err := p.Ungraft(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := p.Restore(); err != nil {
+				t.Fatal(err)
+			}
+			if RFDistance(tr, ref) != 0 {
+				t.Fatal("restore lost the original topology")
+			}
+		}
+	}
+	if !moved {
+		t.Error("no candidate regraft changed the topology")
+	}
+}
+
+func TestPruneRegraftRandomisedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(25)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "p" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		}
+		tr, err := RandomTopology(names, rng, 0.02, 0.4)
+		if err != nil {
+			return false
+		}
+		ref := tr.Clone()
+		origLen := tr.TotalLength()
+		for trial := 0; trial < 8; trial++ {
+			inner := tr.InnerNodes()[rng.Intn(tr.NumInner())]
+			p, err := PruneSubtree(tr, inner, inner.Neighbor(rng.Intn(3)))
+			if err != nil {
+				return false
+			}
+			cands := EdgesWithinRadius(tr, p.MergedEdge(), 1+rng.Intn(5))
+			for _, e := range cands {
+				if e == p.MergedEdge() {
+					continue
+				}
+				if err := p.Regraft(e); err != nil {
+					return false
+				}
+				if tr.Check() != nil {
+					return false
+				}
+				if err := p.Ungraft(); err != nil {
+					return false
+				}
+			}
+			if err := p.Restore(); err != nil {
+				return false
+			}
+		}
+		return RFDistance(tr, ref) == 0 &&
+			math.Abs(tr.TotalLength()-origLen) < 1e-9 &&
+			tr.Check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesWithinRadius(t *testing.T) {
+	// Chain-like tree: ((((a,b),c),d),e,f) style.
+	tr, err := ParseNewick("((((a:1,b:1):1,c:1):1,d:1):1,e:1,f:1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := tr.TipByName("a").Adj[0]
+	all := EdgesWithinRadius(tr, start, 100)
+	if len(all) != len(tr.Edges) {
+		t.Fatalf("unbounded radius found %d of %d edges", len(all), len(tr.Edges))
+	}
+	near := EdgesWithinRadius(tr, start, 1)
+	// start + the two other edges at a's inner neighbor.
+	if len(near) != 3 {
+		t.Errorf("radius-1 found %d edges, want 3", len(near))
+	}
+	zero := EdgesWithinRadius(tr, start, 0)
+	if len(zero) != 1 || zero[0] != start {
+		t.Error("radius-0 must return only the start edge")
+	}
+}
+
+func TestNNI(t *testing.T) {
+	tr, err := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := firstInternalEdge(tr)
+	ref := tr.Clone()
+	undo, err := NNI(tr, e, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("invalid after NNI: %v", err)
+	}
+	if RFDistance(tr, ref) != 2 {
+		t.Errorf("NNI should change the single split, RF=%d", RFDistance(tr, ref))
+	}
+	undo()
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if RFDistance(tr, ref) != 0 {
+		t.Error("NNI undo did not restore topology")
+	}
+}
+
+func TestNNIErrors(t *testing.T) {
+	tr, _ := ParseNewick("(a:1,b:1,c:1);")
+	if _, err := NNI(tr, tr.Edges[0], 0, 0); err == nil {
+		t.Error("NNI on a pendant edge must fail")
+	}
+	tr2, _ := ParseNewick("((a:1,b:1):1,(c:1,d:1):1);")
+	e := firstInternalEdge(tr2)
+	if _, err := NNI(tr2, e, 5, 0); err == nil {
+		t.Error("side out of range must fail")
+	}
+}

@@ -1,0 +1,302 @@
+// Package tree implements unrooted binary phylogenetic trees: the
+// topology container the likelihood function is defined on, Newick
+// input/output, post-order traversal plans (full and partial), the
+// topological node distance used by the out-of-core "Topological"
+// replacement strategy, subtree-pruning-regrafting (SPR) edits with
+// rollback, and random topology generation.
+//
+// A tree over n >= 2 tips has n-2 inner nodes (degree 3) and 2n-3
+// edges. Tips occupy node indices 0..n-1 and inner nodes n..2n-3; these
+// indices are stable across SPR edits, which is what lets the
+// out-of-core layer key ancestral vectors by node index.
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is a vertex of an unrooted binary tree. Tips have exactly one
+// incident edge; inner nodes have exactly three.
+type Node struct {
+	// Index is the stable node id: tips 0..n-1, inner nodes n..2n-3.
+	Index int
+	// Name is the taxon label for tips and empty for inner nodes.
+	Name string
+	// Adj lists the incident edges (1 for tips, 3 for inner nodes).
+	Adj []*Edge
+}
+
+// IsTip reports whether the node is a leaf.
+func (n *Node) IsTip() bool { return len(n.Adj) <= 1 }
+
+// Neighbor returns the node at the far end of the i-th incident edge.
+func (n *Node) Neighbor(i int) *Node { return n.Adj[i].Other(n) }
+
+// EdgeTo returns the edge connecting n to m, or nil if they are not
+// adjacent.
+func (n *Node) EdgeTo(m *Node) *Edge {
+	for _, e := range n.Adj {
+		if e.Other(n) == m {
+			return e
+		}
+	}
+	return nil
+}
+
+// Edge is an undirected branch with a length in expected substitutions
+// per site.
+type Edge struct {
+	// Index is the stable edge id in 0..2n-4.
+	Index int
+	// Length is the branch length; always > 0 in a valid tree.
+	Length float64
+	// N holds the two endpoints.
+	N [2]*Node
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not
+// an endpoint, which always indicates a topology-maintenance bug.
+func (e *Edge) Other(n *Node) *Node {
+	switch n {
+	case e.N[0]:
+		return e.N[1]
+	case e.N[1]:
+		return e.N[0]
+	}
+	panic("tree: Other called with non-endpoint node")
+}
+
+// replace swaps endpoint old for nu in the edge's endpoint list.
+func (e *Edge) replace(old, nu *Node) {
+	switch old {
+	case e.N[0]:
+		e.N[0] = nu
+	case e.N[1]:
+		e.N[1] = nu
+	default:
+		panic("tree: replace called with non-endpoint node")
+	}
+}
+
+// Tree is an unrooted binary tree over a fixed tip set.
+type Tree struct {
+	// Nodes lists all nodes; tips first (indices 0..NumTips-1).
+	Nodes []*Node
+	// Edges lists all branches.
+	Edges []*Edge
+	// NumTips is the number of leaves.
+	NumTips int
+}
+
+// MinBranchLength is the smallest branch length the package accepts;
+// optimisers clamp to it (RAxML uses a similar floor) so transition
+// matrices stay well-conditioned.
+const MinBranchLength = 1e-6
+
+// MaxBranchLength caps branch lengths during optimisation.
+const MaxBranchLength = 100.0
+
+// DefaultBranchLength initialises branches that have no length yet.
+const DefaultBranchLength = 0.1
+
+// NumInner returns the number of inner (ancestral) nodes.
+func (t *Tree) NumInner() int { return len(t.Nodes) - t.NumTips }
+
+// Tip returns the i-th tip node.
+func (t *Tree) Tip(i int) *Node { return t.Nodes[i] }
+
+// InnerNodes returns the inner nodes (those carrying ancestral vectors).
+func (t *Tree) InnerNodes() []*Node { return t.Nodes[t.NumTips:] }
+
+// TipByName returns the tip with the given taxon label, or nil.
+func (t *Tree) TipByName(name string) *Node {
+	for _, n := range t.Nodes[:t.NumTips] {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// addNode appends a node and returns it.
+func (t *Tree) addNode(name string) *Node {
+	n := &Node{Index: len(t.Nodes), Name: name}
+	t.Nodes = append(t.Nodes, n)
+	return n
+}
+
+// addEdge creates a branch between a and b.
+func (t *Tree) addEdge(a, b *Node, length float64) *Edge {
+	e := &Edge{Index: len(t.Edges), Length: length, N: [2]*Node{a, b}}
+	t.Edges = append(t.Edges, e)
+	a.Adj = append(a.Adj, e)
+	b.Adj = append(b.Adj, e)
+	return e
+}
+
+// detach removes e from the adjacency lists of both endpoints but keeps
+// it in t.Edges for index-stable reuse by SPR operations.
+func (t *Tree) detach(e *Edge) {
+	for _, n := range e.N {
+		for i, x := range n.Adj {
+			if x == e {
+				n.Adj = append(n.Adj[:i], n.Adj[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// attach re-binds a detached edge between a and b.
+func (t *Tree) attach(e *Edge, a, b *Node, length float64) {
+	e.N = [2]*Node{a, b}
+	e.Length = length
+	a.Adj = append(a.Adj, e)
+	b.Adj = append(b.Adj, e)
+}
+
+// Check validates the structural invariants of an unrooted binary tree:
+// node and edge counts, degrees, connectivity, positive finite branch
+// lengths and index consistency. It is cheap enough to call from tests
+// after every mutation.
+func (t *Tree) Check() error {
+	n := t.NumTips
+	if n < 2 {
+		return fmt.Errorf("tree: %d tips, need at least 2", n)
+	}
+	wantNodes, wantEdges := 2*n-2, 2*n-3
+	if n == 2 {
+		wantNodes, wantEdges = 2, 1
+	}
+	if len(t.Nodes) != wantNodes {
+		return fmt.Errorf("tree: %d nodes, want %d", len(t.Nodes), wantNodes)
+	}
+	if len(t.Edges) != wantEdges {
+		return fmt.Errorf("tree: %d edges, want %d", len(t.Edges), wantEdges)
+	}
+	for i, node := range t.Nodes {
+		if node.Index != i {
+			return fmt.Errorf("tree: node %d carries index %d", i, node.Index)
+		}
+		deg := len(node.Adj)
+		switch {
+		case i < n && deg != 1:
+			return fmt.Errorf("tree: tip %d (%s) has degree %d", i, node.Name, deg)
+		case i >= n && deg != 3:
+			return fmt.Errorf("tree: inner node %d has degree %d", i, deg)
+		case i < n && node.Name == "":
+			return fmt.Errorf("tree: tip %d has no name", i)
+		}
+		for _, e := range node.Adj {
+			if e.N[0] != node && e.N[1] != node {
+				return fmt.Errorf("tree: node %d adjacency lists foreign edge %d", i, e.Index)
+			}
+		}
+	}
+	for i, e := range t.Edges {
+		if e.Index != i {
+			return fmt.Errorf("tree: edge %d carries index %d", i, e.Index)
+		}
+		if !(e.Length > 0) || math.IsInf(e.Length, 0) || math.IsNaN(e.Length) {
+			return fmt.Errorf("tree: edge %d has invalid length %v", i, e.Length)
+		}
+		if e.N[0] == e.N[1] {
+			return fmt.Errorf("tree: edge %d is a self loop", i)
+		}
+	}
+	// Connectivity via BFS from node 0.
+	seen := make([]bool, len(t.Nodes))
+	queue := []*Node{t.Nodes[0]}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range cur.Adj {
+			o := e.Other(cur)
+			if !seen[o.Index] {
+				seen[o.Index] = true
+				count++
+				queue = append(queue, o)
+			}
+		}
+	}
+	if count != len(t.Nodes) {
+		return fmt.Errorf("tree: disconnected (%d of %d nodes reachable)", count, len(t.Nodes))
+	}
+	return nil
+}
+
+// Clone returns a deep copy sharing no structure with t.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{NumTips: t.NumTips}
+	c.Nodes = make([]*Node, len(t.Nodes))
+	for i, n := range t.Nodes {
+		c.Nodes[i] = &Node{Index: n.Index, Name: n.Name}
+	}
+	c.Edges = make([]*Edge, len(t.Edges))
+	for i, e := range t.Edges {
+		ne := &Edge{Index: e.Index, Length: e.Length,
+			N: [2]*Node{c.Nodes[e.N[0].Index], c.Nodes[e.N[1].Index]}}
+		c.Edges[i] = ne
+		ne.N[0].Adj = append(ne.N[0].Adj, ne)
+		ne.N[1].Adj = append(ne.N[1].Adj, ne)
+	}
+	return c
+}
+
+// NewPair builds the two-tip tree (a single branch).
+func NewPair(nameA, nameB string, length float64) *Tree {
+	t := &Tree{NumTips: 2}
+	a := t.addNode(nameA)
+	b := t.addNode(nameB)
+	t.addEdge(a, b, length)
+	return t
+}
+
+// NewTriplet builds the smallest unrooted binary tree with an inner node:
+// three tips joined at one central node.
+func NewTriplet(names [3]string, lengths [3]float64) *Tree {
+	t := &Tree{NumTips: 3}
+	tips := [3]*Node{}
+	for i, name := range names {
+		tips[i] = t.addNode(name)
+	}
+	center := t.addNode("")
+	for i := range tips {
+		t.addEdge(tips[i], center, lengths[i])
+	}
+	return t
+}
+
+// GraftTip splits edge e and attaches a new tip via a fresh inner node.
+// The split preserves total path length through e; the new pendant
+// branch gets pendantLen. Used for stepwise-addition tree construction.
+//
+// Node indexing: the new tip must keep tips-first ordering, so the new
+// tip takes index NumTips and existing inner nodes shift up by one.
+func (t *Tree) GraftTip(name string, e *Edge, pendantLen float64) *Node {
+	// Shift inner node indices up to open a slot at NumTips.
+	t.Nodes = append(t.Nodes, nil)
+	copy(t.Nodes[t.NumTips+1:], t.Nodes[t.NumTips:])
+	tip := &Node{Index: t.NumTips, Name: name}
+	t.Nodes[t.NumTips] = tip
+	t.NumTips++
+	for _, n := range t.Nodes[t.NumTips:] {
+		n.Index++
+	}
+
+	inner := t.addNode("")
+	a, b := e.N[0], e.N[1]
+	half := e.Length / 2
+	if half < MinBranchLength {
+		half = MinBranchLength
+	}
+	// e becomes {a, inner}; add {inner, b} and {inner, tip}.
+	t.detach(e)
+	t.attach(e, a, inner, half)
+	t.addEdge(inner, b, half)
+	t.addEdge(inner, tip, pendantLen)
+	return tip
+}

@@ -1,0 +1,240 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPair(t *testing.T) {
+	tr := NewPair("a", "b", 0.5)
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 2 || tr.NumInner() != 0 || len(tr.Edges) != 1 {
+		t.Fatalf("pair dims wrong: tips=%d inner=%d edges=%d", tr.NumTips, tr.NumInner(), len(tr.Edges))
+	}
+	if tr.Edges[0].Length != 0.5 {
+		t.Error("length lost")
+	}
+}
+
+func TestNewTriplet(t *testing.T) {
+	tr := NewTriplet([3]string{"a", "b", "c"}, [3]float64{0.1, 0.2, 0.3})
+	if err := tr.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 3 || tr.NumInner() != 1 || len(tr.Edges) != 3 {
+		t.Fatal("triplet dims wrong")
+	}
+	center := tr.Nodes[3]
+	if center.IsTip() || len(center.Adj) != 3 {
+		t.Fatal("center must be inner degree 3")
+	}
+	for i := 0; i < 3; i++ {
+		if tr.Tip(i).Neighbor(0) != center {
+			t.Errorf("tip %d not attached to center", i)
+		}
+	}
+}
+
+func TestGraftTipGrowsValidTrees(t *testing.T) {
+	tr := NewPair("t1", "t2", 0.4)
+	names := []string{"t3", "t4", "t5", "t6", "t7"}
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range names {
+		e := tr.Edges[rng.Intn(len(tr.Edges))]
+		tip := tr.GraftTip(name, e, 0.1)
+		if err := tr.Check(); err != nil {
+			t.Fatalf("after grafting %s: %v", name, err)
+		}
+		if tip.Name != name || !tip.IsTip() {
+			t.Fatalf("grafted tip malformed")
+		}
+	}
+	if tr.NumTips != 7 || tr.NumInner() != 5 || len(tr.Edges) != 11 {
+		t.Fatalf("final dims: tips=%d inner=%d edges=%d", tr.NumTips, tr.NumInner(), len(tr.Edges))
+	}
+	// Tips-first indexing preserved.
+	for i := 0; i < tr.NumTips; i++ {
+		if !tr.Nodes[i].IsTip() {
+			t.Fatalf("node %d should be a tip", i)
+		}
+	}
+	for i := tr.NumTips; i < len(tr.Nodes); i++ {
+		if tr.Nodes[i].IsTip() {
+			t.Fatalf("node %d should be inner", i)
+		}
+	}
+}
+
+func TestEdgeOtherPanicsOnForeignNode(t *testing.T) {
+	tr := NewPair("a", "b", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Other must panic for non-endpoints")
+		}
+	}()
+	foreign := &Node{Index: 99}
+	tr.Edges[0].Other(foreign)
+}
+
+func TestEdgeTo(t *testing.T) {
+	tr := NewTriplet([3]string{"a", "b", "c"}, [3]float64{1, 1, 1})
+	center := tr.Nodes[3]
+	if center.EdgeTo(tr.Tip(0)) == nil {
+		t.Error("EdgeTo missed an adjacency")
+	}
+	if tr.Tip(0).EdgeTo(tr.Tip(1)) != nil {
+		t.Error("tips are not adjacent")
+	}
+}
+
+func TestClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := RandomTopology([]string{"a", "b", "c", "d", "e", "f"}, rng, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Clone()
+	if err := c.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if RFDistance(tr, c) != 0 {
+		t.Error("clone changed topology")
+	}
+	// Mutating the clone must not affect the original.
+	c.Edges[0].Length = 42
+	if tr.Edges[0].Length == 42 {
+		t.Error("clone shares edges with original")
+	}
+	origLen := tr.TotalLength()
+	undo, err := NNI(c, firstInternalEdge(c), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = undo
+	if tr.TotalLength() != origLen {
+		t.Error("clone mutation leaked")
+	}
+}
+
+func firstInternalEdge(t *Tree) *Edge {
+	for _, e := range t.Edges {
+		if !e.N[0].IsTip() && !e.N[1].IsTip() {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	tr := NewTriplet([3]string{"a", "b", "c"}, [3]float64{1, 1, 1})
+	tr.Edges[0].Length = -1
+	if err := tr.Check(); err == nil {
+		t.Error("negative length must fail Check")
+	}
+	tr.Edges[0].Length = 1
+
+	tr2 := NewTriplet([3]string{"a", "b", "c"}, [3]float64{1, 1, 1})
+	tr2.Nodes[0].Name = ""
+	if err := tr2.Check(); err == nil {
+		t.Error("unnamed tip must fail Check")
+	}
+
+	tr3 := NewTriplet([3]string{"a", "b", "c"}, [3]float64{1, 1, 1})
+	tr3.Nodes = append(tr3.Nodes, &Node{Index: 4})
+	if err := tr3.Check(); err == nil {
+		t.Error("node count mismatch must fail Check")
+	}
+}
+
+func TestRandomTopologyProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%40
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "x" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := RandomTopology(names, rng, 0.01, 0.5)
+		if err != nil {
+			return false
+		}
+		if tr.Check() != nil {
+			return false
+		}
+		// All names present exactly once.
+		got := tr.TipNames()
+		if len(got) != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, g := range got {
+			if seen[g] {
+				return false
+			}
+			seen[g] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomTopologyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomTopology([]string{"a"}, rng, 0.1, 0.2); err == nil {
+		t.Error("one taxon must error")
+	}
+	if _, err := RandomTopology([]string{"a", "b"}, rng, 0, 0.2); err == nil {
+		t.Error("zero min length must error")
+	}
+	if _, err := RandomTopology([]string{"a", "b"}, rng, 0.3, 0.2); err == nil {
+		t.Error("reversed range must error")
+	}
+}
+
+func TestYuleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{2, 3, 8, 50} {
+		tr, err := YuleTree(n, 1.0, rng, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.NumTips != n {
+			t.Fatalf("n=%d: got %d tips", n, tr.NumTips)
+		}
+	}
+	if _, err := YuleTree(1, 1, rng, nil); err == nil {
+		t.Error("n=1 must error")
+	}
+	if _, err := YuleTree(5, 0, rng, nil); err == nil {
+		t.Error("rate=0 must error")
+	}
+	tr, err := YuleTree(0, 2.0, rng, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TipByName("y") == nil {
+		t.Error("custom names not used")
+	}
+}
+
+func TestYuleDeterministicGivenSeed(t *testing.T) {
+	a, err := YuleTree(20, 1, rand.New(rand.NewSource(11)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := YuleTree(20, 1, rand.New(rand.NewSource(11)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WriteNewick(a) != WriteNewick(b) {
+		t.Error("same seed must give identical trees")
+	}
+}

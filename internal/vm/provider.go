@@ -1,0 +1,68 @@
+package vm
+
+import (
+	"fmt"
+
+	"oocphylo/internal/iosim"
+)
+
+// PagedProvider adapts PagedMemory to the plf.VectorProvider contract:
+// the "standard RAxML" storage layout (all vectors in one contiguous
+// virtual allocation) running on a machine whose physical memory may be
+// smaller than the allocation. Data lives in real RAM so likelihoods
+// stay bit-exact; every access charges the simulated paging cost of
+// touching the vector's pages.
+type PagedProvider struct {
+	vecs   [][]float64
+	vecLen int
+	mem    *PagedMemory
+}
+
+// NewPagedProvider allocates numVectors vectors of vecLen float64s and
+// a paging simulation with the given physical-memory budget over their
+// combined footprint.
+func NewPagedProvider(numVectors, vecLen int, physicalBytes int64, dev iosim.Device, clock *iosim.Clock, readahead int) (*PagedProvider, error) {
+	if numVectors <= 0 || vecLen <= 0 {
+		return nil, fmt.Errorf("vm: invalid provider geometry %dx%d", numVectors, vecLen)
+	}
+	total := int64(numVectors) * int64(vecLen) * 8
+	mem, err := New(Config{
+		TotalBytes:    total,
+		PhysicalBytes: physicalBytes,
+		Device:        dev,
+		Clock:         clock,
+		Readahead:     readahead,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &PagedProvider{vecLen: vecLen, mem: mem, vecs: make([][]float64, numVectors)}
+	backing := make([]float64, numVectors*vecLen)
+	for i := range p.vecs {
+		p.vecs[i], backing = backing[:vecLen:vecLen], backing[vecLen:]
+	}
+	return p, nil
+}
+
+// Vector implements plf.VectorProvider. Pins are meaningless under OS
+// paging (the OS cannot be told what to keep) and are ignored; the
+// write flag marks the touched pages dirty.
+func (p *PagedProvider) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
+	if vi < 0 || vi >= len(p.vecs) {
+		return nil, fmt.Errorf("vm: vector index %d out of range [0, %d)", vi, len(p.vecs))
+	}
+	off := int64(vi) * int64(p.vecLen) * 8
+	if err := p.mem.Touch(off, int64(p.vecLen)*8, write); err != nil {
+		return nil, err
+	}
+	return p.vecs[vi], nil
+}
+
+// NumVectors implements plf.VectorProvider.
+func (p *PagedProvider) NumVectors() int { return len(p.vecs) }
+
+// VectorLen implements plf.VectorProvider.
+func (p *PagedProvider) VectorLen() int { return p.vecLen }
+
+// Memory exposes the underlying simulation for stats inspection.
+func (p *PagedProvider) Memory() *PagedMemory { return p.mem }

@@ -1,0 +1,242 @@
+package vm
+
+import (
+	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+)
+
+func newMem(t *testing.T, totalPages, physPages, readahead int) (*PagedMemory, *iosim.Clock) {
+	t.Helper()
+	var clock iosim.Clock
+	m, err := New(Config{
+		TotalBytes:    int64(totalPages) * DefaultPageSize,
+		PhysicalBytes: int64(physPages) * DefaultPageSize,
+		Readahead:     readahead,
+		WriteCluster:  1,
+		Device:        iosim.Device{Name: "test", Latency: time.Millisecond, Bandwidth: 4096e3}, // 1 page/ms
+		Clock:         &clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, &clock
+}
+
+func TestFirstTouchIsFreeMinorFault(t *testing.T) {
+	// Anonymous memory: first touch allocates a zeroed frame, no I/O.
+	m, clock := newMem(t, 100, 10, 1)
+	if err := m.Touch(0, DefaultPageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.MinorFaults != 1 || st.MajorFaults != 0 || st.PagesRead != 0 {
+		t.Errorf("first touch: %+v", st)
+	}
+	if clock.Elapsed() != 0 {
+		t.Error("zero-fill faults must be free of device time")
+	}
+	// Second touch: plain hit.
+	if err := m.Touch(0, DefaultPageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.MinorFaults != 1 || st.Touches != 2 {
+		t.Errorf("second touch: %+v", st)
+	}
+}
+
+func TestSwapOutAndSwapInCycle(t *testing.T) {
+	m, clock := newMem(t, 100, 1, 1)
+	// Dirty page 0, then force it out with page 1.
+	_ = m.Touch(0, 1, true)
+	_ = m.Touch(DefaultPageSize, 1, false)
+	if st := m.Stats(); st.PagesWritten != 1 {
+		t.Fatalf("dirty eviction must write back: %+v", st)
+	}
+	afterWrite := clock.Elapsed()
+	if afterWrite == 0 {
+		t.Fatal("write-back must cost time")
+	}
+	// Re-touch page 0: now a major fault with a real read.
+	_ = m.Touch(0, 1, false)
+	if st := m.Stats(); st.MajorFaults != 1 || st.PagesRead != 1 {
+		t.Fatalf("swap-in: %+v", st)
+	}
+	if clock.Elapsed() <= afterWrite {
+		t.Error("swap-in must cost time")
+	}
+	// Clean re-eviction: copy still in swap, no second write.
+	_ = m.Touch(2*DefaultPageSize, 1, false)
+	if st := m.Stats(); st.PagesWritten != 1 {
+		t.Errorf("clean eviction must not write again: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	m, _ := newMem(t, 100, 3, 1)
+	for p := int64(0); p < 3; p++ {
+		_ = m.Touch(p*DefaultPageSize, 1, false)
+	}
+	_ = m.Touch(0, 1, false) // refresh page 0; oldest is now 1
+	_ = m.Touch(3*DefaultPageSize, 1, false)
+	if m.resident[1] {
+		t.Error("page 1 should have been the LRU victim")
+	}
+	if !m.resident[0] || !m.resident[2] || !m.resident[3] {
+		t.Error("unexpected residency pattern")
+	}
+}
+
+func TestReadaheadAmortisesSequentialSwapIns(t *testing.T) {
+	// Prepare: dirty 640 pages through a tiny frame pool so they all end
+	// up in swap; then compare sequential re-reads with and without
+	// readahead.
+	faultsWith := func(readahead int) int64 {
+		m, _ := newMem(t, 1000, 8, readahead)
+		for p := int64(0); p < 640; p++ {
+			_ = m.Touch(p*DefaultPageSize, 1, true)
+		}
+		// Flush everything still resident by touching far pages.
+		for p := int64(900); p < 908; p++ {
+			_ = m.Touch(p*DefaultPageSize, 1, false)
+		}
+		m.ResetStats()
+		for p := int64(0); p < 640; p++ {
+			_ = m.Touch(p*DefaultPageSize, 1, false)
+		}
+		if m.Stats().PagesRead < 600 {
+			t.Fatalf("setup broken: only %d pages read", m.Stats().PagesRead)
+		}
+		return m.Stats().MajorFaults
+	}
+	with := faultsWith(8)
+	without := faultsWith(1)
+	if with*7 > without {
+		t.Errorf("readahead 8 should cut sequential faults ~8x: %d vs %d", with, without)
+	}
+}
+
+func TestWriteClusteringAmortisesSwapOutLatency(t *testing.T) {
+	run := func(cluster int) time.Duration {
+		var clock iosim.Clock
+		m, err := New(Config{
+			TotalBytes:    1000 * DefaultPageSize,
+			PhysicalBytes: 8 * DefaultPageSize,
+			Readahead:     1,
+			WriteCluster:  cluster,
+			Device:        iosim.Device{Name: "t", Latency: time.Millisecond, Bandwidth: 4096e6},
+			Clock:         &clock,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := int64(0); p < 500; p++ {
+			_ = m.Touch(p*DefaultPageSize, 1, true)
+		}
+		return clock.Elapsed()
+	}
+	clustered := run(32)
+	unclustered := run(1)
+	if clustered*10 > unclustered {
+		t.Errorf("write clustering should cut swap-out latency ~32x: %v vs %v", clustered, unclustered)
+	}
+}
+
+func TestTouchSpanningPages(t *testing.T) {
+	m, _ := newMem(t, 100, 50, 1)
+	if err := m.Touch(DefaultPageSize/2, 3*DefaultPageSize, false); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.MinorFaults != 4 {
+		t.Errorf("span touch allocated %d pages, want 4", st.MinorFaults)
+	}
+}
+
+func TestTouchBounds(t *testing.T) {
+	m, _ := newMem(t, 10, 5, 1)
+	if err := m.Touch(-1, 10, false); err == nil {
+		t.Error("negative offset must fail")
+	}
+	if err := m.Touch(9*DefaultPageSize, 2*DefaultPageSize, false); err == nil {
+		t.Error("overrun must fail")
+	}
+	if err := m.Touch(5, 0, false); err != nil {
+		t.Error("zero-length touch is a no-op")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	var clock iosim.Clock
+	bad := []Config{
+		{TotalBytes: 0, PhysicalBytes: 4096, Clock: &clock},
+		{TotalBytes: 4096, PhysicalBytes: 0, Clock: &clock},
+		{TotalBytes: 4096, PhysicalBytes: 4096},               // no clock
+		{TotalBytes: 4096, PhysicalBytes: 100, Clock: &clock}, // < 1 frame
+		{TotalBytes: 4096, PhysicalBytes: 4096, PageSize: 64, Clock: &clock},
+		{TotalBytes: 4096, PhysicalBytes: 4096, Readahead: -1, Clock: &clock},
+		{TotalBytes: 4096, PhysicalBytes: 4096, WriteCluster: -2, Clock: &clock},
+	}
+	for i, cfg := range bad {
+		cfg.Device = iosim.HDD()
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestThrashingCostsMoreThanFitting(t *testing.T) {
+	fit, fitClock := newMem(t, 64, 64, 1)
+	thrash, thrashClock := newMem(t, 64, 8, 1)
+	for round := 0; round < 10; round++ {
+		for p := int64(0); p < 64; p++ {
+			_ = fit.Touch(p*DefaultPageSize, 1, true)
+			_ = thrash.Touch(p*DefaultPageSize, 1, true)
+		}
+	}
+	if fitClock.Elapsed() != 0 {
+		t.Errorf("fitting working set must never hit the device, cost %v", fitClock.Elapsed())
+	}
+	if thrashClock.Elapsed() == 0 || thrash.Stats().MajorFaults == 0 {
+		t.Error("thrashing must hit the device")
+	}
+}
+
+func TestPagedProviderBitExactAndCharged(t *testing.T) {
+	var clock iosim.Clock
+	p, err := NewPagedProvider(8, 1024, 2*4096, iosim.HDD(), &clock, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVectors() != 8 || p.VectorLen() != 1024 {
+		t.Fatal("geometry wrong")
+	}
+	v, err := p.Vector(3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v[100] = 42
+	// Cycle all vectors with writes to force swap traffic.
+	for round := 0; round < 2; round++ {
+		for vi := 0; vi < 8; vi++ {
+			if _, err := p.Vector(vi, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	back, err := p.Vector(3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[100] != 42 {
+		t.Error("data must be bit-exact regardless of simulated eviction")
+	}
+	if clock.Elapsed() == 0 || p.Memory().Stats().MajorFaults == 0 {
+		t.Error("paging costs must have been charged")
+	}
+	if _, err := p.Vector(8, false); err == nil {
+		t.Error("out of range must fail")
+	}
+	if _, err := NewPagedProvider(0, 10, 4096, iosim.HDD(), &clock, 1); err == nil {
+		t.Error("bad geometry must fail")
+	}
+}
