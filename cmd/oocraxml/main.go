@@ -69,6 +69,9 @@ type options struct {
 	emptyFreqs  bool
 	threads     int
 	prefetch    bool
+	async       bool
+	ioWorkers   int
+	prefDepth   int
 	startTree   string
 	optModel    bool
 	bootstraps  int
@@ -102,6 +105,9 @@ func run(args []string, out *os.File) error {
 	fs.Int64Var(&o.seed, "seed", 42, "random seed (starting trees, random strategy)")
 	fs.IntVar(&o.threads, "threads", 1, "PLF kernel worker goroutines (results are identical for any value)")
 	fs.BoolVar(&o.prefetch, "prefetch", false, "enable plan-driven vector prefetching (out-of-core runs)")
+	fs.BoolVar(&o.async, "async", false, "run out-of-core I/O on background goroutines (implies -prefetch); results are bit-identical to synchronous runs")
+	fs.IntVar(&o.ioWorkers, "io-workers", 2, "background fetch goroutines for -async")
+	fs.IntVar(&o.prefDepth, "prefetch-depth", 1, "traversal-plan steps to stage ahead (depth > 1 pays off with -async)")
 	fs.StringVar(&o.startTree, "start", "parsimony", "starting tree when -t is absent: parsimony, nj or random")
 	fs.BoolVar(&o.optModel, "optimize-model", false, "also optimise GTR exchangeabilities (search/evaluate modes)")
 	fs.IntVar(&o.bootstraps, "bootstrap", 0, "bootstrap replicates; annotates the result tree with support values")
@@ -168,7 +174,10 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	e.SetWorkers(o.threads)
-	e.EnablePrefetch(o.prefetch)
+	// Async runs overlap I/O with compute only when the engine actually
+	// stages reads ahead, so -async implies -prefetch.
+	e.EnablePrefetch(o.prefetch || o.async)
+	e.SetPrefetchDepth(o.prefDepth)
 
 	start := time.Now()
 	var lnl float64
@@ -268,6 +277,12 @@ func run(args []string, out *os.File) error {
 			if ps := mgr.PrefetchStats(); ps.Issued > 0 {
 				fmt.Fprintf(out, "Prefetch: %d issued, %d reads, %d hits, %d wasted\n",
 					ps.Issued, ps.Reads, ps.Hits, ps.Wasted)
+			}
+			if pl := mgr.PipelineStats(); pl.Enabled {
+				fmt.Fprintf(out, "Pipeline: %d fetches + %d writes queued, %d joined, %d write-queue hits, %d B overlapped, max depth %d\n",
+					pl.FetchesQueued, pl.WritesQueued, pl.JoinedFetches, pl.WriteQueueHits, pl.OverlappedBytes, pl.QueueDepthMax)
+				fmt.Fprintf(out, "Pipeline stall: %v total (%v joining fetches, %v awaiting buffers)\n",
+					pl.StallTime.Round(time.Microsecond), pl.JoinWait.Round(time.Microsecond), pl.BufferWait.Round(time.Microsecond))
 			}
 		}
 	}
@@ -470,6 +485,8 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 		Strategy:     strat,
 		ReadSkipping: !o.noReadSkip,
 		Store:        store,
+		Async:        o.async,
+		IOWorkers:    o.ioWorkers,
 	})
 	if err != nil {
 		store.Close()
@@ -478,8 +495,22 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 	}
 	fmt.Fprintf(out, "Out-of-core: %d of %d vectors in RAM (%.1f%%), strategy %s, backing file %s\n",
 		slots, n, 100*float64(slots)/float64(n), strat.Name(), path)
+	if o.async {
+		// Report the effective values: the manager and engine clamp
+		// non-positive worker counts and depths to their defaults.
+		workers, depth := o.ioWorkers, o.prefDepth
+		if workers <= 0 {
+			workers = 2
+		}
+		if depth < 1 {
+			depth = 1
+		}
+		fmt.Fprintf(out, "Async pipeline: %d fetch workers, prefetch depth %d\n", workers, depth)
+	}
 	closer := cleanup
-	return mgr, mgr, func() { store.Close(); closer() }, nil
+	// Close the manager first: it drains the async pipeline (joining
+	// in-flight fetches and queued write-backs) before the store goes away.
+	return mgr, mgr, func() { mgr.Close(); store.Close(); closer() }, nil
 }
 
 // runBootstrap infers o.bootstraps replicate trees (parsimony stepwise-

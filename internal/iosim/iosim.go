@@ -12,6 +12,7 @@ package iosim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -55,7 +56,10 @@ func (d Device) TransferTime(bytes int64) time.Duration {
 // Clock accumulates simulated time. It is the single ledger a workload
 // charges all modelled I/O against; compute time measured on the real
 // clock can be added by the harness to form a total elapsed estimate.
+// Charging is mutex-protected because the async pipeline's I/O workers
+// charge the same clock concurrently.
 type Clock struct {
+	mu      sync.Mutex
 	elapsed time.Duration
 	ops     int64
 	bytes   int64
@@ -63,27 +67,52 @@ type Clock struct {
 
 // Charge adds one I/O of the given size on device d.
 func (c *Clock) Charge(d Device, bytes int64) {
-	c.elapsed += d.TransferTime(bytes)
+	t := d.TransferTime(bytes)
+	c.mu.Lock()
+	c.elapsed += t
 	c.ops++
 	c.bytes += bytes
+	c.mu.Unlock()
 }
 
 // Advance adds an arbitrary duration (e.g. modelled CPU work).
-func (c *Clock) Advance(d time.Duration) { c.elapsed += d }
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.elapsed += d
+	c.mu.Unlock()
+}
 
 // Elapsed returns the accumulated simulated time.
-func (c *Clock) Elapsed() time.Duration { return c.elapsed }
+func (c *Clock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
 
 // Ops returns the number of charged I/O operations.
-func (c *Clock) Ops() int64 { return c.ops }
+func (c *Clock) Ops() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
 
 // Bytes returns the total bytes charged.
-func (c *Clock) Bytes() int64 { return c.bytes }
+func (c *Clock) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
 
 // Reset zeroes the ledger.
-func (c *Clock) Reset() { *c = Clock{} }
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.elapsed, c.ops, c.bytes = 0, 0, 0
+	c.mu.Unlock()
+}
 
 // String summarises the ledger.
 func (c *Clock) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return fmt.Sprintf("%v over %d ops, %d bytes", c.elapsed, c.ops, c.bytes)
 }

@@ -1,9 +1,15 @@
 package ooc
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
 )
 
 func benchManager(b *testing.B, n, vecLen, slots int, strat Strategy, store Store) *Manager {
@@ -96,6 +102,68 @@ func BenchmarkStrategyPickVictim(b *testing.B) {
 			s.PickVictim(cands, 600)
 		}
 	})
+}
+
+// BenchmarkAsyncPipeline prices the backing store like the Figure-5
+// device model (SimStore sleeping for its modelled transfer time) and
+// runs full tree traversals — the least-local access pattern — with the
+// synchronous manager and with the async pipeline at several prefetch
+// depths. The stall-ns/op metric is the compute thread's measured I/O
+// wait per traversal; the pipeline's job is to shrink it while leaving
+// the likelihood and miss counters untouched.
+func BenchmarkAsyncPipeline(b *testing.B) {
+	// Dimensions match the internal/experiments ablation defaults: per-step
+	// compute must be comparable to one vector transfer for overlap to be
+	// visible (compute grows with patterns×k², transfer with patterns×k).
+	d, err := sim.NewDataset(sim.Config{Taxa: 128, Sites: 1024, GammaAlpha: 0.8, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := iosim.Device{Name: "nvme", Latency: 150 * time.Microsecond, Bandwidth: 2e9}
+	bench := func(b *testing.B, async bool, depth int) {
+		tr := d.Tree.Clone()
+		n := tr.NumInner()
+		vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+		var clock iosim.Clock
+		store := NewSimStore(NewMemStore(n, vecLen), dev, &clock)
+		store.Realtime = 1
+		m, err := NewManager(Config{
+			NumVectors: n, VectorLen: vecLen,
+			Slots:        SlotsForFraction(0.25, n),
+			Strategy:     NewLRU(n),
+			ReadSkipping: true,
+			Store:        store,
+			Async:        async, IOWorkers: 2, WriteBuffers: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := plf.New(tr, d.Patterns, d.Model, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.EnablePrefetch(true)
+		e.SetPrefetchDepth(depth)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.FullTraversal(tr.Edges[0]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.LogLikelihoodAt(tr.Edges[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		stall := m.PipelineStats().StallTime
+		b.ReportMetric(float64(stall.Nanoseconds())/float64(b.N), "stall-ns/op")
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("sync", func(b *testing.B) { bench(b, false, 1) })
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("async-d%d", depth), func(b *testing.B) { bench(b, true, depth) })
+	}
 }
 
 func BenchmarkFileStoreRoundTrip(b *testing.B) {

@@ -3,6 +3,7 @@ package ooc
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // MinSlots is the paper's hard floor on resident vectors: computing one
@@ -82,6 +83,26 @@ type Config struct {
 	WriteBack WriteBackPolicy
 	// Store is the backing storage; required.
 	Store Store
+
+	// Async enables the background I/O pipeline (see pipeline.go):
+	// prefetches are serviced by worker goroutines and evictions hand
+	// their victim buffer to a write-back goroutine instead of
+	// blocking. Results are bit-identical to the synchronous manager;
+	// only the overlap of I/O with compute changes. The Store must be
+	// safe for concurrent use on distinct vectors (all stores in this
+	// package are). Close the manager to drain the pipeline.
+	Async bool
+	// IOWorkers is the number of background fetch goroutines servicing
+	// the prefetch queue (default 2). Only used when Async is set.
+	IOWorkers int
+	// FetchQueue bounds the number of prefetches waiting for a worker
+	// (default 2*IOWorkers). Prefetch blocks when the queue is full.
+	FetchQueue int
+	// WriteBuffers is the number of spare slot buffers backing
+	// asynchronous write-back (default 2). An eviction blocks only when
+	// all spares are already in the write queue. Each buffer costs
+	// VectorLen float64s on top of the Slots budget.
+	WriteBuffers int
 }
 
 // SlotsForFraction returns m = max(MinSlots, round(f*n)) capped at n —
@@ -99,8 +120,10 @@ func SlotsForFraction(f float64, n int) int {
 
 // Manager is the out-of-core ancestral-vector manager: it implements
 // the plf.VectorProvider contract over a bounded set of RAM slots and a
-// backing Store. It is not safe for concurrent use (neither is the
-// likelihood engine driving it).
+// backing Store. Its API is not safe for concurrent use (neither is
+// the likelihood engine driving it); with Config.Async the manager
+// runs I/O goroutines internally, but all bookkeeping still happens on
+// the single calling goroutine.
 type Manager struct {
 	cfg Config
 
@@ -122,6 +145,12 @@ type Manager struct {
 
 	stats  Stats
 	pstats PrefetchStats
+
+	// pipe is the async I/O pipeline (nil when running synchronously).
+	pipe *pipeline
+	// inflight tracks, per slot, the background fetch still filling it.
+	inflight  []*fetchReq
+	pipeStats PipelineStats
 }
 
 // ErrAllPinned is returned when a miss cannot find an evictable slot
@@ -166,6 +195,21 @@ func NewManager(cfg Config) (*Manager, error) {
 	for i := range m.itemSlot {
 		m.itemSlot[i] = -1
 	}
+	if cfg.Async {
+		if cfg.IOWorkers < 1 {
+			cfg.IOWorkers = 2
+		}
+		if cfg.FetchQueue < 1 {
+			cfg.FetchQueue = 2 * cfg.IOWorkers
+		}
+		if cfg.WriteBuffers < 1 {
+			cfg.WriteBuffers = 2
+		}
+		m.cfg = cfg
+		m.pipe = newPipeline(cfg.Store, cfg.VectorLen, cfg.IOWorkers, cfg.FetchQueue, cfg.WriteBuffers)
+		m.inflight = make([]*fetchReq, cfg.Slots)
+		m.pipeStats.Enabled = true
+	}
 	return m, nil
 }
 
@@ -185,6 +229,53 @@ func (m *Manager) Stats() Stats { return m.stats }
 // measurement windows can exclude warm-up).
 func (m *Manager) ResetStats() { m.stats = Stats{} }
 
+// PipelineStats returns a snapshot of the I/O pipeline counters. The
+// synchronous manager fills StallTime too (demand-path store calls),
+// so sync and async stall are directly comparable.
+func (m *Manager) PipelineStats() PipelineStats {
+	ps := m.pipeStats
+	if m.pipe != nil {
+		ps.OverlappedBytes = m.pipe.overlapped.Load()
+		ps.WriteQueueHits = m.pipe.wqHits.Load()
+		ps.QueueDepthMax = m.pipe.depthMax.Load()
+	}
+	return ps
+}
+
+// stall runs f on the compute thread and charges its duration to the
+// pipeline's stall ledger — the time compute was blocked on I/O.
+func (m *Manager) stall(f func() error) error {
+	start := time.Now()
+	err := f()
+	m.pipeStats.StallTime += time.Since(start)
+	return err
+}
+
+// joinSlot waits for the background fetch still filling slot s (if
+// any) and returns its error. The wait is charged as stall time.
+func (m *Manager) joinSlot(s int) error {
+	f := m.inflight[s]
+	if f == nil {
+		return nil
+	}
+	m.inflight[s] = nil
+	start := time.Now()
+	<-f.done
+	wait := time.Since(start)
+	m.pipeStats.StallTime += wait
+	m.pipeStats.JoinWait += wait
+	return f.err
+}
+
+// demandRead reads vi into dst on the compute thread. Under the async
+// pipeline it consults the write queue first (read-after-write).
+func (m *Manager) demandRead(vi int, dst []float64) error {
+	if m.pipe != nil {
+		return m.pipe.readThrough(vi, dst)
+	}
+	return m.cfg.Store.ReadVector(vi, dst)
+}
+
 // Resident reports whether vector vi currently occupies a RAM slot.
 func (m *Manager) Resident(vi int) bool {
 	return vi >= 0 && vi < len(m.itemSlot) && m.itemSlot[vi] >= 0
@@ -203,6 +294,21 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	m.cfg.Strategy.Touch(vi)
 	if s := m.itemSlot[vi]; s >= 0 {
 		m.stats.Hits++
+		if m.pipe != nil && m.inflight[s] != nil {
+			// The prefetch that staged vi is still in flight: join it
+			// rather than re-reading (this wait is the residue of
+			// latency the pipeline could not hide).
+			m.pipeStats.JoinedFetches++
+			if err := m.joinSlot(s); err != nil {
+				// The background read failed; unmap so the vector is
+				// not resident with garbage, mirroring a failed
+				// synchronous prefetch (which leaves the slot empty).
+				m.itemSlot[vi] = -1
+				m.slotItem[s] = -1
+				m.prefetched[s] = false
+				return nil, err
+			}
+		}
 		if m.prefetched[s] {
 			m.prefetched[s] = false
 			m.pstats.Hits++
@@ -223,7 +329,7 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	if skipRead {
 		m.stats.SkippedReads++
 	} else {
-		if err := m.cfg.Store.ReadVector(vi, m.slots[slot]); err != nil {
+		if err := m.stall(func() error { return m.demandRead(vi, m.slots[slot]) }); err != nil {
 			return nil, err
 		}
 		m.stats.Reads++
@@ -276,12 +382,25 @@ func (m *Manager) freeSlot(requested int, pinned []int) (int, error) {
 }
 
 // evict writes the victim back (subject to the write-back policy) and
-// releases its slot.
+// releases its slot. Under the async pipeline the write is queued to
+// the writer goroutine and a spare buffer is patched into the slot, so
+// the call returns without waiting for the store.
 func (m *Manager) evict(victim, slot int) error {
+	if m.pipe != nil && m.inflight[slot] != nil {
+		// The victim's own stage-in is still in flight; its buffer
+		// cannot be written back or reused until the read completes.
+		if err := m.joinSlot(slot); err != nil {
+			return err
+		}
+	}
 	// A clean slot's content matches the store (it was faulted in by a
 	// read and never modified), so WriteBackDirty may skip it safely.
 	if m.cfg.WriteBack == WriteBackAlways || m.dirty[slot] {
-		if err := m.cfg.Store.WriteVector(victim, m.slots[slot]); err != nil {
+		if m.pipe != nil {
+			if err := m.asyncWriteBack(victim, slot); err != nil {
+				return err
+			}
+		} else if err := m.stall(func() error { return m.cfg.Store.WriteVector(victim, m.slots[slot]) }); err != nil {
 			return err
 		}
 		m.stats.Writes++
@@ -299,14 +418,41 @@ func (m *Manager) evict(victim, slot int) error {
 	return nil
 }
 
+// asyncWriteBack queues the victim's buffer for background write-back
+// and patches a spare buffer into the slot. Blocks only when every
+// spare is already in the write queue.
+func (m *Manager) asyncWriteBack(victim, slot int) error {
+	// Surface background write errors promptly rather than at the next
+	// barrier.
+	if err := m.pipe.err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	spare := m.pipe.acquireSpare()
+	wait := time.Since(start)
+	m.pipeStats.StallTime += wait
+	m.pipeStats.BufferWait += wait
+	buf := m.slots[slot]
+	m.slots[slot] = spare
+	m.pipe.enqueueWrite(victim, buf)
+	m.pipeStats.WritesQueued++
+	return nil
+}
+
 // Flush writes every resident vector to the store (used before closing
-// or when handing the store to another consumer).
+// or when handing the store to another consumer). Under the async
+// pipeline it is a full barrier: every in-flight fetch is joined and
+// the write queue is drained first, so queued (older) write-backs land
+// before the resident (newest) data below.
 func (m *Manager) Flush() error {
+	if err := m.drainPipeline(); err != nil {
+		return err
+	}
 	for s, it := range m.slotItem {
 		if it < 0 {
 			continue
 		}
-		if err := m.cfg.Store.WriteVector(it, m.slots[s]); err != nil {
+		if err := m.stall(func() error { return m.cfg.Store.WriteVector(it, m.slots[s]) }); err != nil {
 			return err
 		}
 		m.stats.Writes++
@@ -314,6 +460,45 @@ func (m *Manager) Flush() error {
 		m.dirty[s] = false
 	}
 	return nil
+}
+
+// drainPipeline joins every in-flight fetch and waits for the write
+// queue to empty. A no-op for synchronous managers.
+func (m *Manager) drainPipeline() error {
+	if m.pipe == nil {
+		return nil
+	}
+	var first error
+	for s := range m.inflight {
+		if err := m.joinSlot(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := m.stall(m.pipe.barrier); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Close drains the asynchronous pipeline and stops its goroutines: all
+// queued write-backs reach the store (so the backing file is exactly
+// as a synchronous run would have left it) and in-flight fetches
+// complete. Resident vectors are NOT written back — call Flush first
+// to checkpoint them. After Close the manager keeps working, but
+// synchronously. Close is a no-op for synchronous managers.
+func (m *Manager) Close() error {
+	if m.pipe == nil {
+		return nil
+	}
+	first := m.drainPipeline()
+	if err := m.stall(m.pipe.shutdown); err != nil && first == nil {
+		first = err
+	}
+	// Preserve the background counters past the pipeline's death.
+	m.pipeStats = m.PipelineStats()
+	m.pipe = nil
+	m.inflight = nil
+	return first
 }
 
 // CheckInvariants validates the item/slot mapping consistency; tests

@@ -1,0 +1,269 @@
+package ooc
+
+// The asynchronous I/O pipeline — the paper's §5 future work ("we will
+// assess if pre-fetching can be deployed by means of a prefetch
+// thread") made real. The synchronous manager interleaves compute and
+// I/O on one thread: every demand miss blocks on Store.ReadVector and
+// every eviction blocks on Store.WriteVector. The pipeline moves both
+// off the compute thread:
+//
+//   - Prefetch stage-ins are executed by a pool of fetch worker
+//     goroutines fed from a bounded queue. The slot is mapped (and the
+//     replacement strategy updated) synchronously, so all *decisions*
+//     are identical to the synchronous manager; only the byte transfer
+//     overlaps compute. A demand access that arrives before the fetch
+//     completes joins the in-flight read instead of re-issuing it.
+//   - Evictions hand the victim's buffer to a single write-back
+//     goroutine and patch a spare buffer from a small pool into the
+//     slot, returning immediately. The compute thread blocks only when
+//     every spare is already in the write queue.
+//
+// Correctness bar: the pipeline may change WHEN I/O happens, never
+// WHAT is computed. All slot mapping, eviction choices, strategy
+// bookkeeping and Stats counters run on the compute goroutine in the
+// exact order of the synchronous manager, so log-likelihoods are
+// bit-identical and miss accounting is unchanged. Consistency rules:
+//
+//   - Read-after-write: a read of a vector whose write-back is still
+//     queued is served from the queued buffer, never from the stale
+//     store region (readThrough).
+//   - Write-write: a single writer goroutine drains the queue FIFO, so
+//     two queued writes to the same vector land in issue order.
+//   - Fetch-evict: evicting a slot whose stage-in is in flight first
+//     joins the fetch, so a buffer is never written back (or reused)
+//     while a worker is still filling it.
+//   - Flush/Close barrier: Flush joins every in-flight fetch and
+//     drains the write queue before writing residents, so the store
+//     ends in exactly the state a synchronous run would leave.
+//
+// The Manager remains single-caller: the pipeline adds goroutines
+// *inside* the manager, not concurrency on its API.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PipelineStats counts the asynchronous pipeline's activity. All
+// quantities are maintained on the compute thread or read atomically;
+// read them via Manager.PipelineStats after the workload (they are a
+// snapshot, not synchronized with in-flight work).
+type PipelineStats struct {
+	// Enabled reports whether the manager ran with the async pipeline.
+	Enabled bool
+	// FetchesQueued and WritesQueued count background operations
+	// handed to the workers.
+	FetchesQueued, WritesQueued int64
+	// JoinedFetches counts demand accesses that waited on an in-flight
+	// background fetch instead of issuing their own read.
+	JoinedFetches int64
+	// WriteQueueHits counts reads served from a queued write-back
+	// buffer (the read-after-write consistency path).
+	WriteQueueHits int64
+	// OverlappedBytes totals the bytes moved by background goroutines —
+	// I/O that a synchronous manager would have charged to the compute
+	// thread.
+	OverlappedBytes int64
+	// StallTime is the total time the compute thread spent blocked on
+	// I/O: synchronous store calls on the demand path, waits for
+	// in-flight fetches (JoinWait), waits for a spare write-back buffer
+	// (BufferWait) and Flush/Close barriers. The synchronous manager
+	// fills this too, so sync-vs-async stall is directly comparable.
+	StallTime time.Duration
+	// JoinWait is the portion of StallTime spent joining fetches.
+	JoinWait time.Duration
+	// BufferWait is the portion spent waiting for a spare buffer.
+	BufferWait time.Duration
+	// QueueDepthMax is the high-water mark of simultaneously queued
+	// background operations (fetches + writes).
+	QueueDepthMax int64
+}
+
+// fetchReq is one background stage-in: the worker fills dst with
+// vector vi and closes done. The slot owning dst is reserved by the
+// compute thread before the request is queued and is not touched again
+// until the request is joined.
+type fetchReq struct {
+	vi   int
+	dst  []float64
+	err  error
+	done chan struct{}
+}
+
+// writeReq is one queued write-back. buf is a former slot buffer; it
+// returns to the spare pool only after the write lands and the request
+// is retired from the pending map, so readers can always copy from it.
+type writeReq struct {
+	vi   int
+	buf  []float64
+	done chan struct{}
+}
+
+// pipeline owns the background goroutines and the queues between them
+// and the compute thread.
+type pipeline struct {
+	store  Store
+	vecLen int
+
+	fetchCh chan *fetchReq
+	writeCh chan *writeReq
+	// spares holds the buffers not currently patched into a slot;
+	// exactly cap(spares) buffers circulate, so the writer's return
+	// send can never block.
+	spares chan []float64
+
+	mu        sync.Mutex
+	pending   map[int]*writeReq // vi -> newest queued write
+	lastWrite *writeReq
+	firstErr  error
+
+	depth      atomic.Int64
+	depthMax   atomic.Int64
+	overlapped atomic.Int64
+	wqHits     atomic.Int64
+
+	wg   sync.WaitGroup
+	stop sync.Once
+}
+
+func newPipeline(store Store, vecLen, workers, queue, spareBufs int) *pipeline {
+	p := &pipeline{
+		store:   store,
+		vecLen:  vecLen,
+		fetchCh: make(chan *fetchReq, queue),
+		writeCh: make(chan *writeReq, spareBufs),
+		spares:  make(chan []float64, spareBufs),
+		pending: make(map[int]*writeReq),
+	}
+	for i := 0; i < spareBufs; i++ {
+		p.spares <- make([]float64, vecLen)
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.fetchWorker()
+	}
+	p.wg.Add(1)
+	go p.writeWorker()
+	return p
+}
+
+func (p *pipeline) fetchWorker() {
+	defer p.wg.Done()
+	for req := range p.fetchCh {
+		req.err = p.readThrough(req.vi, req.dst)
+		if req.err != nil {
+			p.noteErr(req.err)
+		} else {
+			p.overlapped.Add(int64(len(req.dst)) * 8)
+		}
+		p.depth.Add(-1)
+		close(req.done)
+	}
+}
+
+func (p *pipeline) writeWorker() {
+	defer p.wg.Done()
+	for req := range p.writeCh {
+		if err := p.store.WriteVector(req.vi, req.buf); err != nil {
+			p.noteErr(err)
+		} else {
+			p.overlapped.Add(int64(len(req.buf)) * 8)
+		}
+		p.mu.Lock()
+		// Retire only if no newer write superseded this one.
+		if p.pending[req.vi] == req {
+			delete(p.pending, req.vi)
+		}
+		p.mu.Unlock()
+		p.depth.Add(-1)
+		close(req.done)
+		p.spares <- req.buf
+	}
+}
+
+// readThrough reads vector vi honouring read-after-write consistency:
+// a vector still in the write queue is served from its queued buffer,
+// never from the (stale) store region. Safe from both fetch workers
+// and the compute thread's demand path.
+func (p *pipeline) readThrough(vi int, dst []float64) error {
+	p.mu.Lock()
+	if w, ok := p.pending[vi]; ok {
+		copy(dst, w.buf)
+		p.mu.Unlock()
+		p.wqHits.Add(1)
+		return nil
+	}
+	p.mu.Unlock()
+	return p.store.ReadVector(vi, dst)
+}
+
+// enqueueFetch queues a background stage-in of vi into dst. Blocks
+// only when the bounded fetch queue is full.
+func (p *pipeline) enqueueFetch(vi int, dst []float64) *fetchReq {
+	req := &fetchReq{vi: vi, dst: dst, done: make(chan struct{})}
+	p.bumpDepth()
+	p.fetchCh <- req
+	return req
+}
+
+// enqueueWrite queues buf as the newest content of vector vi. The
+// caller has already removed buf from the slot array.
+func (p *pipeline) enqueueWrite(vi int, buf []float64) {
+	req := &writeReq{vi: vi, buf: buf, done: make(chan struct{})}
+	p.mu.Lock()
+	p.pending[vi] = req
+	p.lastWrite = req
+	p.mu.Unlock()
+	p.bumpDepth()
+	p.writeCh <- req
+}
+
+// acquireSpare blocks until a spare buffer is available.
+func (p *pipeline) acquireSpare() []float64 { return <-p.spares }
+
+// barrier blocks until every write queued so far has reached the
+// store, then reports the first background error (if any).
+func (p *pipeline) barrier() error {
+	p.mu.Lock()
+	last := p.lastWrite
+	p.mu.Unlock()
+	if last != nil {
+		<-last.done
+	}
+	return p.err()
+}
+
+// shutdown stops all workers after draining both queues.
+func (p *pipeline) shutdown() error {
+	p.stop.Do(func() {
+		close(p.fetchCh)
+		close(p.writeCh)
+	})
+	p.wg.Wait()
+	return p.err()
+}
+
+func (p *pipeline) bumpDepth() {
+	d := p.depth.Add(1)
+	for {
+		max := p.depthMax.Load()
+		if d <= max || p.depthMax.CompareAndSwap(max, d) {
+			return
+		}
+	}
+}
+
+func (p *pipeline) noteErr(err error) {
+	p.mu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipeline) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.firstErr
+}

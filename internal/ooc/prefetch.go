@@ -1,20 +1,22 @@
 package ooc
 
+import "time"
+
 // Prefetching — the paper's §5 future work ("we will assess if
 // pre-fetching can be deployed by means of a prefetch thread"). The
 // traversal plan makes the next vector accesses perfectly predictable,
 // so the likelihood engine can ask the manager to stage the next
-// step's inputs while the current step computes. The manager executes
-// prefetches synchronously (the engine is single-threaded), but the
-// counters separate blocking demand misses from prefetch-staged reads:
-// with an asynchronous prefetch thread the latter would overlap
-// compute, so PrefetchHits is exactly the number of demand misses a
-// prefetch thread would hide.
+// steps' inputs while the current step computes. Synchronous managers
+// execute the stage-in on the calling goroutine (the counters then
+// separate blocking demand misses from prefetch-staged reads); with
+// Config.Async the stage-in is handed to a background fetch worker and
+// genuinely overlaps compute — the demand access joins the in-flight
+// read if it arrives before the fetch completes (see pipeline.go).
 
 // PrefetchStats extends the manager counters with prefetch accounting.
 type PrefetchStats struct {
 	// Issued counts Prefetch calls; Reads the store reads they caused
-	// (issued minus already-resident).
+	// (issued minus already-resident and minus skipped).
 	Issued, Reads int64
 	// Hits counts demand accesses that found their vector resident
 	// because a prefetch staged it.
@@ -28,17 +30,19 @@ type PrefetchStats struct {
 // Prefetched data is always read from the store (the engine prefetches
 // read-intent inputs only; write-intent targets are cheaper via read
 // skipping).
+//
+// The replacement strategy is touched only when the stage-in actually
+// happens: a prefetch skipped because vi is resident or because every
+// resident vector is pinned must leave LRU/LFU state exactly as a run
+// without that prefetch would — otherwise skipped prefetches would
+// pollute the eviction order.
 func (m *Manager) Prefetch(vi int, pinned ...int) error {
 	if vi < 0 || vi >= m.cfg.NumVectors {
 		return nil // prefetch is advisory; never fail the computation
 	}
 	m.pstats.Issued++
-	// Register the access with the replacement policy: a staged vector
-	// is about to be used, so recency-aware strategies must not pick it
-	// as the very next victim.
-	m.cfg.Strategy.Touch(vi)
 	if m.itemSlot[vi] >= 0 {
-		return nil
+		return nil // already resident (possibly still in flight)
 	}
 	slot, err := m.freeSlot(vi, pinned)
 	if err != nil {
@@ -48,8 +52,14 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 		}
 		return err
 	}
-	if err := m.cfg.Store.ReadVector(vi, m.slots[slot]); err != nil {
-		return err
+	// The stage-in is definitely happening: register the access with
+	// the replacement policy so recency-aware strategies do not pick
+	// the staged vector as the very next victim.
+	m.cfg.Strategy.Touch(vi)
+	if m.pipe == nil {
+		if err := m.stall(func() error { return m.cfg.Store.ReadVector(vi, m.slots[slot]) }); err != nil {
+			return err
+		}
 	}
 	m.pstats.Reads++
 	m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
@@ -57,6 +67,14 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 	m.itemSlot[vi] = slot
 	m.dirty[slot] = false
 	m.prefetched[slot] = true
+	if m.pipe != nil {
+		// Queue the read to a background worker; the wait below is felt
+		// only when the bounded fetch queue is full.
+		start := time.Now()
+		m.inflight[slot] = m.pipe.enqueueFetch(vi, m.slots[slot])
+		m.pipeStats.StallTime += time.Since(start)
+		m.pipeStats.FetchesQueued++
+	}
 	return nil
 }
 

@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
+	"time"
+	"unsafe"
 
 	"oocphylo/internal/iosim"
 )
@@ -25,6 +28,13 @@ import (
 // Store is the backing storage for ancestral vectors: vector vi
 // occupies the fixed region [vi*vecLen, (vi+1)*vecLen) in float64 units
 // (the paper's single binary file with per-node offsets).
+//
+// Every Store in this package is safe for concurrent calls that touch
+// distinct vectors (and for concurrent reads of the same vector) — the
+// contract the asynchronous pipeline relies on. Callers must not issue
+// concurrent writes (or a write racing a read) on the SAME vector; the
+// pipeline's single FIFO writer and read-after-write queue guarantee
+// it never does.
 type Store interface {
 	// ReadVector fills dst with vector vi's stored payload.
 	ReadVector(vi int, dst []float64) error
@@ -32,6 +42,24 @@ type Store interface {
 	WriteVector(vi int, src []float64) error
 	// Close releases resources.
 	Close() error
+}
+
+// hostLittleEndian reports whether the host stores multi-byte values
+// little-endian, in which case the file codec below is a zero-copy
+// reinterpretation instead of a per-element conversion loop.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64Bytes reinterprets v's backing array as bytes without copying.
+// Only valid as an I/O buffer on little-endian hosts (the on-disk
+// format is little-endian regardless of host order).
+func f64Bytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
 }
 
 // MemStore is an in-RAM Store used by tests and by simulations where
@@ -86,11 +114,17 @@ func (s *MemStore) Close() error { return nil }
 
 // FileStore keeps all vectors contiguously in one binary file — the
 // layout of the paper's proof-of-concept implementation (Figure 1).
+// Positioned reads and writes (pread/pwrite) plus per-call codec
+// buffers make it safe for concurrent calls on distinct vectors, as
+// the async pipeline requires.
 type FileStore struct {
 	f      *os.File
 	vecLen int
 	n      int
-	buf    []byte
+	// codecs pools conversion buffers for the big-endian fallback path;
+	// unused (and unallocated) on little-endian hosts, where the
+	// float64 slice itself is the I/O buffer.
+	codecs sync.Pool
 }
 
 // NewFileStore creates (truncating) a backing file sized for numVectors
@@ -104,7 +138,12 @@ func NewFileStore(path string, numVectors, vecLen int) (*FileStore, error) {
 		f.Close()
 		return nil, fmt.Errorf("ooc: sizing backing file: %w", err)
 	}
-	return &FileStore{f: f, vecLen: vecLen, n: numVectors, buf: make([]byte, vecLen*8)}, nil
+	s := &FileStore{f: f, vecLen: vecLen, n: numVectors}
+	s.codecs.New = func() any {
+		b := make([]byte, vecLen*8)
+		return &b
+	}
+	return s, nil
 }
 
 // ReadVector implements Store via a single positioned read.
@@ -115,11 +154,23 @@ func (s *FileStore) ReadVector(vi int, dst []float64) error {
 	if len(dst) != s.vecLen {
 		return fmt.Errorf("ooc: filestore read size %d, want %d", len(dst), s.vecLen)
 	}
-	if _, err := s.f.ReadAt(s.buf, int64(vi)*int64(s.vecLen)*8); err != nil {
+	off := int64(vi) * int64(s.vecLen) * 8
+	if hostLittleEndian {
+		// Host order matches the on-disk format: read straight into the
+		// caller's float64 buffer, no conversion pass.
+		if _, err := s.f.ReadAt(f64Bytes(dst), off); err != nil {
+			return fmt.Errorf("ooc: reading vector %d: %w", vi, err)
+		}
+		return nil
+	}
+	bp := s.codecs.Get().(*[]byte)
+	defer s.codecs.Put(bp)
+	buf := *bp
+	if _, err := s.f.ReadAt(buf, off); err != nil {
 		return fmt.Errorf("ooc: reading vector %d: %w", vi, err)
 	}
 	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(s.buf[i*8:]))
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 	}
 	return nil
 }
@@ -132,10 +183,20 @@ func (s *FileStore) WriteVector(vi int, src []float64) error {
 	if len(src) != s.vecLen {
 		return fmt.Errorf("ooc: filestore write size %d, want %d", len(src), s.vecLen)
 	}
-	for i, v := range src {
-		binary.LittleEndian.PutUint64(s.buf[i*8:], math.Float64bits(v))
+	off := int64(vi) * int64(s.vecLen) * 8
+	if hostLittleEndian {
+		if _, err := s.f.WriteAt(f64Bytes(src), off); err != nil {
+			return fmt.Errorf("ooc: writing vector %d: %w", vi, err)
+		}
+		return nil
 	}
-	if _, err := s.f.WriteAt(s.buf, int64(vi)*int64(s.vecLen)*8); err != nil {
+	bp := s.codecs.Get().(*[]byte)
+	defer s.codecs.Put(bp)
+	buf := *bp
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if _, err := s.f.WriteAt(buf, off); err != nil {
 		return fmt.Errorf("ooc: writing vector %d: %w", vi, err)
 	}
 	return nil
@@ -146,11 +207,18 @@ func (s *FileStore) Close() error { return s.f.Close() }
 
 // SimStore wraps a Store and charges every transfer to a simulated
 // device clock. It is how the benchmark harness prices out-of-core I/O
-// without moving real gigabytes.
+// without moving real gigabytes. With Realtime > 0 each transfer also
+// sleeps Realtime × the device's transfer time, so wall-clock
+// experiments (BenchmarkAsyncPipeline) observe genuine compute/I/O
+// overlap instead of mere ledger entries.
 type SimStore struct {
 	Inner  Store
 	Device iosim.Device
 	Clock  *iosim.Clock
+	// Realtime scales simulated transfer time into real sleeping:
+	// 0 (default) only charges the clock, 1 sleeps the full simulated
+	// duration, 0.1 a tenth of it.
+	Realtime float64
 }
 
 // NewSimStore wraps inner with accounting on clock for device dev.
@@ -158,15 +226,22 @@ func NewSimStore(inner Store, dev iosim.Device, clock *iosim.Clock) *SimStore {
 	return &SimStore{Inner: inner, Device: dev, Clock: clock}
 }
 
+func (s *SimStore) charge(bytes int64) {
+	s.Clock.Charge(s.Device, bytes)
+	if s.Realtime > 0 {
+		time.Sleep(time.Duration(s.Realtime * float64(s.Device.TransferTime(bytes))))
+	}
+}
+
 // ReadVector implements Store.
 func (s *SimStore) ReadVector(vi int, dst []float64) error {
-	s.Clock.Charge(s.Device, int64(len(dst))*8)
+	s.charge(int64(len(dst)) * 8)
 	return s.Inner.ReadVector(vi, dst)
 }
 
 // WriteVector implements Store.
 func (s *SimStore) WriteVector(vi int, src []float64) error {
-	s.Clock.Charge(s.Device, int64(len(src))*8)
+	s.charge(int64(len(src)) * 8)
 	return s.Inner.WriteVector(vi, src)
 }
 

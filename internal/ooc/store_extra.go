@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 )
 
 // Float32FileStore persists ancestral vectors in single precision,
@@ -19,7 +20,9 @@ type Float32FileStore struct {
 	f      *os.File
 	vecLen int
 	n      int
-	buf    []byte
+	// codecs pools per-call conversion buffers so concurrent pipeline
+	// workers never share scratch space.
+	codecs sync.Pool
 }
 
 // NewFloat32FileStore creates (truncating) a single-precision backing
@@ -33,7 +36,12 @@ func NewFloat32FileStore(path string, numVectors, vecLen int) (*Float32FileStore
 		f.Close()
 		return nil, fmt.Errorf("ooc: sizing float32 backing file: %w", err)
 	}
-	return &Float32FileStore{f: f, vecLen: vecLen, n: numVectors, buf: make([]byte, vecLen*4)}, nil
+	s := &Float32FileStore{f: f, vecLen: vecLen, n: numVectors}
+	s.codecs.New = func() any {
+		b := make([]byte, vecLen*4)
+		return &b
+	}
+	return s, nil
 }
 
 // ReadVector implements Store, widening float32 to float64.
@@ -44,11 +52,14 @@ func (s *Float32FileStore) ReadVector(vi int, dst []float64) error {
 	if len(dst) != s.vecLen {
 		return fmt.Errorf("ooc: float32 store read size %d, want %d", len(dst), s.vecLen)
 	}
-	if _, err := s.f.ReadAt(s.buf, int64(vi)*int64(s.vecLen)*4); err != nil {
+	bp := s.codecs.Get().(*[]byte)
+	defer s.codecs.Put(bp)
+	buf := *bp
+	if _, err := s.f.ReadAt(buf, int64(vi)*int64(s.vecLen)*4); err != nil {
 		return fmt.Errorf("ooc: reading vector %d: %w", vi, err)
 	}
 	for i := range dst {
-		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(s.buf[i*4:])))
+		dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
 	}
 	return nil
 }
@@ -61,10 +72,13 @@ func (s *Float32FileStore) WriteVector(vi int, src []float64) error {
 	if len(src) != s.vecLen {
 		return fmt.Errorf("ooc: float32 store write size %d, want %d", len(src), s.vecLen)
 	}
+	bp := s.codecs.Get().(*[]byte)
+	defer s.codecs.Put(bp)
+	buf := *bp
 	for i, v := range src {
-		binary.LittleEndian.PutUint32(s.buf[i*4:], math.Float32bits(float32(v)))
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
 	}
-	if _, err := s.f.WriteAt(s.buf, int64(vi)*int64(s.vecLen)*4); err != nil {
+	if _, err := s.f.WriteAt(buf, int64(vi)*int64(s.vecLen)*4); err != nil {
 		return fmt.Errorf("ooc: writing vector %d: %w", vi, err)
 	}
 	return nil
@@ -79,10 +93,14 @@ func (s *Float32FileStore) Close() error { return s.f.Close() }
 // in the fast tier, demoting the least-recently-touched vector to the
 // slow tier when full. Combined with SimStore wrappers carrying
 // different device models, it prices RAM ⇄ accelerator ⇄ disk
-// hierarchies.
+// hierarchies. A mutex over the placement map makes it safe for the
+// concurrent distinct-vector calls the async pipeline issues (tier
+// bookkeeping is shared state even when the vectors are distinct).
 type TieredStore struct {
 	fast, slow Store
 	capacity   int
+
+	mu sync.Mutex
 	// inFast maps vector -> recency stamp (0 = not in fast tier).
 	inFast map[int]int64
 	now    int64
@@ -105,19 +123,25 @@ func NewTieredStore(fast, slow Store, capacity int) (*TieredStore, error) {
 
 // ReadVector implements Store.
 func (t *TieredStore) ReadVector(vi int, dst []float64) error {
+	t.mu.Lock()
 	if stamp := t.inFast[vi]; stamp != 0 {
 		t.now++
 		t.inFast[vi] = t.now
 		t.FastHits++
+		t.mu.Unlock()
 		return t.fast.ReadVector(vi, dst)
 	}
 	t.SlowReads++
+	t.mu.Unlock()
 	return t.slow.ReadVector(vi, dst)
 }
 
 // WriteVector implements Store: writes land in the fast tier, demoting
-// the stalest resident if the tier is full.
+// the stalest resident if the tier is full. The mutex is held across
+// the demotion so the placement map always reflects the tier contents.
 func (t *TieredStore) WriteVector(vi int, src []float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.inFast[vi] == 0 && len(t.inFast) >= t.capacity {
 		// Demote the least recently touched fast-tier vector.
 		victim, oldest := -1, int64(math.MaxInt64)

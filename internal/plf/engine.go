@@ -72,6 +72,9 @@ type Engine struct {
 	// prefetch enables plan-driven staging of the next step's inputs
 	// when the provider supports it (see EnablePrefetch).
 	prefetch bool
+	// prefetchDepth is how many future plan steps to stage inputs for
+	// (see SetPrefetchDepth); values < 1 behave as 1.
+	prefetchDepth int
 	// workers is the PLF kernel fan-out (see SetWorkers).
 	workers int
 
@@ -244,13 +247,33 @@ type prefetchProvider interface {
 // A no-op when the provider cannot prefetch.
 func (e *Engine) EnablePrefetch(on bool) { e.prefetch = on }
 
+// SetPrefetchDepth controls how far ahead of the current plan step the
+// engine stages read inputs: depth d prefetches the inputs of steps
+// i+1..i+d while step i computes. Depth 1 (the default; values < 1 are
+// clamped to 1) reproduces the historical one-step lookahead. Deeper
+// lookahead only pays off with Config.Async managers, where multiple
+// fetch workers can fill the queue concurrently; a synchronous manager
+// would execute every staged read on the compute thread anyway.
+func (e *Engine) SetPrefetchDepth(d int) {
+	if d < 1 {
+		d = 1
+	}
+	e.prefetchDepth = d
+}
+
 // Execute runs a traversal plan: one Felsenstein step per entry, in
 // order, then records the resulting orientations.
 func (e *Engine) Execute(steps []tree.Step) error {
 	pf, canPrefetch := e.prov.(prefetchProvider)
+	depth := e.prefetchDepth
+	if depth < 1 {
+		depth = 1
+	}
 	for i := range steps {
-		if e.prefetch && canPrefetch && i+1 < len(steps) {
-			e.prefetchInputs(pf, &steps[i], &steps[i+1])
+		if e.prefetch && canPrefetch {
+			for j := i + 1; j <= i+depth && j < len(steps); j++ {
+				e.prefetchInputs(pf, steps, i, j)
+			}
 		}
 		if err := e.newview(&steps[i]); err != nil {
 			return err
@@ -260,23 +283,35 @@ func (e *Engine) Execute(steps []tree.Step) error {
 	return nil
 }
 
-// prefetchInputs stages next's inner read inputs, pinning cur's working
-// set so the staging cannot evict what the imminent step needs.
-// Prefetch errors are advisory and ignored; a failed prefetch simply
-// leaves the demand access to fault normally.
-func (e *Engine) prefetchInputs(pf prefetchProvider, cur, next *tree.Step) {
+// prefetchInputs stages the inner read inputs of steps[next], pinning
+// steps[cur]'s working set so the staging cannot evict what the
+// imminent step needs. Prefetch errors are advisory and ignored; a
+// failed prefetch simply leaves the demand access to fault normally.
+func (e *Engine) prefetchInputs(pf prefetchProvider, steps []tree.Step, cur, next int) {
 	var pins [3]int
 	np := 0
-	for _, n := range []*tree.Node{cur.Node, cur.Left, cur.Right} {
+	for _, n := range []*tree.Node{steps[cur].Node, steps[cur].Left, steps[cur].Right} {
 		if !n.IsTip() {
 			pins[np] = e.vi(n)
 			np++
 		}
 	}
-	for _, child := range []*tree.Node{next.Left, next.Right} {
-		// cur.Node is commonly next's child (post-order); it is about to
-		// be written by cur's newview, so reading it would be wasted I/O.
-		if child.IsTip() || child == cur.Node {
+	for _, child := range []*tree.Node{steps[next].Left, steps[next].Right} {
+		if child.IsTip() {
+			continue
+		}
+		// A child recomputed by an intervening step (post-order: cur.Node
+		// is commonly next's child) is about to be overwritten before
+		// steps[next] reads it — staging the stale copy would be wasted
+		// I/O and, under read skipping, a wasted slot.
+		written := false
+		for k := cur; k < next; k++ {
+			if steps[k].Node == child {
+				written = true
+				break
+			}
+		}
+		if written {
 			continue
 		}
 		_ = pf.Prefetch(e.vi(child), pins[:np]...)
