@@ -16,6 +16,14 @@
 //	oocraxml -s data.phy -m HKY -a 0.8
 //	oocraxml -s data.phy -t start.nwk -f z -k 5 -L 1000000000 -strategy lru
 //	oocraxml -s data.fasta -fasta -f e -t tree.nwk -L 50000000 -strategy topological -stats
+//	oocraxml -s data.phy -f z -L 50000000 -backing vecs.bin -verify-store -io-retries 5
+//
+// With -verify-store, every vector read from the backing file is
+// verified against a CRC64 sidecar (<backing>.sum); a corrupt vector is
+// recomputed from its children instead of failing the run, and
+// checkpoints record a store manifest that -resume validates the
+// backing file against. -io-retries bounds the exponential-backoff
+// retries for transient I/O errors.
 package main
 
 import (
@@ -79,6 +87,8 @@ type options struct {
 	resume      string
 	aaModelPath string
 	pinv        float64
+	verifyStore bool
+	ioRetries   int
 }
 
 func run(args []string, out *os.File) error {
@@ -113,6 +123,8 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.bootstraps, "bootstrap", 0, "bootstrap replicates; annotates the result tree with support values")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a resumable checkpoint here after every search round")
 	fs.StringVar(&o.resume, "resume", "", "resume tree and model parameters from this checkpoint")
+	fs.BoolVar(&o.verifyStore, "verify-store", false, "maintain a per-vector checksum sidecar next to the backing file and verify every read (corrupt vectors are recomputed, not fatal)")
+	fs.IntVar(&o.ioRetries, "io-retries", 3, "retries with exponential backoff for transient backing-store I/O errors")
 	fs.StringVar(&o.outTree, "w", "", "write the result tree to this file (default stdout)")
 	fs.BoolVar(&o.printStats, "stats", false, "print engine and out-of-core access statistics")
 	fs.BoolVar(&o.emptyFreqs, "uniform-freqs", false, "use uniform base frequencies instead of empirical")
@@ -133,6 +145,7 @@ func run(args []string, out *os.File) error {
 
 	var t *tree.Tree
 	var m *model.Model
+	var resumeMan *ooc.Manifest
 	if o.resume != "" {
 		st, err := checkpoint.Load(o.resume)
 		if err != nil {
@@ -145,6 +158,7 @@ func run(args []string, out *os.File) error {
 		if t.NumTips != pats.NumTaxa() {
 			return fmt.Errorf("checkpoint tree has %d tips, alignment %d taxa", t.NumTips, pats.NumTaxa())
 		}
+		resumeMan = st.Store
 		fmt.Fprintf(out, "Resumed from %s (round %d, lnL %.4f)\n", o.resume, st.Round, st.LnL)
 	} else {
 		m, err = buildModel(o, pats)
@@ -163,7 +177,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintln(out)
 
 	vecLen := plf.VectorLength(m, pats.NumPatterns())
-	prov, mgr, cleanup, err := buildProvider(o, t, vecLen, out)
+	prov, mgr, cs, cleanup, err := buildProvider(o, t, vecLen, resumeMan, out)
 	if err != nil {
 		return err
 	}
@@ -190,7 +204,21 @@ func run(args []string, out *os.File) error {
 		}
 		if o.checkpoint != "" {
 			opts.RoundCallback = func(round int, lnl float64) error {
-				return checkpoint.Save(o.checkpoint, checkpoint.Capture(t, m, lnl, round))
+				st := checkpoint.Capture(t, m, lnl, round)
+				if cs != nil {
+					// Flush resident dirty vectors and the sidecar so the
+					// manifest in the checkpoint describes bytes that are
+					// actually on disk.
+					if err := mgr.Flush(); err != nil {
+						return err
+					}
+					if err := cs.Sync(); err != nil {
+						return err
+					}
+					man := cs.Manifest()
+					st.Store = &man
+				}
+				return checkpoint.Save(o.checkpoint, st)
 			}
 		}
 		res, err := search.New(e, opts).Run()
@@ -278,11 +306,16 @@ func run(args []string, out *os.File) error {
 				fmt.Fprintf(out, "Prefetch: %d issued, %d reads, %d hits, %d wasted\n",
 					ps.Issued, ps.Reads, ps.Hits, ps.Wasted)
 			}
-			if pl := mgr.PipelineStats(); pl.Enabled {
+			pl := mgr.PipelineStats()
+			if pl.Enabled {
 				fmt.Fprintf(out, "Pipeline: %d fetches + %d writes queued, %d joined, %d write-queue hits, %d B overlapped, max depth %d\n",
 					pl.FetchesQueued, pl.WritesQueued, pl.JoinedFetches, pl.WriteQueueHits, pl.OverlappedBytes, pl.QueueDepthMax)
 				fmt.Fprintf(out, "Pipeline stall: %v total (%v joining fetches, %v awaiting buffers)\n",
 					pl.StallTime.Round(time.Microsecond), pl.JoinWait.Round(time.Microsecond), pl.BufferWait.Round(time.Microsecond))
+			}
+			if pl.Retries > 0 || pl.CorruptReads > 0 || pl.DroppedWritebacks > 0 || e.Stats.Recoveries > 0 {
+				fmt.Fprintf(out, "Integrity: %d I/O retries, %d corrupt reads, %d dropped write-backs, %d recoveries\n",
+					pl.Retries, pl.CorruptReads, pl.DroppedWritebacks, e.Stats.Recoveries)
 			}
 		}
 	}
@@ -425,8 +458,13 @@ func buildStartTree(kind string, pats *bio.Patterns, seed int64) (*tree.Tree, er
 }
 
 // buildProvider returns the vector provider: in-memory when no limit is
-// set, otherwise the out-of-core manager over a backing file.
-func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.VectorProvider, *ooc.Manager, func(), error) {
+// set, otherwise the out-of-core manager over a backing file. With
+// -verify-store the file store is wrapped in a ChecksumStore (sidecar
+// at <backing>.sum) and the *ooc.ChecksumStore return is non-nil so
+// checkpoints can carry the store manifest. A resume with an explicit
+// -backing path revalidates an existing file against the checkpoint's
+// manifest and falls back to a fresh file when validation fails.
+func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *os.File) (plf.VectorProvider, *ooc.Manager, *ooc.ChecksumStore, func(), error) {
 	n := t.NumInner()
 	noop := func() {}
 	// Validate the strategy name up front so a typo fails even when the
@@ -434,18 +472,18 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 	switch strings.ToLower(o.strategy) {
 	case "random", "rand", "lru", "lfu", "topological", "topo":
 	default:
-		return nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+		return nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 	need := int64(n) * int64(vecLen) * 8
 	if o.memLimit <= 0 || need <= o.memLimit {
 		if o.memLimit > 0 {
 			fmt.Fprintf(out, "Memory limit %d B covers all %d vectors; running in RAM\n", o.memLimit, n)
 		}
-		return plf.NewInMemoryProvider(n, vecLen), nil, noop, nil
+		return plf.NewInMemoryProvider(n, vecLen), nil, nil, noop, nil
 	}
 	slots := int(o.memLimit / (int64(vecLen) * 8))
 	if slots < ooc.MinSlots {
-		return nil, nil, noop, fmt.Errorf(
+		return nil, nil, nil, noop, fmt.Errorf(
 			"memory limit %d B holds only %d vectors of %d B; the PLF needs at least %d (m >= 3)",
 			o.memLimit, slots, vecLen*8, ooc.MinSlots)
 	}
@@ -460,23 +498,28 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 	case "topological", "topo":
 		strat = ooc.NewTopological(t)
 	default:
-		return nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+		return nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 	path := o.backing
 	cleanup := noop
 	if path == "" {
 		f, err := os.CreateTemp("", "oocraxml-vectors-*.bin")
 		if err != nil {
-			return nil, nil, noop, err
+			return nil, nil, nil, noop, err
 		}
 		path = f.Name()
 		f.Close()
-		cleanup = func() { os.Remove(path) }
+		cleanup = func() {
+			os.Remove(path)
+			if o.verifyStore {
+				os.Remove(path + ".sum")
+			}
+		}
 	}
-	store, err := ooc.NewFileStore(path, n, vecLen)
+	store, cs, err := openStore(o, path, n, vecLen, man, out)
 	if err != nil {
 		cleanup()
-		return nil, nil, noop, err
+		return nil, nil, nil, noop, err
 	}
 	mgr, err := ooc.NewManager(ooc.Config{
 		NumVectors:   n,
@@ -487,11 +530,12 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 		Store:        store,
 		Async:        o.async,
 		IOWorkers:    o.ioWorkers,
+		Retry:        ooc.RetryPolicy{Max: o.ioRetries},
 	})
 	if err != nil {
 		store.Close()
 		cleanup()
-		return nil, nil, noop, err
+		return nil, nil, nil, noop, err
 	}
 	fmt.Fprintf(out, "Out-of-core: %d of %d vectors in RAM (%.1f%%), strategy %s, backing file %s\n",
 		slots, n, 100*float64(slots)/float64(n), strat.Name(), path)
@@ -507,10 +551,63 @@ func buildProvider(o options, t *tree.Tree, vecLen int, out *os.File) (plf.Vecto
 		}
 		fmt.Fprintf(out, "Async pipeline: %d fetch workers, prefetch depth %d\n", workers, depth)
 	}
+	if o.verifyStore {
+		fmt.Fprintf(out, "Integrity: checksum sidecar %s.sum, %d I/O retries\n", path, o.ioRetries)
+	}
 	closer := cleanup
 	// Close the manager first: it drains the async pipeline (joining
-	// in-flight fetches and queued write-backs) before the store goes away.
-	return mgr, mgr, func() { mgr.Close(); store.Close(); closer() }, nil
+	// in-flight fetches and queued write-backs) before the store goes
+	// away. Closing the (possibly checksum-wrapped) store closes the
+	// whole wrapper chain down to the backing file.
+	return mgr, mgr, cs, func() { mgr.Close(); store.Close(); closer() }, nil
+}
+
+// openStore opens the backing store for buildProvider, reusing and
+// validating an existing backing file on resume and wrapping it in a
+// ChecksumStore when -verify-store is set.
+func openStore(o options, path string, n, vecLen int, man *ooc.Manifest, out *os.File) (ooc.Store, *ooc.ChecksumStore, error) {
+	// Resume with an explicit backing path: try to adopt the existing
+	// file instead of truncating it. Any validation failure falls back
+	// to a fresh file — every vector is recomputable, so a rebuild only
+	// costs I/O, never correctness.
+	if o.resume != "" && o.backing != "" {
+		fs, err := ooc.OpenFileStore(path, n, vecLen)
+		switch {
+		case err != nil:
+			fmt.Fprintf(out, "Backing file %s not reusable (%v); creating fresh\n", path, err)
+		case !o.verifyStore:
+			return fs, nil, nil
+		default:
+			cs, err := ooc.OpenChecksumStore(fs, path+".sum", n, vecLen)
+			if err != nil {
+				fmt.Fprintf(out, "Checksum sidecar for %s not reusable (%v); rebuilding store\n", path, err)
+				fs.Close()
+			} else if man != nil {
+				if err := cs.VerifyManifest(*man); err != nil {
+					fmt.Fprintf(out, "Backing file %s fails checkpoint manifest validation (%v); rebuilding store\n", path, err)
+					cs.Close() // closes fs too
+				} else {
+					fmt.Fprintf(out, "Backing file %s validated against checkpoint manifest\n", path)
+					return cs, cs, nil
+				}
+			} else {
+				return cs, cs, nil
+			}
+		}
+	}
+	fs, err := ooc.NewFileStore(path, n, vecLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !o.verifyStore {
+		return fs, nil, nil
+	}
+	cs, err := ooc.NewChecksumStore(fs, path+".sum", n, vecLen)
+	if err != nil {
+		fs.Close()
+		return nil, nil, err
+	}
+	return cs, cs, nil
 }
 
 // runBootstrap infers o.bootstraps replicate trees (parsimony stepwise-

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 
 	"oocphylo/internal/model"
+	"oocphylo/internal/ooc"
 	"oocphylo/internal/tree"
 )
 
@@ -35,12 +36,22 @@ type State struct {
 	Freqs  []float64 `json:"freqs"`
 	Exch   []float64 `json:"exch,omitempty"`
 	Alpha  float64   `json:"alpha,omitempty"` // 0 = rate homogeneity
-	Cats   int       `json:"cats"`
+	// AlphaInf records the homogeneous-rates-over-Cats-categories
+	// state (model Alpha == +Inf, which JSON cannot carry in Alpha):
+	// Restore must still call SetGamma so Cats() — and with it the
+	// provider vector length — round-trips.
+	AlphaInf bool `json:"alpha_inf,omitempty"`
+	Cats     int  `json:"cats"`
 	// PInv is the +I proportion (0 = disabled).
 	PInv float64 `json:"pinv,omitempty"`
 	// LnL and Round record progress for reporting.
 	LnL   float64 `json:"lnl"`
 	Round int     `json:"round"`
+	// Store describes the out-of-core backing file the run was using
+	// (geometry, generation, checksum-of-checksums), so a resume can
+	// validate the file instead of trusting it (nil when the run was
+	// in-core or integrity checking was off).
+	Store *ooc.Manifest `json:"store,omitempty"`
 	// Meta carries arbitrary driver annotations (dataset path, seed...).
 	Meta map[string]string `json:"meta,omitempty"`
 }
@@ -57,8 +68,16 @@ func Capture(t *tree.Tree, m *model.Model, lnl float64, round int) *State {
 		LnL:     lnl,
 		Round:   round,
 	}
-	if m.Cats() > 1 && !math.IsInf(m.Alpha, 0) {
-		st.Alpha = m.Alpha
+	if m.Cats() > 1 {
+		// Alpha == +Inf (homogeneous rates over >1 categories) cannot
+		// ride in the JSON float — flag it instead of dropping it, or
+		// Restore would skip SetGamma and resume with Cats()==1 and a
+		// mismatched provider vector length.
+		if math.IsInf(m.Alpha, 1) {
+			st.AlphaInf = true
+		} else {
+			st.Alpha = m.Alpha
+		}
 	}
 	st.PInv = m.PInv
 	return st
@@ -85,8 +104,12 @@ func (st *State) Restore() (*tree.Tree, *model.Model, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("checkpoint: restoring model: %w", err)
 	}
-	if st.Alpha > 0 && st.Cats > 1 {
-		if err := m.SetGamma(st.Alpha, st.Cats); err != nil {
+	if st.Cats > 1 && (st.Alpha > 0 || st.AlphaInf) {
+		alpha := st.Alpha
+		if st.AlphaInf {
+			alpha = math.Inf(1)
+		}
+		if err := m.SetGamma(alpha, st.Cats); err != nil {
 			return nil, nil, fmt.Errorf("checkpoint: restoring gamma: %w", err)
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"oocphylo/internal/model"
+	"oocphylo/internal/ooc"
 	"oocphylo/internal/plf"
 	"oocphylo/internal/sim"
 	"oocphylo/internal/tree"
@@ -165,6 +166,117 @@ func TestRestoreFallbackExchangeabilities(t *testing.T) {
 		if e != 1 {
 			t.Errorf("fallback exchangeability %v, want 1", e)
 		}
+	}
+}
+
+// TestCheckpointRateModelMatrix round-trips every rate-heterogeneity
+// configuration through Save+Load and checks that the restored model
+// yields the same category count — and therefore the same provider
+// vector length, which is what an out-of-core resume binds its backing
+// file geometry to. The alpha=+Inf row is the regression case: JSON
+// cannot carry +Inf, and before the AlphaInf flag a restore silently
+// came back with Cats()==1 and a mismatched vector length.
+func TestCheckpointRateModelMatrix(t *testing.T) {
+	const sites = 37 // arbitrary pattern count for vector-length checks
+	cases := []struct {
+		name     string
+		setup    func(m *model.Model) error
+		cats     int
+		alphaInf bool
+	}{
+		{"homogeneous", func(m *model.Model) error { return nil }, 1, false},
+		{"gamma-finite", func(m *model.Model) error { return m.SetGamma(0.42, 4) }, 4, false},
+		{"gamma-infinite-alpha", func(m *model.Model) error { return m.SetGamma(math.Inf(1), 4) }, 4, true},
+		{"gamma-plus-inv", func(m *model.Model) error {
+			if err := m.SetGamma(1.3, 4); err != nil {
+				return err
+			}
+			return m.SetInvariant(0.2)
+		}, 4, false},
+		{"homogeneous-plus-inv", func(m *model.Model) error { return m.SetInvariant(0.15) }, 1, false},
+	}
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,(c:0.3,d:0.4):0.5);")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := model.NewJC(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.setup(m); err != nil {
+				t.Fatal(err)
+			}
+			st := Capture(tr, m, -10, 1)
+			if st.AlphaInf != tc.alphaInf {
+				t.Errorf("AlphaInf = %v, want %v", st.AlphaInf, tc.alphaInf)
+			}
+			path := filepath.Join(t.TempDir(), "m.ckpt")
+			if err := Save(path, st); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rm, err := loaded.Restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rm.Cats() != tc.cats {
+				t.Errorf("Cats() = %d after round-trip, want %d", rm.Cats(), tc.cats)
+			}
+			if got, want := plf.VectorLength(rm, sites), plf.VectorLength(m, sites); got != want {
+				t.Errorf("vector length %d after round-trip, want %d (backing file geometry would mismatch)", got, want)
+			}
+			if rm.PInv != m.PInv {
+				t.Errorf("PInv = %v, want %v", rm.PInv, m.PInv)
+			}
+			if rm.Cats() > 1 && !tc.alphaInf && rm.Alpha != m.Alpha {
+				t.Errorf("Alpha = %v, want %v", rm.Alpha, m.Alpha)
+			}
+			if tc.alphaInf {
+				// The restored rates must be the alpha→∞ limit: all 1.
+				for _, r := range rm.Rates {
+					if r != 1 {
+						t.Errorf("alpha=+Inf restored rate %v, want 1", r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointStoreManifest round-trips the store-manifest section so
+// a resume can bind the checkpoint to the backing file it was written
+// against.
+func TestCheckpointStoreManifest(t *testing.T) {
+	tr, _ := tree.ParseNewick("(a:0.1,b:0.2,c:0.3);")
+	m, _ := model.NewJC(4)
+	st := Capture(tr, m, -3, 7)
+	st.Store = &ooc.Manifest{NumVectors: 11, VectorLen: 96, Generation: 42, SumOfSums: 0xdeadbeef}
+	path := filepath.Join(t.TempDir(), "s.ckpt")
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Store == nil {
+		t.Fatal("store manifest dropped by round-trip")
+	}
+	if *loaded.Store != *st.Store {
+		t.Errorf("store manifest changed: got %+v, want %+v", *loaded.Store, *st.Store)
+	}
+	// A run without integrity checking writes no manifest at all.
+	st2 := Capture(tr, m, -3, 7)
+	if err := Save(path, st2); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, err = Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Store != nil {
+		t.Errorf("in-core checkpoint grew a store manifest: %+v", loaded.Store)
 	}
 }
 

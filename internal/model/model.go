@@ -237,7 +237,22 @@ func newHKYLike(freqs []float64, kappa float64, name string) (*Model, error) {
 
 // SetGamma installs a discrete-Gamma rate heterogeneity model with the
 // given shape alpha and category count. ncat == 1 restores homogeneity.
+// alpha == +Inf is the α→∞ limit of the Gamma: every category rate is
+// exactly 1 (rate homogeneity spread over ncat categories), a state
+// the checkpoint layer round-trips explicitly.
 func (m *Model) SetGamma(alpha float64, ncat int) error {
+	if ncat < 1 {
+		return fmt.Errorf("model: gamma categories %d < 1", ncat)
+	}
+	if math.IsInf(alpha, 1) {
+		rates := make([]float64, ncat)
+		for i := range rates {
+			rates[i] = 1
+		}
+		m.Alpha = alpha
+		m.Rates = rates
+		return nil
+	}
 	rates, err := mathx.DiscreteGammaRates(alpha, ncat, false)
 	if err != nil {
 		return err

@@ -1,0 +1,402 @@
+package ooc
+
+// Integrity layer — the fault-tolerance half of the paper's closing
+// claim. "Given enough execution time and disk space, the out-of-core
+// version can be deployed to essentially infer trees on datasets of
+// arbitrary size" (§4.3) implies runs long enough that disk faults,
+// torn writes and bit rot are expected events, not exceptions. This
+// file adds the two pieces the store stack needs to survive them:
+//
+//   - ChecksumStore wraps any Store with a per-vector CRC64 +
+//     generation-tag sidecar. Every read is verified against the
+//     checksum recorded at write time; a mismatch surfaces as a typed
+//     *CorruptionError instead of silently poisoning the likelihood.
+//     The sidecar carries a versioned header binding it to the backing
+//     file's geometry, and a manifest (generation, checksum-of-
+//     checksums) that checkpoints can persist so a resumed run can
+//     validate — or decide to rebuild — the backing file.
+//
+//   - RetryPolicy implements capped exponential backoff for transient
+//     I/O errors (ErrTransientIO), used by the manager's synchronous
+//     demand path and the async pipeline workers alike.
+//
+// Crucially, corruption need not abort a run: the LvD framing of
+// likelihood computation as a recompute-vs-store tradeoff (Bryant et
+// al.) means any ancestral vector is recomputable from its children,
+// so the likelihood engine turns a *CorruptionError into a partial
+// re-traversal (see plf.Engine) — extra compute instead of a failed
+// run.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// CorruptionError reports that a vector read back from the backing
+// store does not match the checksum recorded when it was last written —
+// a torn write, a flipped bit, or an overwritten region.
+type CorruptionError struct {
+	// Vector is the corrupted vector's global index.
+	Vector int
+	// Want is the checksum recorded at write time; Got what the payload
+	// read back hashes to.
+	Want, Got uint64
+}
+
+// Error implements error.
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("ooc: vector %d corrupt: checksum %016x, want %016x", e.Vector, e.Got, e.Want)
+}
+
+// CorruptVector returns the corrupted vector's index. The method (not
+// the concrete type) is what the likelihood engine's recovery path
+// matches on, so plf need not import this package.
+func (e *CorruptionError) CorruptVector() int { return e.Vector }
+
+// IsCorruption reports whether err is (or wraps) a *CorruptionError.
+func IsCorruption(err error) bool {
+	var ce *CorruptionError
+	return errors.As(err, &ce)
+}
+
+// ErrTransientIO marks an I/O failure believed to be transient — worth
+// re-issuing rather than aborting. FaultStore wraps its injected EIO
+// errors with it; real-device store implementations can do the same.
+var ErrTransientIO = errors.New("transient I/O error")
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }
+
+// RetryPolicy caps the retry loop applied to transient store errors:
+// up to Max re-issues with exponential backoff starting at Base and
+// capped at Cap. The zero value disables retries (first error wins).
+type RetryPolicy struct {
+	// Max is the number of re-issues after the initial attempt.
+	Max int
+	// Base is the delay before the first retry (default 200µs when Max
+	// > 0); each subsequent retry doubles it.
+	Base time.Duration
+	// Cap bounds the per-retry delay (default 50ms).
+	Cap time.Duration
+}
+
+// run executes op, re-issuing it per the policy while the error is
+// transient. Every retry taken is added to counter (shared between the
+// compute thread and pipeline workers, hence atomic).
+func (rp RetryPolicy) run(counter *atomic.Int64, op func() error) error {
+	err := op()
+	delay := rp.Base
+	if delay <= 0 {
+		delay = 200 * time.Microsecond
+	}
+	cap := rp.Cap
+	if cap <= 0 {
+		cap = 50 * time.Millisecond
+	}
+	for attempt := 0; attempt < rp.Max && IsTransient(err); attempt++ {
+		if delay > cap {
+			delay = cap
+		}
+		time.Sleep(delay)
+		delay *= 2
+		if counter != nil {
+			counter.Add(1)
+		}
+		err = op()
+	}
+	return err
+}
+
+// Manifest summarises a ChecksumStore for external persistence: the
+// geometry it is bound to, the write-generation high-water mark, and a
+// checksum over the per-vector checksum table itself. checkpoint.State
+// embeds one so -resume can detect a backing file that does not match
+// the run being resumed.
+type Manifest struct {
+	NumVectors int    `json:"num_vectors"`
+	VectorLen  int    `json:"vector_len"`
+	Generation uint64 `json:"generation"`
+	SumOfSums  uint64 `json:"sum_of_sums"`
+}
+
+// crcTable is the ECMA CRC64 table shared by all checksum operations.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Sidecar layout: a fixed header binding the sidecar to the backing
+// file's geometry, then one 16-byte record (checksum, generation) per
+// vector. Records are written with positioned writes as vectors land;
+// the header's generation and sum-of-sums are refreshed by Sync/Close.
+const (
+	sidecarMagic      = "OOCSUM\x01\n"
+	sidecarHeaderSize = 48
+	sidecarRecordSize = 16
+)
+
+// vectorChecksum hashes a vector's payload in its on-disk (little-
+// endian float64) representation, so the checksum is byte-exact against
+// what FileStore persists.
+func vectorChecksum(v []float64) uint64 {
+	if hostLittleEndian {
+		return crc64.Checksum(f64Bytes(v), crcTable)
+	}
+	h := crc64.New(crcTable)
+	var buf [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ChecksumStore wraps an inner Store with per-vector CRC64 verification
+// and a persistent sidecar file. Reads of a never-written vector are
+// accepted as-is (a fresh backing file legitimately reads zeros); any
+// other read whose payload does not hash to the recorded checksum
+// returns a *CorruptionError.
+//
+// Concurrency matches the Store contract: calls on distinct vectors are
+// safe (per-vector state lives at distinct slice indices and distinct
+// sidecar offsets; the generation counter is atomic), concurrent
+// operations on the same vector are the caller's bug.
+type ChecksumStore struct {
+	inner  Store
+	f      *os.File
+	path   string
+	n      int
+	vecLen int
+	sums   []uint64
+	gens   []uint64
+	gen    atomic.Uint64
+	// CorruptReads counts reads that failed verification.
+	corruptReads atomic.Int64
+}
+
+// NewChecksumStore creates a fresh sidecar at sidecarPath (truncating
+// any previous one) for an inner store holding numVectors vectors of
+// vecLen float64s.
+func NewChecksumStore(inner Store, sidecarPath string, numVectors, vecLen int) (*ChecksumStore, error) {
+	if numVectors < 0 || vecLen <= 0 {
+		return nil, fmt.Errorf("ooc: invalid checksum store geometry: %d vectors of %d", numVectors, vecLen)
+	}
+	f, err := os.OpenFile(sidecarPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: creating checksum sidecar: %w", err)
+	}
+	if err := f.Truncate(sidecarHeaderSize + int64(numVectors)*sidecarRecordSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sizing checksum sidecar: %w", err)
+	}
+	s := &ChecksumStore{
+		inner: inner, f: f, path: sidecarPath,
+		n: numVectors, vecLen: vecLen,
+		sums: make([]uint64, numVectors),
+		gens: make([]uint64, numVectors),
+	}
+	if err := s.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// OpenChecksumStore loads an existing sidecar, validating that its
+// header matches the given geometry and that its record table matches
+// the header's checksum-of-checksums (a cleanly closed sidecar).
+func OpenChecksumStore(inner Store, sidecarPath string, numVectors, vecLen int) (*ChecksumStore, error) {
+	f, err := os.OpenFile(sidecarPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: opening checksum sidecar: %w", err)
+	}
+	s := &ChecksumStore{
+		inner: inner, f: f, path: sidecarPath,
+		n: numVectors, vecLen: vecLen,
+		sums: make([]uint64, numVectors),
+		gens: make([]uint64, numVectors),
+	}
+	hdr := make([]byte, sidecarHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: reading sidecar header: %w", err)
+	}
+	if string(hdr[:8]) != sidecarMagic {
+		f.Close()
+		return nil, fmt.Errorf("ooc: %s is not a checksum sidecar", sidecarPath)
+	}
+	hn := binary.LittleEndian.Uint64(hdr[8:])
+	hl := binary.LittleEndian.Uint64(hdr[16:])
+	if int(hn) != numVectors || int(hl) != vecLen {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sidecar geometry %dx%d does not match store %dx%d",
+			hn, hl, numVectors, vecLen)
+	}
+	gen := binary.LittleEndian.Uint64(hdr[24:])
+	sos := binary.LittleEndian.Uint64(hdr[32:])
+	recs := make([]byte, numVectors*sidecarRecordSize)
+	if _, err := f.ReadAt(recs, sidecarHeaderSize); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: reading sidecar records: %w", err)
+	}
+	for i := 0; i < numVectors; i++ {
+		s.sums[i] = binary.LittleEndian.Uint64(recs[i*sidecarRecordSize:])
+		s.gens[i] = binary.LittleEndian.Uint64(recs[i*sidecarRecordSize+8:])
+	}
+	s.gen.Store(gen)
+	if got := s.sumOfSums(); got != sos {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sidecar %s not cleanly closed: checksum-of-checksums %016x, header says %016x",
+			sidecarPath, got, sos)
+	}
+	return s, nil
+}
+
+// writeHeader refreshes the sidecar header from the in-memory state.
+func (s *ChecksumStore) writeHeader() error {
+	hdr := make([]byte, sidecarHeaderSize)
+	copy(hdr, sidecarMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(s.n))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(s.vecLen))
+	binary.LittleEndian.PutUint64(hdr[24:], s.gen.Load())
+	binary.LittleEndian.PutUint64(hdr[32:], s.sumOfSums())
+	if _, err := s.f.WriteAt(hdr, 0); err != nil {
+		return fmt.Errorf("ooc: writing sidecar header: %w", err)
+	}
+	return nil
+}
+
+// sumOfSums hashes the whole record table — the "checksum of checksums"
+// a checkpoint manifest carries.
+func (s *ChecksumStore) sumOfSums() uint64 {
+	h := crc64.New(crcTable)
+	var rec [sidecarRecordSize]byte
+	for i := range s.sums {
+		binary.LittleEndian.PutUint64(rec[0:], s.sums[i])
+		binary.LittleEndian.PutUint64(rec[8:], s.gens[i])
+		h.Write(rec[:])
+	}
+	return h.Sum64()
+}
+
+// ReadVector implements Store: read through, then verify.
+func (s *ChecksumStore) ReadVector(vi int, dst []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: checksum store read out of range: %d", vi)
+	}
+	if err := s.inner.ReadVector(vi, dst); err != nil {
+		return err
+	}
+	if s.gens[vi] == 0 {
+		// Never written: a fresh backing file reads zeros, which is fine.
+		return nil
+	}
+	if got := vectorChecksum(dst); got != s.sums[vi] {
+		s.corruptReads.Add(1)
+		return &CorruptionError{Vector: vi, Want: s.sums[vi], Got: got}
+	}
+	return nil
+}
+
+// WriteVector implements Store: write through, then record the payload's
+// checksum and a fresh generation tag in memory and in the sidecar. The
+// checksum is computed from the caller's payload (the write intent), so
+// a torn write underneath is caught by the next read.
+func (s *ChecksumStore) WriteVector(vi int, src []float64) error {
+	if vi < 0 || vi >= s.n {
+		return fmt.Errorf("ooc: checksum store write out of range: %d", vi)
+	}
+	if err := s.inner.WriteVector(vi, src); err != nil {
+		return err
+	}
+	sum := vectorChecksum(src)
+	gen := s.gen.Add(1)
+	s.sums[vi], s.gens[vi] = sum, gen
+	var rec [sidecarRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], sum)
+	binary.LittleEndian.PutUint64(rec[8:], gen)
+	if _, err := s.f.WriteAt(rec[:], sidecarHeaderSize+int64(vi)*sidecarRecordSize); err != nil {
+		return fmt.Errorf("ooc: writing checksum record for vector %d: %w", vi, err)
+	}
+	return nil
+}
+
+// CorruptReads returns how many reads failed verification.
+func (s *ChecksumStore) CorruptReads() int64 { return s.corruptReads.Load() }
+
+// Manifest returns the store's current manifest for external
+// persistence (e.g. inside a checkpoint).
+func (s *ChecksumStore) Manifest() Manifest {
+	return Manifest{
+		NumVectors: s.n,
+		VectorLen:  s.vecLen,
+		Generation: s.gen.Load(),
+		SumOfSums:  s.sumOfSums(),
+	}
+}
+
+// VerifyManifest checks the store's current state against a previously
+// persisted manifest, returning a descriptive error on any mismatch.
+func (s *ChecksumStore) VerifyManifest(m Manifest) error {
+	cur := s.Manifest()
+	switch {
+	case cur.NumVectors != m.NumVectors || cur.VectorLen != m.VectorLen:
+		return fmt.Errorf("ooc: store geometry %dx%d does not match manifest %dx%d",
+			cur.NumVectors, cur.VectorLen, m.NumVectors, m.VectorLen)
+	case cur.Generation != m.Generation:
+		return fmt.Errorf("ooc: store generation %d does not match manifest %d",
+			cur.Generation, m.Generation)
+	case cur.SumOfSums != m.SumOfSums:
+		return fmt.Errorf("ooc: store checksum-of-checksums %016x does not match manifest %016x",
+			cur.SumOfSums, m.SumOfSums)
+	}
+	return nil
+}
+
+// Verify scans every written vector against its recorded checksum and
+// returns the indices that fail (nil when the store is clean). Reads go
+// straight to the inner store, so Verify also exercises the medium.
+func (s *ChecksumStore) Verify() ([]int, error) {
+	buf := make([]float64, s.vecLen)
+	var bad []int
+	for vi := 0; vi < s.n; vi++ {
+		if s.gens[vi] == 0 {
+			continue
+		}
+		if err := s.inner.ReadVector(vi, buf); err != nil {
+			return bad, err
+		}
+		if vectorChecksum(buf) != s.sums[vi] {
+			bad = append(bad, vi)
+		}
+	}
+	return bad, nil
+}
+
+// Sync flushes the sidecar (header refreshed from the current state) to
+// stable storage.
+func (s *ChecksumStore) Sync() error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("ooc: syncing sidecar: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store: it seals the sidecar (so OpenChecksumStore
+// accepts it later) and closes the inner store.
+func (s *ChecksumStore) Close() error {
+	first := s.Sync()
+	if err := s.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := s.inner.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

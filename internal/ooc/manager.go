@@ -3,6 +3,7 @@ package ooc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	// all spares are already in the write queue. Each buffer costs
 	// VectorLen float64s on top of the Slots budget.
 	WriteBuffers int
+
+	// Retry governs re-issuing store operations that fail with a
+	// transient error (ErrTransientIO) — capped exponential backoff on
+	// the synchronous demand path and in the async pipeline workers
+	// alike. The zero value disables retries.
+	Retry RetryPolicy
 }
 
 // SlotsForFraction returns m = max(MinSlots, round(f*n)) capped at n —
@@ -151,6 +158,9 @@ type Manager struct {
 	// inflight tracks, per slot, the background fetch still filling it.
 	inflight  []*fetchReq
 	pipeStats PipelineStats
+	// retried counts transient-error retries; shared with the pipeline
+	// workers, hence atomic.
+	retried atomic.Int64
 }
 
 // ErrAllPinned is returned when a miss cannot find an evictable slot
@@ -206,7 +216,7 @@ func NewManager(cfg Config) (*Manager, error) {
 			cfg.WriteBuffers = 2
 		}
 		m.cfg = cfg
-		m.pipe = newPipeline(cfg.Store, cfg.VectorLen, cfg.IOWorkers, cfg.FetchQueue, cfg.WriteBuffers)
+		m.pipe = newPipeline(cfg.Store, cfg.VectorLen, cfg.IOWorkers, cfg.FetchQueue, cfg.WriteBuffers, cfg.Retry, &m.retried)
 		m.inflight = make([]*fetchReq, cfg.Slots)
 		m.pipeStats.Enabled = true
 	}
@@ -234,6 +244,7 @@ func (m *Manager) ResetStats() { m.stats = Stats{} }
 // so sync and async stall are directly comparable.
 func (m *Manager) PipelineStats() PipelineStats {
 	ps := m.pipeStats
+	ps.Retries = m.retried.Load()
 	if m.pipe != nil {
 		ps.OverlappedBytes = m.pipe.overlapped.Load()
 		ps.WriteQueueHits = m.pipe.wqHits.Load()
@@ -252,7 +263,11 @@ func (m *Manager) stall(f func() error) error {
 }
 
 // joinSlot waits for the background fetch still filling slot s (if
-// any) and returns its error. The wait is charged as stall time.
+// any) and returns its error. The wait is charged as stall time. A
+// successful join is where a background prefetch lands in the ledgers:
+// Reads/BytesRead must reflect fetches that completed, not fetches that
+// were merely enqueued, so that a failed fetch leaves the counters
+// exactly as a failed synchronous prefetch would.
 func (m *Manager) joinSlot(s int) error {
 	f := m.inflight[s]
 	if f == nil {
@@ -264,16 +279,31 @@ func (m *Manager) joinSlot(s int) error {
 	wait := time.Since(start)
 	m.pipeStats.StallTime += wait
 	m.pipeStats.JoinWait += wait
+	if f.err == nil {
+		m.pstats.Reads++
+		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
+	}
 	return f.err
 }
 
-// demandRead reads vi into dst on the compute thread. Under the async
-// pipeline it consults the write queue first (read-after-write).
+// demandRead reads vi into dst on the compute thread, retrying
+// transient errors per the configured policy. Under the async pipeline
+// it consults the write queue first (read-after-write).
 func (m *Manager) demandRead(vi int, dst []float64) error {
-	if m.pipe != nil {
-		return m.pipe.readThrough(vi, dst)
-	}
-	return m.cfg.Store.ReadVector(vi, dst)
+	return m.cfg.Retry.run(&m.retried, func() error {
+		if m.pipe != nil {
+			return m.pipe.readThrough(vi, dst)
+		}
+		return m.cfg.Store.ReadVector(vi, dst)
+	})
+}
+
+// storeWrite writes buf as vector vi on the compute thread, retrying
+// transient errors per the configured policy.
+func (m *Manager) storeWrite(vi int, buf []float64) error {
+	return m.cfg.Retry.run(&m.retried, func() error {
+		return m.cfg.Store.WriteVector(vi, buf)
+	})
 }
 
 // Resident reports whether vector vi currently occupies a RAM slot.
@@ -293,7 +323,7 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	m.stats.Requests++
 	m.cfg.Strategy.Touch(vi)
 	if s := m.itemSlot[vi]; s >= 0 {
-		m.stats.Hits++
+		joinFailed := false
 		if m.pipe != nil && m.inflight[s] != nil {
 			// The prefetch that staged vi is still in flight: join it
 			// rather than re-reading (this wait is the residue of
@@ -303,20 +333,34 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 				// The background read failed; unmap so the vector is
 				// not resident with garbage, mirroring a failed
 				// synchronous prefetch (which leaves the slot empty).
+				// A failed join must not be ledgered as a hit.
 				m.itemSlot[vi] = -1
 				m.slotItem[s] = -1
 				m.prefetched[s] = false
-				return nil, err
+				if IsCorruption(err) {
+					m.pipeStats.CorruptReads++
+				}
+				if !write || !IsCorruption(err) {
+					return nil, err
+				}
+				// Write-intent access to a corrupt staged copy: the
+				// caller overwrites the whole payload anyway, so fall
+				// through to the miss path (the slot just freed is
+				// available) instead of failing the computation.
+				joinFailed = true
 			}
 		}
-		if m.prefetched[s] {
-			m.prefetched[s] = false
-			m.pstats.Hits++
+		if !joinFailed {
+			m.stats.Hits++
+			if m.prefetched[s] {
+				m.prefetched[s] = false
+				m.pstats.Hits++
+			}
+			if write {
+				m.dirty[s] = true
+			}
+			return m.slots[s], nil
 		}
-		if write {
-			m.dirty[s] = true
-		}
-		return m.slots[s], nil
 	}
 	m.stats.Misses++
 
@@ -328,10 +372,18 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	skipRead := write && m.cfg.ReadSkipping
 	if skipRead {
 		m.stats.SkippedReads++
-	} else {
-		if err := m.stall(func() error { return m.demandRead(vi, m.slots[slot]) }); err != nil {
+	} else if err := m.stall(func() error { return m.demandRead(vi, m.slots[slot]) }); err != nil {
+		if !IsCorruption(err) {
 			return nil, err
 		}
+		m.pipeStats.CorruptReads++
+		if !write {
+			return nil, err
+		}
+		// The stored payload is corrupt, but the caller promised to
+		// overwrite the entire vector before reading it: recover by
+		// treating the fault-in like a skipped read instead of failing.
+	} else {
 		m.stats.Reads++
 		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
 	}
@@ -390,7 +442,23 @@ func (m *Manager) evict(victim, slot int) error {
 		// The victim's own stage-in is still in flight; its buffer
 		// cannot be written back or reused until the read completes.
 		if err := m.joinSlot(slot); err != nil {
-			return err
+			// The stage-in never delivered valid data, so the buffer
+			// holds garbage: writing it back would clobber the store's
+			// authoritative copy. Drop the slot instead — a later
+			// demand access faults the vector in again and surfaces
+			// the error to the caller if it persists.
+			if IsCorruption(err) {
+				m.pipeStats.CorruptReads++
+			}
+			m.pipeStats.DroppedWritebacks++
+			m.itemSlot[victim] = -1
+			m.slotItem[slot] = -1
+			m.dirty[slot] = false
+			if m.prefetched[slot] {
+				m.prefetched[slot] = false
+				m.pstats.Wasted++
+			}
+			return nil
 		}
 	}
 	// A clean slot's content matches the store (it was faulted in by a
@@ -400,7 +468,7 @@ func (m *Manager) evict(victim, slot int) error {
 			if err := m.asyncWriteBack(victim, slot); err != nil {
 				return err
 			}
-		} else if err := m.stall(func() error { return m.cfg.Store.WriteVector(victim, m.slots[slot]) }); err != nil {
+		} else if err := m.stall(func() error { return m.storeWrite(victim, m.slots[slot]) }); err != nil {
 			return err
 		}
 		m.stats.Writes++
@@ -452,7 +520,7 @@ func (m *Manager) Flush() error {
 		if it < 0 {
 			continue
 		}
-		if err := m.stall(func() error { return m.cfg.Store.WriteVector(it, m.slots[s]) }); err != nil {
+		if err := m.stall(func() error { return m.storeWrite(it, m.slots[s]) }); err != nil {
 			return err
 		}
 		m.stats.Writes++

@@ -78,6 +78,18 @@ type PipelineStats struct {
 	// QueueDepthMax is the high-water mark of simultaneously queued
 	// background operations (fetches + writes).
 	QueueDepthMax int64
+	// Retries counts transient-I/O retries taken by the manager's
+	// retry policy, across the sync demand path and both worker kinds.
+	Retries int64
+	// CorruptReads counts checksum-verification failures surfaced to
+	// the manager (each one either aborted the access or triggered a
+	// recompute upstream).
+	CorruptReads int64
+	// DroppedWritebacks counts evictions that discarded the slot
+	// instead of writing it back because the victim's stage-in never
+	// delivered valid data (writing the buffer back would have
+	// clobbered the store's authoritative copy).
+	DroppedWritebacks int64
 }
 
 // fetchReq is one background stage-in: the worker fills dst with
@@ -123,11 +135,14 @@ type pipeline struct {
 	overlapped atomic.Int64
 	wqHits     atomic.Int64
 
+	retry   RetryPolicy
+	retried *atomic.Int64
+
 	wg   sync.WaitGroup
 	stop sync.Once
 }
 
-func newPipeline(store Store, vecLen, workers, queue, spareBufs int) *pipeline {
+func newPipeline(store Store, vecLen, workers, queue, spareBufs int, retry RetryPolicy, retried *atomic.Int64) *pipeline {
 	p := &pipeline{
 		store:   store,
 		vecLen:  vecLen,
@@ -135,6 +150,8 @@ func newPipeline(store Store, vecLen, workers, queue, spareBufs int) *pipeline {
 		writeCh: make(chan *writeReq, spareBufs),
 		spares:  make(chan []float64, spareBufs),
 		pending: make(map[int]*writeReq),
+		retry:   retry,
+		retried: retried,
 	}
 	for i := 0; i < spareBufs; i++ {
 		p.spares <- make([]float64, vecLen)
@@ -151,10 +168,15 @@ func newPipeline(store Store, vecLen, workers, queue, spareBufs int) *pipeline {
 func (p *pipeline) fetchWorker() {
 	defer p.wg.Done()
 	for req := range p.fetchCh {
-		req.err = p.readThrough(req.vi, req.dst)
-		if req.err != nil {
-			p.noteErr(req.err)
-		} else {
+		req.err = p.retry.run(p.retried, func() error {
+			return p.readThrough(req.vi, req.dst)
+		})
+		// A fetch error is delivered to the compute thread via the
+		// join, which decides whether it is fatal (it may instead
+		// trigger a recompute for a corrupt vector) — it must NOT
+		// poison the pipeline's sticky firstErr, or one recovered
+		// corruption would fail every later write-back barrier.
+		if req.err == nil {
 			p.overlapped.Add(int64(len(req.dst)) * 8)
 		}
 		p.depth.Add(-1)
@@ -165,7 +187,12 @@ func (p *pipeline) fetchWorker() {
 func (p *pipeline) writeWorker() {
 	defer p.wg.Done()
 	for req := range p.writeCh {
-		if err := p.store.WriteVector(req.vi, req.buf); err != nil {
+		err := p.retry.run(p.retried, func() error {
+			return p.store.WriteVector(req.vi, req.buf)
+		})
+		if err != nil {
+			// Unlike fetches, a lost write-back has no joiner to
+			// report to: the sticky error is the only escalation path.
 			p.noteErr(err)
 		} else {
 			p.overlapped.Add(int64(len(req.buf)) * 8)

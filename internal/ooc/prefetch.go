@@ -57,12 +57,18 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 	// the staged vector as the very next victim.
 	m.cfg.Strategy.Touch(vi)
 	if m.pipe == nil {
-		if err := m.stall(func() error { return m.cfg.Store.ReadVector(vi, m.slots[slot]) }); err != nil {
+		if err := m.stall(func() error { return m.demandRead(vi, m.slots[slot]) }); err != nil {
+			if IsCorruption(err) {
+				m.pipeStats.CorruptReads++
+			}
 			return err
 		}
+		// Ledger the read only once it has actually succeeded: a failed
+		// stage-in must not leave Reads/BytesRead overcounting. The
+		// async path mirrors this by accounting at join time (joinSlot).
+		m.pstats.Reads++
+		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
 	}
-	m.pstats.Reads++
-	m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
 	m.slotItem[slot] = vi
 	m.itemSlot[vi] = slot
 	m.dirty[slot] = false

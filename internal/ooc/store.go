@@ -146,6 +146,32 @@ func NewFileStore(path string, numVectors, vecLen int) (*FileStore, error) {
 	return s, nil
 }
 
+// OpenFileStore opens an existing backing file without truncating it,
+// validating that its size matches the expected geometry. Used when a
+// resumed run wants to keep (and verify) the previous run's vectors.
+func OpenFileStore(path string, numVectors, vecLen int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: opening backing file: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ooc: sizing backing file: %w", err)
+	}
+	want := int64(numVectors) * int64(vecLen) * 8
+	if info.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("ooc: backing file %s is %d bytes, geometry needs %d", path, info.Size(), want)
+	}
+	s := &FileStore{f: f, vecLen: vecLen, n: numVectors}
+	s.codecs.New = func() any {
+		b := make([]byte, vecLen*8)
+		return &b
+	}
+	return s, nil
+}
+
 // ReadVector implements Store via a single positioned read.
 func (s *FileStore) ReadVector(vi int, dst []float64) error {
 	if vi < 0 || vi >= s.n {
@@ -254,6 +280,7 @@ func (s *SimStore) Close() error { return s.Inner.Close() }
 // reproduced (BenchmarkStoreLayout).
 type MultiFileStore struct {
 	files []*FileStore
+	n     int
 }
 
 // NewMultiFileStore creates numFiles backing files named
@@ -262,9 +289,12 @@ func NewMultiFileStore(path string, numFiles, numVectors, vecLen int) (*MultiFil
 	if numFiles < 1 {
 		return nil, fmt.Errorf("ooc: need at least one file, got %d", numFiles)
 	}
-	m := &MultiFileStore{}
+	m := &MultiFileStore{n: numVectors}
 	for i := 0; i < numFiles; i++ {
-		per := numVectors/numFiles + 1
+		// File i holds vectors i, i+numFiles, i+2·numFiles, ... — size it
+		// exactly rather than over-allocating a full extra vector per
+		// file when the division is even.
+		per := (numVectors - i + numFiles - 1) / numFiles
 		fs, err := NewFileStore(fmt.Sprintf("%s.%d", path, i), per, vecLen)
 		if err != nil {
 			m.Close()
@@ -275,14 +305,29 @@ func NewMultiFileStore(path string, numFiles, numVectors, vecLen int) (*MultiFil
 	return m, nil
 }
 
-// ReadVector implements Store.
+// ReadVector implements Store. Errors from the per-file stores carry
+// the per-file index, so they are wrapped with the global one.
 func (m *MultiFileStore) ReadVector(vi int, dst []float64) error {
-	return m.files[vi%len(m.files)].ReadVector(vi/len(m.files), dst)
+	if vi < 0 || vi >= m.n {
+		return fmt.Errorf("ooc: multi-file store read out of range: %d", vi)
+	}
+	fi := vi % len(m.files)
+	if err := m.files[fi].ReadVector(vi/len(m.files), dst); err != nil {
+		return fmt.Errorf("ooc: multi-file store, vector %d (file %d): %w", vi, fi, err)
+	}
+	return nil
 }
 
-// WriteVector implements Store.
+// WriteVector implements Store; see ReadVector for the error wrapping.
 func (m *MultiFileStore) WriteVector(vi int, src []float64) error {
-	return m.files[vi%len(m.files)].WriteVector(vi/len(m.files), src)
+	if vi < 0 || vi >= m.n {
+		return fmt.Errorf("ooc: multi-file store write out of range: %d", vi)
+	}
+	fi := vi % len(m.files)
+	if err := m.files[fi].WriteVector(vi/len(m.files), src); err != nil {
+		return fmt.Errorf("ooc: multi-file store, vector %d (file %d): %w", vi, fi, err)
+	}
+	return nil
 }
 
 // Close implements Store; it closes every underlying file.

@@ -180,6 +180,26 @@ func (e *Engine) sumTableValues(t float64) (lnl, d1, d2 float64) {
 	return lnl, d1, d2
 }
 
+// prepareSumTable runs the traversal and builds the sum table for
+// edge, healing corrupt endpoint reads the same way LogLikelihoodAt
+// does: invalidate the corrupt node, re-plan, recompute.
+func (e *Engine) prepareSumTable(edge *tree.Edge) error {
+	budget := e.recoveryBudget()
+	attempts := 0
+	for {
+		if err := e.Traverse(edge); err != nil {
+			return err
+		}
+		err := e.buildSumTable(edge)
+		if err == nil {
+			return nil
+		}
+		if !e.recoverCorruption(err, &attempts, budget) {
+			return err
+		}
+	}
+}
+
 // OptimizeBranch Newton-optimises the length of edge, leaving both
 // endpoint vectors valid and the edge set to the best length found. It
 // returns the log-likelihood at the optimised length. The optimum is
@@ -187,10 +207,7 @@ func (e *Engine) sumTableValues(t float64) (lnl, d1, d2 float64) {
 // lands somewhere worse than the starting point (possible on plateaus)
 // the original length is kept.
 func (e *Engine) OptimizeBranch(edge *tree.Edge) (float64, error) {
-	if err := e.Traverse(edge); err != nil {
-		return 0, err
-	}
-	if err := e.buildSumTable(edge); err != nil {
+	if err := e.prepareSumTable(edge); err != nil {
 		return 0, err
 	}
 	t0 := edge.Length
@@ -220,10 +237,7 @@ func (e *Engine) OptimizeBranch(edge *tree.Edge) (float64, error) {
 // table predicts for the given branch length. Exposed for tests (it
 // must agree with a fresh evaluation after setting the length).
 func (e *Engine) EvaluateAtLength(edge *tree.Edge, t float64) (float64, error) {
-	if err := e.Traverse(edge); err != nil {
-		return 0, err
-	}
-	if err := e.buildSumTable(edge); err != nil {
+	if err := e.prepareSumTable(edge); err != nil {
 		return 0, err
 	}
 	lnl, _, _ := e.sumTableValues(t)

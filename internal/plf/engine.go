@@ -1,6 +1,7 @@
 package plf
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -35,6 +36,13 @@ type Stats struct {
 	// NewtonIters is the number of Newton-Raphson iterations performed
 	// during branch-length optimisation.
 	NewtonIters int64
+	// Recoveries is the number of corrupted ancestral vectors the
+	// engine healed by invalidating the node and recomputing its
+	// subtree (the LvD recompute-vs-store tradeoff turned into a
+	// fault-tolerance mechanism: any inner vector is a pure function
+	// of its children, so corruption costs extra newviews, not the
+	// run).
+	Recoveries int64
 }
 
 // Engine evaluates the PLF for one (tree, alignment, model) triple over
@@ -441,12 +449,60 @@ func (e *Engine) newview(s *tree.Step) error {
 	return nil
 }
 
+// corruptionVector extracts the vector index from a corruption error
+// reported by the provider's integrity layer. Matching is structural
+// (any error with a CorruptVector() int method, e.g.
+// *ooc.CorruptionError) so the engine does not depend on a concrete
+// store implementation.
+func corruptionVector(err error) (int, bool) {
+	var ce interface{ CorruptVector() int }
+	if errors.As(err, &ce) {
+		return ce.CorruptVector(), true
+	}
+	return -1, false
+}
+
+// recoverCorruption turns a corrupt-vector read into a recompute: the
+// node owning the vector is marked invalid so the next traversal plan
+// rebuilds it from its children (which recurses if a child is itself
+// corrupt or invalid). Returns false when err is not a corruption, the
+// vector is out of range, or the attempt budget is exhausted — the
+// caller then surfaces err as fatal. The budget bounds pathological
+// stores that corrupt every read: each recovery invalidates at least
+// one node and a clean recompute re-validates it, so a healthy store
+// converges well within 2·inner+8 attempts.
+func (e *Engine) recoverCorruption(err error, attempts *int, budget int) bool {
+	vi, ok := corruptionVector(err)
+	if !ok || vi < 0 || vi >= e.T.NumInner() || *attempts >= budget {
+		return false
+	}
+	*attempts++
+	e.orient[vi+e.T.NumTips] = nil
+	e.Stats.Recoveries++
+	return true
+}
+
+// recoveryBudget is the per-call cap on corruption recoveries.
+func (e *Engine) recoveryBudget() int { return 2*e.T.NumInner() + 8 }
+
 // Traverse makes the vectors at both endpoints of edge valid and
 // oriented toward each other, doing only the work the current
-// orientation state requires.
+// orientation state requires. A corrupt vector surfaced during the
+// traversal is self-healed: the node is invalidated and the plan is
+// rebuilt, recomputing the lost subtree instead of failing the run.
 func (e *Engine) Traverse(edge *tree.Edge) error {
-	steps := tree.EdgeTraversal(e.T, edge, e.orient)
-	return e.Execute(steps)
+	budget := e.recoveryBudget()
+	attempts := 0
+	for {
+		steps := tree.EdgeTraversal(e.T, edge, e.orient)
+		err := e.Execute(steps)
+		if err == nil {
+			return nil
+		}
+		if !e.recoverCorruption(err, &attempts, budget) {
+			return err
+		}
+	}
 }
 
 // FullTraversal recomputes every ancestral vector oriented toward edge,
@@ -458,12 +514,24 @@ func (e *Engine) FullTraversal(edge *tree.Edge) error {
 }
 
 // LogLikelihoodAt returns the log-likelihood evaluated at the given
-// branch, running whatever partial traversal is needed first.
+// branch, running whatever partial traversal is needed first. Like
+// Traverse, it recovers from corrupt-vector reads (here: an endpoint
+// vector read by the evaluation itself) by recomputing.
 func (e *Engine) LogLikelihoodAt(edge *tree.Edge) (float64, error) {
-	if err := e.Traverse(edge); err != nil {
-		return 0, err
+	budget := e.recoveryBudget()
+	attempts := 0
+	for {
+		if err := e.Traverse(edge); err != nil {
+			return 0, err
+		}
+		lnl, err := e.evaluate(edge)
+		if err == nil {
+			return lnl, nil
+		}
+		if !e.recoverCorruption(err, &attempts, budget) {
+			return 0, err
+		}
 	}
-	return e.evaluate(edge)
 }
 
 // LogLikelihood evaluates at the tree's first branch.

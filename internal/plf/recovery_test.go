@@ -1,0 +1,182 @@
+package plf
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/tree"
+)
+
+// corruptionRig is an engine over Manager → ChecksumStore → MemStore,
+// with the raw MemStore exposed so tests can corrupt vectors behind the
+// integrity layer's back.
+type corruptionRig struct {
+	e     *Engine
+	mgr   *ooc.Manager
+	inner *ooc.MemStore
+}
+
+func newCorruptionRig(t *testing.T, taxa, sites, slots int, seed int64) *corruptionRig {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := tipNames(taxa)
+	pats := randomAlignment(t, names, sites, rng, bio.DNA)
+	tr, err := tree.RandomTopology(names, rng, 0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.NewJC(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetGamma(0.8, 4); err != nil {
+		t.Fatal(err)
+	}
+	vecLen := VectorLength(m, pats.NumPatterns())
+	n := tr.NumInner()
+	inner := ooc.NewMemStore(n, vecLen)
+	cs, err := ooc.NewChecksumStore(inner, filepath.Join(t.TempDir(), "v.sum"), n, vecLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors: n, VectorLen: vecLen, Slots: slots,
+		Strategy: ooc.NewLRU(n), ReadSkipping: true, Store: cs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(tr, pats, m, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close(); cs.Close() })
+	return &corruptionRig{e: e, mgr: mgr, inner: inner}
+}
+
+// corruptNonResident flips data in every vector that is written to the
+// store but not currently resident in RAM, returning how many it hit.
+func (r *corruptionRig) corruptNonResident(t *testing.T) int {
+	t.Helper()
+	n := r.mgr.NumVectors()
+	buf := make([]float64, r.mgr.VectorLen())
+	hit := 0
+	for vi := 0; vi < n; vi++ {
+		if r.mgr.Resident(vi) {
+			continue
+		}
+		if err := r.inner.ReadVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+		written := false
+		for _, x := range buf {
+			if x != 0 {
+				written = true
+				break
+			}
+		}
+		if !written {
+			continue
+		}
+		buf[len(buf)/2] += 1.0
+		if err := r.inner.WriteVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+		hit++
+	}
+	return hit
+}
+
+// TestFaultCorruptionRecoveryDeterministic runs the same edge-hopping
+// workload on a clean rig and on a rig whose stored vectors are
+// corrupted mid-run: the engine must detect every corrupt fault-in,
+// recompute the lost subtrees, and land on bit-identical likelihoods.
+func TestFaultCorruptionRecoveryDeterministic(t *testing.T) {
+	const taxa, sites, slots, seed = 16, 64, 3, 11
+
+	workload := func(rig *corruptionRig, corrupt bool) []float64 {
+		t.Helper()
+		e := rig.e
+		var lnls []float64
+		first, last := e.T.Edges[0], e.T.Edges[len(e.T.Edges)-1]
+		lnl, err := e.LogLikelihoodAt(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnls = append(lnls, lnl)
+		if corrupt {
+			if hit := rig.corruptNonResident(t); hit == 0 {
+				t.Fatal("no stored vectors to corrupt; shrink slots")
+			}
+		}
+		// Hopping to the far edge re-orients the path between the two
+		// edges, reading valid subtree roots — some of them corrupt.
+		lnl, err = e.LogLikelihoodAt(last)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnls = append(lnls, lnl)
+		// And back, over the now-healed store.
+		lnl, err = e.LogLikelihoodAt(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(lnls, lnl)
+	}
+
+	clean := workload(newCorruptionRig(t, taxa, sites, slots, seed), false)
+	rig := newCorruptionRig(t, taxa, sites, slots, seed)
+	faulted := workload(rig, true)
+
+	for i := range clean {
+		if clean[i] != faulted[i] {
+			t.Errorf("lnl[%d]: clean %v, faulted %v (recovery changed the answer)", i, clean[i], faulted[i])
+		}
+	}
+	if rig.e.Stats.Recoveries == 0 {
+		t.Error("workload read corrupted vectors but Stats.Recoveries == 0")
+	}
+	if rig.mgr.PipelineStats().CorruptReads == 0 {
+		t.Error("manager saw no corrupt reads")
+	}
+	if faulted[1] != clean[1] {
+		t.Error("post-corruption likelihood diverged")
+	}
+}
+
+// TestFaultRecoveryBudgetExhausts ensures a store that corrupts every
+// read surfaces an error instead of recomputing forever.
+func TestFaultRecoveryBudgetExhausts(t *testing.T) {
+	rig := newCorruptionRig(t, 12, 32, 3, 13)
+	e := rig.e
+	if _, err := e.LogLikelihoodAt(e.T.Edges[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt continuously: after every traversal attempt, re-corrupt
+	// whatever was flushed. The recovery budget must eventually stop
+	// the loop. We simulate "always corrupt" by corrupting and then
+	// asking for an edge evaluation in a loop bounded well above the
+	// engine's budget.
+	budget := 2*e.T.NumInner() + 8
+	sawError := false
+	for i := 0; i < budget+4; i++ {
+		if rig.corruptNonResident(t) == 0 {
+			break
+		}
+		if _, err := e.LogLikelihoodAt(e.T.Edges[len(e.T.Edges)-1-i%2]); err != nil {
+			sawError = true
+			break
+		}
+	}
+	// Either the engine kept healing (every pass converged before the
+	// budget) or it gave up with an error — both are sound; an infinite
+	// loop or a wrong likelihood is not. Reaching this line at all
+	// proves termination; cross-check the counters moved.
+	if e.Stats.Recoveries == 0 && !sawError {
+		t.Error("no recoveries and no error despite repeated corruption")
+	}
+}
