@@ -1,0 +1,101 @@
+// Command benchsmoke produces a machine-readable kernel benchmark
+// baseline for CI: it runs the kernel ablation (generic versus
+// specialised PLF kernels on a simulated DNA GTR+Γ4 dataset, identical
+// likelihoods enforced) and writes per-phase timings, speedups and
+// P-cache hit rates as JSON. CI uploads the file as an artifact so
+// regressions between commits can be diffed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"oocphylo/internal/experiments"
+)
+
+// phaseRow is one workload phase of the baseline.
+type phaseRow struct {
+	Phase       string  `json:"phase"`
+	GenericNs   int64   `json:"generic_ns"`
+	AutoNs      int64   `json:"auto_ns"`
+	Speedup     float64 `json:"speedup"`
+	LnL         float64 `json:"lnl"`
+	NsPerOpUnit string  `json:"unit"`
+}
+
+// baseline is the BENCH_3.json schema.
+type baseline struct {
+	Schema        string     `json:"schema"`
+	GoVersion     string     `json:"go_version"`
+	GOARCH        string     `json:"goarch"`
+	Taxa          int        `json:"taxa"`
+	Sites         int        `json:"sites"`
+	Traversals    int        `json:"traversals"`
+	Kernel        string     `json:"kernel"`
+	Phases        []phaseRow `json:"phases"`
+	PCacheHits    int64      `json:"pcache_hits"`
+	PCacheMisses  int64      `json:"pcache_misses"`
+	PCacheHitRate float64    `json:"pcache_hit_rate"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_3.json", "output JSON path")
+	taxa := fs.Int("taxa", 48, "simulated taxa")
+	sites := fs.Int("sites", 1500, "simulated sites")
+	traversals := fs.Int("traversals", 3, "full traversals in the newview phase")
+	seed := fs.Int64("seed", 42, "dataset seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.KernelAblationConfig{
+		Taxa: *taxa, Sites: *sites, Traversals: *traversals, Seed: *seed,
+	}
+	res, err := experiments.RunKernelAblation(cfg)
+	if err != nil {
+		return err
+	}
+	b := baseline{
+		Schema:        "oocphylo/benchsmoke/v1",
+		GoVersion:     runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		Taxa:          *taxa,
+		Sites:         *sites,
+		Traversals:    *traversals,
+		Kernel:        res.Kernel,
+		PCacheHits:    res.PCacheHits,
+		PCacheMisses:  res.PCacheMisses,
+		PCacheHitRate: res.HitRate(),
+	}
+	for _, r := range res.Rows {
+		b.Phases = append(b.Phases, phaseRow{
+			Phase:       r.Phase,
+			GenericNs:   r.GenericWall.Nanoseconds(),
+			AutoNs:      r.AutoWall.Nanoseconds(),
+			Speedup:     r.Speedup(),
+			LnL:         r.LnL,
+			NsPerOpUnit: "ns/phase",
+		})
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	experiments.WriteKernelAblationTable(os.Stdout, res, cfg)
+	fmt.Printf("baseline written to %s\n", *out)
+	return nil
+}

@@ -7,6 +7,8 @@
 //	-fig 5    five full traversals: paging baseline vs out-of-core
 //	-fig async  sync vs async pipeline stall ablation (not in the paper;
 //	            the §5 prefetch-thread future work)
+//	-fig kernels  generic vs DNA-specialised compute kernels + P cache
+//	              (not in the paper; compute-side ablation)
 //	-fig all  everything (default)
 //
 // Default dimensions are CI-scaled; pass -full for the paper's own
@@ -32,7 +34,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async or all")
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels or all")
 	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
 	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
 	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
@@ -111,8 +113,21 @@ func run(args []string) error {
 			return err
 		}
 		experiments.WriteAsyncAblationTable(out, rows, acfg)
+		fmt.Fprintln(out)
 	}
-	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") {
+	if want("kernels") {
+		fmt.Fprintln(out, "== Kernel ablation: generic vs specialised PLF kernels ==")
+		kcfg := experiments.KernelAblationConfig{Seed: *seed}
+		if *full {
+			kcfg.Taxa, kcfg.Sites = 256, 8192
+		}
+		res, err := experiments.RunKernelAblation(kcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteKernelAblationTable(out, res, kcfg)
+	}
+	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil

@@ -89,6 +89,7 @@ type options struct {
 	pinv        float64
 	verifyStore bool
 	ioRetries   int
+	kernel      string
 }
 
 func run(args []string, out *os.File) error {
@@ -114,6 +115,7 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.rounds, "rounds", 10, "maximum SPR improvement rounds")
 	fs.Int64Var(&o.seed, "seed", 42, "random seed (starting trees, random strategy)")
 	fs.IntVar(&o.threads, "threads", 1, "PLF kernel worker goroutines (results are identical for any value)")
+	fs.StringVar(&o.kernel, "kernel", plf.KernelAuto, "PLF compute kernels: auto (specialised where available) or generic; results are bit-identical either way")
 	fs.BoolVar(&o.prefetch, "prefetch", false, "enable plan-driven vector prefetching (out-of-core runs)")
 	fs.BoolVar(&o.async, "async", false, "run out-of-core I/O on background goroutines (implies -prefetch); results are bit-identical to synchronous runs")
 	fs.IntVar(&o.ioWorkers, "io-workers", 2, "background fetch goroutines for -async")
@@ -187,7 +189,11 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if err := e.SetKernel(o.kernel); err != nil {
+		return err
+	}
 	e.SetWorkers(o.threads)
+	defer e.Close()
 	// Async runs overlap I/O with compute only when the engine actually
 	// stages reads ahead, so -async implies -prefetch.
 	e.EnablePrefetch(o.prefetch || o.async)
@@ -298,6 +304,12 @@ func run(args []string, out *os.File) error {
 	if o.printStats {
 		fmt.Fprintf(out, "Engine: %d newviews, %d evaluations, %d sum tables, %d Newton iterations\n",
 			e.Stats.Newviews, e.Stats.Evaluations, e.Stats.SumTables, e.Stats.NewtonIters)
+		fmt.Fprintf(out, "Kernels: %s (%s mode)", e.KernelName(), e.KernelMode())
+		if hits, misses := e.Stats.PCacheHits, e.Stats.PCacheMisses; hits+misses > 0 {
+			fmt.Fprintf(out, "; P cache %d hits / %d misses (%.1f%%), %d drops",
+				hits, misses, 100*float64(hits)/float64(hits+misses), e.Stats.PCacheDrops)
+		}
+		fmt.Fprintln(out)
 		if mgr != nil {
 			st := mgr.Stats()
 			fmt.Fprintf(out, "Out-of-core: %d requests, %d misses (%.2f%%), %d reads (%.2f%%), %d writes, %d skipped reads\n",

@@ -275,3 +275,43 @@ func TestPInvFlag(t *testing.T) {
 		t.Error("invalid pInv must fail")
 	}
 }
+
+// lnlLine extracts the "Log likelihood:" line from CLI output.
+func lnlLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Log likelihood:") {
+			return line
+		}
+	}
+	t.Fatalf("no log-likelihood line in output:\n%s", out)
+	return ""
+}
+
+func TestKernelFlag(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	base := []string{"-s", phy, "-t", nwk, "-f", "z", "-k", "2", "-m", "HKY", "-a", "0.7", "-stats"}
+	outAuto, err := capture(t, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outAuto, "Kernels: dna4 (auto mode)") || !strings.Contains(outAuto, "P cache") {
+		t.Errorf("auto-mode stats missing kernel/cache line:\n%s", outAuto)
+	}
+	outGen, err := capture(t, append([]string{"-kernel", "generic"}, base...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(outGen, "Kernels: generic (generic mode)") {
+		t.Errorf("generic-mode stats missing kernel line:\n%s", outGen)
+	}
+	if strings.Contains(outGen, "P cache") {
+		t.Errorf("generic mode must not report cache traffic:\n%s", outGen)
+	}
+	if lnlLine(t, outAuto) != lnlLine(t, outGen) {
+		t.Errorf("kernel modes disagree:\n%s\n%s", lnlLine(t, outAuto), lnlLine(t, outGen))
+	}
+	if _, err := capture(t, append([]string{"-kernel", "sse3"}, base...)...); err == nil {
+		t.Error("unknown kernel mode must fail")
+	}
+}

@@ -43,7 +43,18 @@ type Model struct {
 	// PInv is the proportion of invariant sites (the +I mixture
 	// component); 0 disables it. See SetInvariant.
 	PInv float64
+
+	// gen counts parameter mutations; see Version.
+	gen uint64
 }
+
+// Version returns a counter that changes whenever the model's
+// parameters are mutated through its setters (SetGamma,
+// SetExchangeabilities, SetInvariant). Likelihood engines key their
+// branch-length transition-matrix caches on it: a version mismatch
+// means every cached P(rt) may describe a stale rate matrix or rate
+// assignment and must be discarded.
+func (m *Model) Version() uint64 { return m.gen }
 
 // Cats returns the number of discrete rate categories (>= 1).
 func (m *Model) Cats() int { return len(m.Rates) }
@@ -147,6 +158,7 @@ func (m *Model) SetExchangeabilities(exch []float64) error {
 	m.Eval = rebuilt.Eval
 	m.Evec = rebuilt.Evec
 	m.Ievec = rebuilt.Ievec
+	m.gen++
 	return nil
 }
 
@@ -251,6 +263,7 @@ func (m *Model) SetGamma(alpha float64, ncat int) error {
 		}
 		m.Alpha = alpha
 		m.Rates = rates
+		m.gen++
 		return nil
 	}
 	rates, err := mathx.DiscreteGammaRates(alpha, ncat, false)
@@ -259,6 +272,7 @@ func (m *Model) SetGamma(alpha float64, ncat int) error {
 	}
 	m.Alpha = alpha
 	m.Rates = rates
+	m.gen++
 	return nil
 }
 
@@ -272,6 +286,7 @@ func (m *Model) SetInvariant(p float64) error {
 		return fmt.Errorf("model: invariant proportion %v outside [0, 1)", p)
 	}
 	m.PInv = p
+	m.gen++
 	return nil
 }
 

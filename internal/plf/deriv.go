@@ -30,31 +30,32 @@ import (
 // each other (call Traverse first).
 func (e *Engine) buildSumTable(edge *tree.Edge) error {
 	e.Stats.SumTables++
-	k, C := e.nStates, e.nCat
+	a := &e.sa
+	*a = sumArgs{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
-	var xp, xq []float64
-	var codeP, codeQ []uint16
 	var err error
 	if p.IsTip() {
-		codeP = e.tipCode[p.Index]
+		a.codeP = e.tipCode[p.Index]
 	} else {
-		var pins []int
+		np := 0
 		if !q.IsTip() {
-			pins = []int{e.vi(q)}
+			e.pinsL[0] = e.vi(q)
+			np = 1
 		}
-		xp, err = e.prov.Vector(e.vi(p), false, pins...)
+		a.xp, err = e.prov.Vector(e.vi(p), false, e.pinsL[:np]...)
 		if err != nil {
 			return err
 		}
 	}
 	if q.IsTip() {
-		codeQ = e.tipCode[q.Index]
+		a.codeQ = e.tipCode[q.Index]
 	} else {
-		var pins []int
+		np := 0
 		if !p.IsTip() {
-			pins = []int{e.vi(p)}
+			e.pinsR[0] = e.vi(p)
+			np = 1
 		}
-		xq, err = e.prov.Vector(e.vi(q), false, pins...)
+		a.xq, err = e.prov.Vector(e.vi(q), false, e.pinsR[:np]...)
 		if err != nil {
 			return err
 		}
@@ -62,66 +63,19 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 	for i := range e.sumTabSc {
 		e.sumTabSc[i] = 0
 	}
-	if xp != nil {
+	if a.xp != nil {
 		for i, s := range e.scales[e.vi(p)] {
 			e.sumTabSc[i] += s
 		}
 	}
-	if xq != nil {
+	if a.xq != nil {
 		for i, s := range e.scales[e.vi(q)] {
 			e.sumTabSc[i] += s
 		}
 	}
 
-	freqs := e.M.Freqs
-	evec, ievec := e.M.Evec, e.M.Ievec
-	e.parallelFor(e.nPat, func(lo, hi int) {
-		var left, right [32]float64
-		for i := lo; i < hi; i++ {
-			base := i * C * k
-			for c := 0; c < C; c++ {
-				// left_k = sum_s pi_s x_p[s] V[s][k]
-				var lsrc []float64
-				if codeP != nil {
-					lsrc = e.tipInd[int(codeP[i])*k : (int(codeP[i])+1)*k]
-				} else {
-					lsrc = xp[base+c*k : base+(c+1)*k]
-				}
-				for kk := 0; kk < k; kk++ {
-					left[kk] = 0
-				}
-				for s := 0; s < k; s++ {
-					w := freqs[s] * lsrc[s]
-					if w == 0 {
-						continue
-					}
-					row := evec[s*k : (s+1)*k]
-					for kk := 0; kk < k; kk++ {
-						left[kk] += w * row[kk]
-					}
-				}
-				// right_k = sum_j V^-1[k][j] x_q[j]
-				var rsrc []float64
-				if codeQ != nil {
-					rsrc = e.tipInd[int(codeQ[i])*k : (int(codeQ[i])+1)*k]
-				} else {
-					rsrc = xq[base+c*k : base+(c+1)*k]
-				}
-				for kk := 0; kk < k; kk++ {
-					acc := 0.0
-					row := ievec[kk*k : (kk+1)*k]
-					for j := 0; j < k; j++ {
-						acc += row[j] * rsrc[j]
-					}
-					right[kk] = acc
-				}
-				dst := e.sumTab[base+c*k : base+(c+1)*k]
-				for kk := 0; kk < k; kk++ {
-					dst[kk] = left[kk] * right[kk]
-				}
-			}
-		}
-	})
+	kern := e.kern
+	e.parallelFor(e.nPat, func(lo, hi int) { kern.sumTable(e, a, lo, hi) })
 	return nil
 }
 

@@ -43,6 +43,11 @@ type Stats struct {
 	// of its children, so corruption costs extra newviews, not the
 	// run).
 	Recoveries int64
+	// PCacheHits / PCacheMisses count branch-length transition-matrix
+	// cache lookups (see pcache.go); PCacheDrops counts wholesale
+	// resets after the cache filled. All zero under KernelGeneric,
+	// where the cache is disabled.
+	PCacheHits, PCacheMisses, PCacheDrops int64
 }
 
 // Engine evaluates the PLF for one (tree, alignment, model) triple over
@@ -83,16 +88,34 @@ type Engine struct {
 	// prefetchDepth is how many future plan steps to stage inputs for
 	// (see SetPrefetchDepth); values < 1 behave as 1.
 	prefetchDepth int
-	// workers is the PLF kernel fan-out (see SetWorkers).
+	// workers is the PLF kernel fan-out (see SetWorkers); pool is the
+	// persistent goroutine pool serving it when workers > 1.
 	workers int
+	pool    *workerPool
+
+	// kern is the active compute-kernel set (see SetKernel); pcache is
+	// the branch-length transition-matrix cache, nil when disabled.
+	kern       kernelSet
+	kernelMode string
+	pcache     *pcache
 
 	// Scratch buffers, reused across steps.
-	pL, pR   []float64 // nCat * k * k transition matrices
-	tipSumL  []float64 // nCat * len(maskList) * k
+	pL, pR   []float64 // nCat * k * k transition matrices (cache-off path)
+	tipSumL  []float64 // nCat * len(maskList) * k (cache-off path)
 	tipSumR  []float64
+	prodTT   []float64 // DNA tip×tip mask-pair product table (lazily sized)
 	sumTab   []float64 // nPat * nCat * k derivative sum table
 	sumTabSc []int32   // nPat combined scale counters for the sum table
 	siteBuf  []float64 // nPat*3 per-pattern values for deterministic reductions
+	nv       nvArgs    // kernel argument blocks, reused across calls
+	ev       evArgs
+	sa       sumArgs
+	// Fixed-size pin scratch: demand fetches pin at most two vectors
+	// and prefetch at most three, so the slices handed to the provider
+	// can be views of these engine-owned arrays instead of per-call
+	// heap allocations.
+	pinsL, pinsR, pinsP [2]int
+	pinsPF              [3]int
 
 	Stats Stats
 }
@@ -199,6 +222,9 @@ func New(t *tree.Tree, pats *bio.Patterns, m *model.Model, prov VectorProvider) 
 	e.sumTab = make([]float64, e.nPat*e.nCat*e.nStates)
 	e.sumTabSc = make([]int32, e.nPat)
 	e.siteBuf = make([]float64, e.nPat*3)
+	if err := e.SetKernel(KernelAuto); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -296,7 +322,7 @@ func (e *Engine) Execute(steps []tree.Step) error {
 // imminent step needs. Prefetch errors are advisory and ignored; a
 // failed prefetch simply leaves the demand access to fault normally.
 func (e *Engine) prefetchInputs(pf prefetchProvider, steps []tree.Step, cur, next int) {
-	var pins [3]int
+	pins := &e.pinsPF
 	np := 0
 	for _, n := range []*tree.Node{steps[cur].Node, steps[cur].Left, steps[cur].Right} {
 		if !n.IsTip() {
@@ -327,125 +353,73 @@ func (e *Engine) prefetchInputs(pf prefetchProvider, steps []tree.Step, cur, nex
 }
 
 // newview computes the ancestral vector at s.Node from its two children
-// across their connecting branches.
+// across their connecting branches. Input resolution (transition
+// matrices via the cache, tip tables, provider fetches with pinning)
+// happens here on the calling goroutine; the per-pattern arithmetic is
+// delegated to the active kernel set.
 func (e *Engine) newview(s *tree.Step) error {
 	e.Stats.Newviews++
-	k, C, nm := e.nStates, e.nCat, len(e.maskList)
-	e.M.PMatrices(e.pL, s.LeftEdge.Length)
-	e.M.PMatrices(e.pR, s.RightEdge.Length)
+	a := &e.nv
+	*a = nvArgs{nm: len(e.maskList)}
+	var entL, entR *pcEntry
+	a.pmL, entL = e.pmatsFor(s.LeftEdge.Length, e.pL)
+	a.pmR, entR = e.pmatsFor(s.RightEdge.Length, e.pR)
 
 	leftTip, rightTip := s.Left.IsTip(), s.Right.IsTip()
-	var xl, xr []float64
-	var scl, scr []int32
-	var codeL, codeR []uint16
 	pvi := e.vi(s.Node)
 	var err error
 	if leftTip {
-		e.buildTipSum(e.tipSumL, e.pL)
-		codeL = e.tipCode[s.Left.Index]
+		a.tsL = e.tipSumFor(entL, a.pmL, e.tipSumL)
+		a.codeL = e.tipCode[s.Left.Index]
 	} else {
 		lvi := e.vi(s.Left)
-		pins := []int{pvi}
+		e.pinsL[0] = pvi
+		np := 1
 		if !rightTip {
-			pins = append(pins, e.vi(s.Right))
+			e.pinsL[1] = e.vi(s.Right)
+			np = 2
 		}
-		xl, err = e.prov.Vector(lvi, false, pins...)
+		a.xl, err = e.prov.Vector(lvi, false, e.pinsL[:np]...)
 		if err != nil {
 			return err
 		}
-		scl = e.scales[lvi]
+		a.scl = e.scales[lvi]
 	}
 	if rightTip {
-		e.buildTipSum(e.tipSumR, e.pR)
-		codeR = e.tipCode[s.Right.Index]
+		a.tsR = e.tipSumFor(entR, a.pmR, e.tipSumR)
+		a.codeR = e.tipCode[s.Right.Index]
 	} else {
 		rvi := e.vi(s.Right)
-		pins := []int{pvi}
+		e.pinsR[0] = pvi
+		np := 1
 		if !leftTip {
-			pins = append(pins, e.vi(s.Left))
+			e.pinsR[1] = e.vi(s.Left)
+			np = 2
 		}
-		xr, err = e.prov.Vector(rvi, false, pins...)
+		a.xr, err = e.prov.Vector(rvi, false, e.pinsR[:np]...)
 		if err != nil {
 			return err
 		}
-		scr = e.scales[rvi]
+		a.scr = e.scales[rvi]
 	}
-	var pins []int
+	np := 0
 	if !leftTip {
-		pins = append(pins, e.vi(s.Left))
+		e.pinsP[np] = e.vi(s.Left)
+		np++
 	}
 	if !rightTip {
-		pins = append(pins, e.vi(s.Right))
+		e.pinsP[np] = e.vi(s.Right)
+		np++
 	}
-	xp, err := e.prov.Vector(pvi, true, pins...)
+	a.xp, err = e.prov.Vector(pvi, true, e.pinsP[:np]...)
 	if err != nil {
 		return err
 	}
-	scp := e.scales[pvi]
+	a.scp = e.scales[pvi]
 
-	k2 := k * k
-	e.parallelFor(e.nPat, func(lo, hi int) {
-		var la, ra [32]float64 // k <= 20; fixed scratch avoids allocation
-		for i := lo; i < hi; i++ {
-			var cnt int32
-			if scl != nil {
-				cnt += scl[i]
-			}
-			if scr != nil {
-				cnt += scr[i]
-			}
-			base := i * C * k
-			blockMax := 0.0
-			for c := 0; c < C; c++ {
-				// Left factor per state.
-				if leftTip {
-					off := (c*nm + int(codeL[i])) * k
-					copy(la[:k], e.tipSumL[off:off+k])
-				} else {
-					src := xl[base+c*k : base+(c+1)*k]
-					p := e.pL[c*k2 : (c+1)*k2]
-					for s := 0; s < k; s++ {
-						acc := 0.0
-						row := p[s*k : (s+1)*k]
-						for j := 0; j < k; j++ {
-							acc += row[j] * src[j]
-						}
-						la[s] = acc
-					}
-				}
-				if rightTip {
-					off := (c*nm + int(codeR[i])) * k
-					copy(ra[:k], e.tipSumR[off:off+k])
-				} else {
-					src := xr[base+c*k : base+(c+1)*k]
-					p := e.pR[c*k2 : (c+1)*k2]
-					for s := 0; s < k; s++ {
-						acc := 0.0
-						row := p[s*k : (s+1)*k]
-						for j := 0; j < k; j++ {
-							acc += row[j] * src[j]
-						}
-						ra[s] = acc
-					}
-				}
-				dst := xp[base+c*k : base+(c+1)*k]
-				for s := 0; s < k; s++ {
-					v := la[s] * ra[s]
-					dst[s] = v
-					if v > blockMax {
-						blockMax = v
-					}
-				}
-			}
-			if blockMax < minLikelihood {
-				for j := base; j < base+C*k; j++ {
-					xp[j] *= scaleFactor
-				}
-				cnt++
-			}
-			scp[i] = cnt
-		}
-	})
+	kern := e.kern
+	kern.prepareNewview(e, a)
+	e.parallelFor(e.nPat, func(lo, hi int) { kern.newview(e, a, lo, hi) })
 	return nil
 }
 
@@ -572,120 +546,63 @@ func gammaWeight(lnGamma, p, linv float64) float64 {
 }
 
 // evaluate computes the log-likelihood at edge without any traversal;
-// both endpoint vectors must already be valid toward each other.
+// both endpoint vectors must already be valid toward each other. Input
+// resolution happens here; the per-pattern arithmetic is delegated to
+// the active kernel set.
 func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 	e.Stats.Evaluations++
-	k, C, nm := e.nStates, e.nCat, len(e.maskList)
-	k2 := k * k
+	a := &e.ev
+	*a = evArgs{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
 	// Prefer the tip on the q side so the P matrix is applied across the
 	// edge onto q's data.
 	if p.IsTip() && !q.IsTip() {
 		p, q = q, p
 	}
-	e.M.PMatrices(e.pR, edge.Length)
+	var entQ *pcEntry
+	a.pmQ, entQ = e.pmatsFor(edge.Length, e.pR)
 
-	var xq []float64
-	var scq []int32
-	var codeQ []uint16
 	var err error
 	if q.IsTip() {
-		e.buildTipSum(e.tipSumR, e.pR)
-		codeQ = e.tipCode[q.Index]
+		a.tsQ = e.tipSumFor(entQ, a.pmQ, e.tipSumR)
+		a.codeQ = e.tipCode[q.Index]
 	} else {
 		qvi := e.vi(q)
-		var pins []int
+		np := 0
 		if !p.IsTip() {
-			pins = []int{e.vi(p)}
+			e.pinsR[0] = e.vi(p)
+			np = 1
 		}
-		xq, err = e.prov.Vector(qvi, false, pins...)
+		a.xq, err = e.prov.Vector(qvi, false, e.pinsR[:np]...)
 		if err != nil {
 			return 0, err
 		}
-		scq = e.scales[qvi]
+		a.scq = e.scales[qvi]
 	}
-	var xp []float64
-	var scp []int32
-	var codeP []uint16
 	if p.IsTip() {
-		codeP = e.tipCode[p.Index]
+		a.codeP = e.tipCode[p.Index]
 	} else {
 		pvi := e.vi(p)
-		var pins []int
+		np := 0
 		if !q.IsTip() {
-			pins = []int{e.vi(q)}
+			e.pinsL[0] = e.vi(q)
+			np = 1
 		}
-		xp, err = e.prov.Vector(pvi, false, pins...)
+		a.xp, err = e.prov.Vector(pvi, false, e.pinsL[:np]...)
 		if err != nil {
 			return 0, err
 		}
-		scp = e.scales[pvi]
+		a.scp = e.scales[pvi]
 	}
 
-	freqs := e.M.Freqs
-	catW := 1.0 / float64(C)
 	// Workers fill per-pattern contributions into siteBuf; the final
 	// summation runs sequentially in pattern order, so the result is
 	// bit-identical for any worker count.
-	contrib := e.siteBuf[:e.nPat]
-	e.parallelFor(e.nPat, func(lo, hi int) {
-		var ra [32]float64
-		for i := lo; i < hi; i++ {
-			var cnt int32
-			if scp != nil {
-				cnt += scp[i]
-			}
-			if scq != nil {
-				cnt += scq[i]
-			}
-			base := i * C * k
-			site := 0.0
-			for c := 0; c < C; c++ {
-				// Right factor: (P x_q) per state, or tip lookup.
-				if codeQ != nil {
-					off := (c*nm + int(codeQ[i])) * k
-					copy(ra[:k], e.tipSumR[off:off+k])
-				} else {
-					src := xq[base+c*k : base+(c+1)*k]
-					pm := e.pR[c*k2 : (c+1)*k2]
-					for s := 0; s < k; s++ {
-						acc := 0.0
-						row := pm[s*k : (s+1)*k]
-						for j := 0; j < k; j++ {
-							acc += row[j] * src[j]
-						}
-						ra[s] = acc
-					}
-				}
-				f := 0.0
-				if codeP != nil {
-					ind := e.tipInd[int(codeP[i])*k : (int(codeP[i])+1)*k]
-					for s := 0; s < k; s++ {
-						f += freqs[s] * ind[s] * ra[s]
-					}
-				} else {
-					src := xp[base+c*k : base+(c+1)*k]
-					for s := 0; s < k; s++ {
-						f += freqs[s] * src[s] * ra[s]
-					}
-				}
-				site += f
-			}
-			site *= catW
-			if site <= 0 {
-				// Fully underflowed pattern: clamp to the smallest
-				// positive double so the search can continue.
-				site = math.SmallestNonzeroFloat64
-			}
-			lnSite := math.Log(site) - float64(cnt)*logScaleFactor
-			if p := e.M.PInv; p > 0 {
-				lnSite = mixInvariant(lnSite, p, e.linv[i])
-			}
-			contrib[i] = e.weights[i] * lnSite
-		}
-	})
+	a.contrib = e.siteBuf[:e.nPat]
+	kern := e.kern
+	e.parallelFor(e.nPat, func(lo, hi int) { kern.evaluate(e, a, lo, hi) })
 	lnl := 0.0
-	for _, c := range contrib {
+	for _, c := range a.contrib {
 		lnl += c
 	}
 	return lnl, nil

@@ -1,0 +1,311 @@
+package plf
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel dispatch. The per-pattern-block inner loops of newview,
+// evaluate and the derivative sum table are the PLF's hot paths; they
+// are reached through the kernelSet interface so the engine can swap
+// the fully generic k-state × c-category loops for state-count-
+// specialised implementations (kernels_dna.go) chosen once at
+// construction from (nStates, nCat) — the tip-ness of a step is
+// dispatched per call inside the set. Every specialised kernel performs
+// the exact floating-point operation sequence of the generic one, so
+// the kernel choice never changes a single output bit: the paper's
+// exactness criterion (§4.1) holds across kernels the same way it holds
+// across replacement strategies and worker counts.
+
+// Kernel mode names accepted by SetKernel and the oocraxml -kernel flag.
+const (
+	// KernelAuto picks the fastest kernel set for the engine's model
+	// dimensions (DNA-unrolled for 4 states, generic otherwise).
+	KernelAuto = "auto"
+	// KernelGeneric forces the generic loops and disables the
+	// transition-matrix cache — the exact legacy compute path, kept as
+	// the differential-testing baseline.
+	KernelGeneric = "generic"
+)
+
+// nvArgs carries the resolved inputs of one newview call to its
+// pattern-block kernels. Tip children are represented by their pattern
+// code row and tip-sum table (code != nil); inner children by their
+// ancestral vector and scale counters.
+type nvArgs struct {
+	xl, xr, xp    []float64
+	scl, scr, scp []int32
+	codeL, codeR  []uint16
+	pmL, pmR      []float64 // nCat × k² transition matrices
+	tsL, tsR      []float64 // nCat × nm × k tip-sum tables (tip children)
+	prodTT        []float64 // nm × nm × nCat × k tip-pair products (DNA tip×tip)
+	nm            int
+}
+
+// evArgs carries the resolved inputs of one evaluate call. q is the
+// endpoint whose data the P matrix is applied across; contrib receives
+// the per-pattern weighted log-likelihood terms.
+type evArgs struct {
+	xp, xq       []float64
+	scp, scq     []int32
+	codeP, codeQ []uint16
+	pmQ          []float64
+	tsQ          []float64
+	contrib      []float64
+	nm           int
+}
+
+// sumArgs carries the resolved endpoint data of one sum-table build.
+type sumArgs struct {
+	xp, xq       []float64
+	codeP, codeQ []uint16
+	nm           int
+}
+
+// kernelSet is the engine's compute-kernel vtable. Each method
+// processes patterns [lo, hi) and must not touch state outside that
+// block (the parallelFor contract). prepareNewview runs once per
+// newview call before the fan-out, for call-wide precomputation.
+type kernelSet interface {
+	name() string
+	prepareNewview(e *Engine, a *nvArgs)
+	newview(e *Engine, a *nvArgs, lo, hi int)
+	evaluate(e *Engine, a *evArgs, lo, hi int)
+	sumTable(e *Engine, a *sumArgs, lo, hi int)
+}
+
+// selectKernelSet resolves a kernel mode for a model with nStates
+// states. nCat-specific fast paths are chosen inside the returned set
+// per call, so the set itself depends only on the state count.
+func selectKernelSet(mode string, nStates int) (kernelSet, error) {
+	switch mode {
+	case KernelAuto:
+		if nStates == 4 {
+			return dnaKernels{}, nil
+		}
+		return genericKernels{}, nil
+	case KernelGeneric:
+		return genericKernels{}, nil
+	}
+	return nil, fmt.Errorf("plf: unknown kernel mode %q (want %q or %q)", mode, KernelAuto, KernelGeneric)
+}
+
+// SetKernel selects the compute-kernel set by mode (KernelAuto or
+// KernelGeneric). KernelGeneric restores the exact legacy path: generic
+// loops and no transition-matrix cache. Switching kernels never changes
+// results — the differential tests enforce bit-identical vectors and
+// likelihoods between modes.
+func (e *Engine) SetKernel(mode string) error {
+	ks, err := selectKernelSet(mode, e.nStates)
+	if err != nil {
+		return err
+	}
+	e.kern = ks
+	e.kernelMode = mode
+	if mode == KernelGeneric {
+		e.pcache = nil
+	} else if e.pcache == nil {
+		e.pcache = newPCache()
+	}
+	return nil
+}
+
+// KernelMode returns the configured kernel mode (KernelAuto by default).
+func (e *Engine) KernelMode() string { return e.kernelMode }
+
+// KernelName reports which kernel set is actually active ("dna4" or
+// "generic") — under KernelAuto this depends on the model's state count.
+func (e *Engine) KernelName() string { return e.kern.name() }
+
+// genericKernels holds the fully generic k-state × c-category loops:
+// correct for every model, and the accumulation-order reference every
+// specialised kernel must reproduce bit-for-bit.
+type genericKernels struct{}
+
+func (genericKernels) name() string                      { return "generic" }
+func (genericKernels) prepareNewview(*Engine, *nvArgs)   {}
+
+func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
+	k, C, nm := e.nStates, e.nCat, a.nm
+	k2 := k * k
+	var la, ra [32]float64 // k <= 20; fixed scratch avoids allocation
+	for i := lo; i < hi; i++ {
+		var cnt int32
+		if a.scl != nil {
+			cnt += a.scl[i]
+		}
+		if a.scr != nil {
+			cnt += a.scr[i]
+		}
+		base := i * C * k
+		blockMax := 0.0
+		for c := 0; c < C; c++ {
+			// Left factor per state.
+			if a.codeL != nil {
+				off := (c*nm + int(a.codeL[i])) * k
+				copy(la[:k], a.tsL[off:off+k])
+			} else {
+				src := a.xl[base+c*k : base+(c+1)*k]
+				p := a.pmL[c*k2 : (c+1)*k2]
+				for s := 0; s < k; s++ {
+					acc := 0.0
+					row := p[s*k : (s+1)*k]
+					for j := 0; j < k; j++ {
+						acc += row[j] * src[j]
+					}
+					la[s] = acc
+				}
+			}
+			if a.codeR != nil {
+				off := (c*nm + int(a.codeR[i])) * k
+				copy(ra[:k], a.tsR[off:off+k])
+			} else {
+				src := a.xr[base+c*k : base+(c+1)*k]
+				p := a.pmR[c*k2 : (c+1)*k2]
+				for s := 0; s < k; s++ {
+					acc := 0.0
+					row := p[s*k : (s+1)*k]
+					for j := 0; j < k; j++ {
+						acc += row[j] * src[j]
+					}
+					ra[s] = acc
+				}
+			}
+			dst := a.xp[base+c*k : base+(c+1)*k]
+			for s := 0; s < k; s++ {
+				v := la[s] * ra[s]
+				dst[s] = v
+				if v > blockMax {
+					blockMax = v
+				}
+			}
+		}
+		if blockMax < minLikelihood {
+			for j := base; j < base+C*k; j++ {
+				a.xp[j] *= scaleFactor
+			}
+			cnt++
+		}
+		a.scp[i] = cnt
+	}
+}
+
+func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
+	k, C, nm := e.nStates, e.nCat, a.nm
+	k2 := k * k
+	freqs := e.M.Freqs
+	catW := 1.0 / float64(C)
+	var ra [32]float64
+	for i := lo; i < hi; i++ {
+		var cnt int32
+		if a.scp != nil {
+			cnt += a.scp[i]
+		}
+		if a.scq != nil {
+			cnt += a.scq[i]
+		}
+		base := i * C * k
+		site := 0.0
+		for c := 0; c < C; c++ {
+			// Right factor: (P x_q) per state, or tip lookup.
+			if a.codeQ != nil {
+				off := (c*nm + int(a.codeQ[i])) * k
+				copy(ra[:k], a.tsQ[off:off+k])
+			} else {
+				src := a.xq[base+c*k : base+(c+1)*k]
+				pm := a.pmQ[c*k2 : (c+1)*k2]
+				for s := 0; s < k; s++ {
+					acc := 0.0
+					row := pm[s*k : (s+1)*k]
+					for j := 0; j < k; j++ {
+						acc += row[j] * src[j]
+					}
+					ra[s] = acc
+				}
+			}
+			f := 0.0
+			if a.codeP != nil {
+				ind := e.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
+				for s := 0; s < k; s++ {
+					f += freqs[s] * ind[s] * ra[s]
+				}
+			} else {
+				src := a.xp[base+c*k : base+(c+1)*k]
+				for s := 0; s < k; s++ {
+					f += freqs[s] * src[s] * ra[s]
+				}
+			}
+			site += f
+		}
+		site *= catW
+		a.contrib[i] = e.siteTerm(i, site, cnt)
+	}
+}
+
+// siteTerm turns one pattern's raw site likelihood into its weighted
+// log-likelihood contribution: underflow clamp, scale-counter
+// correction, optional +I mixture, pattern weight. Shared by every
+// evaluate kernel so the tail arithmetic is identical by construction.
+func (e *Engine) siteTerm(i int, site float64, cnt int32) float64 {
+	if site <= 0 {
+		// Fully underflowed pattern: clamp to the smallest
+		// positive double so the search can continue.
+		site = math.SmallestNonzeroFloat64
+	}
+	lnSite := math.Log(site) - float64(cnt)*logScaleFactor
+	if p := e.M.PInv; p > 0 {
+		lnSite = mixInvariant(lnSite, p, e.linv[i])
+	}
+	return e.weights[i] * lnSite
+}
+
+func (genericKernels) sumTable(e *Engine, a *sumArgs, lo, hi int) {
+	k, C := e.nStates, e.nCat
+	freqs := e.M.Freqs
+	evec, ievec := e.M.Evec, e.M.Ievec
+	var left, right [32]float64
+	for i := lo; i < hi; i++ {
+		base := i * C * k
+		for c := 0; c < C; c++ {
+			// left_k = sum_s pi_s x_p[s] V[s][k]
+			var lsrc []float64
+			if a.codeP != nil {
+				lsrc = e.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
+			} else {
+				lsrc = a.xp[base+c*k : base+(c+1)*k]
+			}
+			for kk := 0; kk < k; kk++ {
+				left[kk] = 0
+			}
+			for s := 0; s < k; s++ {
+				w := freqs[s] * lsrc[s]
+				if w == 0 {
+					continue
+				}
+				row := evec[s*k : (s+1)*k]
+				for kk := 0; kk < k; kk++ {
+					left[kk] += w * row[kk]
+				}
+			}
+			// right_k = sum_j V^-1[k][j] x_q[j]
+			var rsrc []float64
+			if a.codeQ != nil {
+				rsrc = e.tipInd[int(a.codeQ[i])*k : (int(a.codeQ[i])+1)*k]
+			} else {
+				rsrc = a.xq[base+c*k : base+(c+1)*k]
+			}
+			for kk := 0; kk < k; kk++ {
+				acc := 0.0
+				row := ievec[kk*k : (kk+1)*k]
+				for j := 0; j < k; j++ {
+					acc += row[j] * rsrc[j]
+				}
+				right[kk] = acc
+			}
+			dst := e.sumTab[base+c*k : base+(c+1)*k]
+			for kk := 0; kk < k; kk++ {
+				dst[kk] = left[kk] * right[kk]
+			}
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package plf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/tree"
+)
+
+// The kernel-dispatch exactness contract: for ANY kernel mode, worker
+// count and provider, every ancestral vector, scale counter, likelihood,
+// derivative and optimised branch length must be bit-identical to the
+// generic kernels. These tests enforce it on random data.
+
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// kernelPair builds two engines over independent topology clones and
+// providers: one forced to the generic kernels (the legacy path), one
+// left on the default auto dispatch.
+func kernelPair(t *testing.T, tr *tree.Tree, pats *bio.Patterns, m *model.Model) (gen, auto *Engine) {
+	t.Helper()
+	gen = newEngine(t, tr.Clone(), pats, m)
+	if err := gen.SetKernel(KernelGeneric); err != nil {
+		t.Fatal(err)
+	}
+	auto = newEngine(t, tr.Clone(), pats, m)
+	return gen, auto
+}
+
+// compareState asserts every inner vector and scale counter matches
+// bit-for-bit between the two engines.
+func compareState(t *testing.T, gen, auto *Engine, tag string) {
+	t.Helper()
+	for vi := 0; vi < gen.T.NumInner(); vi++ {
+		// Only compare vectors both engines consider valid; stale slots
+		// may legitimately hold garbage.
+		if gen.orient[vi+gen.T.NumTips] == nil || auto.orient[vi+auto.T.NumTips] == nil {
+			continue
+		}
+		xg, err := gen.prov.Vector(vi, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xa, err := auto.prov.Vector(vi, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range xg {
+			if !bitsEq(xg[j], xa[j]) {
+				t.Fatalf("%s: vector %d[%d]: generic %v (%x) vs %s %v (%x)",
+					tag, vi, j, xg[j], math.Float64bits(xg[j]),
+					auto.KernelName(), xa[j], math.Float64bits(xa[j]))
+			}
+		}
+		for j := range gen.scales[vi] {
+			if gen.scales[vi][j] != auto.scales[vi][j] {
+				t.Fatalf("%s: scale %d[%d]: generic %d vs %d", tag, vi, j,
+					gen.scales[vi][j], auto.scales[vi][j])
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialFuzz fuzzes random alignments, models and branch
+// lengths through both kernel modes and requires bit-identical results
+// everywhere the engines expose them.
+func TestKernelDifferentialFuzz(t *testing.T) {
+	cases := []struct {
+		dtype bio.DataType
+		ncat  int
+		seeds int
+		sites int
+	}{
+		{bio.DNA, 1, 3, 300},
+		{bio.DNA, 4, 3, 300},
+		{bio.AA, 1, 1, 80},
+		{bio.AA, 4, 1, 80},
+	}
+	for _, tc := range cases {
+		tc := tc
+		name := fmt.Sprintf("%v_c%d", tc.dtype, tc.ncat)
+		t.Run(name, func(t *testing.T) {
+			for seed := 0; seed < tc.seeds; seed++ {
+				rng := rand.New(rand.NewSource(int64(991*seed + tc.ncat)))
+				names := tipNames(10)
+				tr, err := tree.RandomTopology(names, rng, 0.01, 0.8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pats := randomAlignment(t, names, tc.sites, rng, tc.dtype)
+				m := randomModel(t, rng, tc.dtype, false)
+				if err := m.SetGamma(0.3+1.5*rng.Float64(), tc.ncat); err != nil {
+					t.Fatal(err)
+				}
+				gen, auto := kernelPair(t, tr, pats, m)
+				if auto.KernelName() == gen.KernelName() && tc.dtype == bio.DNA {
+					t.Fatal("auto mode did not select the DNA kernels")
+				}
+
+				for round := 0; round < 3; round++ {
+					tag := fmt.Sprintf("seed=%d round=%d", seed, round)
+					// Same fresh random branch lengths on both clones,
+					// including lengths tiny enough to trigger scaling.
+					for ei := range gen.T.Edges {
+						l := math.Exp(rng.Float64()*8-6) * 0.1
+						gen.T.Edges[ei].Length = l
+						auto.T.Edges[ei].Length = l
+					}
+					gen.InvalidateAll()
+					auto.InvalidateAll()
+
+					for _, ei := range []int{0, rng.Intn(len(gen.T.Edges))} {
+						lg, err := gen.LogLikelihoodAt(gen.T.Edges[ei])
+						if err != nil {
+							t.Fatal(err)
+						}
+						la, err := auto.LogLikelihoodAt(auto.T.Edges[ei])
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !bitsEq(lg, la) {
+							t.Fatalf("%s edge=%d: lnL generic %.17g vs %s %.17g",
+								tag, ei, lg, auto.KernelName(), la)
+						}
+					}
+					compareState(t, gen, auto, tag)
+
+					// Derivative machinery: the sum table must agree at an
+					// arbitrary probe length, and Newton must land on the
+					// same optimum to the bit.
+					ei := rng.Intn(len(gen.T.Edges))
+					probe := math.Exp(rng.Float64()*6 - 4)
+					dg, err := gen.EvaluateAtLength(gen.T.Edges[ei], probe)
+					if err != nil {
+						t.Fatal(err)
+					}
+					da, err := auto.EvaluateAtLength(auto.T.Edges[ei], probe)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bitsEq(dg, da) {
+						t.Fatalf("%s: sum-table lnL(%v) generic %.17g vs %.17g", tag, probe, dg, da)
+					}
+					og, err := gen.OptimizeBranch(gen.T.Edges[ei])
+					if err != nil {
+						t.Fatal(err)
+					}
+					oa, err := auto.OptimizeBranch(auto.T.Edges[ei])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bitsEq(og, oa) || !bitsEq(gen.T.Edges[ei].Length, auto.T.Edges[ei].Length) {
+						t.Fatalf("%s: OptimizeBranch generic (%.17g, t=%v) vs (%.17g, t=%v)",
+							tag, og, gen.T.Edges[ei].Length, oa, auto.T.Edges[ei].Length)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelDifferentialInvariant covers the +I mixture tail, which the
+// kernels reach through the shared siteTerm helper.
+func TestKernelDifferentialInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	names := tipNames(8)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 200, rng, bio.DNA)
+	m := randomModel(t, rng, bio.DNA, true)
+	if err := m.SetInvariant(0.3); err != nil {
+		t.Fatal(err)
+	}
+	gen, auto := kernelPair(t, tr, pats, m)
+	lg, err := gen.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, err := auto.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEq(lg, la) {
+		t.Fatalf("+I lnL: generic %.17g vs %.17g", lg, la)
+	}
+}
+
+// TestKernelDifferentialOOC runs the DNA kernels over synchronous and
+// asynchronous out-of-core managers with multiple workers (exercising
+// the worker pool under -race) and requires the same bits the in-memory
+// generic reference produces.
+func TestKernelDifferentialOOC(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	names := tipNames(20)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 1500, rng, bio.DNA)
+	m := randomModel(t, rng, bio.DNA, true)
+
+	run := func(e *Engine) (float64, float64, float64) {
+		t.Helper()
+		lnl, err := e.LogLikelihood()
+		if err != nil {
+			t.Fatal(err)
+		}
+		edge := e.T.Edges[3]
+		opt, err := e.OptimizeBranch(edge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lnl, opt, edge.Length
+	}
+
+	ref := newEngine(t, tr.Clone(), pats, m)
+	if err := ref.SetKernel(KernelGeneric); err != nil {
+		t.Fatal(err)
+	}
+	wantLnl, wantOpt, wantLen := run(ref)
+
+	vecLen := VectorLength(m, pats.NumPatterns())
+	n := tr.NumInner()
+	for _, async := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			name := fmt.Sprintf("async=%v workers=%d", async, workers)
+			mgr, err := ooc.NewManager(ooc.Config{
+				NumVectors: n, VectorLen: vecLen,
+				Slots:        ooc.SlotsForFraction(0.4, n),
+				Strategy:     ooc.NewLRU(n),
+				ReadSkipping: true,
+				Store:        ooc.NewMemStore(n, vecLen),
+				Async:        async,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := New(tr.Clone(), pats, m, mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.EnablePrefetch(true)
+			e.SetWorkers(workers)
+			lnl, opt, length := run(e)
+			e.Close()
+			if err := mgr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEq(lnl, wantLnl) || !bitsEq(opt, wantOpt) || !bitsEq(length, wantLen) {
+				t.Fatalf("%s: (%.17g, %.17g, %v) differs from generic in-memory (%.17g, %.17g, %v)",
+					name, lnl, opt, length, wantLnl, wantOpt, wantLen)
+			}
+		}
+	}
+}
+
+func TestSetKernelRejectsUnknownMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	names := tipNames(4)
+	tr, err := tree.RandomTopology(names, rng, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 40, rng, bio.DNA)
+	m, _ := model.NewJC(4)
+	e := newEngine(t, tr, pats, m)
+	if err := e.SetKernel("avx512"); err == nil {
+		t.Fatal("unknown kernel mode must be rejected")
+	}
+	if e.KernelMode() != KernelAuto || e.KernelName() != "dna4" {
+		t.Fatalf("failed SetKernel must not change the active kernel, got %s/%s",
+			e.KernelMode(), e.KernelName())
+	}
+}
+
+func TestKernelAutoSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	names := tipNames(4)
+	tr, err := tree.RandomTopology(names, rng, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dna := randomAlignment(t, names, 40, rng, bio.DNA)
+	mDNA, _ := model.NewJC(4)
+	e := newEngine(t, tr, dna, mDNA)
+	if e.KernelMode() != KernelAuto || e.KernelName() != "dna4" {
+		t.Fatalf("DNA engine: mode %q kernel %q", e.KernelMode(), e.KernelName())
+	}
+	if err := e.SetKernel(KernelGeneric); err != nil {
+		t.Fatal(err)
+	}
+	if e.KernelName() != "generic" || e.pcache != nil {
+		t.Fatal("KernelGeneric must select the generic set and disable the P cache")
+	}
+
+	aa := randomAlignment(t, names, 40, rng, bio.AA)
+	mAA, _ := model.NewJC(20)
+	e2 := newEngine(t, tr.Clone(), aa, mAA)
+	if e2.KernelName() != "generic" {
+		t.Fatalf("AA engine under auto must use generic kernels, got %q", e2.KernelName())
+	}
+	if e2.pcache == nil {
+		t.Fatal("auto mode must enable the P cache even with generic kernels")
+	}
+}

@@ -12,18 +12,72 @@ import "sync"
 //
 // Provider (getxvector) calls are issued before fan-out, on the calling
 // goroutine only; the out-of-core manager never sees concurrency.
+//
+// Fan-out runs on a persistent worker pool owned by the engine: the
+// goroutines are spawned once in SetWorkers and fed pattern blocks over
+// a channel, so the per-kernel-call cost is a channel send per block
+// instead of a goroutine spawn per block. Block partitioning is
+// unchanged from the spawn-per-call implementation, so which patterns
+// land in which block — and therefore every result bit — is too.
 
 // minPatternsPerWorker bounds fan-out so goroutine overhead cannot
 // dominate small kernels.
 const minPatternsPerWorker = 256
 
+// poolTask is one pattern block of one parallelFor call.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// workerPool is a fixed set of goroutines draining a task channel.
+type workerPool struct {
+	tasks chan poolTask
+	done  sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tasks: make(chan poolTask, 2*n)}
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.done.Done()
+			for t := range p.tasks {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) stop() {
+	close(p.tasks)
+	p.done.Wait()
+}
+
 // SetWorkers sets the number of goroutines PLF kernels may use
 // (default 1 = fully sequential). Values below 1 are treated as 1.
+// The pool goroutines are spawned here, once, not per kernel call.
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = 1
 	}
+	if n == e.Workers() && (n == 1) == (e.pool == nil) {
+		e.workers = n
+		return
+	}
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
 	e.workers = n
+	if n > 1 {
+		// n-1 pool workers: the calling goroutine always runs the last
+		// block itself, so n goroutines compute in total.
+		e.pool = newWorkerPool(n - 1)
+	}
 }
 
 // Workers returns the configured worker count.
@@ -34,6 +88,18 @@ func (e *Engine) Workers() int {
 	return e.workers
 }
 
+// Close releases the engine's worker pool (a no-op for single-worker
+// engines). The engine remains usable afterwards — kernels fall back to
+// sequential execution — but long-lived programs that set workers > 1
+// should Close when done to reclaim the goroutines.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.stop()
+		e.pool = nil
+	}
+	e.workers = 1
+}
+
 // parallelFor splits [0, n) into contiguous blocks and runs fn on each,
 // using up to e.workers goroutines. fn must not touch state outside its
 // block. Falls back to a single call when parallelism cannot pay off.
@@ -42,22 +108,19 @@ func (e *Engine) parallelFor(n int, fn func(lo, hi int)) {
 	if w > n/minPatternsPerWorker {
 		w = n / minPatternsPerWorker
 	}
-	if w <= 1 {
+	if w <= 1 || e.pool == nil {
 		fn(0, n)
 		return
 	}
 	var wg sync.WaitGroup
 	block := (n + w - 1) / w
-	for lo := 0; lo < n; lo += block {
-		hi := lo + block
-		if hi > n {
-			hi = n
-		}
+	// Enqueue every block but the last; run the last inline so the
+	// calling goroutine works instead of blocking.
+	last := ((n - 1) / block) * block
+	for lo := 0; lo < last; lo += block {
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		e.pool.tasks <- poolTask{fn: fn, lo: lo, hi: lo + block, wg: &wg}
 	}
+	fn(last, n)
 	wg.Wait()
 }

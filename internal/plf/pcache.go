@@ -1,0 +1,86 @@
+package plf
+
+import "math"
+
+// Branch-length-keyed transition-matrix cache. NNI and SPR rounds
+// re-evaluate the same branches (and the same Newton-converged lengths)
+// over and over, so newview/evaluate were rebuilding identical P(rt)
+// matrices — O(nCat·k³) plus nCat·k exp() calls — and tip-sum tables
+// from scratch on every step. The cache memoises both per exact branch
+// length (float64 bit pattern), is invalidated wholesale whenever the
+// model's Version() changes, and is disabled entirely under
+// KernelGeneric so the legacy baseline stays byte-for-byte intact.
+// PMatrices is deterministic in (model, t), so a cached matrix is
+// bit-identical to a rebuilt one and the cache cannot perturb results.
+
+// pcacheCap bounds the entry count. A full cache is dropped wholesale:
+// O(1), and the small working set of a search round refills in a few
+// steps. Newton branch optimisation is the only producer of unbounded
+// distinct lengths, and it touches matrices through the sum table, not
+// the cache.
+const pcacheCap = 512
+
+// pcEntry is one cached branch length: the per-category transition
+// matrices and, built lazily on first tip use, the tip-sum table
+// derived from them.
+type pcEntry struct {
+	pmats  []float64 // nCat × k²
+	tipSum []float64 // nCat × nm × k, nil until needed
+}
+
+// pcache maps branch-length bit patterns to entries built under one
+// model version.
+type pcache struct {
+	entries map[uint64]*pcEntry
+	version uint64
+}
+
+func newPCache() *pcache {
+	return &pcache{entries: make(map[uint64]*pcEntry, 64)}
+}
+
+// pmatsFor returns the transition matrices for branch length t: from
+// the cache when enabled (allocating and filling a new entry on miss),
+// otherwise by filling scratch exactly as the legacy path did. The
+// returned entry is nil when the cache is off.
+func (e *Engine) pmatsFor(t float64, scratch []float64) ([]float64, *pcEntry) {
+	c := e.pcache
+	if c == nil {
+		e.M.PMatrices(scratch, t)
+		return scratch, nil
+	}
+	if v := e.M.Version(); c.version != v {
+		// Model parameters changed: every cached matrix is stale.
+		clear(c.entries)
+		c.version = v
+	}
+	key := math.Float64bits(t)
+	if ent, ok := c.entries[key]; ok {
+		e.Stats.PCacheHits++
+		return ent.pmats, ent
+	}
+	e.Stats.PCacheMisses++
+	if len(c.entries) >= pcacheCap {
+		clear(c.entries)
+		e.Stats.PCacheDrops++
+	}
+	ent := &pcEntry{pmats: make([]float64, e.nCat*e.nStates*e.nStates)}
+	e.M.PMatrices(ent.pmats, t)
+	c.entries[key] = ent
+	return ent.pmats, ent
+}
+
+// tipSumFor returns the tip-sum table for the given matrices, cached on
+// ent when available, otherwise built into scratch (legacy path).
+func (e *Engine) tipSumFor(ent *pcEntry, pmats, scratch []float64) []float64 {
+	if ent == nil {
+		e.buildTipSum(scratch, pmats)
+		return scratch
+	}
+	if ent.tipSum == nil {
+		ts := make([]float64, e.nCat*len(e.maskList)*e.nStates)
+		e.buildTipSum(ts, ent.pmats)
+		ent.tipSum = ts
+	}
+	return ent.tipSum
+}
