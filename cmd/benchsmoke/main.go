@@ -1,9 +1,16 @@
-// Command benchsmoke produces a machine-readable kernel benchmark
-// baseline for CI: it runs the kernel ablation (generic versus
-// specialised PLF kernels on a simulated DNA GTR+Γ4 dataset, identical
-// likelihoods enforced) and writes per-phase timings, speedups and
-// P-cache hit rates as JSON. CI uploads the file as an artifact so
-// regressions between commits can be diffed.
+// Command benchsmoke produces a machine-readable benchmark baseline
+// for CI. It runs two experiments and writes one JSON document:
+//
+//   - the kernel ablation (generic versus specialised PLF kernels on a
+//     simulated DNA GTR+Γ4 dataset, identical likelihoods enforced),
+//     with per-phase timings, speedups and P-cache hit rates;
+//   - the observability overhead probe (the same out-of-core workload
+//     with the metrics registry and tracer off versus on, bit-identical
+//     likelihoods enforced), recording the relative wall-clock cost of
+//     full instrumentation.
+//
+// CI uploads the file as an artifact so regressions between commits —
+// kernel slowdowns or creeping instrumentation cost — can be diffed.
 package main
 
 import (
@@ -16,7 +23,7 @@ import (
 	"oocphylo/internal/experiments"
 )
 
-// phaseRow is one workload phase of the baseline.
+// phaseRow is one workload phase of the kernel baseline.
 type phaseRow struct {
 	Phase       string  `json:"phase"`
 	GenericNs   int64   `json:"generic_ns"`
@@ -26,7 +33,18 @@ type phaseRow struct {
 	NsPerOpUnit string  `json:"unit"`
 }
 
-// baseline is the BENCH_3.json schema.
+// obsBlock is the observability-overhead section of the baseline.
+type obsBlock struct {
+	Taxa        int     `json:"taxa"`
+	Sites       int     `json:"sites"`
+	Traversals  int     `json:"traversals"`
+	Reps        int     `json:"reps"`
+	OffSeconds  float64 `json:"obs_off_seconds"`
+	OnSeconds   float64 `json:"obs_on_seconds"`
+	OverheadPct float64 `json:"obs_overhead_pct"`
+}
+
+// baseline is the BENCH_4.json schema.
 type baseline struct {
 	Schema        string     `json:"schema"`
 	GoVersion     string     `json:"go_version"`
@@ -39,6 +57,7 @@ type baseline struct {
 	PCacheHits    int64      `json:"pcache_hits"`
 	PCacheMisses  int64      `json:"pcache_misses"`
 	PCacheHitRate float64    `json:"pcache_hit_rate"`
+	Obs           obsBlock   `json:"obs"`
 }
 
 func main() {
@@ -50,11 +69,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_3.json", "output JSON path")
+	out := fs.String("out", "BENCH_4.json", "output JSON path")
 	taxa := fs.Int("taxa", 48, "simulated taxa")
 	sites := fs.Int("sites", 1500, "simulated sites")
 	traversals := fs.Int("traversals", 3, "full traversals in the newview phase")
 	seed := fs.Int64("seed", 42, "dataset seed")
+	obsReps := fs.Int("obs-reps", 3, "repetitions per side of the obs overhead probe (best kept)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +87,7 @@ func run(args []string) error {
 		return err
 	}
 	b := baseline{
-		Schema:        "oocphylo/benchsmoke/v1",
+		Schema:        "oocphylo/benchsmoke/v2",
 		GoVersion:     runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Taxa:          *taxa,
@@ -88,6 +108,18 @@ func run(args []string) error {
 			NsPerOpUnit: "ns/phase",
 		})
 	}
+
+	ores, err := experiments.RunObsOverhead(*taxa, *sites, *traversals, *obsReps, *seed)
+	if err != nil {
+		return err
+	}
+	b.Obs = obsBlock{
+		Taxa: *taxa, Sites: *sites, Traversals: *traversals, Reps: *obsReps,
+		OffSeconds:  ores.OffSeconds,
+		OnSeconds:   ores.OnSeconds,
+		OverheadPct: ores.OverheadPct,
+	}
+
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -96,6 +128,8 @@ func run(args []string) error {
 		return err
 	}
 	experiments.WriteKernelAblationTable(os.Stdout, res, cfg)
+	fmt.Printf("obs overhead: off %.3fs, on %.3fs (%+.2f%%), lnL bit-identical\n",
+		ores.OffSeconds, ores.OnSeconds, ores.OverheadPct)
 	fmt.Printf("baseline written to %s\n", *out)
 	return nil
 }

@@ -9,7 +9,10 @@
 //	            the §5 prefetch-thread future work)
 //	-fig kernels  generic vs DNA-specialised compute kernels + P cache
 //	              (not in the paper; compute-side ablation)
-//	-fig all  everything (default)
+//	-fig timeline  Chrome trace of a fully instrumented run (compute +
+//	               I/O worker lanes); explicit only — it writes the
+//	               trace JSON to -trace-out, not stdout
+//	-fig all  everything except timeline (default)
 //
 // Default dimensions are CI-scaled; pass -full for the paper's own
 // dimensions (1288 taxa for Figures 2-4; a multi-GiB footprint sweep
@@ -41,6 +44,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "random seed")
 	rounds := fs.Int("rounds", 0, "SPR rounds for the search workload (0 = default)")
 	full := fs.Bool("full", false, "use the paper's dimensions (slow)")
+	traceOut := fs.String("trace-out", "TRACE_timeline.json", "Chrome trace output path for -fig timeline")
+	faults := fs.Bool("faults", true, "inject I/O faults in -fig timeline so recovery markers appear")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -126,6 +131,26 @@ func run(args []string) error {
 			return err
 		}
 		experiments.WriteKernelAblationTable(out, res, kcfg)
+	}
+	if *fig == "timeline" {
+		fmt.Fprintln(out, "== Timeline: Chrome trace of an instrumented out-of-core run ==")
+		tcfg := experiments.TimelineConfig{
+			Taxa: *taxa, Sites: *sites, Seed: *seed, WithFaults: *faults,
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.RunTimeline(tcfg, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		experiments.WriteTimelineSummary(out, tcfg, res)
+		fmt.Fprintf(out, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		return nil
 	}
 	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") {
 		return fmt.Errorf("unknown figure %q", *fig)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -63,6 +65,37 @@ func TestFiguresFigure5Tiny(t *testing.T) {
 	}
 	if !strings.Contains(out, "pagefaults") || !strings.Contains(out, "ooc-lru") {
 		t.Errorf("figure 5 output malformed:\n%s", out)
+	}
+}
+
+func TestFiguresTimelineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-fig", "timeline", "-taxa", "24", "-sites", "64", "-trace-out", trace})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Timeline trace", "final lnL", "[out-of-core manager]", "trace written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace has no events")
 	}
 }
 

@@ -24,11 +24,22 @@
 // checkpoints record a store manifest that -resume validates the
 // backing file against. -io-retries bounds the exponential-backoff
 // retries for transient I/O errors.
+//
+// -report (alias -stats) prints one consolidated statistics report at
+// the end of the run, sourced from the metrics registry that
+// instruments every layer. -http ADDR additionally serves the live
+// debug endpoint while the run is in flight:
+//
+//	oocraxml -s data.phy -f z -k 100 -L 50000000 -async -http 127.0.0.1:8080 -report
+//	curl localhost:8080/debug/vars    # JSON metrics snapshot
+//	curl localhost:8080/debug/report  # the same report -report prints
+//	curl localhost:8080/debug/trace   # Chrome trace of the vector lifecycle
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -40,6 +51,7 @@ import (
 	"oocphylo/internal/checkpoint"
 	"oocphylo/internal/distance"
 	"oocphylo/internal/model"
+	"oocphylo/internal/obs"
 	"oocphylo/internal/ooc"
 	"oocphylo/internal/parsimony"
 	"oocphylo/internal/plf"
@@ -90,6 +102,7 @@ type options struct {
 	verifyStore bool
 	ioRetries   int
 	kernel      string
+	httpAddr    string
 }
 
 func run(args []string, out *os.File) error {
@@ -128,7 +141,9 @@ func run(args []string, out *os.File) error {
 	fs.BoolVar(&o.verifyStore, "verify-store", false, "maintain a per-vector checksum sidecar next to the backing file and verify every read (corrupt vectors are recomputed, not fatal)")
 	fs.IntVar(&o.ioRetries, "io-retries", 3, "retries with exponential backoff for transient backing-store I/O errors")
 	fs.StringVar(&o.outTree, "w", "", "write the result tree to this file (default stdout)")
-	fs.BoolVar(&o.printStats, "stats", false, "print engine and out-of-core access statistics")
+	fs.BoolVar(&o.printStats, "report", false, "print the consolidated per-layer statistics report")
+	fs.BoolVar(&o.printStats, "stats", false, "alias for -report (the historical flag name)")
+	fs.StringVar(&o.httpAddr, "http", "", "serve the live /debug endpoint (vars, report, trace, pprof) on this address, e.g. :8080 or 127.0.0.1:0")
 	fs.BoolVar(&o.emptyFreqs, "uniform-freqs", false, "use uniform base frequencies instead of empirical")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,6 +151,25 @@ func run(args []string, out *os.File) error {
 	if o.alignPath == "" {
 		fs.Usage()
 		return fmt.Errorf("an alignment (-s) is required")
+	}
+
+	// Observability: one registry feeds both the final report and the
+	// live endpoint; the trace ring only exists when someone can read it
+	// (the endpoint's /debug/trace).
+	var reg *obs.Registry
+	var tr *obs.Tracer
+	if o.printStats || o.httpAddr != "" {
+		reg = obs.NewRegistry()
+		reg.SetInfo("run.mode", o.mode)
+	}
+	if o.httpAddr != "" {
+		tr = obs.NewTracer(1 << 16)
+		addr, shutdown, err := obs.Serve(o.httpAddr, reg, tr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(out, "Debug endpoint: http://%s/ (vars, report, trace, pprof)\n", addr)
 	}
 
 	pats, err := loadAlignment(o)
@@ -184,6 +218,10 @@ func run(args []string, out *os.File) error {
 		return err
 	}
 	defer cleanup()
+	if mgr != nil {
+		mgr.Instrument(reg, tr)
+	}
+	ooc.InstrumentChecksumStore(reg, cs)
 
 	e, err := plf.New(t, pats, m, prov)
 	if err != nil {
@@ -192,6 +230,7 @@ func run(args []string, out *os.File) error {
 	if err := e.SetKernel(o.kernel); err != nil {
 		return err
 	}
+	e.Instrument(reg, tr)
 	e.SetWorkers(o.threads)
 	defer e.Close()
 	// Async runs overlap I/O with compute only when the engine actually
@@ -227,7 +266,9 @@ func run(args []string, out *os.File) error {
 				return checkpoint.Save(o.checkpoint, st)
 			}
 		}
-		res, err := search.New(e, opts).Run()
+		s := search.New(e, opts)
+		s.Instrument(reg, tr)
+		res, err := s.Run()
 		if err != nil {
 			return err
 		}
@@ -249,7 +290,9 @@ func run(args []string, out *os.File) error {
 			fmt.Fprintf(out, "GTR rates (AC AG AT CG CT GT): %.4g\n", exch)
 		}
 	case "n":
-		res, err := search.New(e, search.Options{MaxRounds: o.rounds}).RunNNI()
+		s := search.New(e, search.Options{MaxRounds: o.rounds})
+		s.Instrument(reg, tr)
+		res, err := s.RunNNI()
 		if err != nil {
 			return err
 		}
@@ -302,34 +345,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "Log likelihood: %.6f\n", lnl)
 	fmt.Fprintf(out, "Elapsed: %v\n", elapsed.Round(time.Millisecond))
 	if o.printStats {
-		fmt.Fprintf(out, "Engine: %d newviews, %d evaluations, %d sum tables, %d Newton iterations\n",
-			e.Stats.Newviews, e.Stats.Evaluations, e.Stats.SumTables, e.Stats.NewtonIters)
-		fmt.Fprintf(out, "Kernels: %s (%s mode)", e.KernelName(), e.KernelMode())
-		if hits, misses := e.Stats.PCacheHits, e.Stats.PCacheMisses; hits+misses > 0 {
-			fmt.Fprintf(out, "; P cache %d hits / %d misses (%.1f%%), %d drops",
-				hits, misses, 100*float64(hits)/float64(hits+misses), e.Stats.PCacheDrops)
-		}
-		fmt.Fprintln(out)
-		if mgr != nil {
-			st := mgr.Stats()
-			fmt.Fprintf(out, "Out-of-core: %d requests, %d misses (%.2f%%), %d reads (%.2f%%), %d writes, %d skipped reads\n",
-				st.Requests, st.Misses, 100*st.MissRate(), st.Reads, 100*st.ReadRate(), st.Writes, st.SkippedReads)
-			if ps := mgr.PrefetchStats(); ps.Issued > 0 {
-				fmt.Fprintf(out, "Prefetch: %d issued, %d reads, %d hits, %d wasted\n",
-					ps.Issued, ps.Reads, ps.Hits, ps.Wasted)
-			}
-			pl := mgr.PipelineStats()
-			if pl.Enabled {
-				fmt.Fprintf(out, "Pipeline: %d fetches + %d writes queued, %d joined, %d write-queue hits, %d B overlapped, max depth %d\n",
-					pl.FetchesQueued, pl.WritesQueued, pl.JoinedFetches, pl.WriteQueueHits, pl.OverlappedBytes, pl.QueueDepthMax)
-				fmt.Fprintf(out, "Pipeline stall: %v total (%v joining fetches, %v awaiting buffers)\n",
-					pl.StallTime.Round(time.Microsecond), pl.JoinWait.Round(time.Microsecond), pl.BufferWait.Round(time.Microsecond))
-			}
-			if pl.Retries > 0 || pl.CorruptReads > 0 || pl.DroppedWritebacks > 0 || e.Stats.Recoveries > 0 {
-				fmt.Fprintf(out, "Integrity: %d I/O retries, %d corrupt reads, %d dropped write-backs, %d recoveries\n",
-					pl.Retries, pl.CorruptReads, pl.DroppedWritebacks, e.Stats.Recoveries)
-			}
-		}
+		writeReport(out, reg, mgr != nil)
 	}
 
 	newick := tree.WriteNewick(t)
@@ -351,6 +367,38 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+// writeReport prints the consolidated statistics report: the legacy
+// headline lines (engine totals, kernel identity, out-of-core rates)
+// followed by the full per-layer registry report. Everything is sourced
+// from a single registry snapshot — the same document the live
+// /debug/report endpoint serves — rather than from the per-layer stats
+// structs the old four-part dump read directly.
+func writeReport(out io.Writer, reg *obs.Registry, outOfCore bool) {
+	s := reg.Snapshot()
+	c := s.Counters
+	fmt.Fprintf(out, "Engine: %d newviews, %d evaluations, %d sum tables, %d Newton iterations\n",
+		c["plf.newviews"], c["plf.evaluations"], c["plf.sum_tables"], c["plf.newton_iters"])
+	fmt.Fprintf(out, "Kernels: %s (%s mode)", s.Info["plf.kernel"], s.Info["plf.kernel_mode"])
+	if hits, misses := c["plf.pcache_hits"], c["plf.pcache_misses"]; hits+misses > 0 {
+		fmt.Fprintf(out, "; P cache %d hits / %d misses (%.1f%%), %d drops",
+			hits, misses, 100*float64(hits)/float64(hits+misses), c["plf.pcache_drops"])
+	}
+	fmt.Fprintln(out)
+	if outOfCore {
+		req := c["ooc.requests"]
+		rate := func(n int64) float64 {
+			if req == 0 {
+				return 0
+			}
+			return 100 * float64(n) / float64(req)
+		}
+		fmt.Fprintf(out, "Out-of-core: %d requests, %d misses (%.2f%%), %d reads (%.2f%%), %d writes, %d skipped reads\n",
+			req, c["ooc.misses"], rate(c["ooc.misses"]), c["ooc.reads"], rate(c["ooc.reads"]),
+			c["ooc.writes"], c["ooc.skipped_reads"])
+	}
+	obs.WriteReport(out, s)
 }
 
 func loadAlignment(o options) (*bio.Patterns, error) {

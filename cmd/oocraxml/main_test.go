@@ -1,11 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // writeTestData generates a small dataset via the sim pipeline once per
@@ -286,6 +291,103 @@ func lnlLine(t *testing.T, out string) string {
 	}
 	t.Fatalf("no log-likelihood line in output:\n%s", out)
 	return ""
+}
+
+func TestReportFlagConsolidated(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-t", nwk, "-f", "z", "-k", "2",
+		"-L", "5000", "-strategy", "lru", "-async", "-report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consolidated report keeps the legacy headline lines and adds
+	// the per-layer registry sections, pipeline included for -async.
+	for _, want := range []string{
+		"Engine:", "Kernels:", "Out-of-core:",
+		"[likelihood engine]", "[out-of-core manager]", "[async I/O pipeline]",
+		"fault_in_seconds", "fetches_queued",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPFlag(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	out, err := capture(t, "-s", phy, "-t", nwk, "-f", "z", "-k", "2",
+		"-L", "5000", "-http", "127.0.0.1:0", "-report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Debug endpoint: http://127.0.0.1:") {
+		t.Errorf("endpoint banner missing:\n%s", out)
+	}
+	// A bound port cannot be reused: occupying a port first must fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := capture(t, "-s", phy, "-http", ln.Addr().String()); err == nil {
+		t.Error("occupied -http address must fail")
+	}
+}
+
+// TestHTTPEndpointLive curls /debug/vars while a run is in flight: the
+// server comes up before the alignment loads, so polling from a second
+// goroutine observes it as long as the workload runs for a few
+// milliseconds. If the run wins the race anyway the test skips — the
+// mux round-trips are covered deterministically in internal/obs.
+func TestHTTPEndpointLive(t *testing.T) {
+	phy, nwk := writeTestData(t)
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-s", phy, "-t", nwk, "-f", "z", "-k", "2000",
+			"-L", "5000", "-strategy", "lru", "-http", "127.0.0.1:0"}, f)
+	}()
+	var body []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		data, _ := os.ReadFile(f.Name())
+		if i := strings.Index(string(data), "Debug endpoint: http://"); i >= 0 {
+			addr := strings.Fields(string(data)[i+len("Debug endpoint: "):])[0]
+			resp, err := http.Get(addr + "debug/vars")
+			if err == nil {
+				body, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Skip("run finished before the endpoint could be polled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if body == nil {
+		t.Fatal("no /debug/vars response within deadline")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v\n%s", err, body)
+	}
+	if _, ok := doc["counters"]; !ok {
+		t.Errorf("/debug/vars missing counters: %s", body)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestKernelFlag(t *testing.T) {

@@ -1,0 +1,283 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"oocphylo/internal/obs"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+)
+
+// Timeline figure — the observability layer's acceptance experiment. A
+// real out-of-core run (async pipeline, checksummed store, optional
+// fault injection) executes fully instrumented, and the trace ring is
+// exported as Chrome trace_event JSON: the compute lane and the I/O
+// worker lanes side by side show prefetch overlap, join-wait residue,
+// background write-backs and (when faults are on) the recovery markers
+// followed by their recompute storms.
+
+// TimelineConfig describes the traced run.
+type TimelineConfig struct {
+	// Taxa and Sites set the simulated dataset dimensions; the default
+	// 128 taxa matches the paper's mid-size experiments.
+	Taxa, Sites int
+	// Seed fixes the dataset and fault sequence.
+	Seed int64
+	// GammaAlpha sets rate heterogeneity.
+	GammaAlpha float64
+	// Fraction is the memory fraction f (slots = f·n).
+	Fraction float64
+	// Rounds is the number of edge-sweep rounds after the initial full
+	// traversal (the vector-lifecycle-rich workload from the recovery
+	// ablation).
+	Rounds int
+	// Workers and WriteBuffers configure the async pipeline.
+	Workers, WriteBuffers int
+	// TraceCapacity bounds the event ring (default 65536 — enough to
+	// keep the whole run at the default geometry).
+	TraceCapacity int
+	// WithFaults injects transient I/O faults and bit flips so the
+	// timeline shows recovery events, not just steady-state paging.
+	WithFaults bool
+}
+
+func (c *TimelineConfig) fill() {
+	if c.Taxa == 0 {
+		c.Taxa = 128
+	}
+	if c.Sites == 0 {
+		c.Sites = 256
+	}
+	if c.GammaAlpha == 0 {
+		c.GammaAlpha = 0.8
+	}
+	if c.Fraction == 0 {
+		c.Fraction = 0.25
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 2
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.WriteBuffers == 0 {
+		c.WriteBuffers = 2
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 65536
+	}
+}
+
+// TimelineResult summarises the traced run.
+type TimelineResult struct {
+	// LnL is the final log-likelihood (bit-identical to an untraced run
+	// — instrumentation observes, never steers).
+	LnL float64
+	// Events is the number of trace events held; Dropped how many the
+	// ring overwrote.
+	Events int
+	Dropped int64
+	// Recoveries is the number of corrupt vectors healed during the run
+	// (only nonzero with WithFaults).
+	Recoveries int64
+	// Snapshot is the full registry state at the end of the run.
+	Snapshot *obs.Snapshot
+}
+
+// RunTimeline executes the instrumented workload and writes the Chrome
+// trace JSON to traceW.
+func RunTimeline(cfg TimelineConfig, traceW io.Writer) (TimelineResult, error) {
+	var res TimelineResult
+	cfg.fill()
+	d, err := sim.NewDataset(sim.Config{
+		Taxa: cfg.Taxa, Sites: cfg.Sites, GammaAlpha: cfg.GammaAlpha, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+	n := d.Tree.NumInner()
+
+	var base ooc.Store = ooc.NewMemStore(n, vecLen)
+	if cfg.WithFaults {
+		base = ooc.NewFaultStore(base, ooc.FaultConfig{
+			Seed:     cfg.Seed + 99,
+			PReadErr: 0.02, MaxReadErrs: 4,
+			PBitFlip: 0.10, MaxBitFlips: 3,
+		})
+	}
+	side, err := os.CreateTemp("", "oocphylo-timeline-*.sum")
+	if err != nil {
+		return res, err
+	}
+	sidePath := side.Name()
+	side.Close()
+	defer os.Remove(sidePath)
+	cs, err := ooc.NewChecksumStore(base, sidePath, n, vecLen)
+	if err != nil {
+		return res, err
+	}
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors: n, VectorLen: vecLen,
+		Slots:    ooc.SlotsForFraction(cfg.Fraction, n),
+		Strategy: ooc.NewLRU(n), ReadSkipping: true, Store: cs,
+		Async: true, IOWorkers: cfg.Workers, WriteBuffers: cfg.WriteBuffers,
+		Retry: ooc.RetryPolicy{Max: 8},
+	})
+	if err != nil {
+		return res, err
+	}
+	e, err := plf.New(d.Tree.Clone(), d.Patterns, d.Model, mgr)
+	if err != nil {
+		return res, err
+	}
+	e.EnablePrefetch(true)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(cfg.TraceCapacity)
+	mgr.Instrument(reg, tr)
+	ooc.InstrumentChecksumStore(reg, cs)
+	e.Instrument(reg, tr)
+	reg.SetInfo("run.workload", fmt.Sprintf("edge sweep, %d taxa, %d rounds", cfg.Taxa, cfg.Rounds))
+
+	lnl, err := edgeSweepWorkload(e, cfg.Rounds)
+	if err != nil {
+		return res, err
+	}
+	if err := mgr.Close(); err != nil {
+		return res, err
+	}
+	if err := cs.Close(); err != nil {
+		return res, err
+	}
+	if traceW != nil {
+		if err := tr.WriteChromeTrace(traceW); err != nil {
+			return res, err
+		}
+	}
+	res.LnL = lnl
+	res.Events = tr.Len()
+	res.Dropped = tr.Dropped()
+	res.Recoveries = e.Stats.Recoveries
+	res.Snapshot = reg.Snapshot()
+	return res, nil
+}
+
+// ObsOverheadResult reports the instrumented-versus-bare wall time of
+// the same workload — the acceptance bound on the obs layer's cost.
+type ObsOverheadResult struct {
+	// OffSeconds and OnSeconds are the best-of-reps wall times without
+	// and with full instrumentation (registry + tracer).
+	OffSeconds, OnSeconds float64
+	// OverheadPct is (on-off)/off in percent; negative values (noise)
+	// mean the instrumented run happened to be faster.
+	OverheadPct float64
+	// LnLOff and LnLOn must be bit-identical: observation never steers.
+	LnLOff, LnLOn float64
+}
+
+// RunObsOverhead measures the end-to-end cost of instrumentation on a
+// full-traversal workload: reps repetitions each way, best wall time
+// kept (minimum is the standard noise-robust choice for micro-scale
+// wall clocks).
+func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadResult, error) {
+	var res ObsOverheadResult
+	if taxa == 0 {
+		taxa = 64
+	}
+	if sites == 0 {
+		sites = 256
+	}
+	if traversals == 0 {
+		traversals = 3
+	}
+	if reps == 0 {
+		reps = 3
+	}
+	d, err := sim.NewDataset(sim.Config{Taxa: taxa, Sites: sites, GammaAlpha: 0.8, Seed: seed})
+	if err != nil {
+		return res, err
+	}
+	run := func(instrumented bool) (float64, time.Duration, error) {
+		vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
+		n := d.Tree.NumInner()
+		mgr, err := ooc.NewManager(ooc.Config{
+			NumVectors: n, VectorLen: vecLen,
+			Slots:    ooc.SlotsForFraction(0.25, n),
+			Strategy: ooc.NewLRU(n), ReadSkipping: true,
+			Store: ooc.NewMemStore(n, vecLen),
+			Async: true, IOWorkers: 2,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		t := d.Tree.Clone()
+		e, err := plf.New(t, d.Patterns, d.Model, mgr)
+		if err != nil {
+			return 0, 0, err
+		}
+		e.EnablePrefetch(true)
+		if instrumented {
+			reg := obs.NewRegistry()
+			tr := obs.NewTracer(65536)
+			mgr.Instrument(reg, tr)
+			e.Instrument(reg, tr)
+		}
+		lnl, wall, err := fullTraversalWorkload(e, t, traversals)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := mgr.Close(); err != nil {
+			return 0, 0, err
+		}
+		return lnl, wall, nil
+	}
+	best := func(instrumented bool) (float64, float64, error) {
+		bestWall := time.Duration(0)
+		var lnl float64
+		for i := 0; i < reps; i++ {
+			l, wall, err := run(instrumented)
+			if err != nil {
+				return 0, 0, err
+			}
+			if i == 0 || wall < bestWall {
+				bestWall = wall
+			}
+			lnl = l
+		}
+		return lnl, bestWall.Seconds(), nil
+	}
+	res.LnLOff, res.OffSeconds, err = best(false)
+	if err != nil {
+		return res, err
+	}
+	res.LnLOn, res.OnSeconds, err = best(true)
+	if err != nil {
+		return res, err
+	}
+	if res.LnLOff != res.LnLOn {
+		return res, fmt.Errorf("experiments: instrumentation changed the answer: off %v, on %v",
+			res.LnLOff, res.LnLOn)
+	}
+	if res.OffSeconds > 0 {
+		res.OverheadPct = (res.OnSeconds - res.OffSeconds) / res.OffSeconds * 100
+	}
+	return res, nil
+}
+
+// WriteTimelineSummary renders the run's headline numbers.
+func WriteTimelineSummary(w io.Writer, cfg TimelineConfig, res TimelineResult) {
+	cfg.fill()
+	fmt.Fprintf(w, "# Timeline trace: %d taxa, %d sites, f=%.2f, %d fetch workers, faults=%v\n",
+		cfg.Taxa, cfg.Sites, cfg.Fraction, cfg.Workers, cfg.WithFaults)
+	fmt.Fprintf(w, "final lnL      %.6f\n", res.LnL)
+	fmt.Fprintf(w, "trace events   %d (dropped %d)\n", res.Events, res.Dropped)
+	fmt.Fprintf(w, "recoveries     %d\n", res.Recoveries)
+	if res.Snapshot != nil {
+		obs.WriteReport(w, res.Snapshot)
+	}
+}

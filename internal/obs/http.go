@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Live debug endpoint. Mounted paths:
+//
+//	/debug/vars    expvar-style JSON snapshot of the registry
+//	/debug/report  the consolidated text report (same as the final -stats dump)
+//	/debug/trace   Chrome trace_event JSON of the event ring
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// The handlers only read atomic instruments and locked snapshots, so
+// they are safe to hit while a run is in flight — that is the point.
+
+// NewMux returns an http.ServeMux with the debug routes mounted. reg
+// and tr may be nil (the routes then serve empty documents).
+func NewMux(reg *Registry, tr *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/report", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteReport(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "oocphylo debug endpoint\n\n"+
+			"/debug/vars    metrics registry (JSON)\n"+
+			"/debug/report  consolidated text report\n"+
+			"/debug/trace   Chrome trace_event JSON (load in chrome://tracing)\n"+
+			"/debug/pprof/  Go profiling\n")
+	})
+	return mux
+}
+
+// Serve listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// debug mux in a background goroutine. It returns the bound address
+// (useful with port 0) and a shutdown function that closes the
+// listener and waits for the server to stop.
+func Serve(addr string, reg *Registry, tr *Tracer) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewMux(reg, tr), ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	shutdown = func() error {
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ooc.hits").Add(3)
+	tr := NewTracer(32)
+	tr.SetLaneName(0, "compute")
+	tr.Emit(OpFaultIn, 0, 1, 0, time.Now(), time.Millisecond)
+
+	addr, shutdown, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer func() {
+		if err := shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return b
+	}
+
+	var vars Snapshot
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not valid JSON: %v", err)
+	}
+	if vars.Counters["ooc.hits"] != 3 {
+		t.Errorf("/debug/vars counters: %v", vars.Counters)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/debug/trace"), &trace); err != nil {
+		t.Fatalf("/debug/trace not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("/debug/trace has no events")
+	}
+
+	if report := string(get("/debug/report")); len(report) == 0 {
+		t.Error("/debug/report is empty")
+	}
+	if index := string(get("/")); len(index) == 0 {
+		t.Error("index page is empty")
+	}
+}

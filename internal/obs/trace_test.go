@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerRingOverflow(t *testing.T) {
+	tr := NewTracer(16) // minimum capacity
+	base := time.Now()
+	for i := 0; i < 20; i++ {
+		tr.Emit(OpFaultIn, 0, int32(i), int32(i%4), base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	if tr.Total() != 20 {
+		t.Errorf("Total=%d, want 20", tr.Total())
+	}
+	if tr.Len() != 16 {
+		t.Errorf("Len=%d, want 16 (ring capacity)", tr.Len())
+	}
+	if tr.Dropped() != 4 {
+		t.Errorf("Dropped=%d, want 4", tr.Dropped())
+	}
+	events := tr.Events()
+	if len(events) != 16 {
+		t.Fatalf("Events returned %d, want 16", len(events))
+	}
+	// Oldest events (VID 0..3) were overwritten; the survivors are 4..19
+	// in emission order.
+	for i, e := range events {
+		if want := int32(i + 4); e.VID != want {
+			t.Fatalf("event %d: VID=%d, want %d (oldest-first order after wrap)", i, e.VID, want)
+		}
+	}
+	// Start times must be monotone in the returned order.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatalf("events out of order at %d: %d < %d", i, events[i].Start, events[i-1].Start)
+		}
+	}
+}
+
+func TestTracerEmitNoAllocAfterWarmup(t *testing.T) {
+	tr := NewTracer(64)
+	start := time.Now()
+	tr.Emit(OpNewview, 0, 1, 1, start, time.Microsecond) // warmup (none needed, but be explicit)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(OpNewview, 0, 1, 1, start, time.Microsecond)
+	}); n != 0 {
+		t.Errorf("Emit allocates %v per call after warmup, want 0", n)
+	}
+}
+
+func TestTracerNilIsNoOp(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer must report disabled")
+	}
+	tr.Emit(OpEvict, 0, 1, 2, time.Now(), time.Millisecond)
+	tr.SetLaneName(0, "compute")
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Events() != nil {
+		t.Error("nil tracer must read as empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer must still emit valid JSON: %v", err)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(32)
+	tr.SetLaneName(0, "compute")
+	tr.SetLaneName(1, "io-fetch-1")
+	base := time.Now()
+	tr.Emit(OpFaultIn, 0, 7, 2, base, 150*time.Microsecond)
+	tr.Emit(OpFetch, 1, 8, -1, base.Add(time.Millisecond), 90*time.Microsecond)
+	tr.Emit(OpRecovery, 0, 9, 3, base.Add(2*time.Millisecond), 0) // instant event
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 thread_name metadata + 3 events.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("got %d traceEvents, want 5: %s", len(doc.TraceEvents), buf.String())
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if ph == "X" {
+			if _, ok := e["dur"]; !ok {
+				t.Errorf("span event missing dur: %v", e)
+			}
+		}
+	}
+	if phases["M"] != 2 || phases["X"] != 2 || phases["i"] != 1 {
+		t.Errorf("phase mix M=%d X=%d i=%d, want 2/2/1", phases["M"], phases["X"], phases["i"])
+	}
+}
+
+func TestEventOpNames(t *testing.T) {
+	for op := EventOp(0); op < numOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if op.Cat() == "" || op.Cat() == "misc" {
+			t.Errorf("op %d (%s) has no category", op, op)
+		}
+	}
+}

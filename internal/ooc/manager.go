@@ -3,8 +3,11 @@ package ooc
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // MinSlots is the paper's hard floor on resident vectors: computing one
@@ -127,12 +130,26 @@ func SlotsForFraction(f float64, n int) int {
 
 // Manager is the out-of-core ancestral-vector manager: it implements
 // the plf.VectorProvider contract over a bounded set of RAM slots and a
-// backing Store. Its API is not safe for concurrent use (neither is
-// the likelihood engine driving it); with Config.Async the manager
-// runs I/O goroutines internally, but all bookkeeping still happens on
-// the single calling goroutine.
+// backing Store. Vector/Prefetch/Flush/Close must come from a single
+// caller (as the likelihood engine guarantees); with Config.Async the
+// manager runs I/O goroutines internally, but all bookkeeping still
+// happens on the single calling goroutine. The stats snapshots
+// (Stats/PrefetchStats/PipelineStats) MAY be read from any goroutine —
+// the debug endpoint samples them mid-run — so every public method
+// takes the stats mutex, making each counter group a consistent
+// snapshot rather than a torn read.
 type Manager struct {
 	cfg Config
+
+	// mu serialises the public API against concurrent stats snapshots.
+	// The compute path holds it for the duration of each operation
+	// (uncontended: one futex-free lock per request, dwarfed by the
+	// kernel work between requests); snapshot getters hold it briefly.
+	mu sync.Mutex
+	// mx holds the native observability instruments (see obs.go). The
+	// zero value means uninstrumented: every obs call is a nil-check
+	// no-op and no clock is read.
+	mx managerObs
 
 	// slots holds the m vector-wide RAM buffers.
 	slots [][]float64
@@ -232,17 +249,34 @@ func (m *Manager) VectorLen() int { return m.cfg.VectorLen }
 // Slots returns m, the resident-vector capacity.
 func (m *Manager) Slots() int { return len(m.slots) }
 
-// Stats returns a copy of the access counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a copy of the access counters. Safe from any
+// goroutine: the mutex guarantees the copy is not torn mid-operation.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // ResetStats zeroes the counters (the strategy state is left intact, so
 // measurement windows can exclude warm-up).
-func (m *Manager) ResetStats() { m.stats = Stats{} }
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats = Stats{}
+}
 
 // PipelineStats returns a snapshot of the I/O pipeline counters. The
 // synchronous manager fills StallTime too (demand-path store calls),
-// so sync and async stall are directly comparable.
+// so sync and async stall are directly comparable. Safe from any
+// goroutine.
 func (m *Manager) PipelineStats() PipelineStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pipelineStatsLocked()
+}
+
+// pipelineStatsLocked assembles the snapshot; callers hold m.mu.
+func (m *Manager) pipelineStatsLocked() PipelineStats {
 	ps := m.pipeStats
 	ps.Retries = m.retried.Load()
 	if m.pipe != nil {
@@ -283,6 +317,9 @@ func (m *Manager) joinSlot(s int) error {
 		m.pstats.Reads++
 		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
 	}
+	if m.mx.on {
+		m.traceSpan(obs.OpJoinWait, f.vi, s, start, wait)
+	}
 	return f.err
 }
 
@@ -308,6 +345,8 @@ func (m *Manager) storeWrite(vi int, buf []float64) error {
 
 // Resident reports whether vector vi currently occupies a RAM slot.
 func (m *Manager) Resident(vi int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return vi >= 0 && vi < len(m.itemSlot) && m.itemSlot[vi] >= 0
 }
 
@@ -320,6 +359,8 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	if vi < 0 || vi >= m.cfg.NumVectors {
 		return nil, fmt.Errorf("ooc: vector index %d out of range [0, %d)", vi, m.cfg.NumVectors)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.stats.Requests++
 	m.cfg.Strategy.Touch(vi)
 	if s := m.itemSlot[vi]; s >= 0 {
@@ -363,6 +404,10 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 		}
 	}
 	m.stats.Misses++
+	var missStart time.Time
+	if m.mx.on {
+		missStart = time.Now()
+	}
 
 	slot, err := m.freeSlot(vi, pinned)
 	if err != nil {
@@ -391,6 +436,11 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	m.itemSlot[vi] = slot
 	m.dirty[slot] = write
 	m.prefetched[slot] = false
+	if m.mx.on {
+		dur := time.Since(missStart)
+		m.mx.faultIn.Observe(dur.Seconds())
+		m.traceSpan(obs.OpFaultIn, vi, slot, missStart, dur)
+	}
 	return m.slots[slot], nil
 }
 
@@ -451,6 +501,7 @@ func (m *Manager) evict(victim, slot int) error {
 				m.pipeStats.CorruptReads++
 			}
 			m.pipeStats.DroppedWritebacks++
+			m.mx.evictions.Inc()
 			m.itemSlot[victim] = -1
 			m.slotItem[slot] = -1
 			m.dirty[slot] = false
@@ -464,18 +515,35 @@ func (m *Manager) evict(victim, slot int) error {
 	// A clean slot's content matches the store (it was faulted in by a
 	// read and never modified), so WriteBackDirty may skip it safely.
 	if m.cfg.WriteBack == WriteBackAlways || m.dirty[slot] {
+		var ws time.Time
+		if m.mx.on {
+			ws = time.Now()
+		}
 		if m.pipe != nil {
 			if err := m.asyncWriteBack(victim, slot); err != nil {
 				return err
 			}
-		} else if err := m.stall(func() error { return m.storeWrite(victim, m.slots[slot]) }); err != nil {
-			return err
+			if m.mx.on {
+				// Async: the span covers only the hand-off (spare wait);
+				// the store write itself lands in pipe.write_back_seconds.
+				m.traceSpan(obs.OpEvict, victim, slot, ws, time.Since(ws))
+			}
+		} else {
+			if err := m.stall(func() error { return m.storeWrite(victim, m.slots[slot]) }); err != nil {
+				return err
+			}
+			if m.mx.on {
+				dur := time.Since(ws)
+				m.mx.evictWrite.Observe(dur.Seconds())
+				m.traceSpan(obs.OpEvict, victim, slot, ws, dur)
+			}
 		}
 		m.stats.Writes++
 		m.stats.BytesWritten += int64(m.cfg.VectorLen) * 8
 	} else {
 		m.stats.SkippedWrites++
 	}
+	m.mx.evictions.Inc()
 	m.itemSlot[victim] = -1
 	m.slotItem[slot] = -1
 	m.dirty[slot] = false
@@ -513,6 +581,8 @@ func (m *Manager) asyncWriteBack(victim, slot int) error {
 // the write queue is drained first, so queued (older) write-backs land
 // before the resident (newest) data below.
 func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.drainPipeline(); err != nil {
 		return err
 	}
@@ -555,6 +625,8 @@ func (m *Manager) drainPipeline() error {
 // to checkpoint them. After Close the manager keeps working, but
 // synchronously. Close is a no-op for synchronous managers.
 func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.pipe == nil {
 		return nil
 	}
@@ -563,7 +635,7 @@ func (m *Manager) Close() error {
 		first = err
 	}
 	// Preserve the background counters past the pipeline's death.
-	m.pipeStats = m.PipelineStats()
+	m.pipeStats = m.pipelineStatsLocked()
 	m.pipe = nil
 	m.inflight = nil
 	return first
@@ -572,6 +644,8 @@ func (m *Manager) Close() error {
 // CheckInvariants validates the item/slot mapping consistency; tests
 // call it after randomised operation sequences.
 func (m *Manager) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	seen := make(map[int]int)
 	for s, it := range m.slotItem {
 		if it < 0 {

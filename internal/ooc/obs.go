@@ -1,0 +1,170 @@
+package ooc
+
+// Observability wiring for the out-of-core manager and its async
+// pipeline. Instrument attaches registry instruments and a trace ring;
+// an uninstrumented manager holds nil instruments, so every obs call
+// on the hot path degrades to a nil-check no-op and no clock is read.
+//
+// Two kinds of signals are exported:
+//
+//   - Native: quantities only observable in the act — fault-in /
+//     eviction / background-I/O latencies (histograms), live queue
+//     depth (gauge) and the vector-lifecycle trace events.
+//   - Mirrored: the Stats/PrefetchStats/PipelineStats counters the
+//     manager maintains anyway. A registry publisher copies them into
+//     counters on every snapshot, so they are live on the debug
+//     endpoint at zero hot-path cost. The snapshot getters take the
+//     stats mutex, so a mid-operation snapshot can never tear a
+//     counter group (see Manager.mu).
+//
+// Call Instrument before issuing any manager operation: pipeline
+// workers pick the instruments up through the happens-before edge of
+// the first request enqueue.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"oocphylo/internal/obs"
+)
+
+// Trace lane assignment: the compute thread is lane 0, background
+// fetch workers are lanes 1..IOWorkers, the write-back worker is lane
+// IOWorkers+1.
+const computeLane = 0
+
+// managerObs holds the manager's native instruments. The zero value
+// (all nil, on=false) is the uninstrumented state.
+type managerObs struct {
+	// on gates the time.Now() calls that build spans.
+	on     bool
+	tracer *obs.Tracer
+	// faultIn observes the full demand-miss path: slot selection,
+	// eviction and the store read (or its skip).
+	faultIn *obs.Histogram
+	// evictWrite observes synchronous eviction write-backs (the async
+	// pipeline's write latency lands in pipe.write_back_seconds).
+	evictWrite *obs.Histogram
+	// evictions counts evictions under the configured strategy (the
+	// instrument name carries the strategy, e.g. "ooc.evictions_lru").
+	evictions *obs.Counter
+}
+
+// Instrument attaches reg and tr to the manager (either may be nil).
+// Must be called before the first Vector/Prefetch/Flush operation and
+// at most once; later calls are ignored.
+func (m *Manager) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.mx.on || (reg == nil && tr == nil) {
+		return
+	}
+	m.mx = managerObs{
+		on:         true,
+		tracer:     tr,
+		faultIn:    reg.Histogram("ooc.fault_in_seconds", nil),
+		evictWrite: reg.Histogram("ooc.evict_write_seconds", nil),
+		evictions:  reg.Counter("ooc.evictions_" + strings.ToLower(m.cfg.Strategy.Name())),
+	}
+	reg.SetInfo("ooc.strategy", m.cfg.Strategy.Name())
+	reg.SetInfo("ooc.geometry", fmt.Sprintf("%d slots / %d vectors x %d doubles",
+		len(m.slots), m.cfg.NumVectors, m.cfg.VectorLen))
+	tr.SetLaneName(computeLane, "compute")
+	if m.pipe != nil {
+		m.pipe.instrument(reg, tr, m.cfg.IOWorkers)
+	}
+	m.addStatsPublisher(reg)
+}
+
+// addStatsPublisher mirrors the manager's counter groups into the
+// registry on every snapshot. Counters are pre-resolved here so the
+// publisher itself takes no registry locks.
+func (m *Manager) addStatsPublisher(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	type mirrors struct {
+		requests, hits, misses, reads, skippedReads  *obs.Counter
+		writes, skippedWrites, bytesRead, bytesWrite *obs.Counter
+		pfIssued, pfReads, pfHits, pfWasted          *obs.Counter
+		fetchesQ, writesQ, joined, wqHits            *obs.Counter
+		overlapped, depthMax, retries                *obs.Counter
+		corrupt, dropped                             *obs.Counter
+		stall, joinWait, bufWait                     *obs.FloatGauge
+	}
+	c := mirrors{
+		requests:      reg.Counter("ooc.requests"),
+		hits:          reg.Counter("ooc.hits"),
+		misses:        reg.Counter("ooc.misses"),
+		reads:         reg.Counter("ooc.reads"),
+		skippedReads:  reg.Counter("ooc.skipped_reads"),
+		writes:        reg.Counter("ooc.writes"),
+		skippedWrites: reg.Counter("ooc.skipped_writes"),
+		bytesRead:     reg.Counter("ooc.bytes_read"),
+		bytesWrite:    reg.Counter("ooc.bytes_written"),
+		pfIssued:      reg.Counter("ooc.prefetch_issued"),
+		pfReads:       reg.Counter("ooc.prefetch_reads"),
+		pfHits:        reg.Counter("ooc.prefetch_hits"),
+		pfWasted:      reg.Counter("ooc.prefetch_wasted"),
+		fetchesQ:      reg.Counter("pipe.fetches_queued"),
+		writesQ:       reg.Counter("pipe.writes_queued"),
+		joined:        reg.Counter("pipe.joined_fetches"),
+		wqHits:        reg.Counter("pipe.write_queue_hits"),
+		overlapped:    reg.Counter("pipe.overlapped_bytes"),
+		depthMax:      reg.Counter("pipe.queue_depth_max"),
+		retries:       reg.Counter("ooc.retries"),
+		corrupt:       reg.Counter("ooc.corrupt_reads"),
+		dropped:       reg.Counter("ooc.dropped_writebacks"),
+		stall:         reg.FloatGauge("pipe.stall_seconds"),
+		joinWait:      reg.FloatGauge("pipe.join_wait_seconds"),
+		bufWait:       reg.FloatGauge("pipe.buffer_wait_seconds"),
+	}
+	reg.AddPublisher(func() {
+		st := m.Stats()
+		pf := m.PrefetchStats()
+		ps := m.PipelineStats()
+		c.requests.Set(st.Requests)
+		c.hits.Set(st.Hits)
+		c.misses.Set(st.Misses)
+		c.reads.Set(st.Reads)
+		c.skippedReads.Set(st.SkippedReads)
+		c.writes.Set(st.Writes)
+		c.skippedWrites.Set(st.SkippedWrites)
+		c.bytesRead.Set(st.BytesRead)
+		c.bytesWrite.Set(st.BytesWritten)
+		c.pfIssued.Set(pf.Issued)
+		c.pfReads.Set(pf.Reads)
+		c.pfHits.Set(pf.Hits)
+		c.pfWasted.Set(pf.Wasted)
+		c.fetchesQ.Set(ps.FetchesQueued)
+		c.writesQ.Set(ps.WritesQueued)
+		c.joined.Set(ps.JoinedFetches)
+		c.wqHits.Set(ps.WriteQueueHits)
+		c.overlapped.Set(ps.OverlappedBytes)
+		c.depthMax.Set(ps.QueueDepthMax)
+		c.retries.Set(ps.Retries)
+		c.corrupt.Set(ps.CorruptReads)
+		c.dropped.Set(ps.DroppedWritebacks)
+		c.stall.Set(ps.StallTime.Seconds())
+		c.joinWait.Set(ps.JoinWait.Seconds())
+		c.bufWait.Set(ps.BufferWait.Seconds())
+	})
+}
+
+// traceSpan emits one manager-side trace event. now is the span start;
+// callers obtain it only when m.mx.on is set.
+func (m *Manager) traceSpan(op obs.EventOp, vi, slot int, start time.Time, dur time.Duration) {
+	m.mx.tracer.Emit(op, computeLane, int32(vi), int32(slot), start, dur)
+}
+
+// InstrumentChecksumStore mirrors a checksum store's verification
+// counter into the registry (the store sits below the manager and has
+// no reference to it).
+func InstrumentChecksumStore(reg *obs.Registry, cs *ChecksumStore) {
+	if reg == nil || cs == nil {
+		return
+	}
+	c := reg.Counter("ooc.checksum_corrupt_reads")
+	reg.AddPublisher(func() { c.Set(cs.CorruptReads()) })
+}

@@ -40,9 +40,12 @@ package ooc
 // *inside* the manager, not concurrency on its API.
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // PipelineStats counts the asynchronous pipeline's activity. All
@@ -138,6 +141,20 @@ type pipeline struct {
 	retry   RetryPolicy
 	retried *atomic.Int64
 
+	// Observability instruments; all nil (and on false) when
+	// uninstrumented. Written once by instrument() on the compute thread
+	// BEFORE the first request is enqueued; workers read them only while
+	// servicing a request, so the channel send/receive provides the
+	// happens-before edge.
+	on       bool
+	fetchLat *obs.Histogram
+	writeLat *obs.Histogram
+	qdepth   *obs.Gauge
+	tracer   *obs.Tracer
+	// writerTID is the write-back goroutine's trace lane (fetch workers
+	// are lanes 1..workers; see obs.go).
+	writerTID int32
+
 	wg   sync.WaitGroup
 	stop sync.Once
 }
@@ -153,21 +170,41 @@ func newPipeline(store Store, vecLen, workers, queue, spareBufs int, retry Retry
 		retry:   retry,
 		retried: retried,
 	}
+	p.writerTID = int32(workers + 1)
 	for i := 0; i < spareBufs; i++ {
 		p.spares <- make([]float64, vecLen)
 	}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go p.fetchWorker()
+		go p.fetchWorker(int32(i + 1))
 	}
 	p.wg.Add(1)
 	go p.writeWorker()
 	return p
 }
 
-func (p *pipeline) fetchWorker() {
+// instrument attaches registry instruments and trace lanes. Must run on
+// the compute thread before any request is enqueued (the workers pick
+// the fields up through the enqueue's happens-before edge).
+func (p *pipeline) instrument(reg *obs.Registry, tr *obs.Tracer, workers int) {
+	p.on = true
+	p.fetchLat = reg.Histogram("pipe.fetch_seconds", nil)
+	p.writeLat = reg.Histogram("pipe.write_back_seconds", nil)
+	p.qdepth = reg.Gauge("pipe.queue_depth")
+	p.tracer = tr
+	for i := 1; i <= workers; i++ {
+		tr.SetLaneName(int32(i), fmt.Sprintf("io-fetch-%d", i))
+	}
+	tr.SetLaneName(p.writerTID, "io-writer")
+}
+
+func (p *pipeline) fetchWorker(tid int32) {
 	defer p.wg.Done()
 	for req := range p.fetchCh {
+		var start time.Time
+		if p.on {
+			start = time.Now()
+		}
 		req.err = p.retry.run(p.retried, func() error {
 			return p.readThrough(req.vi, req.dst)
 		})
@@ -179,7 +216,12 @@ func (p *pipeline) fetchWorker() {
 		if req.err == nil {
 			p.overlapped.Add(int64(len(req.dst)) * 8)
 		}
-		p.depth.Add(-1)
+		if p.on {
+			dur := time.Since(start)
+			p.fetchLat.Observe(dur.Seconds())
+			p.tracer.Emit(obs.OpFetch, tid, int32(req.vi), -1, start, dur)
+		}
+		p.qdepth.Set(p.depth.Add(-1))
 		close(req.done)
 	}
 }
@@ -187,6 +229,10 @@ func (p *pipeline) fetchWorker() {
 func (p *pipeline) writeWorker() {
 	defer p.wg.Done()
 	for req := range p.writeCh {
+		var start time.Time
+		if p.on {
+			start = time.Now()
+		}
 		err := p.retry.run(p.retried, func() error {
 			return p.store.WriteVector(req.vi, req.buf)
 		})
@@ -197,13 +243,18 @@ func (p *pipeline) writeWorker() {
 		} else {
 			p.overlapped.Add(int64(len(req.buf)) * 8)
 		}
+		if p.on {
+			dur := time.Since(start)
+			p.writeLat.Observe(dur.Seconds())
+			p.tracer.Emit(obs.OpWriteBack, p.writerTID, int32(req.vi), -1, start, dur)
+		}
 		p.mu.Lock()
 		// Retire only if no newer write superseded this one.
 		if p.pending[req.vi] == req {
 			delete(p.pending, req.vi)
 		}
 		p.mu.Unlock()
-		p.depth.Add(-1)
+		p.qdepth.Set(p.depth.Add(-1))
 		close(req.done)
 		p.spares <- req.buf
 	}
@@ -273,6 +324,7 @@ func (p *pipeline) shutdown() error {
 
 func (p *pipeline) bumpDepth() {
 	d := p.depth.Add(1)
+	p.qdepth.Set(d)
 	for {
 		max := p.depthMax.Load()
 		if d <= max || p.depthMax.CompareAndSwap(max, d) {

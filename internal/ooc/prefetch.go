@@ -1,6 +1,10 @@
 package ooc
 
-import "time"
+import (
+	"time"
+
+	"oocphylo/internal/obs"
+)
 
 // Prefetching — the paper's §5 future work ("we will assess if
 // pre-fetching can be deployed by means of a prefetch thread"). The
@@ -40,6 +44,8 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 	if vi < 0 || vi >= m.cfg.NumVectors {
 		return nil // prefetch is advisory; never fail the computation
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.pstats.Issued++
 	if m.itemSlot[vi] >= 0 {
 		return nil // already resident (possibly still in flight)
@@ -57,6 +63,10 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 	// the staged vector as the very next victim.
 	m.cfg.Strategy.Touch(vi)
 	if m.pipe == nil {
+		var ps time.Time
+		if m.mx.on {
+			ps = time.Now()
+		}
 		if err := m.stall(func() error { return m.demandRead(vi, m.slots[slot]) }); err != nil {
 			if IsCorruption(err) {
 				m.pipeStats.CorruptReads++
@@ -68,6 +78,9 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 		// async path mirrors this by accounting at join time (joinSlot).
 		m.pstats.Reads++
 		m.stats.BytesRead += int64(m.cfg.VectorLen) * 8
+		if m.mx.on {
+			m.traceSpan(obs.OpPrefetch, vi, slot, ps, time.Since(ps))
+		}
 	}
 	m.slotItem[slot] = vi
 	m.itemSlot[vi] = slot
@@ -78,11 +91,21 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 		// only when the bounded fetch queue is full.
 		start := time.Now()
 		m.inflight[slot] = m.pipe.enqueueFetch(vi, m.slots[slot])
-		m.pipeStats.StallTime += time.Since(start)
+		wait := time.Since(start)
+		m.pipeStats.StallTime += wait
 		m.pipeStats.FetchesQueued++
+		if m.mx.on {
+			// The span covers only the enqueue; the read itself lands in
+			// pipe.fetch_seconds on the worker's lane.
+			m.traceSpan(obs.OpPrefetch, vi, slot, start, wait)
+		}
 	}
 	return nil
 }
 
-// PrefetchStats returns the prefetch counters.
-func (m *Manager) PrefetchStats() PrefetchStats { return m.pstats }
+// PrefetchStats returns the prefetch counters. Safe from any goroutine.
+func (m *Manager) PrefetchStats() PrefetchStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pstats
+}

@@ -2,8 +2,10 @@ package plf
 
 import (
 	"math"
+	"time"
 
 	"oocphylo/internal/mathx"
+	"oocphylo/internal/obs"
 	"oocphylo/internal/tree"
 )
 
@@ -30,6 +32,11 @@ import (
 // each other (call Traverse first).
 func (e *Engine) buildSumTable(edge *tree.Edge) error {
 	e.Stats.SumTables++
+	e.eobs.sumTables.Inc()
+	var stStart time.Time
+	if e.eobs.on {
+		stStart = time.Now()
+	}
 	a := &e.sa
 	*a = sumArgs{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
@@ -76,6 +83,11 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 
 	kern := e.kern
 	e.parallelFor(e.nPat, func(lo, hi int) { kern.sumTable(e, a, lo, hi) })
+	if e.eobs.on {
+		dur := time.Since(stStart)
+		e.eobs.sumTableLat.Observe(dur.Seconds())
+		e.traceSpan(obs.OpSumTable, -1, stStart, dur)
+	}
 	return nil
 }
 
@@ -168,6 +180,7 @@ func (e *Engine) OptimizeBranch(edge *tree.Edge) (float64, error) {
 	lnl0, _, _ := e.sumTableValues(t0)
 	fdf := func(t float64) (float64, float64) {
 		e.Stats.NewtonIters++
+		e.eobs.newtonIters.Inc()
 		_, d1, d2 := e.sumTableValues(t)
 		if d2 >= 0 {
 			// Convex region: a raw Newton step would move away from the

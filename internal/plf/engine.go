@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"oocphylo/internal/bio"
 	"oocphylo/internal/model"
+	"oocphylo/internal/obs"
 	"oocphylo/internal/tree"
 )
 
@@ -118,6 +120,9 @@ type Engine struct {
 	pinsPF              [3]int
 
 	Stats Stats
+	// eobs holds the observability instruments (see obs.go); the zero
+	// value means uninstrumented and costs one nil/bool check per site.
+	eobs engineObs
 }
 
 // VectorLength returns the number of float64s per ancestral vector for
@@ -359,6 +364,11 @@ func (e *Engine) prefetchInputs(pf prefetchProvider, steps []tree.Step, cur, nex
 // delegated to the active kernel set.
 func (e *Engine) newview(s *tree.Step) error {
 	e.Stats.Newviews++
+	e.eobs.newviews.Inc()
+	var nvStart time.Time
+	if e.eobs.on {
+		nvStart = time.Now()
+	}
 	a := &e.nv
 	*a = nvArgs{nm: len(e.maskList)}
 	var entL, entR *pcEntry
@@ -420,6 +430,11 @@ func (e *Engine) newview(s *tree.Step) error {
 	kern := e.kern
 	kern.prepareNewview(e, a)
 	e.parallelFor(e.nPat, func(lo, hi int) { kern.newview(e, a, lo, hi) })
+	if e.eobs.on {
+		dur := time.Since(nvStart)
+		e.eobs.newviewLat.Observe(dur.Seconds())
+		e.traceSpan(obs.OpNewview, pvi, nvStart, dur)
+	}
 	return nil
 }
 
@@ -453,6 +468,12 @@ func (e *Engine) recoverCorruption(err error, attempts *int, budget int) bool {
 	*attempts++
 	e.orient[vi+e.T.NumTips] = nil
 	e.Stats.Recoveries++
+	e.eobs.recoveries.Inc()
+	if e.eobs.on {
+		// Instant event: the cost shows up as the extra newviews that
+		// follow, the marker shows *why* they happened.
+		e.traceSpan(obs.OpRecovery, vi, time.Now(), 0)
+	}
 	return true
 }
 
@@ -551,6 +572,11 @@ func gammaWeight(lnGamma, p, linv float64) float64 {
 // the active kernel set.
 func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 	e.Stats.Evaluations++
+	e.eobs.evaluations.Inc()
+	var evStart time.Time
+	if e.eobs.on {
+		evStart = time.Now()
+	}
 	a := &e.ev
 	*a = evArgs{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
@@ -604,6 +630,11 @@ func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 	lnl := 0.0
 	for _, c := range a.contrib {
 		lnl += c
+	}
+	if e.eobs.on {
+		dur := time.Since(evStart)
+		e.eobs.evalLat.Observe(dur.Seconds())
+		e.traceSpan(obs.OpEvaluate, -1, evStart, dur)
 	}
 	return lnl, nil
 }

@@ -57,12 +57,15 @@ func (e *Engine) pmatsFor(t float64, scratch []float64) ([]float64, *pcEntry) {
 	key := math.Float64bits(t)
 	if ent, ok := c.entries[key]; ok {
 		e.Stats.PCacheHits++
+		e.eobs.pcHits.Inc()
 		return ent.pmats, ent
 	}
 	e.Stats.PCacheMisses++
+	e.eobs.pcMisses.Inc()
 	if len(c.entries) >= pcacheCap {
 		clear(c.entries)
 		e.Stats.PCacheDrops++
+		e.eobs.pcDrops.Inc()
 	}
 	ent := &pcEntry{pmats: make([]float64, e.nCat*e.nStates*e.nStates)}
 	e.M.PMatrices(ent.pmats, t)

@@ -1,0 +1,64 @@
+package search
+
+// Observability wiring for the search loop. Counters mirror the Result
+// fields natively (Result is a plain struct owned by the compute
+// goroutine; a publisher reading it from the debug endpoint would
+// race), gauges expose live progress: the current log-likelihood and
+// the candidate-evaluation rate of the latest SPR sweep — the numbers
+// an operator watches to decide whether a long run is still moving.
+
+import (
+	"time"
+
+	"oocphylo/internal/obs"
+)
+
+// searchObs holds the searcher's instruments; the zero value is the
+// uninstrumented state.
+type searchObs struct {
+	on                       bool
+	tracer                   *obs.Tracer
+	rounds, tested, accepted *obs.Counter
+	// lnl tracks the best log-likelihood so far; movesPerSec is the
+	// candidate-evaluation rate of the latest SPR sweep.
+	lnl, movesPerSec *obs.FloatGauge
+	// roundLat observes the duration of each SPR sweep.
+	roundLat *obs.Histogram
+}
+
+// Instrument attaches reg and tr to the searcher (either may be nil).
+// Call before Run; at most once.
+func (s *Searcher) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	if s.sobs.on || (reg == nil && tr == nil) {
+		return
+	}
+	s.sobs = searchObs{
+		on:          true,
+		tracer:      tr,
+		rounds:      reg.Counter("search.rounds"),
+		tested:      reg.Counter("search.moves_tested"),
+		accepted:    reg.Counter("search.moves_accepted"),
+		lnl:         reg.FloatGauge("search.lnl"),
+		movesPerSec: reg.FloatGauge("search.moves_per_sec"),
+		roundLat:    reg.Histogram("search.round_seconds", nil),
+	}
+}
+
+// noteRound records one completed SPR sweep: durations, progress
+// gauges and an OpRound span on the compute lane (VID carries the
+// round number — there is no vector identity at this level).
+func (s *Searcher) noteRound(round int, res *Result, lnl float64, start time.Time, testedBefore int) {
+	if !s.sobs.on {
+		return
+	}
+	dur := time.Since(start)
+	s.sobs.rounds.Inc()
+	s.sobs.roundLat.Observe(dur.Seconds())
+	s.sobs.lnl.Set(lnl)
+	s.sobs.tested.Set(int64(res.TestedMoves))
+	s.sobs.accepted.Set(int64(res.AcceptedMoves))
+	if secs := dur.Seconds(); secs > 0 {
+		s.sobs.movesPerSec.Set(float64(res.TestedMoves-testedBefore) / secs)
+	}
+	s.sobs.tracer.Emit(obs.OpRound, 0, int32(round), -1, start, dur)
+}

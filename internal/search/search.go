@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"oocphylo/internal/mathx"
 	"oocphylo/internal/plf"
@@ -84,6 +85,9 @@ type Result struct {
 type Searcher struct {
 	E    *plf.Engine
 	Opts Options
+	// sobs holds the observability instruments (see obs.go); the zero
+	// value means uninstrumented.
+	sobs searchObs
 }
 
 // New returns a Searcher with filled-in defaults.
@@ -190,6 +194,7 @@ func (s *Searcher) Run() (*Result, error) {
 		return nil, err
 	}
 	res.StartLnL = lnl
+	s.sobs.lnl.Set(lnl)
 	if s.Opts.OptimizeModel && s.E.M.Cats() >= 2 {
 		alpha, l, err := s.OptimizeAlpha()
 		if err != nil {
@@ -200,11 +205,17 @@ func (s *Searcher) Run() (*Result, error) {
 	}
 	for round := 0; round < s.Opts.MaxRounds; round++ {
 		res.Rounds++
+		var roundStart time.Time
+		testedBefore := res.TestedMoves
+		if s.sobs.on {
+			roundStart = time.Now()
+		}
 		improved, newLnl, err := s.sprRound(lnl, res)
 		if err != nil {
 			return nil, err
 		}
 		lnl = newLnl
+		s.noteRound(res.Rounds, res, lnl, roundStart, testedBefore)
 		if !improved {
 			break
 		}
@@ -227,8 +238,10 @@ func (s *Searcher) Run() (*Result, error) {
 				return nil, err
 			}
 		}
+		s.sobs.lnl.Set(lnl)
 	}
 	res.LnL = lnl
+	s.sobs.lnl.Set(lnl)
 	return res, nil
 }
 
