@@ -7,10 +7,15 @@
 //   - the observability overhead probe (the same out-of-core workload
 //     with the metrics registry and tracer off versus on, bit-identical
 //     likelihoods enforced), recording the relative wall-clock cost of
-//     full instrumentation.
+//     full instrumentation;
+//   - the resize overhead probe (the same traversal workload with a
+//     fixed slot pool versus one shrunk and regrown between
+//     traversals, bit-identical likelihoods enforced), recording what
+//     the runtime resource governor costs when it oscillates.
 //
 // CI uploads the file as an artifact so regressions between commits —
-// kernel slowdowns or creeping instrumentation cost — can be diffed.
+// kernel slowdowns, creeping instrumentation cost or resize-machinery
+// cost — can be diffed.
 package main
 
 import (
@@ -44,20 +49,36 @@ type obsBlock struct {
 	OverheadPct float64 `json:"obs_overhead_pct"`
 }
 
-// baseline is the BENCH_4.json schema.
+// resizeBlock is the resize-overhead section of the baseline.
+type resizeBlock struct {
+	Taxa           int     `json:"taxa"`
+	Sites          int     `json:"sites"`
+	Traversals     int     `json:"traversals"`
+	Slots          int     `json:"slots"`
+	LowSlots       int     `json:"low_slots"`
+	Resizes        int     `json:"resizes"`
+	FixedSeconds   float64 `json:"fixed_seconds"`
+	ResizeSeconds  float64 `json:"resize_seconds"`
+	OverheadPct    float64 `json:"resize_overhead_pct"`
+	ExtraReads     int64   `json:"extra_reads"`
+	LnLBitsMatched bool    `json:"lnl_bits_matched"`
+}
+
+// baseline is the BENCH_5.json schema.
 type baseline struct {
-	Schema        string     `json:"schema"`
-	GoVersion     string     `json:"go_version"`
-	GOARCH        string     `json:"goarch"`
-	Taxa          int        `json:"taxa"`
-	Sites         int        `json:"sites"`
-	Traversals    int        `json:"traversals"`
-	Kernel        string     `json:"kernel"`
-	Phases        []phaseRow `json:"phases"`
-	PCacheHits    int64      `json:"pcache_hits"`
-	PCacheMisses  int64      `json:"pcache_misses"`
-	PCacheHitRate float64    `json:"pcache_hit_rate"`
-	Obs           obsBlock   `json:"obs"`
+	Schema        string      `json:"schema"`
+	GoVersion     string      `json:"go_version"`
+	GOARCH        string      `json:"goarch"`
+	Taxa          int         `json:"taxa"`
+	Sites         int         `json:"sites"`
+	Traversals    int         `json:"traversals"`
+	Kernel        string      `json:"kernel"`
+	Phases        []phaseRow  `json:"phases"`
+	PCacheHits    int64       `json:"pcache_hits"`
+	PCacheMisses  int64       `json:"pcache_misses"`
+	PCacheHitRate float64     `json:"pcache_hit_rate"`
+	Obs           obsBlock    `json:"obs"`
+	Resize        resizeBlock `json:"resize"`
 }
 
 func main() {
@@ -69,7 +90,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_4.json", "output JSON path")
+	out := fs.String("out", "BENCH_5.json", "output JSON path")
 	taxa := fs.Int("taxa", 48, "simulated taxa")
 	sites := fs.Int("sites", 1500, "simulated sites")
 	traversals := fs.Int("traversals", 3, "full traversals in the newview phase")
@@ -87,7 +108,7 @@ func run(args []string) error {
 		return err
 	}
 	b := baseline{
-		Schema:        "oocphylo/benchsmoke/v2",
+		Schema:        "oocphylo/benchsmoke/v3",
 		GoVersion:     runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Taxa:          *taxa,
@@ -120,6 +141,22 @@ func run(args []string) error {
 		OverheadPct: ores.OverheadPct,
 	}
 
+	rres, err := experiments.RunResizeOverhead(experiments.ResizeAblationConfig{
+		Taxa: *taxa, Sites: *sites, Seed: *seed,
+	}, *traversals*2)
+	if err != nil {
+		return err
+	}
+	b.Resize = resizeBlock{
+		Taxa: *taxa, Sites: *sites, Traversals: *traversals * 2,
+		Slots: rres.Slots, LowSlots: rres.Low, Resizes: rres.Resizes,
+		FixedSeconds:   rres.FixedTime.Seconds(),
+		ResizeSeconds:  rres.ResizeTime.Seconds(),
+		OverheadPct:    100 * rres.Overhead(),
+		ExtraReads:     rres.ResizeStats.Reads - rres.FixedStats.Reads,
+		LnLBitsMatched: true, // RunResizeOverhead errors on any mismatch
+	}
+
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -130,6 +167,8 @@ func run(args []string) error {
 	experiments.WriteKernelAblationTable(os.Stdout, res, cfg)
 	fmt.Printf("obs overhead: off %.3fs, on %.3fs (%+.2f%%), lnL bit-identical\n",
 		ores.OffSeconds, ores.OnSeconds, ores.OverheadPct)
+	fmt.Printf("resize overhead: %d resizes (%d<->%d slots), fixed %.3fs vs oscillating %.3fs (%+.2f%%), lnL bit-identical\n",
+		rres.Resizes, rres.Low, rres.Slots, rres.FixedTime.Seconds(), rres.ResizeTime.Seconds(), 100*rres.Overhead())
 	fmt.Printf("baseline written to %s\n", *out)
 	return nil
 }

@@ -9,6 +9,9 @@
 //	            the §5 prefetch-thread future work)
 //	-fig kernels  generic vs DNA-specialised compute kernels + P cache
 //	              (not in the paper; compute-side ablation)
+//	-fig resize  miss-rate trajectory as a LIVE pool is halved mid-run,
+//	             four strategies (not in the paper; the runtime
+//	             resource governor's ablation)
 //	-fig timeline  Chrome trace of a fully instrumented run (compute +
 //	               I/O worker lanes); explicit only — it writes the
 //	               trace JSON to -trace-out, not stdout
@@ -24,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"oocphylo/internal/experiments"
 )
@@ -37,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels or all")
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, resize or all")
 	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
 	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
 	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
@@ -131,6 +135,26 @@ func run(args []string) error {
 			return err
 		}
 		experiments.WriteKernelAblationTable(out, res, kcfg)
+		fmt.Fprintln(out)
+	}
+	if want("resize") {
+		fmt.Fprintln(out, "== Resize ablation: live pool shrink, four strategies ==")
+		rcfg := experiments.ResizeAblationConfig{Taxa: *taxa, Sites: *sites, Seed: *seed}
+		if *full {
+			rcfg.Taxa, rcfg.Sites = 512, 1200
+		}
+		rows, err := experiments.RunResizeAblation(rcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteResizeTable(out, rows, rcfg)
+		ov, err := experiments.RunResizeOverhead(rcfg, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "oscillation overhead: %d resizes (%d<->%d slots), fixed %v vs oscillating %v (%+.1f%%)\n",
+			ov.Resizes, ov.Low, ov.Slots, ov.FixedTime.Round(time.Millisecond),
+			ov.ResizeTime.Round(time.Millisecond), 100*ov.Overhead())
 	}
 	if *fig == "timeline" {
 		fmt.Fprintln(out, "== Timeline: Chrome trace of an instrumented out-of-core run ==")
@@ -152,7 +176,7 @@ func run(args []string) error {
 		fmt.Fprintf(out, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		return nil
 	}
-	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") {
+	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("resize") {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil

@@ -37,13 +37,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"oocphylo/internal/bio"
@@ -103,6 +107,9 @@ type options struct {
 	ioRetries   int
 	kernel      string
 	httpAddr    string
+	memBudget   int64
+	ckptEvery   time.Duration
+	crashAfter  int64
 }
 
 func run(args []string, out *os.File) error {
@@ -137,7 +144,10 @@ func run(args []string, out *os.File) error {
 	fs.BoolVar(&o.optModel, "optimize-model", false, "also optimise GTR exchangeabilities (search/evaluate modes)")
 	fs.IntVar(&o.bootstraps, "bootstrap", 0, "bootstrap replicates; annotates the result tree with support values")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "write a resumable checkpoint here after every search round")
-	fs.StringVar(&o.resume, "resume", "", "resume tree and model parameters from this checkpoint")
+	fs.DurationVar(&o.ckptEvery, "checkpoint-interval", 0, "minimum time between -checkpoint writes (0 = checkpoint every round)")
+	fs.StringVar(&o.resume, "resume", "", "resume tree, model parameters and search progress from this checkpoint")
+	fs.Int64Var(&o.memBudget, "mem-budget", 0, "soft heap budget in bytes: a watchdog shrinks/grows the out-of-core slot pool at engine safe points to stay under it (0 = off)")
+	fs.Int64Var(&o.crashAfter, "crashpoint", 0, "TESTING: kill the process (exit 3) at the N-th backing-store vector I/O")
 	fs.BoolVar(&o.verifyStore, "verify-store", false, "maintain a per-vector checksum sidecar next to the backing file and verify every read (corrupt vectors are recomputed, not fatal)")
 	fs.IntVar(&o.ioRetries, "io-retries", 3, "retries with exponential backoff for transient backing-store I/O errors")
 	fs.StringVar(&o.outTree, "w", "", "write the result tree to this file (default stdout)")
@@ -152,6 +162,13 @@ func run(args []string, out *os.File) error {
 		fs.Usage()
 		return fmt.Errorf("an alignment (-s) is required")
 	}
+
+	// Cooperative cancellation: SIGINT/SIGTERM cancel ctx and the run
+	// stops at the next safe boundary — mode s additionally writes a
+	// final checkpoint — then exits 0, so an interrupt is an outcome,
+	// not a failure.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	// Observability: one registry feeds both the final report and the
 	// live endpoint; the trace ring only exists when someone can read it
@@ -182,6 +199,7 @@ func run(args []string, out *os.File) error {
 	var t *tree.Tree
 	var m *model.Model
 	var resumeMan *ooc.Manifest
+	var resumeState *checkpoint.State
 	if o.resume != "" {
 		st, err := checkpoint.Load(o.resume)
 		if err != nil {
@@ -195,6 +213,7 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("checkpoint tree has %d tips, alignment %d taxa", t.NumTips, pats.NumTaxa())
 		}
 		resumeMan = st.Store
+		resumeState = st
 		fmt.Fprintf(out, "Resumed from %s (round %d, lnL %.4f)\n", o.resume, st.Round, st.LnL)
 	} else {
 		m, err = buildModel(o, pats)
@@ -238,6 +257,23 @@ func run(args []string, out *os.File) error {
 	e.EnablePrefetch(o.prefetch || o.async)
 	e.SetPrefetchDepth(o.prefDepth)
 
+	var wd *ooc.Watchdog
+	if o.memBudget > 0 && mgr != nil {
+		wd, err = ooc.NewWatchdog(mgr, ooc.WatchdogConfig{SoftBudget: o.memBudget})
+		if err != nil {
+			return err
+		}
+		e.SetSafePoint(func() error { return wd.Check() })
+		fmt.Fprintf(out, "Memory watchdog: soft heap budget %d B over %d slots\n", o.memBudget, mgr.Slots())
+	}
+	if o.mode != "s" {
+		// Engine-level cancellation aborts traversals between plan steps.
+		// Mode s instead checks the context itself at tree-consistent
+		// boundaries: an engine-level abort could fire mid-SPR-surgery,
+		// where the topology is not in a checkpointable state.
+		e.SetContext(ctx)
+	}
+
 	start := time.Now()
 	var lnl float64
 	switch o.mode {
@@ -247,53 +283,101 @@ func run(args []string, out *os.File) error {
 			MaxRounds:     o.rounds,
 			OptimizeModel: m.Cats() > 1,
 		}
-		if o.checkpoint != "" {
-			opts.RoundCallback = func(round int, lnl float64) error {
-				st := checkpoint.Capture(t, m, lnl, round)
-				if cs != nil {
-					// Flush resident dirty vectors and the sidecar so the
-					// manifest in the checkpoint describes bytes that are
-					// actually on disk.
-					if err := mgr.Flush(); err != nil {
-						return err
-					}
-					if err := cs.Sync(); err != nil {
-						return err
-					}
-					man := cs.Manifest()
-					st.Store = &man
+		if resumeState != nil && resumeState.Round > 0 {
+			opts.Resume = resumeProgress(resumeState)
+		}
+		// writeCkpt persists the search position p: flush makes the
+		// backing file complete at the boundary, the sidecar sync plus
+		// manifest let -resume validate it, and the Search block carries
+		// the counters for exact resume.
+		writeCkpt := func(p search.Progress) error {
+			st := checkpoint.Capture(t, m, p.LnL, p.Round)
+			st.Search = &checkpoint.SearchProgress{
+				StartLnL:     p.StartLnL,
+				LastImproved: p.LastImproved,
+				MovesApplied: p.MovesApplied,
+				MovesTested:  p.MovesTested,
+				Alpha:        p.Alpha,
+			}
+			if mgr != nil {
+				if err := mgr.Flush(); err != nil {
+					return err
 				}
-				return checkpoint.Save(o.checkpoint, st)
+			}
+			if cs != nil {
+				if err := cs.Sync(); err != nil {
+					return err
+				}
+				man := cs.Manifest()
+				st.Store = &man
+			}
+			return checkpoint.Save(o.checkpoint, st)
+		}
+		if o.checkpoint != "" {
+			var lastCkpt time.Time
+			opts.RoundCallback = func(p search.Progress) error {
+				if o.ckptEvery > 0 && !lastCkpt.IsZero() && time.Since(lastCkpt) < o.ckptEvery {
+					return nil
+				}
+				if err := writeCkpt(p); err != nil {
+					return err
+				}
+				lastCkpt = time.Now()
+				return nil
 			}
 		}
 		s := search.New(e, opts)
 		s.Instrument(reg, tr)
-		res, err := s.Run()
-		if err != nil {
+		res, err := s.RunCtx(ctx)
+		var itr *search.Interrupted
+		switch {
+		case errors.As(err, &itr):
+			lnl = itr.Progress.LnL
+			fmt.Fprintf(out, "Search interrupted at round %d: %v\n", itr.Progress.Round, itr.Unwrap())
+			if o.checkpoint != "" {
+				if err := writeCkpt(itr.Progress); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "Checkpoint written to %s; continue with -resume %s\n", o.checkpoint, o.checkpoint)
+			}
+		case err != nil:
 			return err
-		}
-		lnl = res.LnL
-		fmt.Fprintf(out, "Search: %d rounds, %d moves tested, %d accepted\n",
-			res.Rounds, res.TestedMoves, res.AcceptedMoves)
-		if m.Cats() > 1 {
-			fmt.Fprintf(out, "Final alpha: %.4f\n", res.Alpha)
-		}
-		if o.optModel && m.Exch != nil {
-			s := search.New(e, search.Options{})
-			exch, lnl2, err := s.OptimizeExchangeabilities(3, 0.05)
-			if err != nil {
-				return err
+		default:
+			lnl = res.LnL
+			fmt.Fprintf(out, "Search: %d rounds, %d moves tested, %d accepted\n",
+				res.Rounds, res.TestedMoves, res.AcceptedMoves)
+			if m.Cats() > 1 {
+				fmt.Fprintf(out, "Final alpha: %.4f\n", res.Alpha)
 			}
-			if lnl2 > lnl {
-				lnl = lnl2
+			if o.checkpoint != "" {
+				// Completion checkpoint, written before the optional
+				// exchangeability polish: it marks the search boundary the
+				// kill/resume soak compares runs at.
+				if err := writeCkpt(res.Final); err != nil {
+					return err
+				}
 			}
-			fmt.Fprintf(out, "GTR rates (AC AG AT CG CT GT): %.4g\n", exch)
+			if o.optModel && m.Exch != nil {
+				s := search.New(e, search.Options{})
+				exch, lnl2, err := s.OptimizeExchangeabilities(3, 0.05)
+				if err != nil {
+					return err
+				}
+				if lnl2 > lnl {
+					lnl = lnl2
+				}
+				fmt.Fprintf(out, "GTR rates (AC AG AT CG CT GT): %.4g\n", exch)
+			}
 		}
 	case "n":
 		s := search.New(e, search.Options{MaxRounds: o.rounds})
 		s.Instrument(reg, tr)
 		res, err := s.RunNNI()
 		if err != nil {
+			if canceled(err) {
+				fmt.Fprintf(out, "Interrupted: %v\n", err)
+				return nil
+			}
 			return err
 		}
 		lnl = res.LnL
@@ -302,6 +386,10 @@ func run(args []string, out *os.File) error {
 		s := search.New(e, search.Options{})
 		lnl, err = s.SmoothBranches(8, 1e-3)
 		if err != nil {
+			if canceled(err) {
+				fmt.Fprintf(out, "Interrupted: %v\n", err)
+				return nil
+			}
 			return err
 		}
 		if m.Cats() > 1 {
@@ -329,10 +417,18 @@ func run(args []string, out *os.File) error {
 	case "z":
 		for i := 0; i < o.traversals; i++ {
 			if err := e.FullTraversal(t.Edges[0]); err != nil {
+				if canceled(err) {
+					fmt.Fprintf(out, "Interrupted after %d of %d traversals\n", i, o.traversals)
+					return nil
+				}
 				return err
 			}
 			lnl, err = e.LogLikelihoodAt(t.Edges[0])
 			if err != nil {
+				if canceled(err) {
+					fmt.Fprintf(out, "Interrupted after %d of %d traversals\n", i, o.traversals)
+					return nil
+				}
 				return err
 			}
 		}
@@ -344,6 +440,11 @@ func run(args []string, out *os.File) error {
 
 	fmt.Fprintf(out, "Log likelihood: %.6f\n", lnl)
 	fmt.Fprintf(out, "Elapsed: %v\n", elapsed.Round(time.Millisecond))
+	if wd != nil {
+		ws := wd.Stats()
+		fmt.Fprintf(out, "Watchdog: %d samples, %d shrinks, %d grows; %d slots and %d B heap at last sample\n",
+			ws.Samples, ws.Shrinks, ws.Grows, ws.Slots, ws.LastHeap)
+	}
 	if o.printStats {
 		writeReport(out, reg, mgr != nil)
 	}
@@ -367,6 +468,32 @@ func run(args []string, out *os.File) error {
 		}
 	}
 	return nil
+}
+
+// canceled reports whether err stems from the run's signal context —
+// a cooperative interrupt rather than a genuine failure.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// resumeProgress maps a checkpoint's search block back into the resume
+// position. v1 checkpoints have no Search block; the cumulative
+// counters then restart while the round index and likelihood carry on.
+func resumeProgress(st *checkpoint.State) *search.Progress {
+	p := &search.Progress{
+		Round:        st.Round,
+		LnL:          st.LnL,
+		StartLnL:     st.LnL,
+		LastImproved: st.Round,
+	}
+	if sp := st.Search; sp != nil {
+		p.StartLnL = sp.StartLnL
+		p.LastImproved = sp.LastImproved
+		p.MovesApplied = sp.MovesApplied
+		p.MovesTested = sp.MovesTested
+		p.Alpha = sp.Alpha
+	}
+	return p
 }
 
 // writeReport prints the consolidated statistics report: the legacy
@@ -580,6 +707,13 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 	if err != nil {
 		cleanup()
 		return nil, nil, nil, noop, err
+	}
+	if o.crashAfter > 0 {
+		// The crashpoint wraps the outermost store, so the scheduled kill
+		// fires before either the data write or its checksum lands — the
+		// torn state a real power cut leaves behind.
+		store = ooc.NewCrashStore(store, o.crashAfter)
+		fmt.Fprintf(out, "Crashpoint armed: exit %d at vector I/O #%d\n", ooc.CrashExitCode, o.crashAfter)
 	}
 	mgr, err := ooc.NewManager(ooc.Config{
 		NumVectors:   n,

@@ -22,8 +22,31 @@ import (
 	"oocphylo/internal/tree"
 )
 
-// FormatVersion identifies the checkpoint schema.
-const FormatVersion = 1
+// FormatVersion identifies the checkpoint schema. Version 2 added the
+// Search block (exact-resume search progress); version 1 files are
+// still read — Load migrates them in place (a v1 checkpoint simply
+// has no search progress, so a resume from one restarts the round
+// loop at State.Round with fresh counters).
+const FormatVersion = 2
+
+// SearchProgress carries the search-loop position needed for exact
+// resume: everything search.Progress tracks beyond the tree and model
+// themselves. Absent (nil) in v1 checkpoints and in checkpoints of
+// non-search runs.
+type SearchProgress struct {
+	// StartLnL is the post-smoothing likelihood of the original
+	// starting tree.
+	StartLnL float64 `json:"start_lnl"`
+	// LastImproved is the last round whose sweep improved the
+	// likelihood by at least Epsilon.
+	LastImproved int `json:"last_improved"`
+	// MovesApplied and MovesTested are cumulative move counters.
+	MovesApplied int `json:"moves_applied"`
+	MovesTested  int `json:"moves_tested"`
+	// Alpha is the last Γ shape the search optimised (0 = never); the
+	// model's own alpha lives in State.Alpha.
+	Alpha float64 `json:"alpha,omitempty"`
+}
 
 // State is everything needed to resume an analysis.
 type State struct {
@@ -52,6 +75,9 @@ type State struct {
 	// validate the file instead of trusting it (nil when the run was
 	// in-core or integrity checking was off).
 	Store *ooc.Manifest `json:"store,omitempty"`
+	// Search carries the search-loop position for exact resume (v2;
+	// nil in migrated v1 checkpoints and non-search runs).
+	Search *SearchProgress `json:"search,omitempty"`
 	// Meta carries arbitrary driver annotations (dataset path, seed...).
 	Meta map[string]string `json:"meta,omitempty"`
 }
@@ -83,9 +109,10 @@ func Capture(t *tree.Tree, m *model.Model, lnl float64, round int) *State {
 	return st
 }
 
-// Restore rebuilds the tree and model from the snapshot.
+// Restore rebuilds the tree and model from the snapshot. Both the
+// current version and the v1 schema (a strict subset) are accepted.
 func (st *State) Restore() (*tree.Tree, *model.Model, error) {
-	if st.Version != FormatVersion {
+	if st.Version != 1 && st.Version != FormatVersion {
 		return nil, nil, fmt.Errorf("checkpoint: unsupported version %d (want %d)", st.Version, FormatVersion)
 	}
 	t, err := tree.ParseNewick(st.Newick)
@@ -163,6 +190,12 @@ func Load(path string) (*State, error) {
 	var st State
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("checkpoint: decoding: %w", err)
+	}
+	if st.Version == 1 {
+		// v1 migration: every v1 field survives unchanged in v2 and the
+		// Search block stays nil — the resume then restarts the round
+		// loop at st.Round without the exact-progress counters.
+		st.Version = FormatVersion
 	}
 	return &st, nil
 }

@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSearchProgressRoundTrip(t *testing.T) {
+	st := &State{
+		Version: FormatVersion,
+		Newick:  "((a:0.1,b:0.2):0.05,c:0.3,d:0.1);",
+		States:  4,
+		Freqs:   []float64{0.25, 0.25, 0.25, 0.25},
+		Cats:    1,
+		LnL:     -1234.56789012345,
+		Round:   7,
+		Search: &SearchProgress{
+			StartLnL:     -1300.25,
+			LastImproved: 6,
+			MovesApplied: 14,
+			MovesTested:  220,
+			Alpha:        0.5125,
+		},
+	}
+	path := filepath.Join(t.TempDir(), "v2.ckpt")
+	if err := Save(path, st); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Search == nil {
+		t.Fatal("Search block lost through save/load")
+	}
+	if *loaded.Search != *st.Search {
+		t.Errorf("Search block changed: %+v vs %+v", *loaded.Search, *st.Search)
+	}
+	// Bit-exact float round-trip is what the kill/resume soak leans on.
+	if math.Float64bits(loaded.LnL) != math.Float64bits(st.LnL) {
+		t.Errorf("LnL not bit-identical through JSON: %x vs %x",
+			math.Float64bits(loaded.LnL), math.Float64bits(st.LnL))
+	}
+	if math.Float64bits(loaded.Search.StartLnL) != math.Float64bits(st.Search.StartLnL) {
+		t.Error("Search.StartLnL not bit-identical through JSON")
+	}
+}
+
+func TestLoadMigratesV1(t *testing.T) {
+	// A literal v1 document, as PR 2's checkpoint code wrote it: no
+	// search block, version 1.
+	v1 := `{
+  "version": 1,
+  "newick": "((a:0.1,b:0.2):0.05,c:0.3,d:0.1);",
+  "states": 4,
+  "freqs": [0.25, 0.25, 0.25, 0.25],
+  "cats": 1,
+  "lnl": -999.5,
+  "round": 4
+}`
+	path := filepath.Join(t.TempDir(), "v1.ckpt")
+	if err := os.WriteFile(path, []byte(v1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != FormatVersion {
+		t.Errorf("Version = %d after migration, want %d", st.Version, FormatVersion)
+	}
+	if st.Search != nil {
+		t.Error("migrated v1 checkpoint invented a Search block")
+	}
+	if st.Round != 4 || st.LnL != -999.5 {
+		t.Errorf("v1 fields lost: %+v", st)
+	}
+	// The migrated state restores like any v2 state.
+	tr, m, err := st.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumTips != 4 || m.States != 4 {
+		t.Errorf("restored tree/model wrong: %d tips, %d states", tr.NumTips, m.States)
+	}
+}
+
+func TestRestoreAcceptsBothVersions(t *testing.T) {
+	base := State{
+		Newick: "((a:0.1,b:0.2):0.05,c:0.3,d:0.1);",
+		States: 4,
+		Freqs:  []float64{0.25, 0.25, 0.25, 0.25},
+		Cats:   1,
+	}
+	for _, v := range []int{1, FormatVersion} {
+		st := base
+		st.Version = v
+		if _, _, err := st.Restore(); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+	st := base
+	st.Version = FormatVersion + 1
+	if _, _, err := st.Restore(); err == nil {
+		t.Errorf("future version %d accepted", st.Version)
+	}
+}
+
+func TestCaptureWritesCurrentVersion(t *testing.T) {
+	// Guards against forgetting to bump FormatVersion alongside schema
+	// changes: Capture must stamp the constant, and the constant is 2
+	// for the search-progress schema.
+	if FormatVersion != 2 {
+		t.Fatalf("FormatVersion = %d; update the migration tests alongside the schema", FormatVersion)
+	}
+}

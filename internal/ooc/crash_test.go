@@ -1,0 +1,100 @@
+package ooc
+
+import (
+	"testing"
+)
+
+func TestCrashStoreFiresBeforeOp(t *testing.T) {
+	inner := NewMemStore(4, 3)
+	cs := NewCrashStore(inner, 3)
+	fired := int64(0)
+	cs.SetExit(func(ops int64) { fired = ops })
+	buf := []float64{1, 2, 3}
+	if err := cs.WriteVector(0, buf); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := cs.ReadVector(0, buf); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("crashpoint fired early at op %d", fired)
+	}
+	// Op 3 is the crashpoint: the substitute exit records it, and
+	// because the kill fires BEFORE the operation, the write still goes
+	// through afterwards only because the test exit does not terminate.
+	if err := cs.WriteVector(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("crashpoint fired at op %d, want 3", fired)
+	}
+	if cs.Ops() != 3 {
+		t.Errorf("Ops() = %d, want 3", cs.Ops())
+	}
+}
+
+func TestCrashStoreDisabled(t *testing.T) {
+	cs := NewCrashStore(NewMemStore(2, 2), 0)
+	cs.SetExit(func(int64) { t.Fatal("disabled crashpoint fired") })
+	buf := []float64{1, 2}
+	for i := 0; i < 10; i++ {
+		if err := cs.WriteVector(0, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.Ops() != 0 {
+		t.Errorf("disabled CrashStore counted %d ops, want 0", cs.Ops())
+	}
+}
+
+func TestCrashPointDeterministicAndDoubling(t *testing.T) {
+	a := CrashPoint(7, 0, 500, 200)
+	b := CrashPoint(7, 0, 500, 200)
+	if a != b {
+		t.Fatalf("same seed/cycle differ: %d vs %d", a, b)
+	}
+	if a < 500 || a >= 700 {
+		t.Errorf("cycle 0 point %d outside [500, 700)", a)
+	}
+	// The base doubles per cycle so later kills land deeper into the run.
+	for cycle := 1; cycle < 5; cycle++ {
+		p := CrashPoint(7, cycle, 500, 200)
+		base := int64(500) << uint(cycle)
+		if p < base || p >= base+200 {
+			t.Errorf("cycle %d point %d outside [%d, %d)", cycle, p, base, base+200)
+		}
+	}
+	if CrashPoint(7, 1, 500, 200) == CrashPoint(8, 1, 500, 200) {
+		t.Error("different seeds produced identical jitter")
+	}
+	// base <= 0 falls back to the default 500.
+	if p := CrashPoint(1, 0, 0, 0); p != 500 {
+		t.Errorf("default base point = %d, want 500", p)
+	}
+}
+
+func TestCrashStoreUnderManager(t *testing.T) {
+	// A crashpoint wrapped under a live manager fires at a deterministic
+	// manager-level I/O count.
+	n, vl := 10, 4
+	inner := NewMemStore(n, vl)
+	cs := NewCrashStore(inner, 5)
+	var fired int64
+	cs.SetExit(func(ops int64) { fired = ops })
+	m, err := NewManager(Config{
+		NumVectors: n, VectorLen: vl, Slots: 3,
+		Strategy: NewLRU(n), Store: cs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for vi := 0; vi < n; vi++ {
+		if _, err := m.Vector(vi, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fired != 5 {
+		t.Errorf("crashpoint fired at %d, want 5", fired)
+	}
+}

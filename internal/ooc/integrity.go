@@ -28,6 +28,7 @@ package ooc
 // run.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -90,6 +91,14 @@ type RetryPolicy struct {
 // transient. Every retry taken is added to counter (shared between the
 // compute thread and pipeline workers, hence atomic).
 func (rp RetryPolicy) run(counter *atomic.Int64, op func() error) error {
+	return rp.runCtx(nil, counter, op)
+}
+
+// runCtx is run with cooperative cancellation: a non-nil ctx aborts
+// the backoff sleeps once cancelled. op itself is never interrupted —
+// the first attempt always runs to completion, so a cancelled context
+// degrades the policy to "no retries" rather than "no I/O".
+func (rp RetryPolicy) runCtx(ctx context.Context, counter *atomic.Int64, op func() error) error {
 	err := op()
 	delay := rp.Base
 	if delay <= 0 {
@@ -103,7 +112,15 @@ func (rp RetryPolicy) run(counter *atomic.Int64, op func() error) error {
 		if delay > cap {
 			delay = cap
 		}
-		time.Sleep(delay)
+		if ctx != nil {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return fmt.Errorf("ooc: retry abandoned after %w: %w", err, ctx.Err())
+			}
+		} else {
+			time.Sleep(delay)
+		}
 		delay *= 2
 		if counter != nil {
 			counter.Add(1)

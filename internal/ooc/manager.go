@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -169,6 +170,16 @@ type Manager struct {
 
 	stats  Stats
 	pstats PrefetchStats
+	rstats ResizeStats
+
+	// ctx, when set via SetContext, aborts the blocking edges of the
+	// I/O path (retry backoff, full fetch queue, spare-buffer waits).
+	// Store operations themselves always run to completion, so
+	// cancellation can never leave a torn vector on disk.
+	ctx context.Context
+	// closing latches once Close has been entered; Resize refuses to
+	// restructure the slot pool from then on.
+	closing atomic.Bool
 
 	// pipe is the async I/O pipeline (nil when running synchronously).
 	pipe *pipeline
@@ -202,9 +213,8 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.Slots > cfg.NumVectors {
 		cfg.Slots = cfg.NumVectors
 	}
-	if cfg.Slots < MinSlots && cfg.Slots < cfg.NumVectors {
-		return nil, fmt.Errorf("ooc: %d slots for %d vectors; need at least %d (m >= 3)",
-			cfg.Slots, cfg.NumVectors, MinSlots)
+	if err := validateSlots(cfg.Slots, cfg.NumVectors, 0); err != nil {
+		return nil, err
 	}
 	m := &Manager{
 		cfg:        cfg,
@@ -214,9 +224,11 @@ func NewManager(cfg Config) (*Manager, error) {
 		dirty:      make([]bool, cfg.Slots),
 		prefetched: make([]bool, cfg.Slots),
 	}
-	backing := make([]float64, cfg.Slots*cfg.VectorLen)
+	// One allocation per slot (not a single contiguous slab) so that
+	// Resize can genuinely release memory on shrink: a dropped slot's
+	// buffer becomes garbage the moment nothing references it.
 	for i := range m.slots {
-		m.slots[i], backing = backing[:cfg.VectorLen:cfg.VectorLen], backing[cfg.VectorLen:]
+		m.slots[i] = make([]float64, cfg.VectorLen)
 		m.slotItem[i] = -1
 	}
 	for i := range m.itemSlot {
@@ -246,8 +258,28 @@ func (m *Manager) NumVectors() int { return m.cfg.NumVectors }
 // VectorLen implements plf.VectorProvider.
 func (m *Manager) VectorLen() int { return m.cfg.VectorLen }
 
-// Slots returns m, the resident-vector capacity.
-func (m *Manager) Slots() int { return len(m.slots) }
+// Slots returns m, the resident-vector capacity. Safe from any
+// goroutine (the slot pool can change size at runtime via Resize).
+func (m *Manager) Slots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slots)
+}
+
+// SetContext attaches ctx to the manager's blocking I/O edges: retry
+// backoff sleeps, waits on a full fetch queue and waits for a spare
+// write-back buffer all abort with an error wrapping ctx.Err() once
+// ctx is cancelled. Individual store reads/writes still run to
+// completion — cancellation stops at operation boundaries, so the
+// backing file never holds a torn vector — and Flush/Close remain
+// usable after cancellation to persist residents for a checkpoint.
+// Must be called from the single API goroutine; nil restores the
+// default (never cancelled).
+func (m *Manager) SetContext(ctx context.Context) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ctx = ctx
+}
 
 // Stats returns a copy of the access counters. Safe from any
 // goroutine: the mutex guarantees the copy is not torn mid-operation.
@@ -327,7 +359,7 @@ func (m *Manager) joinSlot(s int) error {
 // transient errors per the configured policy. Under the async pipeline
 // it consults the write queue first (read-after-write).
 func (m *Manager) demandRead(vi int, dst []float64) error {
-	return m.cfg.Retry.run(&m.retried, func() error {
+	return m.cfg.Retry.runCtx(m.ctx, &m.retried, func() error {
 		if m.pipe != nil {
 			return m.pipe.readThrough(vi, dst)
 		}
@@ -338,7 +370,7 @@ func (m *Manager) demandRead(vi int, dst []float64) error {
 // storeWrite writes buf as vector vi on the compute thread, retrying
 // transient errors per the configured policy.
 func (m *Manager) storeWrite(vi int, buf []float64) error {
-	return m.cfg.Retry.run(&m.retried, func() error {
+	return m.cfg.Retry.runCtx(m.ctx, &m.retried, func() error {
 		return m.cfg.Store.WriteVector(vi, buf)
 	})
 }
@@ -448,13 +480,35 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 func (m *Manager) freeSlot(requested int, pinned []int) (int, error) {
 	for s, it := range m.slotItem {
 		if it < 0 {
+			if m.slots[s] == nil {
+				// A slot added by a grow is allocated on first use, so
+				// growing the pool never pays for memory it does not need.
+				m.slots[s] = make([]float64, m.cfg.VectorLen)
+			}
 			return s, nil
 		}
 	}
-	// Build the evictable candidate set: resident items minus pins.
+	victim, slot, err := m.pickVictim(requested, pinned)
+	if err != nil {
+		return 0, err
+	}
+	if err := m.evict(victim, slot); err != nil {
+		return 0, err
+	}
+	return slot, nil
+}
+
+// pickVictim chooses an evictable resident via the replacement
+// strategy: the candidate set is every resident item minus pins.
+// requested is the incoming item the eviction makes room for, or -1
+// when the pool itself is shrinking (Resize). Callers hold m.mu.
+func (m *Manager) pickVictim(requested int, pinned []int) (victim, slot int, err error) {
 	m.candidates = m.candidates[:0]
 	m.slotOf = m.slotOf[:0]
 	for s, it := range m.slotItem {
+		if it < 0 {
+			continue
+		}
 		isPinned := false
 		for _, p := range pinned {
 			if p == it {
@@ -468,19 +522,14 @@ func (m *Manager) freeSlot(requested int, pinned []int) (int, error) {
 		}
 	}
 	if len(m.candidates) == 0 {
-		return 0, ErrAllPinned
+		return -1, -1, ErrAllPinned
 	}
 	pick := m.cfg.Strategy.PickVictim(m.candidates, requested)
 	if pick < 0 || pick >= len(m.candidates) {
-		return 0, fmt.Errorf("ooc: strategy %s picked invalid victim %d of %d",
+		return -1, -1, fmt.Errorf("ooc: strategy %s picked invalid victim %d of %d",
 			m.cfg.Strategy.Name(), pick, len(m.candidates))
 	}
-	victim := m.candidates[pick]
-	slot := m.slotOf[pick]
-	if err := m.evict(victim, slot); err != nil {
-		return 0, err
-	}
-	return slot, nil
+	return m.candidates[pick], m.slotOf[pick], nil
 }
 
 // evict writes the victim back (subject to the write-back policy) and
@@ -564,10 +613,13 @@ func (m *Manager) asyncWriteBack(victim, slot int) error {
 		return err
 	}
 	start := time.Now()
-	spare := m.pipe.acquireSpare()
+	spare, err := m.pipe.acquireSpare(m.ctx)
 	wait := time.Since(start)
 	m.pipeStats.StallTime += wait
 	m.pipeStats.BufferWait += wait
+	if err != nil {
+		return fmt.Errorf("ooc: write-back abandoned: %w", err)
+	}
 	buf := m.slots[slot]
 	m.slots[slot] = spare
 	m.pipe.enqueueWrite(victim, buf)
@@ -623,8 +675,10 @@ func (m *Manager) drainPipeline() error {
 // as a synchronous run would have left it) and in-flight fetches
 // complete. Resident vectors are NOT written back — call Flush first
 // to checkpoint them. After Close the manager keeps working, but
-// synchronously. Close is a no-op for synchronous managers.
+// synchronously, and Resize is rejected from the first Close call
+// onwards. For synchronous managers Close only latches that flag.
 func (m *Manager) Close() error {
+	m.closing.Store(true)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.pipe == nil {

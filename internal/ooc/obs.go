@@ -49,6 +49,8 @@ type managerObs struct {
 	// evictions counts evictions under the configured strategy (the
 	// instrument name carries the strategy, e.g. "ooc.evictions_lru").
 	evictions *obs.Counter
+	// slots tracks the live slot-pool size; Resize moves it at runtime.
+	slots *obs.Gauge
 }
 
 // Instrument attaches reg and tr to the manager (either may be nil).
@@ -66,7 +68,9 @@ func (m *Manager) Instrument(reg *obs.Registry, tr *obs.Tracer) {
 		faultIn:    reg.Histogram("ooc.fault_in_seconds", nil),
 		evictWrite: reg.Histogram("ooc.evict_write_seconds", nil),
 		evictions:  reg.Counter("ooc.evictions_" + strings.ToLower(m.cfg.Strategy.Name())),
+		slots:      reg.Gauge("ooc.slots"),
 	}
+	m.mx.slots.Set(int64(len(m.slots)))
 	reg.SetInfo("ooc.strategy", m.cfg.Strategy.Name())
 	reg.SetInfo("ooc.geometry", fmt.Sprintf("%d slots / %d vectors x %d doubles",
 		len(m.slots), m.cfg.NumVectors, m.cfg.VectorLen))
@@ -91,6 +95,7 @@ func (m *Manager) addStatsPublisher(reg *obs.Registry) {
 		fetchesQ, writesQ, joined, wqHits            *obs.Counter
 		overlapped, depthMax, retries                *obs.Counter
 		corrupt, dropped                             *obs.Counter
+		grows, shrinks, resizeEvict                  *obs.Counter
 		stall, joinWait, bufWait                     *obs.FloatGauge
 	}
 	c := mirrors{
@@ -116,6 +121,9 @@ func (m *Manager) addStatsPublisher(reg *obs.Registry) {
 		retries:       reg.Counter("ooc.retries"),
 		corrupt:       reg.Counter("ooc.corrupt_reads"),
 		dropped:       reg.Counter("ooc.dropped_writebacks"),
+		grows:         reg.Counter("ooc.resize_grows"),
+		shrinks:       reg.Counter("ooc.resize_shrinks"),
+		resizeEvict:   reg.Counter("ooc.resize_evictions"),
 		stall:         reg.FloatGauge("pipe.stall_seconds"),
 		joinWait:      reg.FloatGauge("pipe.join_wait_seconds"),
 		bufWait:       reg.FloatGauge("pipe.buffer_wait_seconds"),
@@ -124,6 +132,10 @@ func (m *Manager) addStatsPublisher(reg *obs.Registry) {
 		st := m.Stats()
 		pf := m.PrefetchStats()
 		ps := m.PipelineStats()
+		rs := m.ResizeStats()
+		c.grows.Set(rs.Grows)
+		c.shrinks.Set(rs.Shrinks)
+		c.resizeEvict.Set(rs.Evictions)
 		c.requests.Set(st.Requests)
 		c.hits.Set(st.Hits)
 		c.misses.Set(st.Misses)

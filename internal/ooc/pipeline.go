@@ -40,6 +40,7 @@ package ooc
 // *inside* the manager, not concurrency on its API.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -277,12 +278,27 @@ func (p *pipeline) readThrough(vi int, dst []float64) error {
 }
 
 // enqueueFetch queues a background stage-in of vi into dst. Blocks
-// only when the bounded fetch queue is full.
-func (p *pipeline) enqueueFetch(vi int, dst []float64) *fetchReq {
+// only when the bounded fetch queue is full; a non-nil cancelled ctx
+// aborts that wait and returns ctx's error with no request queued.
+func (p *pipeline) enqueueFetch(ctx context.Context, vi int, dst []float64) (*fetchReq, error) {
 	req := &fetchReq{vi: vi, dst: dst, done: make(chan struct{})}
 	p.bumpDepth()
-	p.fetchCh <- req
-	return req
+	if ctx == nil {
+		p.fetchCh <- req
+		return req, nil
+	}
+	select {
+	case p.fetchCh <- req:
+		return req, nil
+	default:
+	}
+	select {
+	case p.fetchCh <- req:
+		return req, nil
+	case <-ctx.Done():
+		p.qdepth.Set(p.depth.Add(-1))
+		return nil, ctx.Err()
+	}
 }
 
 // enqueueWrite queues buf as the newest content of vector vi. The
@@ -297,8 +313,26 @@ func (p *pipeline) enqueueWrite(vi int, buf []float64) {
 	p.writeCh <- req
 }
 
-// acquireSpare blocks until a spare buffer is available.
-func (p *pipeline) acquireSpare() []float64 { return <-p.spares }
+// acquireSpare blocks until a spare buffer is available. A non-nil
+// cancelled ctx aborts the wait (a spare that is ready is still
+// preferred over the cancellation, keeping evictions deterministic
+// under light load).
+func (p *pipeline) acquireSpare(ctx context.Context) ([]float64, error) {
+	if ctx == nil {
+		return <-p.spares, nil
+	}
+	select {
+	case b := <-p.spares:
+		return b, nil
+	default:
+	}
+	select {
+	case b := <-p.spares:
+		return b, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
 
 // barrier blocks until every write queued so far has reached the
 // store, then reports the first background error (if any).

@@ -81,24 +81,33 @@ func (m *Manager) Prefetch(vi int, pinned ...int) error {
 		if m.mx.on {
 			m.traceSpan(obs.OpPrefetch, vi, slot, ps, time.Since(ps))
 		}
+		m.slotItem[slot] = vi
+		m.itemSlot[vi] = slot
+		m.dirty[slot] = false
+		m.prefetched[slot] = true
+		return nil
+	}
+	// Queue the read to a background worker; the wait below is felt
+	// only when the bounded fetch queue is full. If the manager's
+	// context is cancelled during that wait the prefetch is simply
+	// skipped — the slot stays empty and unmapped.
+	start := time.Now()
+	req, err := m.pipe.enqueueFetch(m.ctx, vi, m.slots[slot])
+	wait := time.Since(start)
+	m.pipeStats.StallTime += wait
+	if err != nil {
+		return nil
 	}
 	m.slotItem[slot] = vi
 	m.itemSlot[vi] = slot
 	m.dirty[slot] = false
 	m.prefetched[slot] = true
-	if m.pipe != nil {
-		// Queue the read to a background worker; the wait below is felt
-		// only when the bounded fetch queue is full.
-		start := time.Now()
-		m.inflight[slot] = m.pipe.enqueueFetch(vi, m.slots[slot])
-		wait := time.Since(start)
-		m.pipeStats.StallTime += wait
-		m.pipeStats.FetchesQueued++
-		if m.mx.on {
-			// The span covers only the enqueue; the read itself lands in
-			// pipe.fetch_seconds on the worker's lane.
-			m.traceSpan(obs.OpPrefetch, vi, slot, start, wait)
-		}
+	m.inflight[slot] = req
+	m.pipeStats.FetchesQueued++
+	if m.mx.on {
+		// The span covers only the enqueue; the read itself lands in
+		// pipe.fetch_seconds on the worker's lane.
+		m.traceSpan(obs.OpPrefetch, vi, slot, start, wait)
 	}
 	return nil
 }

@@ -18,7 +18,8 @@ type Strategy interface {
 	Touch(item int)
 	// PickVictim returns the index *within candidates* of the item to
 	// evict, given that `requested` is being faulted in. candidates is
-	// never empty.
+	// never empty. requested is -1 when the eviction frees a slot for
+	// the pool shrink of Manager.Resize rather than an incoming item.
 	PickVictim(candidates []int, requested int) int
 	// Reset clears policy state.
 	Reset()
@@ -151,6 +152,12 @@ func (s *TopologicalStrategy) Touch(int) {}
 // PickVictim implements Strategy: one BFS from the requested node, then
 // the farthest candidate wins.
 func (s *TopologicalStrategy) PickVictim(candidates []int, requested int) int {
+	if requested < 0 {
+		// Pool shrink: no item is being faulted in. Measure from the
+		// first candidate so the choice stays deterministic — the
+		// candidate farthest from the rest of the resident set loses.
+		requested = candidates[0]
+	}
 	node := s.t.Nodes[requested+s.numTips]
 	dist := tree.NodeDistances(s.t, node)
 	best, bestD := 0, -1

@@ -1,0 +1,176 @@
+package ooc
+
+// Memory watchdog — a live, adaptive version of the paper's f knob.
+// The paper picks the RAM fraction f once, before the run; on a shared
+// machine the honest budget moves while a multi-day inference is in
+// flight. The watchdog samples the Go heap between newview calls (the
+// engine's safe points, where no vector address is held across the
+// call) and steps the manager's slot count down when the process
+// overshoots its soft budget — trading I/O for survival instead of
+// OOMing — and back up when pressure clears.
+//
+// The watchdog is deliberately passive: it only acts when its Check
+// method is called from the compute goroutine, so every Resize happens
+// between operations and the bit-identical guarantee of Resize holds.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// WatchdogConfig configures a memory Watchdog.
+type WatchdogConfig struct {
+	// SoftBudget is the heap budget in bytes the watchdog steers
+	// HeapAlloc towards; required (> 0).
+	SoftBudget int64
+	// MinSlots and MaxSlots clamp the slot counts the watchdog may
+	// request. Defaults: the package floor MinSlots, and the manager's
+	// slot count at NewWatchdog time.
+	MinSlots, MaxSlots int
+	// ShrinkFraction is the slot fraction dropped per over-budget
+	// sample (default 0.25); GrowFraction the fraction regained per
+	// under-budget sample (default 0.125 — growing back cautiously
+	// avoids shrink/grow thrash).
+	ShrinkFraction, GrowFraction float64
+	// GrowBelow is the hysteresis gate: the pool regrows only while
+	// HeapAlloc < GrowBelow*SoftBudget (default 0.5).
+	GrowBelow float64
+	// CheckEvery is the number of Check calls per ReadMemStats sample
+	// (default 64): reading mem stats stops the world briefly, so it
+	// must not run on every newview.
+	CheckEvery int
+	// ReadMem is the sampling function, replaceable in tests to script
+	// heap trajectories (default runtime.ReadMemStats).
+	ReadMem func(*runtime.MemStats)
+}
+
+// WatchdogStats describes the watchdog's activity so far.
+type WatchdogStats struct {
+	// Samples counts ReadMemStats samples taken.
+	Samples int64
+	// Shrinks and Grows count the Resize calls issued per direction.
+	Shrinks, Grows int64
+	// LastHeap is HeapAlloc at the latest sample.
+	LastHeap uint64
+	// Slots is the pool size after the latest sample.
+	Slots int
+}
+
+// Watchdog steps a Manager's slot pool down/up to keep the process
+// near a soft heap budget. Check must be called from the manager's
+// single API goroutine (the engine's safe-point hook does); Stats may
+// be read from any goroutine.
+type Watchdog struct {
+	mgr   *Manager
+	cfg   WatchdogConfig
+	calls int
+
+	mu    sync.Mutex
+	stats WatchdogStats
+}
+
+// NewWatchdog validates cfg and binds a watchdog to mgr. The manager's
+// current slot count becomes the default MaxSlots (the watchdog never
+// grows beyond what the operator originally granted).
+func NewWatchdog(mgr *Manager, cfg WatchdogConfig) (*Watchdog, error) {
+	if mgr == nil {
+		return nil, errors.New("ooc: watchdog needs a manager")
+	}
+	if cfg.SoftBudget <= 0 {
+		return nil, errors.New("ooc: watchdog needs a positive soft budget")
+	}
+	if cfg.MinSlots < MinSlots {
+		cfg.MinSlots = MinSlots
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = mgr.Slots()
+	}
+	if cfg.MaxSlots < cfg.MinSlots {
+		cfg.MaxSlots = cfg.MinSlots
+	}
+	if cfg.ShrinkFraction <= 0 || cfg.ShrinkFraction >= 1 {
+		cfg.ShrinkFraction = 0.25
+	}
+	if cfg.GrowFraction <= 0 || cfg.GrowFraction >= 1 {
+		cfg.GrowFraction = 0.125
+	}
+	if cfg.GrowBelow <= 0 || cfg.GrowBelow >= 1 {
+		cfg.GrowBelow = 0.5
+	}
+	if cfg.CheckEvery <= 0 {
+		cfg.CheckEvery = 64
+	}
+	if cfg.ReadMem == nil {
+		cfg.ReadMem = runtime.ReadMemStats
+	}
+	return &Watchdog{mgr: mgr, cfg: cfg}, nil
+}
+
+// Check is the safe-point hook: every CheckEvery-th call samples the
+// heap and, when the budget is overshot (or comfortably clear), steps
+// the slot pool. pinned is forwarded to Resize so a shrink never
+// evicts the caller's working set.
+func (w *Watchdog) Check(pinned ...int) error {
+	w.calls++
+	if w.calls < w.cfg.CheckEvery {
+		return nil
+	}
+	w.calls = 0
+	var ms runtime.MemStats
+	w.cfg.ReadMem(&ms)
+	cur := w.mgr.Slots()
+	target := cur
+	switch {
+	case int64(ms.HeapAlloc) > w.cfg.SoftBudget && cur > w.cfg.MinSlots:
+		target = cur - step(cur, w.cfg.ShrinkFraction)
+		if target < w.cfg.MinSlots {
+			target = w.cfg.MinSlots
+		}
+		// The pinned working set bounds how far one step may go.
+		if target <= len(pinned) {
+			target = len(pinned) + 1
+		}
+		if target >= cur {
+			target = cur
+		}
+	case float64(ms.HeapAlloc) < w.cfg.GrowBelow*float64(w.cfg.SoftBudget) && cur < w.cfg.MaxSlots:
+		target = cur + step(cur, w.cfg.GrowFraction)
+		if target > w.cfg.MaxSlots {
+			target = w.cfg.MaxSlots
+		}
+	}
+	if target != cur {
+		if err := w.mgr.Resize(target, pinned...); err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	w.stats.Samples++
+	w.stats.LastHeap = ms.HeapAlloc
+	w.stats.Slots = target
+	if target < cur {
+		w.stats.Shrinks++
+	} else if target > cur {
+		w.stats.Grows++
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// step returns a whole-slot step of at least 1 for the given fraction.
+func step(cur int, frac float64) int {
+	s := int(float64(cur) * frac)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Stats returns a snapshot of the watchdog's activity. Safe from any
+// goroutine.
+func (w *Watchdog) Stats() WatchdogStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}

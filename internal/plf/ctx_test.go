@@ -1,0 +1,114 @@
+package plf
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
+	"oocphylo/internal/tree"
+)
+
+func cancelTestEngine(tb testing.TB, seed int64) *Engine {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := tipNames(12)
+	pats := randomAlignment(tb, names, 300, rng, bio.DNA)
+	m, err := model.NewJC(4)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.5)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return newEngine(tb, tr, pats, m)
+}
+
+func TestEngineContextCancelAbortsTraversal(t *testing.T) {
+	e := cancelTestEngine(t, 31)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	if _, err := e.LogLikelihood(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LogLikelihood with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	// Detaching the context restores normal operation; nothing is torn.
+	e.SetContext(nil)
+	e.InvalidateAll()
+	lnl, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(lnl) || math.IsInf(lnl, 0) {
+		t.Fatalf("lnL after recovery = %v", lnl)
+	}
+}
+
+func TestEngineSafePointRunsPerStep(t *testing.T) {
+	e := cancelTestEngine(t, 33)
+	calls := 0
+	e.SetSafePoint(func() error { calls++; return nil })
+	if _, err := e.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+	// One invocation before every newview: a full 12-taxon traversal
+	// has 10 inner nodes, so the hook must fire at least that often.
+	if want := e.T.NumInner(); calls < want {
+		t.Errorf("safe-point hook ran %d times, want >= %d", calls, want)
+	}
+	// A hook error aborts the traversal and is surfaced wrapped.
+	sentinel := errors.New("governor says no")
+	e.SetSafePoint(func() error { return sentinel })
+	e.InvalidateAll()
+	if _, err := e.LogLikelihood(); !errors.Is(err, sentinel) {
+		t.Errorf("hook error not propagated: %v", err)
+	}
+	// Removing the hook restores normal operation.
+	e.SetSafePoint(nil)
+	e.InvalidateAll()
+	if _, err := e.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineCancelMidTraversalLeavesRecoverableState(t *testing.T) {
+	e := cancelTestEngine(t, 35)
+	want, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancel from inside the traversal: the safe-point hook trips the
+	// context after a few steps, so the abort happens mid-plan.
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+	steps := 0
+	e.SetSafePoint(func() error {
+		steps++
+		if steps == 3 {
+			cancel()
+		}
+		return nil
+	})
+	e.InvalidateAll()
+	if _, err := e.LogLikelihood(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-traversal cancel: err = %v, want context.Canceled", err)
+	}
+
+	// No vector was left half-computed: a fresh full recompute agrees
+	// bit for bit with the pre-cancel value.
+	e.SetContext(nil)
+	e.SetSafePoint(nil)
+	e.InvalidateAll()
+	got, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("lnL after interrupted traversal %.17g != baseline %.17g", got, want)
+	}
+}

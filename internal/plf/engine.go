@@ -1,6 +1,7 @@
 package plf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -123,6 +124,12 @@ type Engine struct {
 	// eobs holds the observability instruments (see obs.go); the zero
 	// value means uninstrumented and costs one nil/bool check per site.
 	eobs engineObs
+
+	// ctx, when set, cancels traversals at the next step boundary (see
+	// SetContext); safePoint, when set, runs between newview calls —
+	// the resource governor's hook (see SetSafePoint).
+	ctx       context.Context
+	safePoint func() error
 }
 
 // VectorLength returns the number of float64s per ancestral vector for
@@ -300,6 +307,42 @@ func (e *Engine) SetPrefetchDepth(d int) {
 	e.prefetchDepth = d
 }
 
+// SetContext attaches ctx to the engine: traversals abort with an
+// error wrapping ctx.Err() at the next step boundary once ctx is
+// cancelled — no vector is left half-computed, so a cancelled run can
+// still flush and checkpoint. The context is forwarded to the vector
+// provider when it supports one (ooc.Manager does), cancelling the
+// blocking edges of the I/O pipeline too. nil restores the default.
+func (e *Engine) SetContext(ctx context.Context) {
+	e.ctx = ctx
+	if p, ok := e.prov.(interface{ SetContext(context.Context) }); ok {
+		p.SetContext(ctx)
+	}
+}
+
+// SetSafePoint installs fn to run before every newview call — the
+// point where the engine holds no vector address, so the hook may
+// restructure the provider (the memory watchdog resizes the slot pool
+// here). A non-nil error from fn aborts the traversal. nil removes
+// the hook.
+func (e *Engine) SetSafePoint(fn func() error) { e.safePoint = fn }
+
+// atSafePoint runs the cancellation check and the safe-point hook;
+// called between newview calls, where no vector address is live.
+func (e *Engine) atSafePoint() error {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return fmt.Errorf("plf: traversal interrupted: %w", err)
+		}
+	}
+	if e.safePoint != nil {
+		if err := e.safePoint(); err != nil {
+			return fmt.Errorf("plf: safe-point hook: %w", err)
+		}
+	}
+	return nil
+}
+
 // Execute runs a traversal plan: one Felsenstein step per entry, in
 // order, then records the resulting orientations.
 func (e *Engine) Execute(steps []tree.Step) error {
@@ -309,6 +352,9 @@ func (e *Engine) Execute(steps []tree.Step) error {
 		depth = 1
 	}
 	for i := range steps {
+		if err := e.atSafePoint(); err != nil {
+			return err
+		}
 		if e.prefetch && canPrefetch {
 			for j := i + 1; j <= i+depth && j < len(steps); j++ {
 				e.prefetchInputs(pf, steps, i, j)

@@ -1,0 +1,81 @@
+package tree
+
+import "sort"
+
+// Canonicalize rewrites the tree's internal representation — the
+// adjacency-list order of every node and the endpoint-slot order of
+// every edge — into the unique form determined by topology and tip
+// names alone. Two structurally equal trees, however they were built
+// (parsed from Newick, mutated in place by SPR surgeries, cloned),
+// leave Canonicalize with bit-identical internal layouts.
+//
+// This matters because parts of the likelihood machinery are
+// representation-sensitive in floating point even though they are
+// value-equivalent in real arithmetic: evaluation applies the P matrix
+// across an edge onto the N[1] side, and surgery helpers pick merged/
+// spare edges by adjacency position. A checkpoint-resumed search
+// re-parses its tree and would otherwise walk a representation that
+// differs from the uninterrupted run's in exactly these hidden ways,
+// breaking bit-identical resume. Search drivers call Canonicalize at
+// round boundaries so both runs re-converge to the same layout.
+//
+// The canonical form: every edge stores the endpoint nearer the
+// anchor (the lexicographically smallest tip) in N[0]; every node
+// lists the edge toward the anchor first, then subtree edges ordered
+// by their smallest contained tip name. Topology, branch lengths,
+// node identities and indices are untouched, so engine caches keyed
+// by node or edge index stay valid.
+func Canonicalize(t *Tree) {
+	if t.NumTips == 0 {
+		return
+	}
+	anchor := t.Nodes[0]
+	for i := 1; i < t.NumTips; i++ {
+		if t.Nodes[i].Name < anchor.Name {
+			anchor = t.Nodes[i]
+		}
+	}
+	var walk func(n, from *Node)
+	walk = func(n, from *Node) {
+		sort.SliceStable(n.Adj, func(i, j int) bool {
+			oi, oj := n.Adj[i].Other(n), n.Adj[j].Other(n)
+			if oi == from {
+				return true
+			}
+			if oj == from {
+				return false
+			}
+			return minTipToward(oi, n, t.NumTips) < minTipToward(oj, n, t.NumTips)
+		})
+		for _, e := range n.Adj {
+			o := e.Other(n)
+			if o == from {
+				continue
+			}
+			if e.N[0] != n {
+				e.N[0], e.N[1] = e.N[1], e.N[0]
+			}
+			walk(o, n)
+		}
+	}
+	walk(anchor, nil)
+}
+
+// minTipToward returns the lexicographically smallest tip name in the
+// subtree containing n when the edge toward from is cut.
+func minTipToward(n, from *Node, numTips int) string {
+	if n.Index < numTips {
+		return n.Name
+	}
+	best := ""
+	for _, e := range n.Adj {
+		o := e.Other(n)
+		if o == from {
+			continue
+		}
+		if m := minTipToward(o, n, numTips); best == "" || m < best {
+			best = m
+		}
+	}
+	return best
+}
