@@ -11,7 +11,11 @@
 //   - the resize overhead probe (the same traversal workload with a
 //     fixed slot pool versus one shrunk and regrown between
 //     traversals, bit-identical likelihoods enforced), recording what
-//     the runtime resource governor costs when it oscillates.
+//     the runtime resource governor costs when it oscillates;
+//   - the protein kernel ablation (generic versus the aa20 set on a
+//     simulated k=20 dataset, identical likelihoods enforced);
+//   - the precision ablation (f64 versus end-to-end f32: accuracy gap,
+//     manifest-verified store halving, f32 sync/async bit-identity).
 //
 // CI uploads the file as an artifact so regressions between commits —
 // kernel slowdowns, creeping instrumentation cost or resize-machinery
@@ -64,21 +68,46 @@ type resizeBlock struct {
 	LnLBitsMatched bool    `json:"lnl_bits_matched"`
 }
 
-// baseline is the BENCH_5.json schema.
+// proteinBlock is the protein-kernel section of the baseline.
+type proteinBlock struct {
+	Taxa          int        `json:"taxa"`
+	Sites         int        `json:"sites"`
+	Kernel        string     `json:"kernel"`
+	Phases        []phaseRow `json:"phases"`
+	PCacheHitRate float64    `json:"pcache_hit_rate"`
+}
+
+// precisionBlock is the f32-versus-f64 section of the baseline.
+type precisionBlock struct {
+	Taxa              int     `json:"taxa"`
+	Sites             int     `json:"sites"`
+	Kernel            string  `json:"kernel"`
+	LnL64             float64 `json:"lnl_f64"`
+	LnL32             float64 `json:"lnl_f32"`
+	RelErr            float64 `json:"rel_err"`
+	Budget            float64 `json:"budget"`
+	VecBytes64        int     `json:"vec_bytes_f64"`
+	VecBytes32        int     `json:"vec_bytes_f32"`
+	SyncAsyncBitMatch bool    `json:"f32_sync_async_bits_matched"`
+}
+
+// baseline is the BENCH_6.json schema.
 type baseline struct {
-	Schema        string      `json:"schema"`
-	GoVersion     string      `json:"go_version"`
-	GOARCH        string      `json:"goarch"`
-	Taxa          int         `json:"taxa"`
-	Sites         int         `json:"sites"`
-	Traversals    int         `json:"traversals"`
-	Kernel        string      `json:"kernel"`
-	Phases        []phaseRow  `json:"phases"`
-	PCacheHits    int64       `json:"pcache_hits"`
-	PCacheMisses  int64       `json:"pcache_misses"`
-	PCacheHitRate float64     `json:"pcache_hit_rate"`
-	Obs           obsBlock    `json:"obs"`
-	Resize        resizeBlock `json:"resize"`
+	Schema        string         `json:"schema"`
+	GoVersion     string         `json:"go_version"`
+	GOARCH        string         `json:"goarch"`
+	Taxa          int            `json:"taxa"`
+	Sites         int            `json:"sites"`
+	Traversals    int            `json:"traversals"`
+	Kernel        string         `json:"kernel"`
+	Phases        []phaseRow     `json:"phases"`
+	PCacheHits    int64          `json:"pcache_hits"`
+	PCacheMisses  int64          `json:"pcache_misses"`
+	PCacheHitRate float64        `json:"pcache_hit_rate"`
+	Obs           obsBlock       `json:"obs"`
+	Resize        resizeBlock    `json:"resize"`
+	Protein       proteinBlock   `json:"protein"`
+	Precision     precisionBlock `json:"precision"`
 }
 
 func main() {
@@ -90,7 +119,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_5.json", "output JSON path")
+	out := fs.String("out", "BENCH_6.json", "output JSON path")
 	taxa := fs.Int("taxa", 48, "simulated taxa")
 	sites := fs.Int("sites", 1500, "simulated sites")
 	traversals := fs.Int("traversals", 3, "full traversals in the newview phase")
@@ -108,7 +137,7 @@ func run(args []string) error {
 		return err
 	}
 	b := baseline{
-		Schema:        "oocphylo/benchsmoke/v3",
+		Schema:        "oocphylo/benchsmoke/v4",
 		GoVersion:     runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Taxa:          *taxa,
@@ -157,6 +186,48 @@ func run(args []string) error {
 		LnLBitsMatched: true, // RunResizeOverhead errors on any mismatch
 	}
 
+	// Protein kernel ablation: smaller than the DNA run (25x arithmetic
+	// per pattern) but the same three phases and exactness bar.
+	pcfg := experiments.KernelAblationConfig{
+		Taxa: 32, Sites: 300, Traversals: *traversals, Seed: *seed, AA: true,
+	}
+	pres, err := experiments.RunKernelAblation(pcfg)
+	if err != nil {
+		return err
+	}
+	b.Protein = proteinBlock{
+		Taxa: pcfg.Taxa, Sites: pcfg.Sites,
+		Kernel:        pres.Kernel,
+		PCacheHitRate: pres.HitRate(),
+	}
+	for _, r := range pres.Rows {
+		b.Protein.Phases = append(b.Protein.Phases, phaseRow{
+			Phase:       r.Phase,
+			GenericNs:   r.GenericWall.Nanoseconds(),
+			AutoNs:      r.AutoWall.Nanoseconds(),
+			Speedup:     r.Speedup(),
+			LnL:         r.LnL,
+			NsPerOpUnit: "ns/phase",
+		})
+	}
+
+	prcfg := experiments.PrecisionAblationConfig{Taxa: 64, Sites: 800, Seed: *seed}
+	prres, err := experiments.RunPrecisionAblation(prcfg)
+	if err != nil {
+		return err
+	}
+	b.Precision = precisionBlock{
+		Taxa: 64, Sites: 800,
+		Kernel:            prres.Kernel,
+		LnL64:             prres.LnL64,
+		LnL32:             prres.LnL32,
+		RelErr:            prres.RelErr,
+		Budget:            experiments.PrecisionAccuracyBudget,
+		VecBytes64:        prres.VecBytes64,
+		VecBytes32:        prres.VecBytes32,
+		SyncAsyncBitMatch: true, // RunPrecisionAblation errors on any mismatch
+	}
+
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -169,6 +240,8 @@ func run(args []string) error {
 		ores.OffSeconds, ores.OnSeconds, ores.OverheadPct)
 	fmt.Printf("resize overhead: %d resizes (%d<->%d slots), fixed %.3fs vs oscillating %.3fs (%+.2f%%), lnL bit-identical\n",
 		rres.Resizes, rres.Low, rres.Slots, rres.FixedTime.Seconds(), rres.ResizeTime.Seconds(), 100*rres.Overhead())
+	experiments.WriteKernelAblationTable(os.Stdout, pres, pcfg)
+	experiments.WritePrecisionAblationTable(os.Stdout, prres, prcfg)
 	fmt.Printf("baseline written to %s\n", *out)
 	return nil
 }

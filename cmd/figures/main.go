@@ -9,6 +9,8 @@
 //	            the §5 prefetch-thread future work)
 //	-fig kernels  generic vs DNA-specialised compute kernels + P cache
 //	              (not in the paper; compute-side ablation)
+//	-fig protein  generic vs aa20 protein kernels plus the f32 precision
+//	              trade (not in the paper; throughput round 2 ablation)
 //	-fig resize  miss-rate trajectory as a LIVE pool is halved mid-run,
 //	             four strategies (not in the paper; the runtime
 //	             resource governor's ablation)
@@ -41,7 +43,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, resize or all")
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, protein, resize or all")
 	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
 	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
 	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
@@ -137,6 +139,28 @@ func run(args []string) error {
 		experiments.WriteKernelAblationTable(out, res, kcfg)
 		fmt.Fprintln(out)
 	}
+	if want("protein") {
+		fmt.Fprintln(out, "== Protein ablation: generic vs aa20 kernels, f64 vs f32 ==")
+		pcfg := experiments.KernelAblationConfig{Seed: *seed, AA: true}
+		if *full {
+			pcfg.Taxa, pcfg.Sites = 128, 2000
+		}
+		res, err := experiments.RunKernelAblation(pcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteKernelAblationTable(out, res, pcfg)
+		prcfg := experiments.PrecisionAblationConfig{Seed: *seed}
+		if *full {
+			prcfg.Taxa, prcfg.Sites = 128, 4000
+		}
+		pres, err := experiments.RunPrecisionAblation(prcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WritePrecisionAblationTable(out, pres, prcfg)
+		fmt.Fprintln(out)
+	}
 	if want("resize") {
 		fmt.Fprintln(out, "== Resize ablation: live pool shrink, four strategies ==")
 		rcfg := experiments.ResizeAblationConfig{Taxa: *taxa, Sites: *sites, Seed: *seed}
@@ -176,7 +200,7 @@ func run(args []string) error {
 		fmt.Fprintf(out, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		return nil
 	}
-	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("resize") {
+	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("protein") && !want("resize") {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil

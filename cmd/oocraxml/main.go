@@ -106,6 +106,7 @@ type options struct {
 	verifyStore bool
 	ioRetries   int
 	kernel      string
+	precision   string
 	httpAddr    string
 	memBudget   int64
 	ckptEvery   time.Duration
@@ -135,7 +136,8 @@ func run(args []string, out *os.File) error {
 	fs.IntVar(&o.rounds, "rounds", 10, "maximum SPR improvement rounds")
 	fs.Int64Var(&o.seed, "seed", 42, "random seed (starting trees, random strategy)")
 	fs.IntVar(&o.threads, "threads", 1, "PLF kernel worker goroutines (results are identical for any value)")
-	fs.StringVar(&o.kernel, "kernel", plf.KernelAuto, "PLF compute kernels: auto (specialised where available) or generic; results are bit-identical either way")
+	fs.StringVar(&o.kernel, "kernel", plf.KernelAuto, "PLF compute kernels: auto (specialised where available), blocked or generic; results are bit-identical either way")
+	fs.StringVar(&o.precision, "precision", plf.PrecisionF64, "compute precision: f64 (default) or f32 (halves vector memory and store bandwidth; results are bit-identical within a precision, approximate across)")
 	fs.BoolVar(&o.prefetch, "prefetch", false, "enable plan-driven vector prefetching (out-of-core runs)")
 	fs.BoolVar(&o.async, "async", false, "run out-of-core I/O on background goroutines (implies -prefetch); results are bit-identical to synchronous runs")
 	fs.IntVar(&o.ioWorkers, "io-workers", 2, "background fetch goroutines for -async")
@@ -231,7 +233,13 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintln(out)
 
-	vecLen := plf.VectorLength(m, pats.NumPatterns())
+	vecLen, err := plf.CarrierLength(m, pats.NumPatterns(), o.precision)
+	if err != nil {
+		return err
+	}
+	if o.precision == plf.PrecisionF32 {
+		fmt.Fprintf(out, "Precision: float32 compute (%d B per ancestral vector, half of f64)\n", vecLen*8)
+	}
 	prov, mgr, cs, cleanup, err := buildProvider(o, t, vecLen, resumeMan, out)
 	if err != nil {
 		return err
@@ -242,7 +250,7 @@ func run(args []string, out *os.File) error {
 	}
 	ooc.InstrumentChecksumStore(reg, cs)
 
-	e, err := plf.New(t, pats, m, prov)
+	e, err := plf.NewWithPrecision(t, pats, m, prov, o.precision)
 	if err != nil {
 		return err
 	}
@@ -760,10 +768,23 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 // validating an existing backing file on resume and wrapping it in a
 // ChecksumStore when -verify-store is set.
 func openStore(o options, path string, n, vecLen int, man *ooc.Manifest, out *os.File) (ooc.Store, *ooc.ChecksumStore, error) {
+	// A checkpoint manifest at the wrong element precision is a hard
+	// error, not a rebuild: the stored vectors and the run's carrier
+	// geometry disagree element-for-element, so silently rebuilding
+	// would hide that the user resumed the wrong run.
+	if man != nil {
+		storePrec := man.Precision
+		if storePrec == "" {
+			storePrec = plf.PrecisionF64
+		}
+		if storePrec != o.precision {
+			return nil, nil, &ooc.PrecisionMismatchError{Store: man.Precision, Run: o.precision}
+		}
+	}
 	// Resume with an explicit backing path: try to adopt the existing
-	// file instead of truncating it. Any validation failure falls back
-	// to a fresh file — every vector is recomputable, so a rebuild only
-	// costs I/O, never correctness.
+	// file instead of truncating it. Any other validation failure falls
+	// back to a fresh file — every vector is recomputable, so a rebuild
+	// only costs I/O, never correctness.
 	if o.resume != "" && o.backing != "" {
 		fs, err := ooc.OpenFileStore(path, n, vecLen)
 		switch {
@@ -776,16 +797,23 @@ func openStore(o options, path string, n, vecLen int, man *ooc.Manifest, out *os
 			if err != nil {
 				fmt.Fprintf(out, "Checksum sidecar for %s not reusable (%v); rebuilding store\n", path, err)
 				fs.Close()
-			} else if man != nil {
-				if err := cs.VerifyManifest(*man); err != nil {
-					fmt.Fprintf(out, "Backing file %s fails checkpoint manifest validation (%v); rebuilding store\n", path, err)
-					cs.Close() // closes fs too
+			} else {
+				cs.SetPrecision(o.precision)
+				if man != nil {
+					if err := cs.VerifyManifest(*man); err != nil {
+						if ooc.IsPrecisionMismatch(err) {
+							cs.Close()
+							return nil, nil, err
+						}
+						fmt.Fprintf(out, "Backing file %s fails checkpoint manifest validation (%v); rebuilding store\n", path, err)
+						cs.Close() // closes fs too
+					} else {
+						fmt.Fprintf(out, "Backing file %s validated against checkpoint manifest\n", path)
+						return cs, cs, nil
+					}
 				} else {
-					fmt.Fprintf(out, "Backing file %s validated against checkpoint manifest\n", path)
 					return cs, cs, nil
 				}
-			} else {
-				return cs, cs, nil
 			}
 		}
 	}
@@ -801,6 +829,7 @@ func openStore(o options, path string, n, vecLen int, man *ooc.Manifest, out *os
 		fs.Close()
 		return nil, nil, err
 	}
+	cs.SetPrecision(o.precision)
 	return cs, cs, nil
 }
 

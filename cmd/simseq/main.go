@@ -1,11 +1,13 @@
 // Command simseq generates simulated alignments: a Yule tree plus
-// sequence evolution under HKY+Γ (or Poisson for protein data). It is
-// the repository's INDELible substitute (paper §4.3) and produces the
-// inputs for oocraxml and the figure harness.
+// sequence evolution under HKY+Γ (or, for protein data, Poisson or an
+// empirical PAML matrix). It is the repository's INDELible substitute
+// (paper §4.3) and produces the inputs for oocraxml and the figure
+// harness.
 //
-// Example:
+// Examples:
 //
 //	simseq -taxa 8192 -sites 10000 -alpha 0.8 -seed 7 -o big.phy -tree big.nwk
+//	simseq -taxa 128 -sites 2000 -aamodel wag.dat -o prot.phy -tree prot.nwk
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"oocphylo/internal/bio"
+	"oocphylo/internal/model"
 	"oocphylo/internal/sim"
 	"oocphylo/internal/tree"
 )
@@ -32,6 +35,7 @@ func run(args []string) error {
 	alpha := fs.Float64("alpha", 0.8, "Gamma shape for rate heterogeneity (0 = homogeneous)")
 	seed := fs.Int64("seed", 1, "random seed")
 	aa := fs.Bool("aa", false, "simulate amino-acid data (Poisson model)")
+	aaModel := fs.String("aamodel", "", "simulate protein data under this PAML .dat matrix (implies -aa)")
 	fastaOut := fs.Bool("fasta", false, "write FASTA instead of PHYLIP")
 	outPath := fs.String("o", "", "alignment output path (default stdout)")
 	treePath := fs.String("tree", "", "also write the true tree (Newick) here")
@@ -39,8 +43,21 @@ func run(args []string) error {
 		return err
 	}
 
+	var gen *model.Model
+	if *aaModel != "" {
+		f, err := os.Open(*aaModel)
+		if err != nil {
+			return err
+		}
+		gen, err = model.ReadPAML(f, *aaModel)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		*aa = true
+	}
 	d, err := sim.NewDataset(sim.Config{
-		Taxa: *taxa, Sites: *sites, GammaAlpha: *alpha, Seed: *seed, AA: *aa,
+		Taxa: *taxa, Sites: *sites, GammaAlpha: *alpha, Seed: *seed, AA: *aa, Model: gen,
 	})
 	if err != nil {
 		return err

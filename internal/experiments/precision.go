@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+)
+
+// Precision ablation — the f32-versus-f64 trade study. One simulated
+// dataset runs three ways:
+//
+//  1. f64 in-memory (the reference likelihood),
+//  2. f32 in-memory synchronous,
+//  3. f32 out-of-core asynchronous (checksummed store, multiple
+//     workers).
+//
+// The harness enforces the two contracts -precision f32 advertises:
+// runs 2 and 3 must agree bit-for-bit (within-precision determinism is
+// independent of the I/O and threading regime), and run 2 must agree
+// with run 1 to the documented accuracy budget. It also records the
+// manifest-verified store geometry, which is where the bandwidth win
+// shows up: the f32 store holds half the bytes per vector.
+
+// PrecisionAccuracyBudget is the documented |Δ lnL|/|lnL| ceiling for
+// f32 mode. Measured errors sit near 1e-9 (the scaling tail and all
+// log-space arithmetic stay in float64); the budget leaves four orders
+// of magnitude of slack for unlucky datasets.
+const PrecisionAccuracyBudget = 1e-4
+
+// PrecisionAblationConfig describes the f32-versus-f64 run.
+type PrecisionAblationConfig struct {
+	// Taxa and Sites set the dataset (default 128 taxa — the acceptance
+	// criterion's experiment size).
+	Taxa, Sites int
+	// Seed fixes the dataset.
+	Seed int64
+	// GammaAlpha sets rate heterogeneity.
+	GammaAlpha float64
+	// AA switches to protein data.
+	AA bool
+	// Fraction is the out-of-core RAM fraction for the async f32 run.
+	Fraction float64
+	// Workers is the PLF worker count for the async run.
+	Workers int
+}
+
+func (c *PrecisionAblationConfig) fill() {
+	if c.Taxa == 0 {
+		c.Taxa = 128
+	}
+	if c.Sites == 0 {
+		if c.AA {
+			c.Sites = 400
+		} else {
+			c.Sites = 1500
+		}
+	}
+	if c.GammaAlpha == 0 {
+		c.GammaAlpha = 0.8
+	}
+	if c.Fraction == 0 {
+		c.Fraction = 0.4
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+}
+
+// PrecisionAblationResult is the measured trade.
+type PrecisionAblationResult struct {
+	// LnL64 and LnL32 are the in-memory log-likelihoods per precision.
+	LnL64, LnL32 float64
+	// LnL32Async is the out-of-core asynchronous f32 log-likelihood; the
+	// harness has already verified it equals LnL32 bit-for-bit.
+	LnL32Async float64
+	// RelErr is |LnL64-LnL32| / |LnL64|.
+	RelErr float64
+	// Opt64 and Opt32 are the optimised log-likelihoods of one Newton
+	// branch pass per precision (the derivative-path accuracy probe).
+	Opt64, Opt32 float64
+	// VecBytes64 and VecBytes32 are the manifest-verified per-vector
+	// store payloads in bytes.
+	VecBytes64, VecBytes32 int
+	// Kernel is the specialised kernel the f32 runs used.
+	Kernel string
+}
+
+// runPrecision runs one in-memory engine at the given precision:
+// full-traversal likelihood plus a Newton pass over every edge.
+func runPrecision(cfg PrecisionAblationConfig, d *sim.Dataset, prec string) (lnl, opt float64, kernel string, err error) {
+	t := d.Tree.Clone()
+	cl, err := plf.CarrierLength(d.Model, d.Patterns.NumPatterns(), prec)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	prov := plf.NewInMemoryProvider(t.NumInner(), cl)
+	e, err := plf.NewWithPrecision(t, d.Patterns, d.Model, prov, prec)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer e.Close()
+	lnl, err = e.LogLikelihood()
+	if err != nil {
+		return 0, 0, "", err
+	}
+	for _, edge := range t.Edges {
+		opt, err = e.OptimizeBranch(edge)
+		if err != nil {
+			return 0, 0, "", err
+		}
+	}
+	return lnl, opt, e.KernelName(), nil
+}
+
+// manifestVecBytes reports the per-vector payload a checksummed store
+// at the given precision writes, straight from its manifest.
+func manifestVecBytes(d *sim.Dataset, n int, prec string) (int, error) {
+	cl, err := plf.CarrierLength(d.Model, d.Patterns.NumPatterns(), prec)
+	if err != nil {
+		return 0, err
+	}
+	dir, err := os.MkdirTemp("", "oocphylo-precision-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	cs, err := ooc.NewChecksumStore(ooc.NewMemStore(n, cl), filepath.Join(dir, "v.sum"), n, cl)
+	if err != nil {
+		return 0, err
+	}
+	defer cs.Close()
+	cs.SetPrecision(prec)
+	man := cs.Manifest()
+	if got := normManifestPrecision(man.Precision); got != prec {
+		return 0, fmt.Errorf("manifest precision %q, want %q", man.Precision, prec)
+	}
+	return man.VectorLen * 8, nil
+}
+
+func normManifestPrecision(p string) string {
+	if p == "" {
+		return plf.PrecisionF64
+	}
+	return p
+}
+
+// RunPrecisionAblation measures the f32 trade and enforces its
+// contracts: sync/async f32 bit-identity and the accuracy budget.
+func RunPrecisionAblation(cfg PrecisionAblationConfig) (*PrecisionAblationResult, error) {
+	cfg.fill()
+	d, err := sim.NewDataset(sim.Config{
+		Taxa: cfg.Taxa, Sites: cfg.Sites, GammaAlpha: cfg.GammaAlpha, Seed: cfg.Seed,
+		AA: cfg.AA,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PrecisionAblationResult{}
+	res.LnL64, res.Opt64, _, err = runPrecision(cfg, d, plf.PrecisionF64)
+	if err != nil {
+		return nil, fmt.Errorf("f64 run: %w", err)
+	}
+	res.LnL32, res.Opt32, res.Kernel, err = runPrecision(cfg, d, plf.PrecisionF32)
+	if err != nil {
+		return nil, fmt.Errorf("f32 run: %w", err)
+	}
+	res.RelErr = math.Abs(res.LnL64-res.LnL32) / math.Abs(res.LnL64)
+	if res.RelErr > PrecisionAccuracyBudget {
+		return nil, fmt.Errorf("f32 accuracy budget blown: lnL %.6f vs %.6f (rel %.2e > %g)",
+			res.LnL32, res.LnL64, res.RelErr, PrecisionAccuracyBudget)
+	}
+
+	// Async out-of-core f32: same dataset through a checksummed store
+	// with prefetching workers. Must reproduce the sync bits exactly.
+	t := d.Tree.Clone()
+	n := t.NumInner()
+	cl, err := plf.CarrierLength(d.Model, d.Patterns.NumPatterns(), plf.PrecisionF32)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "oocphylo-precision-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := ooc.NewChecksumStore(ooc.NewMemStore(n, cl), filepath.Join(dir, "async.sum"), n, cl)
+	if err != nil {
+		return nil, err
+	}
+	store.SetPrecision(plf.PrecisionF32)
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors: n, VectorLen: cl,
+		Slots:        ooc.SlotsForFraction(cfg.Fraction, n),
+		Strategy:     ooc.NewLRU(n),
+		ReadSkipping: true,
+		Store:        store,
+		Async:        true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e, err := plf.NewWithPrecision(t, d.Patterns, d.Model, mgr, plf.PrecisionF32)
+	if err != nil {
+		mgr.Close()
+		return nil, err
+	}
+	e.EnablePrefetch(true)
+	e.SetWorkers(cfg.Workers)
+	res.LnL32Async, err = e.LogLikelihood()
+	e.Close()
+	if cerr := mgr.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("f32 async run: %w", err)
+	}
+	if math.Float64bits(res.LnL32Async) != math.Float64bits(res.LnL32) {
+		return nil, fmt.Errorf("f32 sync/async divergence: %.17g vs %.17g",
+			res.LnL32, res.LnL32Async)
+	}
+
+	res.VecBytes64, err = manifestVecBytes(d, n, plf.PrecisionF64)
+	if err != nil {
+		return nil, err
+	}
+	res.VecBytes32, err = manifestVecBytes(d, n, plf.PrecisionF32)
+	if err != nil {
+		return nil, err
+	}
+	if res.VecBytes32*2 != res.VecBytes64 && res.VecBytes32*2 != res.VecBytes64+8 {
+		return nil, fmt.Errorf("f32 store not halved: %d B vs %d B per vector",
+			res.VecBytes32, res.VecBytes64)
+	}
+	return res, nil
+}
+
+// WritePrecisionAblationTable renders the trade as text.
+func WritePrecisionAblationTable(w io.Writer, res *PrecisionAblationResult, cfg PrecisionAblationConfig) {
+	cfg.fill()
+	data := "DNA"
+	if cfg.AA {
+		data = "protein"
+	}
+	fmt.Fprintf(w, "Precision ablation: %d taxa × %d sites %s +Γ4, kernel %s\n",
+		cfg.Taxa, cfg.Sites, data, res.Kernel)
+	fmt.Fprintf(w, "%22s %18s %18s\n", "", "f64", "f32")
+	fmt.Fprintf(w, "%22s %18.6f %18.6f\n", "lnL", res.LnL64, res.LnL32)
+	fmt.Fprintf(w, "%22s %18.6f %18.6f\n", "optimised lnL", res.Opt64, res.Opt32)
+	fmt.Fprintf(w, "%22s %18d %18d\n", "store bytes/vector", res.VecBytes64, res.VecBytes32)
+	fmt.Fprintf(w, "relative lnL error %.3e (budget %g); f32 sync == f32 async: bit-identical\n",
+		res.RelErr, PrecisionAccuracyBudget)
+}

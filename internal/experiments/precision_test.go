@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPrecisionAblation(t *testing.T) {
+	cfg := PrecisionAblationConfig{Taxa: 24, Sites: 400, Seed: 9, Workers: 2}
+	res, err := RunPrecisionAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelErr > PrecisionAccuracyBudget {
+		t.Fatalf("relative error %v over budget", res.RelErr)
+	}
+	if res.VecBytes32*2 != res.VecBytes64 && res.VecBytes32*2 != res.VecBytes64+8 {
+		t.Fatalf("store bytes not halved: %d vs %d", res.VecBytes32, res.VecBytes64)
+	}
+	if res.Kernel != "dna4" {
+		t.Fatalf("DNA f32 run used kernel %q", res.Kernel)
+	}
+	var sb strings.Builder
+	WritePrecisionAblationTable(&sb, res, cfg)
+	out := sb.String()
+	for _, want := range []string{"f64", "f32", "store bytes/vector", "bit-identical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPrecisionAblationAA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protein ablation is slow")
+	}
+	res, err := RunPrecisionAblation(PrecisionAblationConfig{Taxa: 16, Sites: 120, Seed: 3, AA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "aa20" {
+		t.Fatalf("protein f32 run used kernel %q", res.Kernel)
+	}
+}
+
+func TestRunKernelAblationAA(t *testing.T) {
+	cfg := KernelAblationConfig{Taxa: 12, Sites: 120, Seed: 5, Traversals: 2, AA: true}
+	res, err := RunKernelAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel != "aa20" {
+		t.Fatalf("protein ablation ran kernel %q, want aa20", res.Kernel)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("want 3 phase rows, got %d", len(res.Rows))
+	}
+	var sb strings.Builder
+	WriteKernelAblationTable(&sb, res, cfg)
+	if !strings.Contains(sb.String(), "protein") || !strings.Contains(sb.String(), "aa20") {
+		t.Fatalf("table must name the protein dataset and kernel:\n%s", sb.String())
+	}
+}

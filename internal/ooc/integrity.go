@@ -66,6 +66,36 @@ func IsCorruption(err error) bool {
 	return errors.As(err, &ce)
 }
 
+// PrecisionMismatchError reports a resume attempt whose compute
+// precision does not match the precision the persisted store was
+// written under. The carrier geometry alone cannot catch every such
+// mismatch (an f32 run over 2L patterns has the same carrier length as
+// an f64 run over L), and silently reinterpreting the bytes would
+// decode garbage likelihoods, so the manifest records the element
+// precision and the mismatch is a hard, typed error — unlike geometry
+// mismatches, which fall back to rebuilding the store.
+type PrecisionMismatchError struct {
+	// Store is the precision recorded in the manifest ("" means a
+	// legacy float64 store); Run is the precision of the resuming run.
+	Store, Run string
+}
+
+// Error implements error.
+func (e *PrecisionMismatchError) Error() string {
+	st := e.Store
+	if st == "" {
+		st = "f64 (legacy)"
+	}
+	return fmt.Sprintf("ooc: store precision %s does not match run precision %s; restart without -resume or rerun at the store's precision", st, e.Run)
+}
+
+// IsPrecisionMismatch reports whether err is (or wraps) a
+// *PrecisionMismatchError.
+func IsPrecisionMismatch(err error) bool {
+	var pe *PrecisionMismatchError
+	return errors.As(err, &pe)
+}
+
 // ErrTransientIO marks an I/O failure believed to be transient — worth
 // re-issuing rather than aborting. FaultStore wraps its injected EIO
 // errors with it; real-device store implementations can do the same.
@@ -140,6 +170,11 @@ type Manifest struct {
 	VectorLen  int    `json:"vector_len"`
 	Generation uint64 `json:"generation"`
 	SumOfSums  uint64 `json:"sum_of_sums"`
+	// Precision is the element precision of the persisted vectors
+	// ("f64" or "f32"); empty in manifests written before the field
+	// existed, which always meant float64. VectorLen is the carrier
+	// length in float64s either way.
+	Precision string `json:"precision,omitempty"`
 }
 
 // crcTable is the ECMA CRC64 table shared by all checksum operations.
@@ -187,9 +222,13 @@ type ChecksumStore struct {
 	path   string
 	n      int
 	vecLen int
-	sums   []uint64
-	gens   []uint64
-	gen    atomic.Uint64
+	// precision tags the element precision recorded in the manifest
+	// (see SetPrecision); "" is treated as "f64" for compatibility with
+	// sidecars and manifests written before the tag existed.
+	precision string
+	sums      []uint64
+	gens      []uint64
+	gen       atomic.Uint64
 	// CorruptReads counts reads that failed verification.
 	corruptReads atomic.Int64
 }
@@ -344,6 +383,16 @@ func (s *ChecksumStore) WriteVector(vi int, src []float64) error {
 // CorruptReads returns how many reads failed verification.
 func (s *ChecksumStore) CorruptReads() int64 { return s.corruptReads.Load() }
 
+// SetPrecision records the element precision ("f64" or "f32") of the
+// vectors this store persists; it is carried in the manifest so a
+// resumed run can refuse a store written at the other precision (see
+// PrecisionMismatchError). The default "" reads as f64.
+func (s *ChecksumStore) SetPrecision(p string) { s.precision = p }
+
+// Precision returns the recorded element precision ("" means legacy
+// f64).
+func (s *ChecksumStore) Precision() string { return s.precision }
+
 // Manifest returns the store's current manifest for external
 // persistence (e.g. inside a checkpoint).
 func (s *ChecksumStore) Manifest() Manifest {
@@ -352,13 +401,26 @@ func (s *ChecksumStore) Manifest() Manifest {
 		VectorLen:  s.vecLen,
 		Generation: s.gen.Load(),
 		SumOfSums:  s.sumOfSums(),
+		Precision:  s.precision,
 	}
+}
+
+// normPrecision maps the legacy empty precision tag to "f64".
+func normPrecision(p string) string {
+	if p == "" {
+		return "f64"
+	}
+	return p
 }
 
 // VerifyManifest checks the store's current state against a previously
 // persisted manifest, returning a descriptive error on any mismatch.
+// A precision mismatch is reported as a typed *PrecisionMismatchError.
 func (s *ChecksumStore) VerifyManifest(m Manifest) error {
 	cur := s.Manifest()
+	if normPrecision(cur.Precision) != normPrecision(m.Precision) {
+		return &PrecisionMismatchError{Store: m.Precision, Run: normPrecision(cur.Precision)}
+	}
 	switch {
 	case cur.NumVectors != m.NumVectors || cur.VectorLen != m.VectorLen:
 		return fmt.Errorf("ooc: store geometry %dx%d does not match manifest %dx%d",

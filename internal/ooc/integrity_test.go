@@ -295,3 +295,58 @@ func TestMultiFileStoreErrorReportsGlobalIndex(t *testing.T) {
 		t.Errorf("read error %q does not carry the global index (want \"vector 5\")", err)
 	}
 }
+
+// TestManifestPrecisionMismatch covers the typed error for resuming a
+// store at the wrong element precision: the mismatch is detected before
+// any geometry or checksum comparison, legacy manifests without a
+// precision field count as f64, and matching precisions verify cleanly.
+func TestManifestPrecisionMismatch(t *testing.T) {
+	n, vl := 4, 8
+	cs, _ := newTestChecksumStore(t, n, vl)
+	defer cs.Close()
+	cs.SetPrecision("f32")
+	if cs.Precision() != "f32" {
+		t.Fatalf("Precision() = %q after SetPrecision", cs.Precision())
+	}
+	man := cs.Manifest()
+	if man.Precision != "f32" {
+		t.Fatalf("manifest precision %q, want f32", man.Precision)
+	}
+
+	// Same store claims f64 now: the f32 manifest must hard-fail with
+	// the typed error even though every other manifest field matches.
+	cs.SetPrecision("f64")
+	err := cs.VerifyManifest(man)
+	if !IsPrecisionMismatch(err) {
+		t.Fatalf("want PrecisionMismatchError, got %v", err)
+	}
+	var pm *PrecisionMismatchError
+	if !errors.As(err, &pm) || pm.Store != "f32" || pm.Run != "f64" {
+		t.Fatalf("mismatch fields: %+v", pm)
+	}
+	if !strings.Contains(err.Error(), "f32") || !strings.Contains(err.Error(), "f64") {
+		t.Fatalf("error text must name both precisions: %v", err)
+	}
+
+	// A legacy manifest (no precision recorded) is f64 by convention.
+	legacy := man
+	legacy.Precision = ""
+	if err := cs.VerifyManifest(legacy); err != nil {
+		t.Fatalf("legacy manifest against f64 store: %v", err)
+	}
+	cs.SetPrecision("f32")
+	if err := cs.VerifyManifest(legacy); !IsPrecisionMismatch(err) {
+		t.Fatalf("legacy manifest against f32 store: want mismatch, got %v", err)
+	}
+
+	// Matching precision passes and takes priority over nothing else:
+	// a geometry mismatch on matching precision is NOT a precision error.
+	man2 := cs.Manifest()
+	if err := cs.VerifyManifest(man2); err != nil {
+		t.Fatalf("matching manifest: %v", err)
+	}
+	man2.VectorLen++
+	if err := cs.VerifyManifest(man2); err == nil || IsPrecisionMismatch(err) {
+		t.Fatalf("geometry mismatch misclassified: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package plf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/tree"
+)
+
+// The buffer-recycling contract: once an engine is warm, the evaluate
+// and derivative entry points allocate nothing. Kernel arguments,
+// parallel-for bodies and the Newton objective are all pre-bound on the
+// engine, so steady-state likelihood work never touches the garbage
+// collector. (Cold paths — first traversal, P-matrix cache fills at new
+// branch lengths — may allocate; that is cache population, not per-call
+// garbage.)
+func TestHotPathAllocs(t *testing.T) {
+	cases := []struct {
+		dtype bio.DataType
+		prec  string
+	}{
+		{bio.DNA, PrecisionF64},
+		{bio.AA, PrecisionF64},
+		{bio.AA, PrecisionF32},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%v_%s", tc.dtype, tc.prec), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(9))
+			names := tipNames(16)
+			tr, err := tree.RandomTopology(names, rng, 0.02, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites := 500
+			if tc.dtype == bio.AA {
+				sites = 150
+			}
+			pats := randomAlignment(t, names, sites, rng, tc.dtype)
+			m := randomModel(t, rng, tc.dtype, true)
+			e := newEngineP(t, tr, pats, m, tc.prec)
+			edge := e.T.Edges[0]
+
+			// Warm every path once: traversal, evaluation, sum table,
+			// Newton. After this the caches hold everything the steady
+			// state needs.
+			if _, err := e.LogLikelihoodAt(edge); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.EvaluateAtLength(edge, 0.1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.OptimizeBranch(edge); err != nil {
+				t.Fatal(err)
+			}
+
+			checks := []struct {
+				name string
+				fn   func()
+			}{
+				{"LogLikelihoodAt", func() { e.LogLikelihoodAt(edge) }},
+				{"EvaluateAtLength", func() { e.EvaluateAtLength(edge, 0.1) }},
+				{"OptimizeBranch", func() { e.OptimizeBranch(edge) }},
+				{"sumTableValues", func() { e.sumTableValues(0.05) }},
+			}
+			for _, c := range checks {
+				if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+					t.Errorf("%s: %v allocations per warm call, want 0", c.name, n)
+				}
+			}
+		})
+	}
+}

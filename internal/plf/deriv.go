@@ -26,20 +26,34 @@ import (
 // two endpoint vectors, the access-locality property the paper leans on
 // in §4.2. (RAxML's sumGAMMA/coreGTRGAMMA functions implement the same
 // factorisation.)
+//
+// In f32 mode the sum table itself is float32 (it scales with nPat like
+// a vector), but the exponentials and every Newton-side term run in
+// float64 on widened table entries — the same tail-precision rule the
+// evaluate kernels follow.
 
-// buildSumTable fills e.sumTab for edge and records the combined scale
-// counters in e.sumTabSc. Both endpoint vectors must be valid toward
-// each other (call Traverse first).
+// buildSumTable fills the compute's sumTab for edge and records the
+// combined scale counters in e.sumTabSc. Both endpoint vectors must be
+// valid toward each other (call Traverse first).
 func (e *Engine) buildSumTable(edge *tree.Edge) error {
+	if e.c32 != nil {
+		return buildSumTableF(e, e.c32, edge)
+	}
+	return buildSumTableF(e, e.c64, edge)
+}
+
+func buildSumTableF[F Float](e *Engine, cs *compute[F], edge *tree.Edge) error {
 	e.Stats.SumTables++
 	e.eobs.sumTables.Inc()
 	var stStart time.Time
 	if e.eobs.on {
 		stStart = time.Now()
 	}
-	a := &e.sa
-	*a = sumArgs{nm: len(e.maskList)}
+	cs.syncModel(e)
+	a := &cs.sa
+	*a = sumArgs[F]{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
+	var buf []float64
 	var err error
 	if p.IsTip() {
 		a.codeP = e.tipCode[p.Index]
@@ -49,10 +63,11 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 			e.pinsL[0] = e.vi(q)
 			np = 1
 		}
-		a.xp, err = e.prov.Vector(e.vi(p), false, e.pinsL[:np]...)
+		buf, err = e.prov.Vector(e.vi(p), false, e.pinsL[:np]...)
 		if err != nil {
 			return err
 		}
+		a.xp = vecView[F](buf, e.vecLen)
 	}
 	if q.IsTip() {
 		a.codeQ = e.tipCode[q.Index]
@@ -62,10 +77,11 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 			e.pinsR[0] = e.vi(p)
 			np = 1
 		}
-		a.xq, err = e.prov.Vector(e.vi(q), false, e.pinsR[:np]...)
+		buf, err = e.prov.Vector(e.vi(q), false, e.pinsR[:np]...)
 		if err != nil {
 			return err
 		}
+		a.xq = vecView[F](buf, e.vecLen)
 	}
 	for i := range e.sumTabSc {
 		e.sumTabSc[i] = 0
@@ -81,8 +97,7 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 		}
 	}
 
-	kern := e.kern
-	e.parallelFor(e.nPat, func(lo, hi int) { kern.sumTable(e, a, lo, hi) })
+	e.parallelFor(e.nPat, cs.saBody)
 	if e.eobs.on {
 		dur := time.Since(stStart)
 		e.eobs.sumTableLat.Observe(dur.Seconds())
@@ -96,54 +111,70 @@ func (e *Engine) buildSumTable(edge *tree.Edge) error {
 // reduction is sequential in pattern order, so results are
 // bit-identical for any worker count.
 func (e *Engine) sumTableValues(t float64) (lnl, d1, d2 float64) {
-	k, C := e.nStates, e.nCat
-	rates := e.M.Rates
-	eval := e.M.Eval
-	catW := 1.0 / float64(C)
+	if e.c32 != nil {
+		return sumTableValuesF(e, e.c32, t)
+	}
+	return sumTableValuesF(e, e.c64, t)
+}
+
+func sumTableValuesF[F Float](e *Engine, cs *compute[F], t float64) (lnl, d1, d2 float64) {
+	cs.svT = t
+	e.parallelFor(e.nPat, cs.svBody)
 	terms := e.siteBuf[:3*e.nPat]
-	e.parallelFor(e.nPat, func(lo, hi int) {
-		var expbuf [32]float64
-		for i := lo; i < hi; i++ {
-			base := i * C * k
-			var f, fp, fpp float64
-			for c := 0; c < C; c++ {
-				r := rates[c]
-				for kk := 0; kk < k; kk++ {
-					expbuf[kk] = math.Exp(eval[kk] * r * t)
-				}
-				tab := e.sumTab[base+c*k : base+(c+1)*k]
-				for kk := 0; kk < k; kk++ {
-					lr := eval[kk] * r
-					a := tab[kk] * expbuf[kk]
-					f += a
-					fp += a * lr
-					fpp += a * lr * lr
-				}
-			}
-			f *= catW
-			fp *= catW
-			fpp *= catW
-			if f < math.SmallestNonzeroFloat64 {
-				f = math.SmallestNonzeroFloat64
-			}
-			w := e.weights[i]
-			lnGamma := math.Log(f) - float64(e.sumTabSc[i])*logScaleFactor
-			gp, gpp := fp/f, fpp/f
-			// +I mixture: the invariant component is branch-length
-			// independent, so derivatives pick up the Γ-component
-			// posterior weight q (1 when the mixture is off).
-			q := gammaWeight(lnGamma, e.M.PInv, e.linv[i])
-			terms[3*i] = w * mixInvariant(lnGamma, e.M.PInv, e.linv[i])
-			terms[3*i+1] = w * q * gp
-			terms[3*i+2] = w * (q*gpp - q*gp*q*gp)
-		}
-	})
 	for i := 0; i < e.nPat; i++ {
 		lnl += terms[3*i]
 		d1 += terms[3*i+1]
 		d2 += terms[3*i+2]
 	}
 	return lnl, d1, d2
+}
+
+// sumTableTerms fills the per-pattern (lnL, d1, d2) terms for patterns
+// [lo, hi) at branch length t — the parallelFor body of
+// sumTableValues, pre-bound on the compute as svBody. Sum-table entries
+// widen to float64 before the exponential-weighted accumulation, so
+// only the table itself carries reduced precision in f32 mode.
+func sumTableTerms[F Float](e *Engine, cs *compute[F], t float64, lo, hi int) {
+	k, C := e.nStates, e.nCat
+	rates := e.M.Rates
+	eval := e.M.Eval
+	catW := 1.0 / float64(C)
+	terms := e.siteBuf
+	var expbuf [32]float64
+	for i := lo; i < hi; i++ {
+		base := i * C * k
+		var f, fp, fpp float64
+		for c := 0; c < C; c++ {
+			r := rates[c]
+			for kk := 0; kk < k; kk++ {
+				expbuf[kk] = math.Exp(eval[kk] * r * t)
+			}
+			tab := cs.sumTab[base+c*k : base+(c+1)*k]
+			for kk := 0; kk < k; kk++ {
+				lr := eval[kk] * r
+				a := float64(tab[kk]) * expbuf[kk]
+				f += a
+				fp += a * lr
+				fpp += a * lr * lr
+			}
+		}
+		f *= catW
+		fp *= catW
+		fpp *= catW
+		if f < math.SmallestNonzeroFloat64 {
+			f = math.SmallestNonzeroFloat64
+		}
+		w := e.weights[i]
+		lnGamma := math.Log(f) - float64(e.sumTabSc[i])*cs.logScale
+		gp, gpp := fp/f, fpp/f
+		// +I mixture: the invariant component is branch-length
+		// independent, so derivatives pick up the Γ-component
+		// posterior weight q (1 when the mixture is off).
+		q := gammaWeight(lnGamma, e.M.PInv, e.linv[i])
+		terms[3*i] = w * mixInvariant(lnGamma, e.M.PInv, e.linv[i])
+		terms[3*i+1] = w * q * gp
+		terms[3*i+2] = w * (q*gpp - q*gp*q*gp)
+	}
 }
 
 // prepareSumTable runs the traversal and builds the sum table for
@@ -171,27 +202,15 @@ func (e *Engine) prepareSumTable(edge *tree.Edge) error {
 // returns the log-likelihood at the optimised length. The optimum is
 // clamped to [tree.MinBranchLength, tree.MaxBranchLength]; if Newton
 // lands somewhere worse than the starting point (possible on plateaus)
-// the original length is kept.
+// the original length is kept. The Newton objective is the engine's
+// pre-bound fdfFn, so the whole call allocates nothing.
 func (e *Engine) OptimizeBranch(edge *tree.Edge) (float64, error) {
 	if err := e.prepareSumTable(edge); err != nil {
 		return 0, err
 	}
 	t0 := edge.Length
 	lnl0, _, _ := e.sumTableValues(t0)
-	fdf := func(t float64) (float64, float64) {
-		e.Stats.NewtonIters++
-		e.eobs.newtonIters.Inc()
-		_, d1, d2 := e.sumTableValues(t)
-		if d2 >= 0 {
-			// Convex region: a raw Newton step would move away from the
-			// maximum. Signal an unusable derivative so the solver takes
-			// a damped step in the uphill direction of d1 instead (the
-			// same guard RAxML's makenewz applies).
-			return d1, math.NaN()
-		}
-		return d1, d2
-	}
-	t1, _ := mathx.Newton(fdf, t0, tree.MinBranchLength, tree.MaxBranchLength, 1e-8, 32)
+	t1, _ := mathx.Newton(e.fdfFn, t0, tree.MinBranchLength, tree.MaxBranchLength, 1e-8, 32)
 	lnl1, _, _ := e.sumTableValues(t1)
 	if lnl1 >= lnl0 {
 		edge.Length = t1

@@ -16,7 +16,8 @@ import (
 // Scaling constants (RAxML's scheme): whenever every entry of a
 // pattern's block drops below minLikelihood the block is multiplied by
 // 2^256 and the pattern's scale counter is incremented; the evaluation
-// subtracts counter*ln(2^256) per pattern.
+// subtracts counter*ln(2^256) per pattern. These are the float64
+// constants; the float32 mode uses 2^±64 (see precision.go).
 const (
 	scalingExponent = 256
 	logScaleFactor  = scalingExponent * 0.6931471805599453 // ln(2^256)
@@ -64,8 +65,13 @@ type Engine struct {
 	orient tree.Orientation
 
 	nPat, nCat, nStates int
-	vecLen              int
-	weights             []float64
+	// vecLen is the logical ancestral-vector length (elements of the
+	// compute precision); carrierLen is the provider-page length in
+	// float64s — equal for f64, halved (rounded up) for f32, where two
+	// float32s ride in each carrier slot (see precision.go).
+	vecLen     int
+	carrierLen int
+	weights    []float64
 
 	// maskList enumerates the distinct tip masks in the alignment;
 	// tipCode[tip][pattern] indexes into it. tipInd holds the 0/1
@@ -96,29 +102,28 @@ type Engine struct {
 	workers int
 	pool    *workerPool
 
-	// kern is the active compute-kernel set (see SetKernel); pcache is
-	// the branch-length transition-matrix cache, nil when disabled.
-	kern       kernelSet
+	// precision is PrecisionF64 or PrecisionF32. Exactly one of c64/c32
+	// is non-nil and owns every precision-typed piece of engine state:
+	// the active kernel set, the P-matrix cache, converted model
+	// constants and all numeric scratch (see compute.go). kernelMode
+	// names the configured mode (see SetKernel).
+	precision  string
+	c64        *compute[float64]
+	c32        *compute[float32]
 	kernelMode string
-	pcache     *pcache
 
-	// Scratch buffers, reused across steps.
-	pL, pR   []float64 // nCat * k * k transition matrices (cache-off path)
-	tipSumL  []float64 // nCat * len(maskList) * k (cache-off path)
-	tipSumR  []float64
-	prodTT   []float64 // DNA tip×tip mask-pair product table (lazily sized)
-	sumTab   []float64 // nPat * nCat * k derivative sum table
+	// Precision-independent scratch, reused across steps.
 	sumTabSc []int32   // nPat combined scale counters for the sum table
 	siteBuf  []float64 // nPat*3 per-pattern values for deterministic reductions
-	nv       nvArgs    // kernel argument blocks, reused across calls
-	ev       evArgs
-	sa       sumArgs
 	// Fixed-size pin scratch: demand fetches pin at most two vectors
 	// and prefetch at most three, so the slices handed to the provider
 	// can be views of these engine-owned arrays instead of per-call
 	// heap allocations.
 	pinsL, pinsR, pinsP [2]int
 	pinsPF              [3]int
+	// fdfFn is the Newton objective OptimizeBranch hands to the solver,
+	// bound once here so branch optimisation allocates nothing per call.
+	fdfFn func(t float64) (d1, d2 float64)
 
 	Stats Stats
 	// eobs holds the observability instruments (see obs.go); the zero
@@ -132,36 +137,54 @@ type Engine struct {
 	safePoint func() error
 }
 
-// VectorLength returns the number of float64s per ancestral vector for
+// VectorLength returns the number of elements per ancestral vector for
 // an alignment with nPat patterns under model m — the paper's page size
-// w (in doubles rather than bytes).
+// w (in compute elements rather than bytes). For the float64 default
+// this is also the provider carrier length; see CarrierLength for f32.
 func VectorLength(m *model.Model, nPat int) int {
 	return nPat * m.Cats() * m.States
 }
 
-// New builds an engine. The provider must have been sized with
+// New builds a float64 engine. The provider must have been sized with
 // NumVectors() == t.NumInner() and VectorLen() == VectorLength(m, pats).
 func New(t *tree.Tree, pats *bio.Patterns, m *model.Model, prov VectorProvider) (*Engine, error) {
+	return NewWithPrecision(t, pats, m, prov, PrecisionF64)
+}
+
+// NewWithPrecision builds an engine computing in the given precision
+// (PrecisionF64 or PrecisionF32; "" means f64). The provider must have
+// been sized with NumVectors() == t.NumInner() and VectorLen() ==
+// CarrierLength(m, pats.NumPatterns(), precision).
+func NewWithPrecision(t *tree.Tree, pats *bio.Patterns, m *model.Model, prov VectorProvider, precision string) (*Engine, error) {
 	if t.NumTips != pats.NumTaxa() {
 		return nil, fmt.Errorf("plf: tree has %d tips, alignment has %d taxa", t.NumTips, pats.NumTaxa())
 	}
 	if m.States != pats.Alphabet.States {
 		return nil, fmt.Errorf("plf: model has %d states, alignment %d", m.States, pats.Alphabet.States)
 	}
+	if precision == "" {
+		precision = PrecisionF64
+	}
 	e := &Engine{
 		T: t, M: m, P: pats,
-		prov:    prov,
-		orient:  tree.NewOrientation(len(t.Nodes)),
-		nPat:    pats.NumPatterns(),
-		nCat:    m.Cats(),
-		nStates: m.States,
+		prov:      prov,
+		orient:    tree.NewOrientation(len(t.Nodes)),
+		nPat:      pats.NumPatterns(),
+		nCat:      m.Cats(),
+		nStates:   m.States,
+		precision: precision,
 	}
 	e.vecLen = e.nPat * e.nCat * e.nStates
+	cl, err := CarrierLength(m, e.nPat, precision)
+	if err != nil {
+		return nil, err
+	}
+	e.carrierLen = cl
 	if prov.NumVectors() < t.NumInner() {
 		return nil, fmt.Errorf("plf: provider holds %d vectors, tree needs %d", prov.NumVectors(), t.NumInner())
 	}
-	if prov.VectorLen() != e.vecLen {
-		return nil, fmt.Errorf("plf: provider vector length %d, engine needs %d", prov.VectorLen(), e.vecLen)
+	if prov.VectorLen() != e.carrierLen {
+		return nil, fmt.Errorf("plf: provider vector length %d, engine needs %d (%s carrier)", prov.VectorLen(), e.carrierLen, precision)
 	}
 	e.weights = make([]float64, e.nPat)
 	for i, w := range pats.Weights {
@@ -226,19 +249,35 @@ func New(t *tree.Tree, pats *bio.Patterns, m *model.Model, prov VectorProvider) 
 			}
 		}
 	}
-	k2 := e.nStates * e.nStates
-	e.pL = make([]float64, e.nCat*k2)
-	e.pR = make([]float64, e.nCat*k2)
-	e.tipSumL = make([]float64, e.nCat*len(e.maskList)*e.nStates)
-	e.tipSumR = make([]float64, e.nCat*len(e.maskList)*e.nStates)
-	e.sumTab = make([]float64, e.nPat*e.nCat*e.nStates)
 	e.sumTabSc = make([]int32, e.nPat)
 	e.siteBuf = make([]float64, e.nPat*3)
+	if precision == PrecisionF32 {
+		e.c32 = newCompute[float32](e)
+	} else {
+		e.c64 = newCompute[float64](e)
+	}
+	e.fdfFn = func(t float64) (float64, float64) {
+		e.Stats.NewtonIters++
+		e.eobs.newtonIters.Inc()
+		_, d1, d2 := e.sumTableValues(t)
+		if d2 >= 0 {
+			// Convex region: a raw Newton step would move away from the
+			// maximum. Signal an unusable derivative so the solver takes
+			// a damped step in the uphill direction of d1 instead (the
+			// same guard RAxML's makenewz applies).
+			return d1, math.NaN()
+		}
+		return d1, d2
+	}
 	if err := e.SetKernel(KernelAuto); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
+
+// Precision returns the engine's compute precision (PrecisionF64 or
+// PrecisionF32).
+func (e *Engine) Precision() string { return e.precision }
 
 // Orient exposes the orientation (validity) state of the ancestral
 // vectors. Search drivers invalidate entries after topology edits whose
@@ -259,17 +298,17 @@ func (e *Engine) vi(n *tree.Node) int { return n.Index - e.T.NumTips }
 // buildTipSum fills dst[cat][maskID][s] = sum_j P_cat[s][j] * ind[j]:
 // the per-category transition-weighted tip indicator lookup table
 // (RAxML's tipVector precomputation).
-func (e *Engine) buildTipSum(dst, pmats []float64) {
+func buildTipSum[F Float](e *Engine, cs *compute[F], dst, pmats []F) {
 	k := e.nStates
 	k2 := k * k
 	nm := len(e.maskList)
 	for c := 0; c < e.nCat; c++ {
 		p := pmats[c*k2 : (c+1)*k2]
 		for mi := 0; mi < nm; mi++ {
-			ind := e.tipInd[mi*k : (mi+1)*k]
+			ind := cs.tipInd[mi*k : (mi+1)*k]
 			out := dst[(c*nm+mi)*k : (c*nm+mi+1)*k]
 			for s := 0; s < k; s++ {
-				acc := 0.0
+				acc := F(0)
 				row := p[s*k : (s+1)*k]
 				for j := 0; j < k; j++ {
 					acc += row[j] * ind[j]
@@ -409,23 +448,31 @@ func (e *Engine) prefetchInputs(pf prefetchProvider, steps []tree.Step, cur, nex
 // happens here on the calling goroutine; the per-pattern arithmetic is
 // delegated to the active kernel set.
 func (e *Engine) newview(s *tree.Step) error {
+	if e.c32 != nil {
+		return newviewF(e, e.c32, s)
+	}
+	return newviewF(e, e.c64, s)
+}
+
+func newviewF[F Float](e *Engine, cs *compute[F], s *tree.Step) error {
 	e.Stats.Newviews++
 	e.eobs.newviews.Inc()
 	var nvStart time.Time
 	if e.eobs.on {
 		nvStart = time.Now()
 	}
-	a := &e.nv
-	*a = nvArgs{nm: len(e.maskList)}
-	var entL, entR *pcEntry
-	a.pmL, entL = e.pmatsFor(s.LeftEdge.Length, e.pL)
-	a.pmR, entR = e.pmatsFor(s.RightEdge.Length, e.pR)
+	a := &cs.nv
+	*a = nvArgs[F]{nm: len(e.maskList)}
+	var entL, entR *pcEntry[F]
+	a.pmL, entL = pmatsFor(e, cs, s.LeftEdge.Length, cs.pL)
+	a.pmR, entR = pmatsFor(e, cs, s.RightEdge.Length, cs.pR)
 
 	leftTip, rightTip := s.Left.IsTip(), s.Right.IsTip()
 	pvi := e.vi(s.Node)
+	var buf []float64
 	var err error
 	if leftTip {
-		a.tsL = e.tipSumFor(entL, a.pmL, e.tipSumL)
+		a.tsL = tipSumFor(e, cs, entL, a.pmL, cs.tipSumL)
 		a.codeL = e.tipCode[s.Left.Index]
 	} else {
 		lvi := e.vi(s.Left)
@@ -435,14 +482,15 @@ func (e *Engine) newview(s *tree.Step) error {
 			e.pinsL[1] = e.vi(s.Right)
 			np = 2
 		}
-		a.xl, err = e.prov.Vector(lvi, false, e.pinsL[:np]...)
+		buf, err = e.prov.Vector(lvi, false, e.pinsL[:np]...)
 		if err != nil {
 			return err
 		}
+		a.xl = vecView[F](buf, e.vecLen)
 		a.scl = e.scales[lvi]
 	}
 	if rightTip {
-		a.tsR = e.tipSumFor(entR, a.pmR, e.tipSumR)
+		a.tsR = tipSumFor(e, cs, entR, a.pmR, cs.tipSumR)
 		a.codeR = e.tipCode[s.Right.Index]
 	} else {
 		rvi := e.vi(s.Right)
@@ -452,10 +500,11 @@ func (e *Engine) newview(s *tree.Step) error {
 			e.pinsR[1] = e.vi(s.Left)
 			np = 2
 		}
-		a.xr, err = e.prov.Vector(rvi, false, e.pinsR[:np]...)
+		buf, err = e.prov.Vector(rvi, false, e.pinsR[:np]...)
 		if err != nil {
 			return err
 		}
+		a.xr = vecView[F](buf, e.vecLen)
 		a.scr = e.scales[rvi]
 	}
 	np := 0
@@ -467,15 +516,15 @@ func (e *Engine) newview(s *tree.Step) error {
 		e.pinsP[np] = e.vi(s.Right)
 		np++
 	}
-	a.xp, err = e.prov.Vector(pvi, true, e.pinsP[:np]...)
+	buf, err = e.prov.Vector(pvi, true, e.pinsP[:np]...)
 	if err != nil {
 		return err
 	}
+	a.xp = vecView[F](buf, e.vecLen)
 	a.scp = e.scales[pvi]
 
-	kern := e.kern
-	kern.prepareNewview(e, a)
-	e.parallelFor(e.nPat, func(lo, hi int) { kern.newview(e, a, lo, hi) })
+	cs.kern.prepareNewview(e, cs, a)
+	e.parallelFor(e.nPat, cs.nvBody)
 	if e.eobs.on {
 		dur := time.Since(nvStart)
 		e.eobs.newviewLat.Observe(dur.Seconds())
@@ -617,26 +666,35 @@ func gammaWeight(lnGamma, p, linv float64) float64 {
 // resolution happens here; the per-pattern arithmetic is delegated to
 // the active kernel set.
 func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
+	if e.c32 != nil {
+		return evaluateF(e, e.c32, edge)
+	}
+	return evaluateF(e, e.c64, edge)
+}
+
+func evaluateF[F Float](e *Engine, cs *compute[F], edge *tree.Edge) (float64, error) {
 	e.Stats.Evaluations++
 	e.eobs.evaluations.Inc()
 	var evStart time.Time
 	if e.eobs.on {
 		evStart = time.Now()
 	}
-	a := &e.ev
-	*a = evArgs{nm: len(e.maskList)}
+	cs.syncModel(e)
+	a := &cs.ev
+	*a = evArgs[F]{nm: len(e.maskList)}
 	p, q := edge.N[0], edge.N[1]
 	// Prefer the tip on the q side so the P matrix is applied across the
 	// edge onto q's data.
 	if p.IsTip() && !q.IsTip() {
 		p, q = q, p
 	}
-	var entQ *pcEntry
-	a.pmQ, entQ = e.pmatsFor(edge.Length, e.pR)
+	var entQ *pcEntry[F]
+	a.pmQ, entQ = pmatsFor(e, cs, edge.Length, cs.pR)
 
+	var buf []float64
 	var err error
 	if q.IsTip() {
-		a.tsQ = e.tipSumFor(entQ, a.pmQ, e.tipSumR)
+		a.tsQ = tipSumFor(e, cs, entQ, a.pmQ, cs.tipSumR)
 		a.codeQ = e.tipCode[q.Index]
 	} else {
 		qvi := e.vi(q)
@@ -645,10 +703,11 @@ func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 			e.pinsR[0] = e.vi(p)
 			np = 1
 		}
-		a.xq, err = e.prov.Vector(qvi, false, e.pinsR[:np]...)
+		buf, err = e.prov.Vector(qvi, false, e.pinsR[:np]...)
 		if err != nil {
 			return 0, err
 		}
+		a.xq = vecView[F](buf, e.vecLen)
 		a.scq = e.scales[qvi]
 	}
 	if p.IsTip() {
@@ -660,10 +719,11 @@ func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 			e.pinsL[0] = e.vi(q)
 			np = 1
 		}
-		a.xp, err = e.prov.Vector(pvi, false, e.pinsL[:np]...)
+		buf, err = e.prov.Vector(pvi, false, e.pinsL[:np]...)
 		if err != nil {
 			return 0, err
 		}
+		a.xp = vecView[F](buf, e.vecLen)
 		a.scp = e.scales[pvi]
 	}
 
@@ -671,8 +731,7 @@ func (e *Engine) evaluate(edge *tree.Edge) (float64, error) {
 	// summation runs sequentially in pattern order, so the result is
 	// bit-identical for any worker count.
 	a.contrib = e.siteBuf[:e.nPat]
-	kern := e.kern
-	e.parallelFor(e.nPat, func(lo, hi int) { kern.evaluate(e, a, lo, hi) })
+	e.parallelFor(e.nPat, cs.evBody)
 	lnl := 0.0
 	for _, c := range a.contrib {
 		lnl += c

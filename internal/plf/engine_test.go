@@ -55,8 +55,19 @@ func tipNames(n int) []string {
 
 func newEngine(tb testing.TB, t *tree.Tree, pats *bio.Patterns, m *model.Model) *Engine {
 	tb.Helper()
-	prov := NewInMemoryProvider(t.NumInner(), VectorLength(m, pats.NumPatterns()))
-	e, err := New(t, pats, m, prov)
+	return newEngineP(tb, t, pats, m, PrecisionF64)
+}
+
+// newEngineP builds an in-memory engine at the given compute precision,
+// sizing the provider to the carrier length.
+func newEngineP(tb testing.TB, t *tree.Tree, pats *bio.Patterns, m *model.Model, prec string) *Engine {
+	tb.Helper()
+	cl, err := CarrierLength(m, pats.NumPatterns(), prec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prov := NewInMemoryProvider(t.NumInner(), cl)
+	e, err := NewWithPrecision(t, pats, m, prov, prec)
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -9,19 +9,29 @@ import (
 // evaluate and the derivative sum table are the PLF's hot paths; they
 // are reached through the kernelSet interface so the engine can swap
 // the fully generic k-state × c-category loops for state-count-
-// specialised implementations (kernels_dna.go) chosen once at
-// construction from (nStates, nCat) — the tip-ness of a step is
+// specialised implementations (kernels_dna.go, kernels_aa.go) chosen
+// once at construction from (nStates, nCat) — the tip-ness of a step is
 // dispatched per call inside the set. Every specialised kernel performs
 // the exact floating-point operation sequence of the generic one, so
 // the kernel choice never changes a single output bit: the paper's
 // exactness criterion (§4.1) holds across kernels the same way it holds
 // across replacement strategies and worker counts.
+//
+// Every set is generic over the compute element type F (float32 or
+// float64); the bit-exactness contract is per precision — see
+// precision.go for the cross-precision semantics.
 
 // Kernel mode names accepted by SetKernel and the oocraxml -kernel flag.
 const (
 	// KernelAuto picks the fastest kernel set for the engine's model
-	// dimensions (DNA-unrolled for 4 states, generic otherwise).
+	// dimensions: DNA-unrolled for 4 states, the protein set for 20,
+	// the cache-blocked generic set otherwise.
 	KernelAuto = "auto"
+	// KernelBlocked forces the cache-blocked generic set: the
+	// arbitrary-k kernels that interleave four output-state
+	// accumulation chains per pass (see kernels_aa.go). Bit-identical
+	// to the generic loops for every k.
+	KernelBlocked = "blocked"
 	// KernelGeneric forces the generic loops and disables the
 	// transition-matrix cache — the exact legacy compute path, kept as
 	// the differential-testing baseline.
@@ -32,32 +42,33 @@ const (
 // pattern-block kernels. Tip children are represented by their pattern
 // code row and tip-sum table (code != nil); inner children by their
 // ancestral vector and scale counters.
-type nvArgs struct {
-	xl, xr, xp    []float64
+type nvArgs[F Float] struct {
+	xl, xr, xp    []F
 	scl, scr, scp []int32
 	codeL, codeR  []uint16
-	pmL, pmR      []float64 // nCat × k² transition matrices
-	tsL, tsR      []float64 // nCat × nm × k tip-sum tables (tip children)
-	prodTT        []float64 // nm × nm × nCat × k tip-pair products (DNA tip×tip)
+	pmL, pmR      []F // nCat × k² transition matrices
+	tsL, tsR      []F // nCat × nm × k tip-sum tables (tip children)
+	prodTT        []F // nm × nm × nCat × k tip-pair products (tip×tip)
 	nm            int
 }
 
 // evArgs carries the resolved inputs of one evaluate call. q is the
 // endpoint whose data the P matrix is applied across; contrib receives
-// the per-pattern weighted log-likelihood terms.
-type evArgs struct {
-	xp, xq       []float64
+// the per-pattern weighted log-likelihood terms (always float64: the
+// logarithmic tail runs in double precision in every mode).
+type evArgs[F Float] struct {
+	xp, xq       []F
 	scp, scq     []int32
 	codeP, codeQ []uint16
-	pmQ          []float64
-	tsQ          []float64
+	pmQ          []F
+	tsQ          []F
 	contrib      []float64
 	nm           int
 }
 
 // sumArgs carries the resolved endpoint data of one sum-table build.
-type sumArgs struct {
-	xp, xq       []float64
+type sumArgs[F Float] struct {
+	xp, xq       []F
 	codeP, codeQ []uint16
 	nm           int
 }
@@ -66,46 +77,59 @@ type sumArgs struct {
 // processes patterns [lo, hi) and must not touch state outside that
 // block (the parallelFor contract). prepareNewview runs once per
 // newview call before the fan-out, for call-wide precomputation.
-type kernelSet interface {
+type kernelSet[F Float] interface {
 	name() string
-	prepareNewview(e *Engine, a *nvArgs)
-	newview(e *Engine, a *nvArgs, lo, hi int)
-	evaluate(e *Engine, a *evArgs, lo, hi int)
-	sumTable(e *Engine, a *sumArgs, lo, hi int)
+	prepareNewview(e *Engine, cs *compute[F], a *nvArgs[F])
+	newview(e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int)
+	evaluate(e *Engine, cs *compute[F], a *evArgs[F], lo, hi int)
+	sumTable(e *Engine, cs *compute[F], a *sumArgs[F], lo, hi int)
 }
 
 // selectKernelSet resolves a kernel mode for a model with nStates
 // states. nCat-specific fast paths are chosen inside the returned set
 // per call, so the set itself depends only on the state count.
-func selectKernelSet(mode string, nStates int) (kernelSet, error) {
+func selectKernelSet[F Float](mode string, nStates int) (kernelSet[F], error) {
 	switch mode {
 	case KernelAuto:
-		if nStates == 4 {
-			return dnaKernels{}, nil
+		switch nStates {
+		case 4:
+			return dnaKernels[F]{}, nil
+		case 20:
+			return aaKernels[F]{}, nil
 		}
-		return genericKernels{}, nil
+		return blockedKernels[F]{}, nil
+	case KernelBlocked:
+		return blockedKernels[F]{}, nil
 	case KernelGeneric:
-		return genericKernels{}, nil
+		return genericKernels[F]{}, nil
 	}
-	return nil, fmt.Errorf("plf: unknown kernel mode %q (want %q or %q)", mode, KernelAuto, KernelGeneric)
+	return nil, fmt.Errorf("plf: unknown kernel mode %q (want %q, %q or %q)",
+		mode, KernelAuto, KernelBlocked, KernelGeneric)
 }
 
-// SetKernel selects the compute-kernel set by mode (KernelAuto or
-// KernelGeneric). KernelGeneric restores the exact legacy path: generic
-// loops and no transition-matrix cache. Switching kernels never changes
-// results — the differential tests enforce bit-identical vectors and
-// likelihoods between modes.
+// SetKernel selects the compute-kernel set by mode (KernelAuto,
+// KernelBlocked or KernelGeneric). KernelGeneric restores the exact
+// legacy path: generic loops and no transition-matrix cache. Switching
+// kernels never changes results — the differential tests enforce
+// bit-identical vectors and likelihoods between modes.
 func (e *Engine) SetKernel(mode string) error {
-	ks, err := selectKernelSet(mode, e.nStates)
+	if e.c32 != nil {
+		return setKernel(e, e.c32, mode)
+	}
+	return setKernel(e, e.c64, mode)
+}
+
+func setKernel[F Float](e *Engine, cs *compute[F], mode string) error {
+	ks, err := selectKernelSet[F](mode, e.nStates)
 	if err != nil {
 		return err
 	}
-	e.kern = ks
+	cs.kern = ks
 	e.kernelMode = mode
 	if mode == KernelGeneric {
-		e.pcache = nil
-	} else if e.pcache == nil {
-		e.pcache = newPCache()
+		cs.pcache = nil
+	} else if cs.pcache == nil {
+		cs.pcache = newPCache[F]()
 	}
 	return nil
 }
@@ -113,22 +137,37 @@ func (e *Engine) SetKernel(mode string) error {
 // KernelMode returns the configured kernel mode (KernelAuto by default).
 func (e *Engine) KernelMode() string { return e.kernelMode }
 
-// KernelName reports which kernel set is actually active ("dna4" or
-// "generic") — under KernelAuto this depends on the model's state count.
-func (e *Engine) KernelName() string { return e.kern.name() }
+// KernelName reports which kernel set is actually active ("dna4",
+// "aa20", "blocked" or "generic") — under KernelAuto this depends on
+// the model's state count.
+func (e *Engine) KernelName() string {
+	if e.c32 != nil {
+		return e.c32.kern.name()
+	}
+	return e.c64.kern.name()
+}
+
+// pcacheEnabled reports whether the transition-matrix cache is active
+// (always false under KernelGeneric).
+func (e *Engine) pcacheEnabled() bool {
+	if e.c32 != nil {
+		return e.c32.pcache != nil
+	}
+	return e.c64.pcache != nil
+}
 
 // genericKernels holds the fully generic k-state × c-category loops:
 // correct for every model, and the accumulation-order reference every
 // specialised kernel must reproduce bit-for-bit.
-type genericKernels struct{}
+type genericKernels[F Float] struct{}
 
-func (genericKernels) name() string                      { return "generic" }
-func (genericKernels) prepareNewview(*Engine, *nvArgs)   {}
+func (genericKernels[F]) name() string                                 { return "generic" }
+func (genericKernels[F]) prepareNewview(*Engine, *compute[F], *nvArgs[F]) {}
 
-func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
+func (genericKernels[F]) newview(e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
 	k, C, nm := e.nStates, e.nCat, a.nm
 	k2 := k * k
-	var la, ra [32]float64 // k <= 20; fixed scratch avoids allocation
+	var la, ra [32]F // k <= 32; fixed scratch avoids allocation
 	for i := lo; i < hi; i++ {
 		var cnt int32
 		if a.scl != nil {
@@ -138,7 +177,7 @@ func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
 			cnt += a.scr[i]
 		}
 		base := i * C * k
-		blockMax := 0.0
+		blockMax := F(0)
 		for c := 0; c < C; c++ {
 			// Left factor per state.
 			if a.codeL != nil {
@@ -148,7 +187,7 @@ func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
 				src := a.xl[base+c*k : base+(c+1)*k]
 				p := a.pmL[c*k2 : (c+1)*k2]
 				for s := 0; s < k; s++ {
-					acc := 0.0
+					acc := F(0)
 					row := p[s*k : (s+1)*k]
 					for j := 0; j < k; j++ {
 						acc += row[j] * src[j]
@@ -163,7 +202,7 @@ func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
 				src := a.xr[base+c*k : base+(c+1)*k]
 				p := a.pmR[c*k2 : (c+1)*k2]
 				for s := 0; s < k; s++ {
-					acc := 0.0
+					acc := F(0)
 					row := p[s*k : (s+1)*k]
 					for j := 0; j < k; j++ {
 						acc += row[j] * src[j]
@@ -180,22 +219,31 @@ func (genericKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
 				}
 			}
 		}
-		if blockMax < minLikelihood {
+		if blockMax < cs.minLik {
 			for j := base; j < base+C*k; j++ {
-				a.xp[j] *= scaleFactor
+				a.xp[j] *= cs.scaleFac
 			}
 			cnt++
+		}
+		// f32 denormal flush, identical to the scaleTail pass the
+		// specialised kernels run (no-op in f64 mode where flush is 0).
+		if cs.flush != 0 {
+			for j := base; j < base+C*k; j++ {
+				if a.xp[j] < cs.flush {
+					a.xp[j] = 0
+				}
+			}
 		}
 		a.scp[i] = cnt
 	}
 }
 
-func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
+func (genericKernels[F]) evaluate(e *Engine, cs *compute[F], a *evArgs[F], lo, hi int) {
 	k, C, nm := e.nStates, e.nCat, a.nm
 	k2 := k * k
-	freqs := e.M.Freqs
-	catW := 1.0 / float64(C)
-	var ra [32]float64
+	freqs := cs.freqs
+	catW := F(1) / F(C)
+	var ra [32]F
 	for i := lo; i < hi; i++ {
 		var cnt int32
 		if a.scp != nil {
@@ -205,7 +253,7 @@ func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 			cnt += a.scq[i]
 		}
 		base := i * C * k
-		site := 0.0
+		site := F(0)
 		for c := 0; c < C; c++ {
 			// Right factor: (P x_q) per state, or tip lookup.
 			if a.codeQ != nil {
@@ -215,7 +263,7 @@ func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 				src := a.xq[base+c*k : base+(c+1)*k]
 				pm := a.pmQ[c*k2 : (c+1)*k2]
 				for s := 0; s < k; s++ {
-					acc := 0.0
+					acc := F(0)
 					row := pm[s*k : (s+1)*k]
 					for j := 0; j < k; j++ {
 						acc += row[j] * src[j]
@@ -223,9 +271,9 @@ func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 					ra[s] = acc
 				}
 			}
-			f := 0.0
+			f := F(0)
 			if a.codeP != nil {
-				ind := e.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
+				ind := cs.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
 				for s := 0; s < k; s++ {
 					f += freqs[s] * ind[s] * ra[s]
 				}
@@ -238,7 +286,7 @@ func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 			site += f
 		}
 		site *= catW
-		a.contrib[i] = e.siteTerm(i, site, cnt)
+		a.contrib[i] = siteTerm(e, cs, i, site, cnt)
 	}
 }
 
@@ -246,31 +294,35 @@ func (genericKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 // log-likelihood contribution: underflow clamp, scale-counter
 // correction, optional +I mixture, pattern weight. Shared by every
 // evaluate kernel so the tail arithmetic is identical by construction.
-func (e *Engine) siteTerm(i int, site float64, cnt int32) float64 {
-	if site <= 0 {
+// The tail always runs in float64: in f32 mode the site value widens
+// once here, and the logarithm, scale correction and mixture never
+// accumulate single-precision error.
+func siteTerm[F Float](e *Engine, cs *compute[F], i int, site F, cnt int32) float64 {
+	s := float64(site)
+	if s <= 0 {
 		// Fully underflowed pattern: clamp to the smallest
 		// positive double so the search can continue.
-		site = math.SmallestNonzeroFloat64
+		s = math.SmallestNonzeroFloat64
 	}
-	lnSite := math.Log(site) - float64(cnt)*logScaleFactor
+	lnSite := math.Log(s) - float64(cnt)*cs.logScale
 	if p := e.M.PInv; p > 0 {
 		lnSite = mixInvariant(lnSite, p, e.linv[i])
 	}
 	return e.weights[i] * lnSite
 }
 
-func (genericKernels) sumTable(e *Engine, a *sumArgs, lo, hi int) {
+func (genericKernels[F]) sumTable(e *Engine, cs *compute[F], a *sumArgs[F], lo, hi int) {
 	k, C := e.nStates, e.nCat
-	freqs := e.M.Freqs
-	evec, ievec := e.M.Evec, e.M.Ievec
-	var left, right [32]float64
+	freqs := cs.freqs
+	evec, ievec := cs.evec, cs.ievec
+	var left, right [32]F
 	for i := lo; i < hi; i++ {
 		base := i * C * k
 		for c := 0; c < C; c++ {
 			// left_k = sum_s pi_s x_p[s] V[s][k]
-			var lsrc []float64
+			var lsrc []F
 			if a.codeP != nil {
-				lsrc = e.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
+				lsrc = cs.tipInd[int(a.codeP[i])*k : (int(a.codeP[i])+1)*k]
 			} else {
 				lsrc = a.xp[base+c*k : base+(c+1)*k]
 			}
@@ -288,24 +340,49 @@ func (genericKernels) sumTable(e *Engine, a *sumArgs, lo, hi int) {
 				}
 			}
 			// right_k = sum_j V^-1[k][j] x_q[j]
-			var rsrc []float64
+			var rsrc []F
 			if a.codeQ != nil {
-				rsrc = e.tipInd[int(a.codeQ[i])*k : (int(a.codeQ[i])+1)*k]
+				rsrc = cs.tipInd[int(a.codeQ[i])*k : (int(a.codeQ[i])+1)*k]
 			} else {
 				rsrc = a.xq[base+c*k : base+(c+1)*k]
 			}
 			for kk := 0; kk < k; kk++ {
-				acc := 0.0
+				acc := F(0)
 				row := ievec[kk*k : (kk+1)*k]
 				for j := 0; j < k; j++ {
 					acc += row[j] * rsrc[j]
 				}
 				right[kk] = acc
 			}
-			dst := e.sumTab[base+c*k : base+(c+1)*k]
+			dst := cs.sumTab[base+c*k : base+(c+1)*k]
 			for kk := 0; kk < k; kk++ {
 				dst[kk] = left[kk] * right[kk]
 			}
 		}
 	}
+}
+
+// scaleTail applies the per-pattern scaling rule to one C·k block:
+// identical comparisons and multiplications to the generic tail.
+// Shared by every specialised newview kernel. The flush pass (f32 only;
+// flush is 0 in f64 mode and entries are non-negative, so it never
+// fires there) zeroes entries so far below the scaling floor that they
+// are beneath float32 resolution of the dominant states — without it,
+// improbable-state entries drift into the float32 denormal range and
+// every operation touching them takes a microcode assist.
+func scaleTail[F Float](dst []F, scp []int32, i int, cnt int32, blockMax, minLik, scaleFac, flush F) {
+	if blockMax < minLik {
+		for j := range dst {
+			dst[j] *= scaleFac
+		}
+		cnt++
+	}
+	if flush != 0 {
+		for j := range dst {
+			if dst[j] < flush {
+				dst[j] = 0
+			}
+		}
+	}
+	scp[i] = cnt
 }

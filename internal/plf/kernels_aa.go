@@ -1,0 +1,743 @@
+package plf
+
+// Protein (k=20) and cache-blocked generic kernels — "Throughput
+// round 2". The generic loops compute each output state's matrix-vector
+// sum in its own pass: one accumulation chain at a time, fully
+// serialised through the floating-point add latency. These kernels keep
+// every chain's operation sequence EXACTLY as the generic kernel runs
+// it (zero-initialised accumulator, += terms in ascending j) but
+// interleave four independent chains per pass (eight in the
+// inner×inner case: four left + four right), so the CPU can overlap
+// their add latencies. Interleaving independent chains reassociates
+// nothing — each accumulator's value history is bit-for-bit the generic
+// one — which is how the speedup coexists with the paper's §4.1
+// exactness criterion. Array-pointer casts ((*[400]F], (*[20]F)) hoist
+// the bounds checks the generic slice indexing pays per element.
+//
+// aaKernels hard-codes k=20 so the s/j trip counts are compile-time
+// constants; blockedKernels is the same scheme for arbitrary k with a
+// scalar remainder loop (in generic order) when k%4 != 0. The tip×tip
+// case reuses the DNA set's mask-pair product-table trick, guarded by
+// prodTTMaxEntries because nm² can be large for proteins.
+
+// prodTTMaxEntries caps the tip×tip product table (elements, not
+// bytes): C·nm²·k beyond this skips the table and computes each
+// pattern's products directly — the same multiplies in the same order,
+// just unamortised. 2²¹ elements is 16 MiB of float64, comfortably
+// cache-resident territory's upper edge.
+const prodTTMaxEntries = 1 << 21
+
+// prepareProdTT builds the tip×tip mask-pair product table
+// prod[((ml*nm+mr)*C+c)*k+s] = tsL[c,ml,s]·tsR[c,mr,s] into cs.prodTT,
+// or leaves a.prodTT nil when the table would exceed prodTTMaxEntries.
+func prepareProdTT[F Float](e *Engine, cs *compute[F], a *nvArgs[F], k int) {
+	if a.codeL == nil || a.codeR == nil {
+		return
+	}
+	C, nm := e.nCat, a.nm
+	stride := C * k
+	need := nm * nm * stride
+	if need > prodTTMaxEntries {
+		return
+	}
+	if cap(cs.prodTT) < need {
+		cs.prodTT = make([]F, need)
+	}
+	prod := cs.prodTT[:need]
+	for ml := 0; ml < nm; ml++ {
+		for mr := 0; mr < nm; mr++ {
+			for c := 0; c < C; c++ {
+				l := a.tsL[(c*nm+ml)*k:][:k]
+				r := a.tsR[(c*nm+mr)*k:][:k]
+				dst := prod[(ml*nm+mr)*stride+c*k:][:k]
+				for s := 0; s < k; s++ {
+					dst[s] = l[s] * r[s]
+				}
+			}
+		}
+	}
+	a.prodTT = prod
+}
+
+// newviewTT handles the tip×tip newview case for any k: a table copy
+// per pattern when prepareProdTT built the table, otherwise the direct
+// per-pattern products (identical multiplies, identical order).
+func newviewTT[F Float](e *Engine, cs *compute[F], a *nvArgs[F], k, lo, hi int) {
+	C, nm := e.nCat, a.nm
+	stride := C * k
+	xp, scp := a.xp, a.scp
+	codeL, codeR := a.codeL, a.codeR
+	if prod := a.prodTT; prod != nil {
+		for i := lo; i < hi; i++ {
+			dst := xp[i*stride : i*stride+stride]
+			pair := (int(codeL[i])*nm + int(codeR[i])) * stride
+			copy(dst, prod[pair:pair+stride])
+			blockMax := F(0)
+			for _, v := range dst {
+				if v > blockMax {
+					blockMax = v
+				}
+			}
+			scaleTail(dst, scp, i, 0, blockMax, cs.minLik, cs.scaleFac, cs.flush)
+		}
+		return
+	}
+	tsL, tsR := a.tsL, a.tsR
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		ml, mr := int(codeL[i])*k, int(codeR[i])*k
+		blockMax := F(0)
+		for c := 0; c < C; c++ {
+			l := tsL[c*nm*k+ml:][:k]
+			r := tsR[c*nm*k+mr:][:k]
+			dst := xp[base+c*k:][:k]
+			for s := 0; s < k; s++ {
+				v := l[s] * r[s]
+				dst[s] = v
+				if v > blockMax {
+					blockMax = v
+				}
+			}
+		}
+		scaleTail(xp[base:base+stride], scp, i, 0, blockMax, cs.minLik, cs.scaleFac, cs.flush)
+	}
+}
+
+// ---------------------------------------------------------------------
+// aaKernels: k = 20 hard-coded.
+
+type aaKernels[F Float] struct{}
+
+func (aaKernels[F]) name() string { return "aa20" }
+
+func (aaKernels[F]) prepareNewview(e *Engine, cs *compute[F], a *nvArgs[F]) {
+	prepareProdTT(e, cs, a, 20)
+}
+
+func (aaKernels[F]) newview(e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
+	switch {
+	case a.codeL != nil && a.codeR != nil:
+		newviewTT(e, cs, a, 20, lo, hi)
+	case a.codeL != nil:
+		aaNewviewTI(e, cs, a, a.codeL, a.tsL, a.xr, a.pmR, a.scr, lo, hi)
+	case a.codeR != nil:
+		aaNewviewTI(e, cs, a, a.codeR, a.tsR, a.xl, a.pmL, a.scl, lo, hi)
+	default:
+		aaNewviewII(e, cs, a, lo, hi)
+	}
+}
+
+// aaMatVecTip computes dst[s] = tb[s]·(P·src)[s] for one 20-state
+// category block, four output states per pass. Each accumulator is a
+// zero-initialised += chain over ascending j — the generic per-state
+// accumulation verbatim — and tb·acc for the generic's acc·tb
+// (right-tip case) is exact because IEEE multiplication is commutative.
+func aaMatVecTip[F Float](p *[400]F, src, tb, dst *[20]F, blockMax F) F {
+	for s := 0; s < 20; s += 4 {
+		r0 := p[s*20 : s*20+20]
+		r1 := p[s*20+20 : s*20+40]
+		r2 := p[s*20+40 : s*20+60]
+		r3 := p[s*20+60 : s*20+80]
+		var a0, a1, a2, a3 F
+		for j := 0; j < 20; j++ {
+			xj := src[j]
+			a0 += r0[j] * xj
+			a1 += r1[j] * xj
+			a2 += r2[j] * xj
+			a3 += r3[j] * xj
+		}
+		v0 := tb[s] * a0
+		dst[s] = v0
+		if v0 > blockMax {
+			blockMax = v0
+		}
+		v1 := tb[s+1] * a1
+		dst[s+1] = v1
+		if v1 > blockMax {
+			blockMax = v1
+		}
+		v2 := tb[s+2] * a2
+		dst[s+2] = v2
+		if v2 > blockMax {
+			blockMax = v2
+		}
+		v3 := tb[s+3] * a3
+		dst[s+3] = v3
+		if v3 > blockMax {
+			blockMax = v3
+		}
+	}
+	return blockMax
+}
+
+// aaNewviewTI: one tip child (codes + tip-sum table ts), one inner
+// child (vector x across matrices pm with scales sc).
+func aaNewviewTI[F Float](e *Engine, cs *compute[F], a *nvArgs[F], code []uint16, ts, x, pm []F, sc []int32, lo, hi int) {
+	C, nm := e.nCat, a.nm
+	const k = 20
+	stride := C * k
+	xp, scp := a.xp, a.scp
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		mi := int(code[i]) * k
+		blockMax := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			blockMax = aaMatVecTip(
+				(*[400]F)(pm[c*400:]),
+				(*[20]F)(x[o:]),
+				(*[20]F)(ts[c*nm*k+mi:]),
+				(*[20]F)(xp[o:]),
+				blockMax)
+		}
+		scaleTail(xp[base:base+stride], scp, i, sc[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
+	}
+}
+
+// aaNewviewIICat computes one 20-state category block of the
+// inner×inner case, interleaving eight accumulation chains (four left,
+// four right) per pass.
+func aaNewviewIICat[F Float](pl, pr *[400]F, l, r, dst *[20]F, blockMax F) F {
+	for s := 0; s < 20; s += 4 {
+		pl0 := pl[s*20 : s*20+20]
+		pl1 := pl[s*20+20 : s*20+40]
+		pl2 := pl[s*20+40 : s*20+60]
+		pl3 := pl[s*20+60 : s*20+80]
+		pr0 := pr[s*20 : s*20+20]
+		pr1 := pr[s*20+20 : s*20+40]
+		pr2 := pr[s*20+40 : s*20+60]
+		pr3 := pr[s*20+60 : s*20+80]
+		var la0, la1, la2, la3, ra0, ra1, ra2, ra3 F
+		for j := 0; j < 20; j++ {
+			lj := l[j]
+			rj := r[j]
+			la0 += pl0[j] * lj
+			la1 += pl1[j] * lj
+			la2 += pl2[j] * lj
+			la3 += pl3[j] * lj
+			ra0 += pr0[j] * rj
+			ra1 += pr1[j] * rj
+			ra2 += pr2[j] * rj
+			ra3 += pr3[j] * rj
+		}
+		v0 := la0 * ra0
+		dst[s] = v0
+		if v0 > blockMax {
+			blockMax = v0
+		}
+		v1 := la1 * ra1
+		dst[s+1] = v1
+		if v1 > blockMax {
+			blockMax = v1
+		}
+		v2 := la2 * ra2
+		dst[s+2] = v2
+		if v2 > blockMax {
+			blockMax = v2
+		}
+		v3 := la3 * ra3
+		dst[s+3] = v3
+		if v3 > blockMax {
+			blockMax = v3
+		}
+	}
+	return blockMax
+}
+
+// aaNewviewII: both children inner.
+func aaNewviewII[F Float](e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
+	C := e.nCat
+	const k = 20
+	stride := C * k
+	xl, xr, xp := a.xl, a.xr, a.xp
+	scl, scr, scp := a.scl, a.scr, a.scp
+	pmL, pmR := a.pmL, a.pmR
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		blockMax := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			blockMax = aaNewviewIICat(
+				(*[400]F)(pmL[c*400:]), (*[400]F)(pmR[c*400:]),
+				(*[20]F)(xl[o:]), (*[20]F)(xr[o:]), (*[20]F)(xp[o:]),
+				blockMax)
+		}
+		scaleTail(xp[base:base+stride], scp, i, scl[i]+scr[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
+	}
+}
+
+// aaMatVec fills dst = P·src for one 20-state block (the evaluate
+// kernel's right factor), four chains per pass.
+func aaMatVec[F Float](p *[400]F, src, dst *[20]F) {
+	for s := 0; s < 20; s += 4 {
+		r0 := p[s*20 : s*20+20]
+		r1 := p[s*20+20 : s*20+40]
+		r2 := p[s*20+40 : s*20+60]
+		r3 := p[s*20+60 : s*20+80]
+		var a0, a1, a2, a3 F
+		for j := 0; j < 20; j++ {
+			xj := src[j]
+			a0 += r0[j] * xj
+			a1 += r1[j] * xj
+			a2 += r2[j] * xj
+			a3 += r3[j] * xj
+		}
+		dst[s] = a0
+		dst[s+1] = a1
+		dst[s+2] = a2
+		dst[s+3] = a3
+	}
+}
+
+func (aaKernels[F]) evaluate(e *Engine, cs *compute[F], a *evArgs[F], lo, hi int) {
+	C, nm := e.nCat, a.nm
+	const k = 20
+	stride := C * k
+	freqs := (*[20]F)(cs.freqs)
+	catW := F(1) / F(C)
+	contrib := a.contrib
+	var ra [20]F
+	for i := lo; i < hi; i++ {
+		var cnt int32
+		if a.scp != nil {
+			cnt += a.scp[i]
+		}
+		if a.scq != nil {
+			cnt += a.scq[i]
+		}
+		base := i * stride
+		site := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			if a.codeQ != nil {
+				copy(ra[:], a.tsQ[c*nm*k+int(a.codeQ[i])*k:][:k])
+			} else {
+				aaMatVec((*[400]F)(a.pmQ[c*400:]), (*[20]F)(a.xq[o:]), &ra)
+			}
+			// The site sum is ONE accumulation chain in the generic
+			// kernel, so it stays a single sequential chain here — only
+			// the independent matrix-vector chains above are interleaved.
+			f := F(0)
+			if a.codeP != nil {
+				ind := (*[20]F)(cs.tipInd[int(a.codeP[i])*k:])
+				for s := 0; s < k; s++ {
+					f += freqs[s] * ind[s] * ra[s]
+				}
+			} else {
+				src := (*[20]F)(a.xp[o:])
+				for s := 0; s < k; s++ {
+					f += freqs[s] * src[s] * ra[s]
+				}
+			}
+			site += f
+		}
+		site *= catW
+		contrib[i] = siteTerm(e, cs, i, site, cnt)
+	}
+}
+
+func (aaKernels[F]) sumTable(e *Engine, cs *compute[F], a *sumArgs[F], lo, hi int) {
+	C := e.nCat
+	const k = 20
+	stride := C * k
+	freqs := (*[20]F)(cs.freqs)
+	ev := cs.evec
+	iv := cs.ievec
+	xp, xq := a.xp, a.xq
+	codeP, codeQ := a.codeP, a.codeQ
+	sumTab := cs.sumTab
+	var left [20]F
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			var ls *[20]F
+			if codeP != nil {
+				ls = (*[20]F)(cs.tipInd[int(codeP[i])*k:])
+			} else {
+				ls = (*[20]F)(xp[o:])
+			}
+			// left_k = sum_s pi_s x_p[s] V[s][k]: outer loop over s in
+			// ascending order with the generic w == 0 skip; the inner
+			// kk loop is unrolled four-wide over the SAME left[] chains.
+			for kk := range left {
+				left[kk] = 0
+			}
+			for s := 0; s < k; s++ {
+				w := freqs[s] * ls[s]
+				if w == 0 {
+					continue
+				}
+				row := (*[20]F)(ev[s*k:])
+				for kk := 0; kk < k; kk += 4 {
+					left[kk] += w * row[kk]
+					left[kk+1] += w * row[kk+1]
+					left[kk+2] += w * row[kk+2]
+					left[kk+3] += w * row[kk+3]
+				}
+			}
+			var rs *[20]F
+			if codeQ != nil {
+				rs = (*[20]F)(cs.tipInd[int(codeQ[i])*k:])
+			} else {
+				rs = (*[20]F)(xq[o:])
+			}
+			// right_k = sum_j V^-1[k][j] x_q[j]: four zero-initialised
+			// chains per pass, ascending j.
+			dst := (*[20]F)(sumTab[o:])
+			for kk := 0; kk < k; kk += 4 {
+				r0 := iv[kk*20 : kk*20+20]
+				r1 := iv[kk*20+20 : kk*20+40]
+				r2 := iv[kk*20+40 : kk*20+60]
+				r3 := iv[kk*20+60 : kk*20+80]
+				var a0, a1, a2, a3 F
+				for j := 0; j < k; j++ {
+					xj := rs[j]
+					a0 += r0[j] * xj
+					a1 += r1[j] * xj
+					a2 += r2[j] * xj
+					a3 += r3[j] * xj
+				}
+				dst[kk] = left[kk] * a0
+				dst[kk+1] = left[kk+1] * a1
+				dst[kk+2] = left[kk+2] * a2
+				dst[kk+3] = left[kk+3] * a3
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// blockedKernels: the same interleaved-chain scheme for arbitrary k,
+// with a scalar remainder loop (generic order) when k % 4 != 0.
+
+type blockedKernels[F Float] struct{}
+
+func (blockedKernels[F]) name() string { return "blocked" }
+
+func (blockedKernels[F]) prepareNewview(e *Engine, cs *compute[F], a *nvArgs[F]) {
+	prepareProdTT(e, cs, a, e.nStates)
+}
+
+func (blockedKernels[F]) newview(e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
+	switch {
+	case a.codeL != nil && a.codeR != nil:
+		newviewTT(e, cs, a, e.nStates, lo, hi)
+	case a.codeL != nil:
+		blkNewviewTI(e, cs, a, a.codeL, a.tsL, a.xr, a.pmR, a.scr, lo, hi)
+	case a.codeR != nil:
+		blkNewviewTI(e, cs, a, a.codeR, a.tsR, a.xl, a.pmL, a.scl, lo, hi)
+	default:
+		blkNewviewII(e, cs, a, lo, hi)
+	}
+}
+
+// blkMatVecTip: dst[s] = tb[s]·(P·src)[s] for one k-state block.
+func blkMatVecTip[F Float](k int, p, src, tb, dst []F, blockMax F) F {
+	src = src[:k]
+	s := 0
+	for ; s+4 <= k; s += 4 {
+		r0 := p[s*k:][:k]
+		r1 := p[(s+1)*k:][:k]
+		r2 := p[(s+2)*k:][:k]
+		r3 := p[(s+3)*k:][:k]
+		var a0, a1, a2, a3 F
+		for j := 0; j < k; j++ {
+			xj := src[j]
+			a0 += r0[j] * xj
+			a1 += r1[j] * xj
+			a2 += r2[j] * xj
+			a3 += r3[j] * xj
+		}
+		v0 := tb[s] * a0
+		dst[s] = v0
+		if v0 > blockMax {
+			blockMax = v0
+		}
+		v1 := tb[s+1] * a1
+		dst[s+1] = v1
+		if v1 > blockMax {
+			blockMax = v1
+		}
+		v2 := tb[s+2] * a2
+		dst[s+2] = v2
+		if v2 > blockMax {
+			blockMax = v2
+		}
+		v3 := tb[s+3] * a3
+		dst[s+3] = v3
+		if v3 > blockMax {
+			blockMax = v3
+		}
+	}
+	for ; s < k; s++ {
+		row := p[s*k:][:k]
+		acc := F(0)
+		for j := 0; j < k; j++ {
+			acc += row[j] * src[j]
+		}
+		v := tb[s] * acc
+		dst[s] = v
+		if v > blockMax {
+			blockMax = v
+		}
+	}
+	return blockMax
+}
+
+func blkNewviewTI[F Float](e *Engine, cs *compute[F], a *nvArgs[F], code []uint16, ts, x, pm []F, sc []int32, lo, hi int) {
+	k, C, nm := e.nStates, e.nCat, a.nm
+	k2 := k * k
+	stride := C * k
+	xp, scp := a.xp, a.scp
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		mi := int(code[i]) * k
+		blockMax := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			blockMax = blkMatVecTip(k,
+				pm[c*k2:], x[o:], ts[c*nm*k+mi:], xp[o:], blockMax)
+		}
+		scaleTail(xp[base:base+stride], scp, i, sc[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
+	}
+}
+
+// blkNewviewIICat: one k-state inner×inner category block, eight
+// chains per pass with a scalar remainder.
+func blkNewviewIICat[F Float](k int, pl, pr, l, r, dst []F, blockMax F) F {
+	l = l[:k]
+	r = r[:k]
+	s := 0
+	for ; s+4 <= k; s += 4 {
+		pl0 := pl[s*k:][:k]
+		pl1 := pl[(s+1)*k:][:k]
+		pl2 := pl[(s+2)*k:][:k]
+		pl3 := pl[(s+3)*k:][:k]
+		pr0 := pr[s*k:][:k]
+		pr1 := pr[(s+1)*k:][:k]
+		pr2 := pr[(s+2)*k:][:k]
+		pr3 := pr[(s+3)*k:][:k]
+		var la0, la1, la2, la3, ra0, ra1, ra2, ra3 F
+		for j := 0; j < k; j++ {
+			lj := l[j]
+			rj := r[j]
+			la0 += pl0[j] * lj
+			la1 += pl1[j] * lj
+			la2 += pl2[j] * lj
+			la3 += pl3[j] * lj
+			ra0 += pr0[j] * rj
+			ra1 += pr1[j] * rj
+			ra2 += pr2[j] * rj
+			ra3 += pr3[j] * rj
+		}
+		v0 := la0 * ra0
+		dst[s] = v0
+		if v0 > blockMax {
+			blockMax = v0
+		}
+		v1 := la1 * ra1
+		dst[s+1] = v1
+		if v1 > blockMax {
+			blockMax = v1
+		}
+		v2 := la2 * ra2
+		dst[s+2] = v2
+		if v2 > blockMax {
+			blockMax = v2
+		}
+		v3 := la3 * ra3
+		dst[s+3] = v3
+		if v3 > blockMax {
+			blockMax = v3
+		}
+	}
+	for ; s < k; s++ {
+		plr := pl[s*k:][:k]
+		prr := pr[s*k:][:k]
+		var la, ra F
+		for j := 0; j < k; j++ {
+			la += plr[j] * l[j]
+		}
+		for j := 0; j < k; j++ {
+			ra += prr[j] * r[j]
+		}
+		v := la * ra
+		dst[s] = v
+		if v > blockMax {
+			blockMax = v
+		}
+	}
+	return blockMax
+}
+
+func blkNewviewII[F Float](e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
+	k, C := e.nStates, e.nCat
+	k2 := k * k
+	stride := C * k
+	xl, xr, xp := a.xl, a.xr, a.xp
+	scl, scr, scp := a.scl, a.scr, a.scp
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		blockMax := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			blockMax = blkNewviewIICat(k,
+				a.pmL[c*k2:], a.pmR[c*k2:], xl[o:], xr[o:], xp[o:], blockMax)
+		}
+		scaleTail(xp[base:base+stride], scp, i, scl[i]+scr[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
+	}
+}
+
+func (blockedKernels[F]) evaluate(e *Engine, cs *compute[F], a *evArgs[F], lo, hi int) {
+	k, C, nm := e.nStates, e.nCat, a.nm
+	k2 := k * k
+	stride := C * k
+	freqs := cs.freqs
+	catW := F(1) / F(C)
+	contrib := a.contrib
+	var ra [32]F
+	for i := lo; i < hi; i++ {
+		var cnt int32
+		if a.scp != nil {
+			cnt += a.scp[i]
+		}
+		if a.scq != nil {
+			cnt += a.scq[i]
+		}
+		base := i * stride
+		site := F(0)
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			if a.codeQ != nil {
+				copy(ra[:k], a.tsQ[c*nm*k+int(a.codeQ[i])*k:][:k])
+			} else {
+				blkMatVec(k, a.pmQ[c*k2:], a.xq[o:], ra[:k])
+			}
+			f := F(0)
+			if a.codeP != nil {
+				ind := cs.tipInd[int(a.codeP[i])*k:][:k]
+				for s := 0; s < k; s++ {
+					f += freqs[s] * ind[s] * ra[s]
+				}
+			} else {
+				src := a.xp[o:][:k]
+				for s := 0; s < k; s++ {
+					f += freqs[s] * src[s] * ra[s]
+				}
+			}
+			site += f
+		}
+		site *= catW
+		contrib[i] = siteTerm(e, cs, i, site, cnt)
+	}
+}
+
+// blkMatVec fills dst = P·src for one k-state block.
+func blkMatVec[F Float](k int, p, src, dst []F) {
+	src = src[:k]
+	s := 0
+	for ; s+4 <= k; s += 4 {
+		r0 := p[s*k:][:k]
+		r1 := p[(s+1)*k:][:k]
+		r2 := p[(s+2)*k:][:k]
+		r3 := p[(s+3)*k:][:k]
+		var a0, a1, a2, a3 F
+		for j := 0; j < k; j++ {
+			xj := src[j]
+			a0 += r0[j] * xj
+			a1 += r1[j] * xj
+			a2 += r2[j] * xj
+			a3 += r3[j] * xj
+		}
+		dst[s] = a0
+		dst[s+1] = a1
+		dst[s+2] = a2
+		dst[s+3] = a3
+	}
+	for ; s < k; s++ {
+		row := p[s*k:][:k]
+		acc := F(0)
+		for j := 0; j < k; j++ {
+			acc += row[j] * src[j]
+		}
+		dst[s] = acc
+	}
+}
+
+func (blockedKernels[F]) sumTable(e *Engine, cs *compute[F], a *sumArgs[F], lo, hi int) {
+	k, C := e.nStates, e.nCat
+	stride := C * k
+	freqs := cs.freqs
+	ev, iv := cs.evec, cs.ievec
+	xp, xq := a.xp, a.xq
+	codeP, codeQ := a.codeP, a.codeQ
+	sumTab := cs.sumTab
+	var left [32]F
+	for i := lo; i < hi; i++ {
+		base := i * stride
+		for c := 0; c < C; c++ {
+			o := base + c*k
+			var ls []F
+			if codeP != nil {
+				ls = cs.tipInd[int(codeP[i])*k:][:k]
+			} else {
+				ls = xp[o:][:k]
+			}
+			for kk := 0; kk < k; kk++ {
+				left[kk] = 0
+			}
+			for s := 0; s < k; s++ {
+				w := freqs[s] * ls[s]
+				if w == 0 {
+					continue
+				}
+				row := ev[s*k:][:k]
+				kk := 0
+				for ; kk+4 <= k; kk += 4 {
+					left[kk] += w * row[kk]
+					left[kk+1] += w * row[kk+1]
+					left[kk+2] += w * row[kk+2]
+					left[kk+3] += w * row[kk+3]
+				}
+				for ; kk < k; kk++ {
+					left[kk] += w * row[kk]
+				}
+			}
+			var rs []F
+			if codeQ != nil {
+				rs = cs.tipInd[int(codeQ[i])*k:][:k]
+			} else {
+				rs = xq[o:][:k]
+			}
+			dst := sumTab[o:][:k]
+			kk := 0
+			for ; kk+4 <= k; kk += 4 {
+				r0 := iv[kk*k:][:k]
+				r1 := iv[(kk+1)*k:][:k]
+				r2 := iv[(kk+2)*k:][:k]
+				r3 := iv[(kk+3)*k:][:k]
+				var a0, a1, a2, a3 F
+				for j := 0; j < k; j++ {
+					xj := rs[j]
+					a0 += r0[j] * xj
+					a1 += r1[j] * xj
+					a2 += r2[j] * xj
+					a3 += r3[j] * xj
+				}
+				dst[kk] = left[kk] * a0
+				dst[kk+1] = left[kk+1] * a1
+				dst[kk+2] = left[kk+2] * a2
+				dst[kk+3] = left[kk+3] * a3
+			}
+			for ; kk < k; kk++ {
+				row := iv[kk*k:][:k]
+				acc := F(0)
+				for j := 0; j < k; j++ {
+					acc += row[j] * rs[j]
+				}
+				dst[kk] = left[kk] * acc
+			}
+		}
+	}
+}

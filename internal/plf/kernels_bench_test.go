@@ -102,3 +102,111 @@ func BenchmarkSumTableDNA4(b *testing.B) {
 		})
 	}
 }
+
+// benchSetupAA20 builds the protein-ablation engine: 64 taxa, GTR-class
+// k=20 model with Γ4 rates, at the given kernel mode and precision.
+func benchSetupAA20(b *testing.B, mode, prec string) (*Engine, *tree.Tree) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	names := tipNames(64)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pats := randomAlignment(b, names, 500, rng, bio.AA)
+	m, err := model.NewJC(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SetGamma(0.7, 4); err != nil {
+		b.Fatal(err)
+	}
+	cl, err := CarrierLength(m, pats.NumPatterns(), prec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prov := NewInMemoryProvider(tr.NumInner(), cl)
+	e, err := NewWithPrecision(tr, pats, m, prov, prec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.SetKernel(mode); err != nil {
+		b.Fatal(err)
+	}
+	return e, tr
+}
+
+// BenchmarkNewviewAA20 measures protein full traversals per kernel mode
+// and precision; the acceptance criterion compares auto (the aa20 set)
+// against generic at f64.
+func BenchmarkNewviewAA20(b *testing.B) {
+	for _, bc := range []struct{ mode, prec string }{
+		{KernelGeneric, PrecisionF64},
+		{KernelBlocked, PrecisionF64},
+		{KernelAuto, PrecisionF64},
+		{KernelAuto, PrecisionF32},
+	} {
+		b.Run(bc.mode+"_"+bc.prec, func(b *testing.B) {
+			e, tr := benchSetupAA20(b, bc.mode, bc.prec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.FullTraversal(tr.Edges[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sitesPerOp := float64(e.nPat * tr.NumInner())
+			b.ReportMetric(sitesPerOp*float64(b.N)/b.Elapsed().Seconds(), "patterns/s")
+		})
+	}
+}
+
+// BenchmarkEvaluateAA20 measures the protein evaluate kernel alone.
+func BenchmarkEvaluateAA20(b *testing.B) {
+	for _, bc := range []struct{ mode, prec string }{
+		{KernelGeneric, PrecisionF64},
+		{KernelAuto, PrecisionF64},
+		{KernelAuto, PrecisionF32},
+	} {
+		b.Run(bc.mode+"_"+bc.prec, func(b *testing.B) {
+			e, tr := benchSetupAA20(b, bc.mode, bc.prec)
+			if _, err := e.LogLikelihood(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.evaluate(tr.Edges[0]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSumTableAA20 measures the protein derivative sum-table kernel.
+func BenchmarkSumTableAA20(b *testing.B) {
+	for _, bc := range []struct{ mode, prec string }{
+		{KernelGeneric, PrecisionF64},
+		{KernelAuto, PrecisionF64},
+		{KernelAuto, PrecisionF32},
+	} {
+		b.Run(bc.mode+"_"+bc.prec, func(b *testing.B) {
+			e, tr := benchSetupAA20(b, bc.mode, bc.prec)
+			if _, err := e.LogLikelihood(); err != nil {
+				b.Fatal(err)
+			}
+			edge := tr.Edges[3]
+			if err := e.Traverse(edge); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.buildSumTable(edge); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

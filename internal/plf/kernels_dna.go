@@ -9,8 +9,8 @@ package plf
 //
 // Exactness: every function below performs the generic kernel's
 // floating-point operations in the generic kernel's order, so outputs
-// are bit-identical for any kernel choice. Two properties make the
-// shorter unrolled expressions safe:
+// are bit-identical for any kernel choice (per precision). Two
+// properties make the shorter unrolled expressions safe:
 //
 //   - a0+a1+a2+a3 associates as ((a0+a1)+a2)+a3, which differs from the
 //     generic acc := 0.0; acc += aj chain only in the leading 0.0+a0 —
@@ -27,9 +27,9 @@ package plf
 // The differential fuzz tests (kernels_test.go) enforce both claims on
 // random inputs, per vector and per likelihood.
 
-type dnaKernels struct{}
+type dnaKernels[F Float] struct{}
 
-func (dnaKernels) name() string { return "dna4" }
+func (dnaKernels[F]) name() string { return "dna4" }
 
 // prepareNewview builds the tip×tip product table
 //
@@ -37,25 +37,25 @@ func (dnaKernels) name() string { return "dna4" }
 //
 // laid out pair-major so each pattern's C×4 block is one contiguous
 // copy. nm ≤ 16 for DNA (distinct observed masks), so the table is at
-// most C·16·16·4 doubles and costs O(nm²·C·4) multiplies per call —
+// most C·16·16·4 elements and costs O(nm²·C·4) multiplies per call —
 // amortised over the nPat-pattern loop it replaces.
-func (dnaKernels) prepareNewview(e *Engine, a *nvArgs) {
+func (dnaKernels[F]) prepareNewview(e *Engine, cs *compute[F], a *nvArgs[F]) {
 	if a.codeL == nil || a.codeR == nil {
 		return
 	}
 	C, nm := e.nCat, a.nm
 	stride := C * 4
 	need := nm * nm * stride
-	if cap(e.prodTT) < need {
-		e.prodTT = make([]float64, need)
+	if cap(cs.prodTT) < need {
+		cs.prodTT = make([]F, need)
 	}
-	prod := e.prodTT[:need]
+	prod := cs.prodTT[:need]
 	for ml := 0; ml < nm; ml++ {
 		for mr := 0; mr < nm; mr++ {
 			for c := 0; c < C; c++ {
-				l := (*[4]float64)(a.tsL[(c*nm+ml)*4:])
-				r := (*[4]float64)(a.tsR[(c*nm+mr)*4:])
-				dst := (*[4]float64)(prod[(ml*nm+mr)*stride+c*4:])
+				l := (*[4]F)(a.tsL[(c*nm+ml)*4:])
+				r := (*[4]F)(a.tsR[(c*nm+mr)*4:])
+				dst := (*[4]F)(prod[(ml*nm+mr)*stride+c*4:])
 				dst[0] = l[0] * r[0]
 				dst[1] = l[1] * r[1]
 				dst[2] = l[2] * r[2]
@@ -66,38 +66,26 @@ func (dnaKernels) prepareNewview(e *Engine, a *nvArgs) {
 	a.prodTT = prod
 }
 
-func (dnaKernels) newview(e *Engine, a *nvArgs, lo, hi int) {
+func (dnaKernels[F]) newview(e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
 	switch {
 	case a.codeL != nil && a.codeR != nil:
-		dnaNewviewTT(e, a, lo, hi)
+		dnaNewviewTT(e, cs, a, lo, hi)
 	case a.codeL != nil:
-		dnaNewviewTI(e, a, a.codeL, a.tsL, a.xr, a.pmR, a.scr, lo, hi)
+		dnaNewviewTI(e, cs, a, a.codeL, a.tsL, a.xr, a.pmR, a.scr, lo, hi)
 	case a.codeR != nil:
-		dnaNewviewTI(e, a, a.codeR, a.tsR, a.xl, a.pmL, a.scl, lo, hi)
+		dnaNewviewTI(e, cs, a, a.codeR, a.tsR, a.xl, a.pmL, a.scl, lo, hi)
 	default:
 		if e.nCat == 4 {
-			dnaNewviewII4(e, a, lo, hi)
+			dnaNewviewII4(cs, a, lo, hi)
 		} else {
-			dnaNewviewII(e, a, lo, hi)
+			dnaNewviewII(e, cs, a, lo, hi)
 		}
 	}
-}
-
-// dnaScaleTail applies the per-pattern scaling rule to one C·4 block:
-// identical comparisons and multiplications to the generic tail.
-func dnaScaleTail(dst []float64, scp []int32, i int, cnt int32, blockMax float64) {
-	if blockMax < minLikelihood {
-		for j := range dst {
-			dst[j] *= scaleFactor
-		}
-		cnt++
-	}
-	scp[i] = cnt
 }
 
 // dnaNewviewTT: both children are tips; the whole per-pattern inner
 // loop is one copy from the mask-pair product table plus the max scan.
-func dnaNewviewTT(e *Engine, a *nvArgs, lo, hi int) {
+func dnaNewviewTT[F Float](e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
 	C, nm := e.nCat, a.nm
 	stride := C * 4
 	prod, xp, scp := a.prodTT, a.xp, a.scp
@@ -106,37 +94,37 @@ func dnaNewviewTT(e *Engine, a *nvArgs, lo, hi int) {
 		dst := xp[i*stride : i*stride+stride]
 		pair := (int(codeL[i])*nm + int(codeR[i])) * stride
 		copy(dst, prod[pair:pair+stride])
-		blockMax := 0.0
+		blockMax := F(0)
 		for _, v := range dst {
 			if v > blockMax {
 				blockMax = v
 			}
 		}
-		dnaScaleTail(dst, scp, i, 0, blockMax)
+		scaleTail(dst, scp, i, 0, blockMax, cs.minLik, cs.scaleFac, cs.flush)
 	}
 }
 
 // dnaNewviewTI: one tip child (pattern codes + tip-sum table ts) and
 // one inner child (vector x across matrices pm with scales sc).
-func dnaNewviewTI(e *Engine, a *nvArgs, code []uint16, ts, x, pm []float64, sc []int32, lo, hi int) {
+func dnaNewviewTI[F Float](e *Engine, cs *compute[F], a *nvArgs[F], code []uint16, ts, x, pm []F, sc []int32, lo, hi int) {
 	C, nm := e.nCat, a.nm
 	stride := C * 4
 	xp, scp := a.xp, a.scp
 	for i := lo; i < hi; i++ {
 		base := i * stride
 		mi := int(code[i]) * 4
-		blockMax := 0.0
+		blockMax := F(0)
 		for c := 0; c < C; c++ {
 			o := base + c*4
-			src := (*[4]float64)(x[o:])
-			p := (*[16]float64)(pm[c*16:])
-			tb := (*[4]float64)(ts[c*nm*4+mi:])
+			src := (*[4]F)(x[o:])
+			p := (*[16]F)(pm[c*16:])
+			tb := (*[4]F)(ts[c*nm*4+mi:])
 			x0, x1, x2, x3 := src[0], src[1], src[2], src[3]
 			r0 := p[0]*x0 + p[1]*x1 + p[2]*x2 + p[3]*x3
 			r1 := p[4]*x0 + p[5]*x1 + p[6]*x2 + p[7]*x3
 			r2 := p[8]*x0 + p[9]*x1 + p[10]*x2 + p[11]*x3
 			r3 := p[12]*x0 + p[13]*x1 + p[14]*x2 + p[15]*x3
-			dst := (*[4]float64)(xp[o:])
+			dst := (*[4]F)(xp[o:])
 			v0 := tb[0] * r0
 			dst[0] = v0
 			if v0 > blockMax {
@@ -158,13 +146,13 @@ func dnaNewviewTI(e *Engine, a *nvArgs, code []uint16, ts, x, pm []float64, sc [
 				blockMax = v3
 			}
 		}
-		dnaScaleTail(xp[base:base+stride], scp, i, sc[i], blockMax)
+		scaleTail(xp[base:base+stride], scp, i, sc[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
 	}
 }
 
 // dnaNewviewIICat computes one category block of the inner×inner case:
 // dst = (pl · l) ⊙ (pr · r), returning the updated block maximum.
-func dnaNewviewIICat(pl, pr *[16]float64, l, r, dst *[4]float64, blockMax float64) float64 {
+func dnaNewviewIICat[F Float](pl, pr *[16]F, l, r, dst *[4]F, blockMax F) F {
 	l0, l1, l2, l3 := l[0], l[1], l[2], l[3]
 	r0, r1, r2, r3 := r[0], r[1], r[2], r[3]
 	la0 := pl[0]*l0 + pl[1]*l1 + pl[2]*l2 + pl[3]*l3
@@ -199,7 +187,7 @@ func dnaNewviewIICat(pl, pr *[16]float64, l, r, dst *[4]float64, blockMax float6
 }
 
 // dnaNewviewII: both children inner, any category count.
-func dnaNewviewII(e *Engine, a *nvArgs, lo, hi int) {
+func dnaNewviewII[F Float](e *Engine, cs *compute[F], a *nvArgs[F], lo, hi int) {
 	C := e.nCat
 	stride := C * 4
 	xl, xr, xp := a.xl, a.xr, a.xp
@@ -207,50 +195,50 @@ func dnaNewviewII(e *Engine, a *nvArgs, lo, hi int) {
 	pmL, pmR := a.pmL, a.pmR
 	for i := lo; i < hi; i++ {
 		base := i * stride
-		blockMax := 0.0
+		blockMax := F(0)
 		for c := 0; c < C; c++ {
 			o := base + c*4
 			blockMax = dnaNewviewIICat(
-				(*[16]float64)(pmL[c*16:]), (*[16]float64)(pmR[c*16:]),
-				(*[4]float64)(xl[o:]), (*[4]float64)(xr[o:]), (*[4]float64)(xp[o:]),
+				(*[16]F)(pmL[c*16:]), (*[16]F)(pmR[c*16:]),
+				(*[4]F)(xl[o:]), (*[4]F)(xr[o:]), (*[4]F)(xp[o:]),
 				blockMax)
 		}
-		dnaScaleTail(xp[base:base+stride], scp, i, scl[i]+scr[i], blockMax)
+		scaleTail(xp[base:base+stride], scp, i, scl[i]+scr[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
 	}
 }
 
 // dnaNewviewII4: the c=4 fast path — category loop unrolled, one
 // bounds check per pattern on each vector.
-func dnaNewviewII4(e *Engine, a *nvArgs, lo, hi int) {
+func dnaNewviewII4[F Float](cs *compute[F], a *nvArgs[F], lo, hi int) {
 	xl, xr, xp := a.xl, a.xr, a.xp
 	scl, scr, scp := a.scl, a.scr, a.scp
-	pl0 := (*[16]float64)(a.pmL[0:])
-	pl1 := (*[16]float64)(a.pmL[16:])
-	pl2 := (*[16]float64)(a.pmL[32:])
-	pl3 := (*[16]float64)(a.pmL[48:])
-	pr0 := (*[16]float64)(a.pmR[0:])
-	pr1 := (*[16]float64)(a.pmR[16:])
-	pr2 := (*[16]float64)(a.pmR[32:])
-	pr3 := (*[16]float64)(a.pmR[48:])
+	pl0 := (*[16]F)(a.pmL[0:])
+	pl1 := (*[16]F)(a.pmL[16:])
+	pl2 := (*[16]F)(a.pmL[32:])
+	pl3 := (*[16]F)(a.pmL[48:])
+	pr0 := (*[16]F)(a.pmR[0:])
+	pr1 := (*[16]F)(a.pmR[16:])
+	pr2 := (*[16]F)(a.pmR[32:])
+	pr3 := (*[16]F)(a.pmR[48:])
 	for i := lo; i < hi; i++ {
 		base := i * 16
 		l := xl[base : base+16]
 		r := xr[base : base+16]
 		dst := xp[base : base+16]
-		blockMax := dnaNewviewIICat(pl0, pr0, (*[4]float64)(l[0:]), (*[4]float64)(r[0:]), (*[4]float64)(dst[0:]), 0.0)
-		blockMax = dnaNewviewIICat(pl1, pr1, (*[4]float64)(l[4:]), (*[4]float64)(r[4:]), (*[4]float64)(dst[4:]), blockMax)
-		blockMax = dnaNewviewIICat(pl2, pr2, (*[4]float64)(l[8:]), (*[4]float64)(r[8:]), (*[4]float64)(dst[8:]), blockMax)
-		blockMax = dnaNewviewIICat(pl3, pr3, (*[4]float64)(l[12:]), (*[4]float64)(r[12:]), (*[4]float64)(dst[12:]), blockMax)
-		dnaScaleTail(dst, scp, i, scl[i]+scr[i], blockMax)
+		blockMax := dnaNewviewIICat(pl0, pr0, (*[4]F)(l[0:]), (*[4]F)(r[0:]), (*[4]F)(dst[0:]), F(0))
+		blockMax = dnaNewviewIICat(pl1, pr1, (*[4]F)(l[4:]), (*[4]F)(r[4:]), (*[4]F)(dst[4:]), blockMax)
+		blockMax = dnaNewviewIICat(pl2, pr2, (*[4]F)(l[8:]), (*[4]F)(r[8:]), (*[4]F)(dst[8:]), blockMax)
+		blockMax = dnaNewviewIICat(pl3, pr3, (*[4]F)(l[12:]), (*[4]F)(r[12:]), (*[4]F)(dst[12:]), blockMax)
+		scaleTail(dst, scp, i, scl[i]+scr[i], blockMax, cs.minLik, cs.scaleFac, cs.flush)
 	}
 }
 
-func (dnaKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
+func (dnaKernels[F]) evaluate(e *Engine, cs *compute[F], a *evArgs[F], lo, hi int) {
 	C, nm := e.nCat, a.nm
 	stride := C * 4
-	freqs := e.M.Freqs
+	freqs := cs.freqs
 	f0, f1, f2, f3 := freqs[0], freqs[1], freqs[2], freqs[3]
-	catW := 1.0 / float64(C)
+	catW := F(1) / F(C)
 	xp, xq := a.xp, a.xq
 	scp, scq := a.scp, a.scq
 	codeP, codeQ := a.codeP, a.codeQ
@@ -264,61 +252,61 @@ func (dnaKernels) evaluate(e *Engine, a *evArgs, lo, hi int) {
 			cnt += scq[i]
 		}
 		base := i * stride
-		site := 0.0
+		site := F(0)
 		for c := 0; c < C; c++ {
 			o := base + c*4
-			var r0, r1, r2, r3 float64
+			var r0, r1, r2, r3 F
 			if codeQ != nil {
-				tb := (*[4]float64)(a.tsQ[c*nm*4+int(codeQ[i])*4:])
+				tb := (*[4]F)(a.tsQ[c*nm*4+int(codeQ[i])*4:])
 				r0, r1, r2, r3 = tb[0], tb[1], tb[2], tb[3]
 			} else {
-				src := (*[4]float64)(xq[o:])
-				p := (*[16]float64)(a.pmQ[c*16:])
+				src := (*[4]F)(xq[o:])
+				p := (*[16]F)(a.pmQ[c*16:])
 				x0, x1, x2, x3 := src[0], src[1], src[2], src[3]
 				r0 = p[0]*x0 + p[1]*x1 + p[2]*x2 + p[3]*x3
 				r1 = p[4]*x0 + p[5]*x1 + p[6]*x2 + p[7]*x3
 				r2 = p[8]*x0 + p[9]*x1 + p[10]*x2 + p[11]*x3
 				r3 = p[12]*x0 + p[13]*x1 + p[14]*x2 + p[15]*x3
 			}
-			var f float64
+			var f F
 			if codeP != nil {
-				ind := (*[4]float64)(e.tipInd[int(codeP[i])*4:])
+				ind := (*[4]F)(cs.tipInd[int(codeP[i])*4:])
 				f = f0*ind[0]*r0 + f1*ind[1]*r1 + f2*ind[2]*r2 + f3*ind[3]*r3
 			} else {
-				src := (*[4]float64)(xp[o:])
+				src := (*[4]F)(xp[o:])
 				f = f0*src[0]*r0 + f1*src[1]*r1 + f2*src[2]*r2 + f3*src[3]*r3
 			}
 			site += f
 		}
 		site *= catW
-		contrib[i] = e.siteTerm(i, site, cnt)
+		contrib[i] = siteTerm(e, cs, i, site, cnt)
 	}
 }
 
-func (dnaKernels) sumTable(e *Engine, a *sumArgs, lo, hi int) {
+func (dnaKernels[F]) sumTable(e *Engine, cs *compute[F], a *sumArgs[F], lo, hi int) {
 	C := e.nCat
 	stride := C * 4
-	freqs := e.M.Freqs
+	freqs := cs.freqs
 	fr0, fr1, fr2, fr3 := freqs[0], freqs[1], freqs[2], freqs[3]
-	ev := (*[16]float64)(e.M.Evec)
-	iv := (*[16]float64)(e.M.Ievec)
+	ev := (*[16]F)(cs.evec)
+	iv := (*[16]F)(cs.ievec)
 	xp, xq := a.xp, a.xq
 	codeP, codeQ := a.codeP, a.codeQ
-	sumTab := e.sumTab
+	sumTab := cs.sumTab
 	for i := lo; i < hi; i++ {
 		base := i * stride
 		for c := 0; c < C; c++ {
 			o := base + c*4
-			var ls *[4]float64
+			var ls *[4]F
 			if codeP != nil {
-				ls = (*[4]float64)(e.tipInd[int(codeP[i])*4:])
+				ls = (*[4]F)(cs.tipInd[int(codeP[i])*4:])
 			} else {
-				ls = (*[4]float64)(xp[o:])
+				ls = (*[4]F)(xp[o:])
 			}
 			// left_k = sum_s pi_s x_p[s] V[s][k], ascending s, preserving
 			// the generic kernel's w == 0 skip (eigenvectors can be
 			// negative, so accumulation starts at an explicit 0.0).
-			var L0, L1, L2, L3 float64
+			var L0, L1, L2, L3 F
 			if w := fr0 * ls[0]; w != 0 {
 				L0 += w * ev[0]
 				L1 += w * ev[1]
@@ -343,36 +331,36 @@ func (dnaKernels) sumTable(e *Engine, a *sumArgs, lo, hi int) {
 				L2 += w * ev[14]
 				L3 += w * ev[15]
 			}
-			var rs *[4]float64
+			var rs *[4]F
 			if codeQ != nil {
-				rs = (*[4]float64)(e.tipInd[int(codeQ[i])*4:])
+				rs = (*[4]F)(cs.tipInd[int(codeQ[i])*4:])
 			} else {
-				rs = (*[4]float64)(xq[o:])
+				rs = (*[4]F)(xq[o:])
 			}
 			x0, x1, x2, x3 := rs[0], rs[1], rs[2], rs[3]
 			// right_k = sum_j V^-1[k][j] x_q[j]; the ievec rows carry
 			// negative entries so each sum keeps its leading 0.0 term.
-			R0 := 0.0
+			R0 := F(0)
 			R0 += iv[0] * x0
 			R0 += iv[1] * x1
 			R0 += iv[2] * x2
 			R0 += iv[3] * x3
-			R1 := 0.0
+			R1 := F(0)
 			R1 += iv[4] * x0
 			R1 += iv[5] * x1
 			R1 += iv[6] * x2
 			R1 += iv[7] * x3
-			R2 := 0.0
+			R2 := F(0)
 			R2 += iv[8] * x0
 			R2 += iv[9] * x1
 			R2 += iv[10] * x2
 			R2 += iv[11] * x3
-			R3 := 0.0
+			R3 := F(0)
 			R3 += iv[12] * x0
 			R3 += iv[13] * x1
 			R3 += iv[14] * x2
 			R3 += iv[15] * x3
-			dst := (*[4]float64)(sumTab[o:])
+			dst := (*[4]F)(sumTab[o:])
 			dst[0] = L0 * R0
 			dst[1] = L1 * R1
 			dst[2] = L2 * R2

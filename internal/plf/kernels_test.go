@@ -22,16 +22,19 @@ func bitsEq(a, b float64) bool {
 }
 
 // kernelPair builds two engines over independent topology clones and
-// providers: one forced to the generic kernels (the legacy path), one
-// left on the default auto dispatch.
-func kernelPair(t *testing.T, tr *tree.Tree, pats *bio.Patterns, m *model.Model) (gen, auto *Engine) {
+// providers at the given compute precision: one forced to the generic
+// kernels (the reference op order), one on the requested mode.
+func kernelPair(t *testing.T, tr *tree.Tree, pats *bio.Patterns, m *model.Model, mode, prec string) (gen, spec *Engine) {
 	t.Helper()
-	gen = newEngine(t, tr.Clone(), pats, m)
+	gen = newEngineP(t, tr.Clone(), pats, m, prec)
 	if err := gen.SetKernel(KernelGeneric); err != nil {
 		t.Fatal(err)
 	}
-	auto = newEngine(t, tr.Clone(), pats, m)
-	return gen, auto
+	spec = newEngineP(t, tr.Clone(), pats, m, prec)
+	if err := spec.SetKernel(mode); err != nil {
+		t.Fatal(err)
+	}
+	return gen, spec
 }
 
 // compareState asserts every inner vector and scale counter matches
@@ -77,15 +80,23 @@ func TestKernelDifferentialFuzz(t *testing.T) {
 		ncat  int
 		seeds int
 		sites int
+		mode  string
+		prec  string
+		want  string // expected specialised kernel name
 	}{
-		{bio.DNA, 1, 3, 300},
-		{bio.DNA, 4, 3, 300},
-		{bio.AA, 1, 1, 80},
-		{bio.AA, 4, 1, 80},
+		{bio.DNA, 1, 3, 300, KernelAuto, PrecisionF64, "dna4"},
+		{bio.DNA, 4, 3, 300, KernelAuto, PrecisionF64, "dna4"},
+		{bio.DNA, 4, 1, 300, KernelBlocked, PrecisionF64, "blocked"},
+		{bio.AA, 1, 1, 80, KernelAuto, PrecisionF64, "aa20"},
+		{bio.AA, 4, 1, 80, KernelAuto, PrecisionF64, "aa20"},
+		{bio.AA, 4, 1, 80, KernelBlocked, PrecisionF64, "blocked"},
+		{bio.DNA, 4, 1, 300, KernelAuto, PrecisionF32, "dna4"},
+		{bio.AA, 4, 1, 80, KernelAuto, PrecisionF32, "aa20"},
+		{bio.AA, 4, 1, 80, KernelBlocked, PrecisionF32, "blocked"},
 	}
 	for _, tc := range cases {
 		tc := tc
-		name := fmt.Sprintf("%v_c%d", tc.dtype, tc.ncat)
+		name := fmt.Sprintf("%v_c%d_%s_%s", tc.dtype, tc.ncat, tc.want, tc.prec)
 		t.Run(name, func(t *testing.T) {
 			for seed := 0; seed < tc.seeds; seed++ {
 				rng := rand.New(rand.NewSource(int64(991*seed + tc.ncat)))
@@ -99,9 +110,9 @@ func TestKernelDifferentialFuzz(t *testing.T) {
 				if err := m.SetGamma(0.3+1.5*rng.Float64(), tc.ncat); err != nil {
 					t.Fatal(err)
 				}
-				gen, auto := kernelPair(t, tr, pats, m)
-				if auto.KernelName() == gen.KernelName() && tc.dtype == bio.DNA {
-					t.Fatal("auto mode did not select the DNA kernels")
+				gen, auto := kernelPair(t, tr, pats, m, tc.mode, tc.prec)
+				if auto.KernelName() != tc.want {
+					t.Fatalf("mode %s selected kernel %q, want %q", tc.mode, auto.KernelName(), tc.want)
 				}
 
 				for round := 0; round < 3; round++ {
@@ -180,7 +191,7 @@ func TestKernelDifferentialInvariant(t *testing.T) {
 	if err := m.SetInvariant(0.3); err != nil {
 		t.Fatal(err)
 	}
-	gen, auto := kernelPair(t, tr, pats, m)
+	gen, auto := kernelPair(t, tr, pats, m, KernelAuto, PrecisionF64)
 	lg, err := gen.LogLikelihood()
 	if err != nil {
 		t.Fatal(err)
@@ -194,72 +205,92 @@ func TestKernelDifferentialInvariant(t *testing.T) {
 	}
 }
 
-// TestKernelDifferentialOOC runs the DNA kernels over synchronous and
-// asynchronous out-of-core managers with multiple workers (exercising
-// the worker pool under -race) and requires the same bits the in-memory
-// generic reference produces.
+// TestKernelDifferentialOOC runs the specialised kernels over
+// synchronous and asynchronous out-of-core managers with multiple
+// workers (exercising the worker pool under -race) and requires the
+// same bits the in-memory generic reference produces — per data type
+// and per compute precision. The f32 rows double as the end-to-end
+// proof that f32 sync and f32 async runs are bit-identical.
 func TestKernelDifferentialOOC(t *testing.T) {
-	rng := rand.New(rand.NewSource(77))
-	names := tipNames(20)
-	tr, err := tree.RandomTopology(names, rng, 0.02, 0.5)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		dtype bio.DataType
+		sites int
+		prec  string
+	}{
+		{bio.DNA, 1500, PrecisionF64},
+		{bio.AA, 400, PrecisionF64},
+		{bio.DNA, 1500, PrecisionF32},
+		{bio.AA, 400, PrecisionF32},
 	}
-	pats := randomAlignment(t, names, 1500, rng, bio.DNA)
-	m := randomModel(t, rng, bio.DNA, true)
-
-	run := func(e *Engine) (float64, float64, float64) {
-		t.Helper()
-		lnl, err := e.LogLikelihood()
-		if err != nil {
-			t.Fatal(err)
-		}
-		edge := e.T.Edges[3]
-		opt, err := e.OptimizeBranch(edge)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return lnl, opt, edge.Length
-	}
-
-	ref := newEngine(t, tr.Clone(), pats, m)
-	if err := ref.SetKernel(KernelGeneric); err != nil {
-		t.Fatal(err)
-	}
-	wantLnl, wantOpt, wantLen := run(ref)
-
-	vecLen := VectorLength(m, pats.NumPatterns())
-	n := tr.NumInner()
-	for _, async := range []bool{false, true} {
-		for _, workers := range []int{1, 4} {
-			name := fmt.Sprintf("async=%v workers=%d", async, workers)
-			mgr, err := ooc.NewManager(ooc.Config{
-				NumVectors: n, VectorLen: vecLen,
-				Slots:        ooc.SlotsForFraction(0.4, n),
-				Strategy:     ooc.NewLRU(n),
-				ReadSkipping: true,
-				Store:        ooc.NewMemStore(n, vecLen),
-				Async:        async,
-			})
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("%v_%s", tc.dtype, tc.prec), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(77))
+			names := tipNames(20)
+			tr, err := tree.RandomTopology(names, rng, 0.02, 0.5)
 			if err != nil {
 				t.Fatal(err)
 			}
-			e, err := New(tr.Clone(), pats, m, mgr)
+			pats := randomAlignment(t, names, tc.sites, rng, tc.dtype)
+			m := randomModel(t, rng, tc.dtype, true)
+
+			run := func(e *Engine) (float64, float64, float64) {
+				t.Helper()
+				lnl, err := e.LogLikelihood()
+				if err != nil {
+					t.Fatal(err)
+				}
+				edge := e.T.Edges[3]
+				opt, err := e.OptimizeBranch(edge)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return lnl, opt, edge.Length
+			}
+
+			ref := newEngineP(t, tr.Clone(), pats, m, tc.prec)
+			if err := ref.SetKernel(KernelGeneric); err != nil {
+				t.Fatal(err)
+			}
+			wantLnl, wantOpt, wantLen := run(ref)
+
+			vecLen, err := CarrierLength(m, pats.NumPatterns(), tc.prec)
 			if err != nil {
 				t.Fatal(err)
 			}
-			e.EnablePrefetch(true)
-			e.SetWorkers(workers)
-			lnl, opt, length := run(e)
-			e.Close()
-			if err := mgr.Close(); err != nil {
-				t.Fatal(err)
+			n := tr.NumInner()
+			for _, async := range []bool{false, true} {
+				for _, workers := range []int{1, 4} {
+					name := fmt.Sprintf("async=%v workers=%d", async, workers)
+					mgr, err := ooc.NewManager(ooc.Config{
+						NumVectors: n, VectorLen: vecLen,
+						Slots:        ooc.SlotsForFraction(0.4, n),
+						Strategy:     ooc.NewLRU(n),
+						ReadSkipping: true,
+						Store:        ooc.NewMemStore(n, vecLen),
+						Async:        async,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					e, err := NewWithPrecision(tr.Clone(), pats, m, mgr, tc.prec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e.EnablePrefetch(true)
+					e.SetWorkers(workers)
+					lnl, opt, length := run(e)
+					e.Close()
+					if err := mgr.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if !bitsEq(lnl, wantLnl) || !bitsEq(opt, wantOpt) || !bitsEq(length, wantLen) {
+						t.Fatalf("%s: (%.17g, %.17g, %v) differs from generic in-memory (%.17g, %.17g, %v)",
+							name, lnl, opt, length, wantLnl, wantOpt, wantLen)
+					}
+				}
 			}
-			if !bitsEq(lnl, wantLnl) || !bitsEq(opt, wantOpt) || !bitsEq(length, wantLen) {
-				t.Fatalf("%s: (%.17g, %.17g, %v) differs from generic in-memory (%.17g, %.17g, %v)",
-					name, lnl, opt, length, wantLnl, wantOpt, wantLen)
-			}
-		}
+		})
 	}
 }
 
@@ -298,17 +329,33 @@ func TestKernelAutoSelection(t *testing.T) {
 	if err := e.SetKernel(KernelGeneric); err != nil {
 		t.Fatal(err)
 	}
-	if e.KernelName() != "generic" || e.pcache != nil {
+	if e.KernelName() != "generic" || e.pcacheEnabled() {
 		t.Fatal("KernelGeneric must select the generic set and disable the P cache")
 	}
 
 	aa := randomAlignment(t, names, 40, rng, bio.AA)
 	mAA, _ := model.NewJC(20)
 	e2 := newEngine(t, tr.Clone(), aa, mAA)
-	if e2.KernelName() != "generic" {
-		t.Fatalf("AA engine under auto must use generic kernels, got %q", e2.KernelName())
+	if e2.KernelName() != "aa20" {
+		t.Fatalf("AA engine under auto must use the protein kernels, got %q", e2.KernelName())
 	}
-	if e2.pcache == nil {
-		t.Fatal("auto mode must enable the P cache even with generic kernels")
+	if !e2.pcacheEnabled() {
+		t.Fatal("auto mode must enable the P cache")
+	}
+	if err := e2.SetKernel(KernelBlocked); err != nil {
+		t.Fatal(err)
+	}
+	if e2.KernelName() != "blocked" || !e2.pcacheEnabled() {
+		t.Fatalf("KernelBlocked must select the blocked set with the P cache, got %q", e2.KernelName())
+	}
+
+	// A state count with no specialised set falls back to blocked under
+	// auto (binary characters: 2 states).
+	bin2, err := selectKernelSet[float64](KernelAuto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bin2.name() != "blocked" {
+		t.Fatalf("auto for k=2 must pick blocked, got %q", bin2.name())
 	}
 }

@@ -12,6 +12,9 @@ import "math"
 // KernelGeneric so the legacy baseline stays byte-for-byte intact.
 // PMatrices is deterministic in (model, t), so a cached matrix is
 // bit-identical to a rebuilt one and the cache cannot perturb results.
+// The cache lives on the precision-typed compute state: in f32 mode it
+// stores converted matrices, so the double→single rounding happens once
+// per distinct branch length, not once per step.
 
 // pcacheCap bounds the entry count. A full cache is dropped wholesale:
 // O(1), and the small working set of a search round refills in a few
@@ -23,30 +26,44 @@ const pcacheCap = 512
 // pcEntry is one cached branch length: the per-category transition
 // matrices and, built lazily on first tip use, the tip-sum table
 // derived from them.
-type pcEntry struct {
-	pmats  []float64 // nCat × k²
-	tipSum []float64 // nCat × nm × k, nil until needed
+type pcEntry[F Float] struct {
+	pmats  []F // nCat × k²
+	tipSum []F // nCat × nm × k, nil until needed
 }
 
 // pcache maps branch-length bit patterns to entries built under one
 // model version.
-type pcache struct {
-	entries map[uint64]*pcEntry
+type pcache[F Float] struct {
+	entries map[uint64]*pcEntry[F]
 	version uint64
 }
 
-func newPCache() *pcache {
-	return &pcache{entries: make(map[uint64]*pcEntry, 64)}
+func newPCache[F Float]() *pcache[F] {
+	return &pcache[F]{entries: make(map[uint64]*pcEntry[F], 64)}
+}
+
+// fillPmats computes the per-category transition matrices for branch
+// length t into dst in precision F: directly for float64, staged
+// through the compute's float64 scratch and converted for float32.
+func fillPmats[F Float](e *Engine, cs *compute[F], dst []F, t float64) {
+	if d, ok := any(dst).([]float64); ok {
+		e.M.PMatrices(d, t)
+		return
+	}
+	e.M.PMatrices(cs.pTmp, t)
+	for i, v := range cs.pTmp {
+		dst[i] = F(v)
+	}
 }
 
 // pmatsFor returns the transition matrices for branch length t: from
 // the cache when enabled (allocating and filling a new entry on miss),
 // otherwise by filling scratch exactly as the legacy path did. The
 // returned entry is nil when the cache is off.
-func (e *Engine) pmatsFor(t float64, scratch []float64) ([]float64, *pcEntry) {
-	c := e.pcache
+func pmatsFor[F Float](e *Engine, cs *compute[F], t float64, scratch []F) ([]F, *pcEntry[F]) {
+	c := cs.pcache
 	if c == nil {
-		e.M.PMatrices(scratch, t)
+		fillPmats(e, cs, scratch, t)
 		return scratch, nil
 	}
 	if v := e.M.Version(); c.version != v {
@@ -67,22 +84,22 @@ func (e *Engine) pmatsFor(t float64, scratch []float64) ([]float64, *pcEntry) {
 		e.Stats.PCacheDrops++
 		e.eobs.pcDrops.Inc()
 	}
-	ent := &pcEntry{pmats: make([]float64, e.nCat*e.nStates*e.nStates)}
-	e.M.PMatrices(ent.pmats, t)
+	ent := &pcEntry[F]{pmats: make([]F, e.nCat*e.nStates*e.nStates)}
+	fillPmats(e, cs, ent.pmats, t)
 	c.entries[key] = ent
 	return ent.pmats, ent
 }
 
 // tipSumFor returns the tip-sum table for the given matrices, cached on
 // ent when available, otherwise built into scratch (legacy path).
-func (e *Engine) tipSumFor(ent *pcEntry, pmats, scratch []float64) []float64 {
+func tipSumFor[F Float](e *Engine, cs *compute[F], ent *pcEntry[F], pmats, scratch []F) []F {
 	if ent == nil {
-		e.buildTipSum(scratch, pmats)
+		buildTipSum(e, cs, scratch, pmats)
 		return scratch
 	}
 	if ent.tipSum == nil {
-		ts := make([]float64, e.nCat*len(e.maskList)*e.nStates)
-		e.buildTipSum(ts, ent.pmats)
+		ts := make([]F, e.nCat*len(e.maskList)*e.nStates)
+		buildTipSum(e, cs, ts, ent.pmats)
 		ent.tipSum = ts
 	}
 	return ent.tipSum

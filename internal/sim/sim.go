@@ -155,6 +155,11 @@ type Config struct {
 	Seed int64
 	// AA switches to amino-acid simulation under the Poisson model.
 	AA bool
+	// Model, when non-nil, overrides the default generating model (it is
+	// cloned first, so rate heterogeneity set here never mutates the
+	// caller's copy). Use it to simulate under an empirical PAML matrix
+	// instead of Poisson/HKY.
+	Model *model.Model
 }
 
 // NewDataset simulates a full dataset: Yule tree (branch lengths scaled
@@ -186,7 +191,9 @@ func NewDataset(cfg Config) (*Dataset, error) {
 	}
 
 	var m *model.Model
-	if cfg.AA {
+	if cfg.Model != nil {
+		m = cfg.Model.Clone()
+	} else if cfg.AA {
 		m, err = model.NewJC(20)
 	} else {
 		m, err = model.NewHKY([]float64{0.30, 0.20, 0.20, 0.30}, 2.5)
