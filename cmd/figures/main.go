@@ -14,6 +14,9 @@
 //	-fig resize  miss-rate trajectory as a LIVE pool is halved mid-run,
 //	             four strategies (not in the paper; the runtime
 //	             resource governor's ablation)
+//	-fig batching  service daemon's request coalescing: N concurrent
+//	               evaluates in shared engine passes vs N independent
+//	               passes, bit-identical lnL (not in the paper)
 //	-fig timeline  Chrome trace of a fully instrumented run (compute +
 //	               I/O worker lanes); explicit only — it writes the
 //	               trace JSON to -trace-out, not stdout
@@ -43,7 +46,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, protein, resize or all")
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, protein, resize, batching or all")
 	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
 	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
 	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
@@ -179,6 +182,24 @@ func run(args []string) error {
 		fmt.Fprintf(out, "oscillation overhead: %d resizes (%d<->%d slots), fixed %v vs oscillating %v (%+.1f%%)\n",
 			ov.Resizes, ov.Low, ov.Slots, ov.FixedTime.Round(time.Millisecond),
 			ov.ResizeTime.Round(time.Millisecond), 100*ov.Overhead())
+		fmt.Fprintln(out)
+	}
+	if want("batching") {
+		fmt.Fprintln(out, "== Batching ablation: coalesced vs independent service evaluates ==")
+		dir, err := os.MkdirTemp("", "oocraxml-batching")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		bcfg := experiments.BatchingAblationConfig{Seed: *seed, DataDir: dir}
+		if *full {
+			bcfg.Taxa, bcfg.Sites, bcfg.Requests = 128, 1200, 16
+		}
+		bres, err := experiments.RunBatchingAblation(bcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteBatchingTable(out, bres)
 	}
 	if *fig == "timeline" {
 		fmt.Fprintln(out, "== Timeline: Chrome trace of an instrumented out-of-core run ==")
@@ -200,7 +221,7 @@ func run(args []string) error {
 		fmt.Fprintf(out, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		return nil
 	}
-	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("protein") && !want("resize") {
+	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("protein") && !want("resize") && !want("batching") {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil

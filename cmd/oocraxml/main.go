@@ -60,11 +60,22 @@ import (
 	"oocphylo/internal/parsimony"
 	"oocphylo/internal/plf"
 	"oocphylo/internal/search"
+	"oocphylo/internal/service"
 	"oocphylo/internal/tree"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:], os.Stdout)
+	case len(args) > 0 && args[0] == "client":
+		err = runClient(args[1:], os.Stdout)
+	default:
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "oocraxml:", err)
 		os.Exit(1)
 	}
@@ -111,6 +122,7 @@ type options struct {
 	memBudget   int64
 	ckptEvery   time.Duration
 	crashAfter  int64
+	lnlBits     bool
 }
 
 func run(args []string, out *os.File) error {
@@ -157,6 +169,7 @@ func run(args []string, out *os.File) error {
 	fs.BoolVar(&o.printStats, "stats", false, "alias for -report (the historical flag name)")
 	fs.StringVar(&o.httpAddr, "http", "", "serve the live /debug endpoint (vars, report, trace, pprof) on this address, e.g. :8080 or 127.0.0.1:0")
 	fs.BoolVar(&o.emptyFreqs, "uniform-freqs", false, "use uniform base frequencies instead of empirical")
+	fs.BoolVar(&o.lnlBits, "lnl-bits", false, "additionally print the final log likelihood's raw float64 bit pattern (hex) for bit-for-bit comparisons")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -447,6 +460,9 @@ func run(args []string, out *os.File) error {
 	elapsed := time.Since(start)
 
 	fmt.Fprintf(out, "Log likelihood: %.6f\n", lnl)
+	if o.lnlBits {
+		fmt.Fprintf(out, "Log likelihood bits: %s\n", service.FormatLnLBits(lnl))
+	}
 	fmt.Fprintf(out, "Elapsed: %v\n", elapsed.Round(time.Millisecond))
 	if wd != nil {
 		ws := wd.Stats()

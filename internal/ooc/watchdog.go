@@ -51,6 +51,11 @@ type WatchdogStats struct {
 	Samples int64
 	// Shrinks and Grows count the Resize calls issued per direction.
 	Shrinks, Grows int64
+	// Failures counts Resize calls that returned an error (e.g. a pool
+	// frozen by Close, or a pinned set the target cannot hold). The
+	// sample is still recorded, so a failed step is visible rather than
+	// silently freezing Samples/LastHeap/Slots.
+	Failures int64
 	// LastHeap is HeapAlloc at the latest sample.
 	LastHeap uint64
 	// Slots is the pool size after the latest sample.
@@ -140,22 +145,30 @@ func (w *Watchdog) Check(pinned ...int) error {
 			target = w.cfg.MaxSlots
 		}
 	}
+	// Record the sample before propagating any Resize error: a failed
+	// step must advance Samples/LastHeap and report the pool size the
+	// manager actually has, not the target it never reached.
+	var rerr error
+	applied := cur
 	if target != cur {
-		if err := w.mgr.Resize(target, pinned...); err != nil {
-			return err
+		if rerr = w.mgr.Resize(target, pinned...); rerr == nil {
+			applied = target
 		}
 	}
 	w.mu.Lock()
 	w.stats.Samples++
 	w.stats.LastHeap = ms.HeapAlloc
-	w.stats.Slots = target
-	if target < cur {
+	w.stats.Slots = applied
+	switch {
+	case rerr != nil:
+		w.stats.Failures++
+	case target < cur:
 		w.stats.Shrinks++
-	} else if target > cur {
+	case target > cur:
 		w.stats.Grows++
 	}
 	w.mu.Unlock()
-	return nil
+	return rerr
 }
 
 // step returns a whole-slot step of at least 1 for the given fraction.

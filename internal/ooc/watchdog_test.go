@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"errors"
 	"runtime"
 	"testing"
 )
@@ -139,5 +140,49 @@ func TestWatchdogValidation(t *testing.T) {
 	}
 	if got := m.Slots(); got != 8 {
 		t.Errorf("Slots = %d, watchdog grew beyond its MaxSlots default of 8", got)
+	}
+}
+
+// TestWatchdogRecordsFailedResize: a Resize failure must still land in
+// the stats — Samples/LastHeap/Slots advance and the failure is counted
+// — before the error propagates to the safe-point caller. (The pool is
+// frozen by Close here, the cheapest deterministic way to make every
+// Resize fail.)
+func TestWatchdogRecordsFailedResize(t *testing.T) {
+	n := 32
+	m := testManager(t, n, 4, 16, NewLRU(n), false)
+	wd, err := NewWatchdog(m, WatchdogConfig{
+		SoftBudget: 1000,
+		CheckEvery: 1,
+		ReadMem:    scriptedMem(2000), // always over budget: every sample wants a shrink
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Check(); !errors.Is(err, ErrManagerClosing) {
+		t.Fatalf("Check on a closing manager = %v, want ErrManagerClosing", err)
+	}
+	ws := wd.Stats()
+	if ws.Samples != 1 || ws.Failures != 1 {
+		t.Errorf("Samples = %d, Failures = %d after failed resize, want 1, 1", ws.Samples, ws.Failures)
+	}
+	if ws.LastHeap != 2000 {
+		t.Errorf("LastHeap = %d, want 2000 (sample must be recorded on failure)", ws.LastHeap)
+	}
+	if ws.Slots != 16 {
+		t.Errorf("Slots = %d, want the actual pool size 16, not the unreached target", ws.Slots)
+	}
+	if ws.Shrinks != 0 || ws.Grows != 0 {
+		t.Errorf("a failed step must not count as a shrink or grow: %+v", ws)
+	}
+	// A second failed check keeps advancing the ledger.
+	if err := wd.Check(); !errors.Is(err, ErrManagerClosing) {
+		t.Fatalf("second Check = %v, want ErrManagerClosing", err)
+	}
+	if ws = wd.Stats(); ws.Samples != 2 || ws.Failures != 2 {
+		t.Errorf("Samples = %d, Failures = %d after second failure, want 2, 2", ws.Samples, ws.Failures)
 	}
 }

@@ -71,6 +71,19 @@ func pmatsFor[F Float](e *Engine, cs *compute[F], t float64, scratch []F) ([]F, 
 		clear(c.entries)
 		c.version = v
 	}
+	// -0.0 and +0.0 are the same branch length but distinct bit
+	// patterns; keying on the raw bits would hold two entries with
+	// bit-identical matrices. A non-finite length bypasses the cache
+	// entirely: NaN bits could never be re-hit usefully (every NaN
+	// "length" is a caller bug anyway) and an Inf entry would only pin
+	// a degenerate matrix in the working set.
+	if t == 0 {
+		t = 0
+	}
+	if math.IsInf(t, 0) || math.IsNaN(t) {
+		fillPmats(e, cs, scratch, t)
+		return scratch, nil
+	}
 	key := math.Float64bits(t)
 	if ent, ok := c.entries[key]; ok {
 		e.Stats.PCacheHits++

@@ -1,6 +1,7 @@
 package plf
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -154,5 +155,83 @@ func TestPCacheDropWhenFull(t *testing.T) {
 	}
 	if e.Stats.PCacheDrops == 0 {
 		t.Fatalf("expected at least one wholesale drop after %d distinct lengths", pcacheCap+64)
+	}
+}
+
+// TestPCacheSignedZeroSharesEntry: t = +0.0 and t = -0.0 are the same
+// branch length and must share one cache entry — keying on the raw bit
+// pattern used to hold two entries with bit-identical matrices.
+func TestPCacheSignedZeroSharesEntry(t *testing.T) {
+	e, tr, pats := pcacheSetup(t, 25)
+	gen := newEngine(t, tr.Clone(), pats, e.M)
+	if err := gen.SetKernel(KernelGeneric); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gen.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+	edge, gedge := tr.Edges[0], gen.T.Edges[0]
+
+	edge.Length, gedge.Length = 0.0, 0.0
+	got, err := e.evaluate(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.evaluate(gedge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEq(got, want) {
+		t.Fatalf("t=+0: cached %.17g vs generic %.17g", got, want)
+	}
+	misses, hits := e.Stats.PCacheMisses, e.Stats.PCacheHits
+
+	negZero := math.Copysign(0, -1)
+	edge.Length, gedge.Length = negZero, negZero
+	if got, err = e.evaluate(edge); err != nil {
+		t.Fatal(err)
+	}
+	if want, err = gen.evaluate(gedge); err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEq(got, want) {
+		t.Fatalf("t=-0: cached %.17g vs generic %.17g", got, want)
+	}
+	if e.Stats.PCacheMisses != misses {
+		t.Errorf("t=-0 missed the cache (misses %d -> %d); -0.0 must reuse the +0.0 entry",
+			misses, e.Stats.PCacheMisses)
+	}
+	if e.Stats.PCacheHits <= hits {
+		t.Errorf("t=-0 did not hit the cache (hits %d -> %d)", hits, e.Stats.PCacheHits)
+	}
+}
+
+// TestPCacheNonFiniteBypass: NaN and Inf branch lengths must bypass the
+// cache entirely — a NaN key can never be re-hit usefully and would
+// only waste an entry.
+func TestPCacheNonFiniteBypass(t *testing.T) {
+	e, _, _ := pcacheSetup(t, 26)
+	if _, err := e.LogLikelihood(); err != nil {
+		t.Fatal(err)
+	}
+	edge := e.T.Edges[0]
+	hits, misses := e.Stats.PCacheHits, e.Stats.PCacheMisses
+	for _, l := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		edge.Length = l
+		// Twice each: a cached non-finite entry would turn the second
+		// call into a hit, a keyed one into a second miss. Results are
+		// garbage-in-garbage-out; only the cache traffic matters here.
+		for i := 0; i < 2; i++ {
+			if _, err := e.evaluate(edge); err != nil {
+				t.Fatalf("t=%v: %v", l, err)
+			}
+		}
+	}
+	if e.Stats.PCacheHits != hits || e.Stats.PCacheMisses != misses {
+		t.Errorf("non-finite lengths touched the cache: hits %d -> %d, misses %d -> %d",
+			hits, e.Stats.PCacheHits, misses, e.Stats.PCacheMisses)
 	}
 }

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// recordingExec fills every job and records the size of each batch it
+// was handed.
+type recordingExec struct {
+	mu    sync.Mutex
+	sizes []int
+}
+
+func (r *recordingExec) exec(batch []*evalJob) {
+	r.mu.Lock()
+	r.sizes = append(r.sizes, len(batch))
+	r.mu.Unlock()
+	for _, j := range batch {
+		j.res = EvalReply{Edge: j.spec.Edge, LnL: -1, LnLBits: FormatLnLBits(-1), BatchSize: len(batch)}
+	}
+}
+
+func (r *recordingExec) batchSizes() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.sizes...)
+}
+
+// TestBatcherCoalesces pins the size trigger: MaxBatch concurrent
+// submissions ride in one flushed batch (the generous MaxWait means the
+// collect window cannot expire first).
+func TestBatcherCoalesces(t *testing.T) {
+	const n = 8
+	rec := &recordingExec{}
+	b := newBatcher(BatcherConfig{MaxBatch: n, MaxWait: time.Second}, rec.exec)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(edge int) {
+			defer wg.Done()
+			rep, err := b.Submit(EvalSpec{Edge: edge})
+			if err != nil {
+				t.Errorf("Submit(%d): %v", edge, err)
+				return
+			}
+			if rep.Edge != edge {
+				t.Errorf("reply edge %d, want %d", rep.Edge, edge)
+			}
+			if rep.BatchSize > 1 {
+				coalesced.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sizes := rec.batchSizes()
+	total := 0
+	for _, sz := range sizes {
+		total += sz
+	}
+	if total != n {
+		t.Fatalf("executed %d jobs across batches %v, want %d", total, sizes, n)
+	}
+	// All n submissions were in flight before any could return (Submit
+	// blocks), so the loop must have packed them into far fewer than n
+	// batches; the common case is exactly one.
+	if len(sizes) == n {
+		t.Errorf("no coalescing happened: %d batches for %d concurrent submissions", len(sizes), n)
+	}
+	if coalesced.Load() == 0 {
+		t.Error("no reply carried BatchSize > 1")
+	}
+}
+
+// TestBatcherMaxWaitFlush pins the deadline trigger: a lone request is
+// flushed once MaxWait expires even though the batch is nowhere near
+// full.
+func TestBatcherMaxWaitFlush(t *testing.T) {
+	rec := &recordingExec{}
+	b := newBatcher(BatcherConfig{MaxBatch: 1024, MaxWait: 5 * time.Millisecond}, rec.exec)
+	defer b.Close()
+
+	start := time.Now()
+	rep, err := b.Submit(EvalSpec{Edge: 3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("lone submission took %v; the deadline flush did not fire", elapsed)
+	}
+	if rep.BatchSize != 1 {
+		t.Errorf("BatchSize = %d, want 1", rep.BatchSize)
+	}
+	if got := rec.batchSizes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("batch sizes %v, want [1]", got)
+	}
+}
+
+// TestBatcherSizeFlushSplits pins that the size trigger caps batches:
+// more concurrent submissions than MaxBatch split across flushes, and
+// every one is answered.
+func TestBatcherSizeFlushSplits(t *testing.T) {
+	rec := &recordingExec{}
+	b := newBatcher(BatcherConfig{MaxBatch: 2, MaxWait: 50 * time.Millisecond}, rec.exec)
+	defer b.Close()
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(edge int) {
+			defer wg.Done()
+			if _, err := b.Submit(EvalSpec{Edge: edge}); err != nil {
+				t.Errorf("Submit(%d): %v", edge, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, sz := range rec.batchSizes() {
+		if sz > 2 {
+			t.Errorf("batch of %d exceeds MaxBatch=2", sz)
+		}
+		total += sz
+	}
+	if total != n {
+		t.Errorf("executed %d jobs, want %d", total, n)
+	}
+}
+
+// TestBatcherCloseRejectsSubmit pins teardown: Submit after Close fails
+// with ErrSessionClosed instead of hanging, and Close is idempotent.
+func TestBatcherCloseRejectsSubmit(t *testing.T) {
+	rec := &recordingExec{}
+	b := newBatcher(BatcherConfig{}, rec.exec)
+	b.Close()
+	b.Close() // idempotent
+
+	if _, err := b.Submit(EvalSpec{}); err != ErrSessionClosed {
+		t.Fatalf("Submit after Close: err = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestBatcherExecutorDrop pins the no-hang guarantee: an executor that
+// forgets to fill a job still releases the waiter, with an error.
+func TestBatcherExecutorDrop(t *testing.T) {
+	b := newBatcher(BatcherConfig{MaxWait: time.Millisecond}, func(batch []*evalJob) {})
+	defer b.Close()
+
+	_, err := b.Submit(EvalSpec{Edge: 1})
+	if err == nil {
+		t.Fatal("Submit returned nil error from an executor that dropped the request")
+	}
+}

@@ -1,0 +1,141 @@
+package service
+
+// Client — the thin HTTP client for the daemon, used by the CLI's
+// client subcommands, the CI smoke test and the differential tests. It
+// speaks exactly the wire types in types.go; likelihood comparisons go
+// through LnLBits, never the decimal rendering.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at addr ("host:port" or a full URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{
+		base: strings.TrimRight(addr, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// do runs one JSON round trip. A non-2xx response is decoded as an
+// errorReply and surfaced as an error.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var er errorReply
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("%s %s: %s (status %d)", method, path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: status %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health pings /healthz.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/healthz", nil, nil)
+}
+
+// CreateSession registers a new session.
+func (c *Client) CreateSession(cfg SessionConfig) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/v1/sessions", cfg, &info)
+	return info, err
+}
+
+// Sessions lists every session.
+func (c *Client) Sessions() ([]SessionInfo, error) {
+	var infos []SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &infos)
+	return infos, err
+}
+
+// SessionInfo fetches one session's status document.
+func (c *Client) SessionInfo(name string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions/"+name, nil, &info)
+	return info, err
+}
+
+// DeleteSession removes a session and its files.
+func (c *Client) DeleteSession(name string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+name, nil, nil)
+}
+
+// Evaluate submits one evaluate request (rides the coalescing batcher).
+func (c *Client) Evaluate(name string, spec EvalSpec) (EvalReply, error) {
+	var rep EvalReply
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/evaluate", spec, &rep)
+	return rep, err
+}
+
+// Newview forces a fresh full pass and evaluates at the given edge.
+func (c *Client) Newview(name string, edge int) (EvalReply, error) {
+	var rep EvalReply
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/newview", EvalSpec{Edge: edge}, &rep)
+	return rep, err
+}
+
+// Optimize smooths the session tree's branch lengths.
+func (c *Client) Optimize(name string, spec OptimizeSpec) (OptimizeReply, error) {
+	var rep OptimizeReply
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/optimize", spec, &rep)
+	return rep, err
+}
+
+// Park checkpoints the session to disk and frees its RAM.
+func (c *Client) Park(name string) (SessionInfo, error) {
+	var info SessionInfo
+	err := c.do(http.MethodPost, "/v1/sessions/"+name+"/park", nil, &info)
+	return info, err
+}
+
+// Tree returns the session's current Newick.
+func (c *Client) Tree(name string) (string, error) {
+	var rep struct {
+		Newick string `json:"newick"`
+	}
+	err := c.do(http.MethodGet, "/v1/sessions/"+name+"/tree", nil, &rep)
+	return rep.Newick, err
+}

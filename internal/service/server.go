@@ -1,0 +1,661 @@
+package service
+
+// Server — the multi-tenant daemon around the PLF engine. One process
+// hosts many named sessions; the server's job is governance: admitting
+// sessions whose memory floors fit under the global budget, squeezing
+// the out-of-core slot pools proportionally when tenants pile up,
+// parking idle sessions to disk (exact-resume checkpoints) and reviving
+// them on the next request, and exposing the whole ledger on the /debug
+// endpoint the observability PR built.
+//
+// The memory model, in the paper's terms: each session is one PLF
+// instance with n ancestral vectors of w bytes. An in-core session
+// pins n·w bytes for as long as it is active — its floor IS its need.
+// An out-of-core session needs only m ≥ 3 slots live (the newview
+// recurrence's working set), so its floor is 3·w and everything above
+// that is elastic. The governor hands each active OOC session a grant
+// share = quota·avail/Σquota of whatever budget the in-core tenants
+// left over, enforced through ooc.Manager.Resize at engine safe
+// points — the same live-resize machinery PR 6 added, now driven by
+// tenancy instead of a heap watchdog (the watchdog still runs per
+// session, arbitrating the global SOFT heap budget from inside
+// whichever tenant is computing).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"oocphylo/internal/checkpoint"
+	"oocphylo/internal/obs"
+	"oocphylo/internal/ooc"
+)
+
+// ServerConfig sizes the daemon.
+type ServerConfig struct {
+	// DataDir holds per-session files: <name>.aln, <name>.ckpt,
+	// <name>.vec(+.sum). Parked sessions found here at startup are
+	// adopted and revived lazily on their next request.
+	DataDir string
+	// MemBudget is the global ancestral-vector budget in bytes across
+	// ALL active sessions (0 = unlimited). Admission rejects sessions
+	// whose floor does not fit; the governor squeezes elastic OOC pools
+	// to keep the sum of grants under it.
+	MemBudget int64
+	// Batch configures every session's coalescing batcher.
+	Batch BatcherConfig
+	// IdleTimeout parks sessions with no request for this long
+	// (0 = never). Parking frees their RAM; the next request revives
+	// them from the checkpoint.
+	IdleTimeout time.Duration
+}
+
+// admissionError is a quota rejection — mapped to 503, because the
+// condition clears when other tenants park or shrink.
+type admissionError struct{ msg string }
+
+func (e *admissionError) Error() string { return e.msg }
+
+// IsAdmissionError reports whether err is a governor rejection.
+func IsAdmissionError(err error) bool {
+	_, ok := err.(*admissionError)
+	return ok
+}
+
+// Server hosts the sessions and the governor.
+type Server struct {
+	cfg ServerConfig
+	reg *obs.Registry
+	tr  *obs.Tracer
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	// global admission/throughput ledger (the /debug svc.* section)
+	mxAdmitted, mxRejected   *obs.Counter
+	mxParks, mxRevives       *obs.Counter
+	mxResizes, mxBatches     *obs.Counter
+	mxEvals                  *obs.Counter
+	mxSessions, mxActive     *obs.Gauge
+	mxGranted                *obs.Gauge
+	mxBatchSize, mxBatchExec *obs.Histogram
+
+	reaperQuit chan struct{}
+	reaperDone chan struct{}
+}
+
+// NewServer builds the daemon: creates DataDir, wires the registry and
+// tracer, and adopts any parked sessions a previous daemon left there.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: DataDir is required")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	cfg.Batch.fill()
+	s := &Server{
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		tr:       obs.NewTracer(1 << 16),
+		sessions: make(map[string]*Session),
+	}
+	s.mxAdmitted = s.reg.Counter("svc.admitted")
+	s.mxRejected = s.reg.Counter("svc.rejected")
+	s.mxParks = s.reg.Counter("svc.parks")
+	s.mxRevives = s.reg.Counter("svc.revives")
+	s.mxResizes = s.reg.Counter("svc.resizes")
+	s.mxBatches = s.reg.Counter("svc.batches")
+	s.mxEvals = s.reg.Counter("svc.evals")
+	s.mxSessions = s.reg.Gauge("svc.sessions")
+	s.mxActive = s.reg.Gauge("svc.active")
+	s.mxGranted = s.reg.Gauge("svc.granted_bytes")
+	s.mxBatchSize = s.reg.Histogram("svc.batch.size", []float64{1, 2, 4, 8, 16, 32, 64})
+	s.mxBatchExec = s.reg.Histogram("svc.batch.exec_seconds", nil)
+	s.reg.SetInfo("svc.mem_budget", fmt.Sprintf("%d", cfg.MemBudget))
+	s.reg.AddPublisher(s.publish)
+
+	if err := s.adoptParked(); err != nil {
+		return nil, err
+	}
+	s.reaperQuit = make(chan struct{})
+	s.reaperDone = make(chan struct{})
+	go s.reaper()
+	return s, nil
+}
+
+// Registry exposes the server's metrics registry (tests and the CLI's
+// shutdown report read it).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// publish mirrors the live tenancy picture into the gauges.
+func (s *Server) publish() {
+	s.mu.Lock()
+	list := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		list = append(list, ses)
+	}
+	s.mu.Unlock()
+	var active int64
+	var granted int64
+	for _, ses := range list {
+		a, _, _, _, _, _ := ses.memShape()
+		if a {
+			active++
+			ses.mu.Lock()
+			granted += ses.grant
+			ses.mu.Unlock()
+		}
+	}
+	s.mxSessions.Set(int64(len(list)))
+	s.mxActive.Set(active)
+	s.mxGranted.Set(granted)
+}
+
+// adoptParked scans DataDir for checkpoints written by a previous
+// daemon and registers each as a parked session. Nothing is loaded into
+// RAM here — the first request pays the revive.
+func (s *Server) adoptParked() error {
+	ents, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".ckpt") {
+			continue
+		}
+		path := filepath.Join(s.cfg.DataDir, ent.Name())
+		ck, err := checkpoint.Load(path)
+		if err != nil {
+			continue // foreign or torn file: not ours to adopt
+		}
+		cfgJSON, ok := ck.Meta["service.config"]
+		if !ok {
+			continue // a CLI checkpoint, not a service session
+		}
+		var cfg SessionConfig
+		if err := json.Unmarshal([]byte(cfgJSON), &cfg); err != nil {
+			continue
+		}
+		if !validName(cfg.Name) || cfg.Name+".ckpt" != ent.Name() {
+			continue
+		}
+		s.sessions[cfg.Name] = newSession(s, cfg)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Governance.
+
+// shares computes the grant for every active session under MemBudget:
+// in-core sessions take their full need off the top (their floor IS
+// their need); OOC sessions split what is left in proportion to their
+// quotas, clamped below by the MinSlots floor. Callers hold no locks.
+func (s *Server) shares(all []*Session) map[*Session]int64 {
+	grants := make(map[*Session]int64, len(all))
+	if s.cfg.MemBudget <= 0 {
+		for _, ses := range all {
+			_, _, quota, need, _, _ := ses.memShape()
+			if quota > need {
+				quota = need
+			}
+			grants[ses] = quota
+		}
+		return grants
+	}
+	avail := s.cfg.MemBudget
+	var oocs []*Session
+	var sumQ int64
+	for _, ses := range all {
+		active, outOfCore, quota, need, _, _ := ses.memShape()
+		if !active {
+			continue
+		}
+		if !outOfCore {
+			grants[ses] = need
+			avail -= need
+			continue
+		}
+		oocs = append(oocs, ses)
+		sumQ += quota
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	for _, ses := range oocs {
+		_, _, quota, need, vecBytes, _ := ses.memShape()
+		grant := quota
+		if sumQ > avail {
+			grant = quota * avail / sumQ // proportional squeeze
+		}
+		floor := int64(ooc.MinSlots) * vecBytes
+		if grant < floor {
+			grant = floor
+		}
+		if grant > need {
+			grant = need
+		}
+		grants[ses] = grant
+	}
+	return grants
+}
+
+// admit is the admission check for a session about to activate (create
+// or revive): its FLOOR must fit beside the floors of every currently
+// active session. Returns the initial grant. Called from the
+// candidate's loop goroutine.
+func (s *Server) admit(cand *Session, outOfCore bool, quota, vecBytes int64) (int64, error) {
+	if s.cfg.MemBudget <= 0 {
+		s.mxAdmitted.Inc()
+		return quota, nil
+	}
+	floor := quota // in-core: all or nothing
+	if outOfCore {
+		floor = int64(ooc.MinSlots) * vecBytes
+	}
+	s.mu.Lock()
+	others := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		if ses != cand {
+			others = append(others, ses)
+		}
+	}
+	s.mu.Unlock()
+	var used int64
+	for _, ses := range others {
+		active, oc, _, need, vb, _ := ses.memShape()
+		if !active {
+			continue
+		}
+		if oc {
+			used += int64(ooc.MinSlots) * vb
+		} else {
+			used += need
+		}
+	}
+	if used+floor > s.cfg.MemBudget {
+		s.mxRejected.Inc()
+		return 0, &admissionError{fmt.Sprintf(
+			"service: memory budget exhausted: floor %d B + %d B in active floors > budget %d B (park or delete a session)",
+			floor, used, s.cfg.MemBudget)}
+	}
+	s.mxAdmitted.Inc()
+	// Initial grant: the candidate's proportional share given everyone
+	// active. The squeeze of the OTHERS happens in the rebalance the
+	// caller triggers once it is live.
+	grants := s.shares(append(others, cand))
+	if g, ok := grants[cand]; ok && g > 0 {
+		return g, nil
+	}
+	// cand not active yet in memShape terms: compute its share directly.
+	var avail, sumQ int64 = s.cfg.MemBudget, quota
+	for ses, g := range grants {
+		a, oc, q, _, _, _ := ses.memShape()
+		if !a {
+			continue
+		}
+		if oc {
+			sumQ += q
+		} else {
+			avail -= g
+		}
+	}
+	if avail < 0 {
+		avail = 0
+	}
+	grant := quota
+	if outOfCore && sumQ > avail {
+		grant = quota * avail / sumQ
+		if grant < floor {
+			grant = floor
+		}
+	}
+	return grant, nil
+}
+
+// rebalance recomputes every active session's grant and dispatches the
+// resizes. Asynchronous by design: it is called from session loop jobs
+// (park, revive), and resizeTo goes through the target session's loop —
+// a synchronous call from loop A to loop A would deadlock.
+func (s *Server) rebalance() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	all := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		all = append(all, ses)
+	}
+	s.mu.Unlock()
+	grants := s.shares(all)
+	for ses, grant := range grants {
+		active, outOfCore, _, _, _, _ := ses.memShape()
+		if !active || !outOfCore {
+			continue
+		}
+		go ses.resizeTo(grant)
+	}
+}
+
+func (s *Server) notePark()   { s.mxParks.Inc() }
+func (s *Server) noteRevive() { s.mxRevives.Inc() }
+func (s *Server) noteResize() { s.mxResizes.Inc() }
+
+func (s *Server) noteBatch(size int, start time.Time, execMicros int64) {
+	s.mxBatches.Inc()
+	s.mxEvals.Add(int64(size))
+	s.mxBatchSize.Observe(float64(size))
+	s.mxBatchExec.Observe(float64(execMicros) / 1e6)
+}
+
+// reaper parks sessions idle past IdleTimeout.
+func (s *Server) reaper() {
+	defer close(s.reaperDone)
+	if s.cfg.IdleTimeout <= 0 {
+		<-s.reaperQuit
+		return
+	}
+	tick := time.NewTicker(s.cfg.IdleTimeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			cutoff := time.Now().Add(-s.cfg.IdleTimeout)
+			s.mu.Lock()
+			var idle []*Session
+			for _, ses := range s.sessions {
+				ses.mu.Lock()
+				if ses.state == stateActive && ses.lastUsed.Before(cutoff) {
+					idle = append(idle, ses)
+				}
+				ses.mu.Unlock()
+			}
+			s.mu.Unlock()
+			for _, ses := range idle {
+				_ = ses.do(ses.park)
+			}
+		case <-s.reaperQuit:
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Session registry operations.
+
+// CreateSession validates, registers and builds a session.
+func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	cfg.fill()
+	if !validName(cfg.Name) {
+		return nil, fmt.Errorf("service: invalid session name %q (letters, digits, '.', '_', '-'; max 64)", cfg.Name)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if _, dup := s.sessions[cfg.Name]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: session %q already exists", cfg.Name)
+	}
+	ses := newSession(s, cfg)
+	s.sessions[cfg.Name] = ses
+	s.mu.Unlock()
+
+	if err := ses.do(ses.build); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, cfg.Name)
+		s.mu.Unlock()
+		ses.close(true)
+		return nil, err
+	}
+	s.rebalance()
+	return ses, nil
+}
+
+// Session looks a session up by name.
+func (s *Server) Session(name string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ses, ok := s.sessions[name]
+	return ses, ok
+}
+
+// Sessions snapshots every session's info document, sorted by name.
+func (s *Server) Sessions() []SessionInfo {
+	s.mu.Lock()
+	list := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		list = append(list, ses)
+	}
+	s.mu.Unlock()
+	infos := make([]SessionInfo, 0, len(list))
+	for _, ses := range list {
+		infos = append(infos, ses.infoSnapshot())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// DeleteSession tears a session down and removes its files.
+func (s *Server) DeleteSession(name string) error {
+	s.mu.Lock()
+	ses, ok := s.sessions[name]
+	delete(s.sessions, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: no session %q", name)
+	}
+	ses.batcher.Close()
+	ses.close(true)
+	s.rebalance()
+	return nil
+}
+
+// ParkSession checkpoints a session and frees its RAM on demand.
+func (s *Server) ParkSession(name string) error {
+	ses, ok := s.Session(name)
+	if !ok {
+		return fmt.Errorf("service: no session %q", name)
+	}
+	return ses.do(ses.park)
+}
+
+// Close parks every session (so all of them are resumable from disk)
+// and stops the daemon. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	list := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		list = append(list, ses)
+	}
+	s.mu.Unlock()
+	close(s.reaperQuit)
+	<-s.reaperDone
+	var firstErr error
+	for _, ses := range list {
+		ses.batcher.Close()
+		if err := ses.do(ses.park); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		ses.close(false)
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------
+// HTTP surface.
+
+// Handler mounts the service routes onto the observability mux, so one
+// listener serves /v1/* and /debug/*.
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewMux(s.reg, s.tr)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{name}/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sessions/{name}/newview", s.handleNewview)
+	mux.HandleFunc("POST /v1/sessions/{name}/optimize", s.handleOptimize)
+	mux.HandleFunc("POST /v1/sessions/{name}/park", s.handlePark)
+	mux.HandleFunc("GET /v1/sessions/{name}/tree", s.handleTree)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps service errors onto HTTP statuses: admission → 503
+// (retryable once a tenant parks), closed → 409, the rest → 400.
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case IsAdmissionError(err):
+		status = http.StatusServiceUnavailable
+	case err == ErrSessionClosed:
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorReply{Error: err.Error()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+		writeErr(w, fmt.Errorf("service: bad session config: %w", err))
+		return
+	}
+	ses, err := s.CreateSession(cfg)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ses.infoSnapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sessions())
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	name := r.PathValue("name")
+	ses, ok := s.Session(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("no session %q", name)})
+		return nil, false
+	}
+	return ses, true
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if ses, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, ses.infoSnapshot())
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.DeleteSession(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var spec EvalSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("service: bad evaluate spec: %w", err))
+		return
+	}
+	rep, err := ses.Evaluate(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleNewview(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var spec EvalSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("service: bad newview spec: %w", err))
+		return
+	}
+	rep, err := ses.Newview(spec.Edge)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var spec OptimizeSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("service: bad optimize spec: %w", err))
+		return
+	}
+	rep, err := ses.Optimize(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handlePark(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if err := ses.do(ses.park); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ses.infoSnapshot())
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	ses, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	nwk, err := ses.Tree()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": ses.name, "newick": nwk})
+}

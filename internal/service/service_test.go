@@ -1,0 +1,465 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oocphylo/internal/bio"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/sim"
+)
+
+// writeTestAlignment simulates a dataset and writes it as phylip,
+// returning the path plus the alignment's memory shape under the test
+// model config (vector bytes and in-core need) so tests can pick
+// quotas.
+func writeTestAlignment(t *testing.T, dir string, taxa, sites int, seed int64) (path string, vecBytes, need int64) {
+	t.Helper()
+	d, err := sim.NewDataset(sim.Config{Taxa: taxa, Sites: sites, GammaAlpha: 1, Seed: seed})
+	if err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := bio.WritePhylip(&buf, d.Alignment); err != nil {
+		t.Fatalf("WritePhylip: %v", err)
+	}
+	path = filepath.Join(dir, fmt.Sprintf("aln-%d.phy", seed))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pats, err := bio.Compress(d.Alignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Model: "GTR", Alpha: 1, Cats: 4}
+	cfg.fill()
+	m, err := buildModel(cfg, pats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecLen, err := plf.CarrierLength(m, pats.NumPatterns(), plf.PrecisionF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecBytes = int64(vecLen) * 8
+	need = int64(d.Tree.NumInner()) * vecBytes
+	return path, vecBytes, need
+}
+
+func newTestServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func baseSession(name, alnPath string) SessionConfig {
+	return SessionConfig{
+		Name:  name,
+		Path:  alnPath,
+		Model: "GTR",
+		Alpha: 1,
+		Cats:  4,
+	}
+}
+
+// TestServiceDifferentialBatchedVsOneShot is the tentpole's acceptance
+// test: N concurrent evaluates through the coalescing batcher must be
+// bit-for-bit identical to a fresh one-shot pass over the same session
+// config. Run under -race this also exercises the loop-goroutine
+// serialisation.
+func TestServiceDifferentialBatchedVsOneShot(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, _ := writeTestAlignment(t, dir, 10, 300, 7)
+	srv := newTestServer(t, ServerConfig{DataDir: dir, Batch: BatcherConfig{MaxBatch: 8, MaxWait: 20 * time.Millisecond}})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	// Reference: a session with the same config, answered by a forced
+	// fresh full pass (what a one-shot CLI run computes).
+	if _, err := c.CreateSession(baseSession("ref", alnPath)); err != nil {
+		t.Fatalf("create ref: %v", err)
+	}
+	ref, err := c.Newview("ref", 0)
+	if err != nil {
+		t.Fatalf("newview ref: %v", err)
+	}
+	if ref.LnL >= 0 {
+		t.Fatalf("reference lnL %v is not a log likelihood", ref.LnL)
+	}
+
+	// Batched: N concurrent evaluates against an identically configured
+	// session.
+	if _, err := c.CreateSession(baseSession("bat", alnPath)); err != nil {
+		t.Fatalf("create bat: %v", err)
+	}
+	const n = 8
+	replies := make([]EvalReply, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			replies[i], errs[i] = c.Evaluate("bat", EvalSpec{Edge: 0})
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("evaluate %d: %v", i, errs[i])
+		}
+		if replies[i].LnLBits != ref.LnLBits {
+			t.Errorf("evaluate %d: lnl_bits %s != one-shot %s (lnl %v vs %v)",
+				i, replies[i].LnLBits, ref.LnLBits, replies[i].LnL, ref.LnL)
+		}
+		if replies[i].BatchSize < 1 || replies[i].ExecMicros < 0 || replies[i].WaitMicros < 0 {
+			t.Errorf("evaluate %d: malformed ledger %+v", i, replies[i])
+		}
+	}
+
+	info, err := c.SessionInfo("bat")
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if info.Evals != n {
+		t.Errorf("session evals = %d, want %d", info.Evals, n)
+	}
+	if info.Batches < 1 || info.Batches > n {
+		t.Errorf("session batches = %d, want in [1,%d]", info.Batches, n)
+	}
+}
+
+// TestServiceHypotheticalLengthAndFull pins the two evaluate variants:
+// a hypothetical-length evaluate must differ from the current-length
+// one (the sum table was consulted at a different t), and Full passes
+// reproduce the same bits as incremental ones.
+func TestServiceHypotheticalLengthAndFull(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, _ := writeTestAlignment(t, dir, 8, 200, 11)
+	srv := newTestServer(t, ServerConfig{DataDir: dir})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	if _, err := c.CreateSession(baseSession("s", alnPath)); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Evaluate("s", EvalSpec{Edge: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.Evaluate("s", EvalSpec{Edge: 2, Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LnLBits != cur.LnLBits {
+		t.Errorf("full pass bits %s != incremental %s", full.LnLBits, cur.LnLBits)
+	}
+	length := 0.42
+	hyp, err := c.Evaluate("s", EvalSpec{Edge: 2, Length: &length})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyp.LnLBits == cur.LnLBits {
+		t.Errorf("hypothetical-length evaluate returned the current-length bits %s", cur.LnLBits)
+	}
+	// The hypothetical evaluate must not have mutated the tree: the
+	// current-length answer is unchanged.
+	again, err := c.Evaluate("s", EvalSpec{Edge: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.LnLBits != cur.LnLBits {
+		t.Errorf("tree perturbed by hypothetical evaluate: %s != %s", again.LnLBits, cur.LnLBits)
+	}
+}
+
+// TestServiceParkReviveBitIdentical pins the park/revive cycle for an
+// out-of-core session: park writes a checkpoint + store manifest, the
+// revive adopts the backing file, and the next evaluate returns the
+// exact bits from before the park.
+func TestServiceParkReviveBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, vecBytes, need := writeTestAlignment(t, dir, 12, 300, 3)
+	srv := newTestServer(t, ServerConfig{DataDir: dir})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	cfg := baseSession("ooc", alnPath)
+	cfg.MemLimit = need / 2
+	if cfg.MemLimit < int64(ooc.MinSlots)*vecBytes {
+		t.Fatalf("test dataset too small to go out of core: need %d, vecBytes %d", need, vecBytes)
+	}
+	info, err := c.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.OutOfCore {
+		t.Fatalf("session not out of core: %+v", info)
+	}
+
+	before, err := c.Evaluate("ooc", EvalSpec{Edge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parked, err := c.Park("ooc")
+	if err != nil {
+		t.Fatalf("park: %v", err)
+	}
+	if parked.State != "parked" {
+		t.Fatalf("state after park = %q", parked.State)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ooc.ckpt")); err != nil {
+		t.Fatalf("park left no checkpoint: %v", err)
+	}
+
+	after, err := c.Evaluate("ooc", EvalSpec{Edge: 1})
+	if err != nil {
+		t.Fatalf("evaluate after park: %v", err)
+	}
+	if after.LnLBits != before.LnLBits {
+		t.Errorf("revive changed the likelihood: %s -> %s", before.LnLBits, after.LnLBits)
+	}
+	info, err = c.SessionInfo("ooc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "active" || info.Parks != 1 || info.Revives != 1 {
+		t.Errorf("after revive: state=%s parks=%d revives=%d, want active/1/1", info.State, info.Parks, info.Revives)
+	}
+}
+
+// TestServiceRestartAdoptsParkedSessions pins daemon restart: a new
+// server over the same data directory lists the parked session and
+// revives it bit-identically on the next request — RAM state is fully
+// reconstructable from <name>.aln + <name>.ckpt (+ .vec for OOC).
+func TestServiceRestartAdoptsParkedSessions(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, _ := writeTestAlignment(t, dir, 9, 250, 5)
+
+	srv1, err := NewServer(ServerConfig{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := srv1.CreateSession(baseSession("keep", alnPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ses.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Close(); err != nil { // Close parks everything
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2 := newTestServer(t, ServerConfig{DataDir: dir})
+	infos := srv2.Sessions()
+	if len(infos) != 1 || infos[0].Name != "keep" || infos[0].State != "parked" {
+		t.Fatalf("restarted daemon sessions = %+v, want one parked %q", infos, "keep")
+	}
+	ses2, ok := srv2.Session("keep")
+	if !ok {
+		t.Fatal("session not adopted")
+	}
+	after, err := ses2.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatalf("evaluate after restart: %v", err)
+	}
+	if after.LnLBits != before.LnLBits {
+		t.Errorf("restart changed the likelihood: %s -> %s", before.LnLBits, after.LnLBits)
+	}
+}
+
+// TestServiceAdmissionControl pins the governor's floor arithmetic: a
+// session whose floor cannot fit beside the active tenants is rejected
+// with an admission error (503 on the wire), and fits again once the
+// incumbent is parked.
+func TestServiceAdmissionControl(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, need := writeTestAlignment(t, dir, 10, 300, 13)
+
+	// Budget holds exactly one in-core copy.
+	srv := newTestServer(t, ServerConfig{DataDir: dir, MemBudget: need + need/4})
+	if _, err := srv.CreateSession(baseSession("first", alnPath)); err != nil {
+		t.Fatalf("first create: %v", err)
+	}
+	_, err := srv.CreateSession(baseSession("second", alnPath))
+	if err == nil {
+		t.Fatal("second in-core session admitted past the budget")
+	}
+	if !IsAdmissionError(err) {
+		t.Fatalf("rejection is not an admission error: %v", err)
+	}
+	if srv.mxRejected.Value() == 0 {
+		t.Error("svc.rejected counter not incremented")
+	}
+
+	// Park the incumbent: its floor drops to zero, the rejected config
+	// now fits.
+	if err := srv.ParkSession("first"); err != nil {
+		t.Fatalf("park first: %v", err)
+	}
+	if _, err := srv.CreateSession(baseSession("second", alnPath)); err != nil {
+		t.Fatalf("create after park still rejected: %v", err)
+	}
+}
+
+// TestServiceMultiTenantSqueeze pins the proportional grant: two active
+// out-of-core tenants under a budget smaller than their combined quotas
+// end up with grants that fit, enforced as live pool shrinks on the
+// incumbent.
+func TestServiceMultiTenantSqueeze(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, vecBytes, need := writeTestAlignment(t, dir, 12, 300, 17)
+
+	quota := need / 2 // each tenant asks for half its in-core footprint
+	if quota < int64(ooc.MinSlots+2)*vecBytes {
+		t.Fatalf("dataset too small: quota %d, vecBytes %d", quota, vecBytes)
+	}
+	budget := quota + quota/2 // both quotas do NOT fit; both floors do
+	srv := newTestServer(t, ServerConfig{DataDir: dir, MemBudget: budget})
+
+	cfgA := baseSession("a", alnPath)
+	cfgA.MemLimit = quota
+	sa, err := srv.CreateSession(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sa.Evaluate(EvalSpec{Edge: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, _, _, _ = sa.memShape()
+	slotsBefore := sa.infoSnapshot().Slots
+
+	cfgB := baseSession("b", alnPath)
+	cfgB.MemLimit = quota
+	sb, err := srv.CreateSession(cfgB)
+	if err != nil {
+		t.Fatalf("second OOC tenant rejected despite fitting floors: %v", err)
+	}
+	if _, err := sb.Evaluate(EvalSpec{Edge: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebalance runs asynchronously through each session's loop;
+	// poll for the squeeze to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ia, ib := sa.infoSnapshot(), sb.infoSnapshot()
+		if ia.GrantBytes+ib.GrantBytes <= budget && ia.Slots < slotsBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("squeeze never landed: a={grant %d, slots %d (was %d)} b={grant %d, slots %d}, budget %d",
+				ia.GrantBytes, ia.Slots, slotsBefore, ib.GrantBytes, ib.Slots, budget)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Both tenants still answer, bit-identically to each other (same
+	// config, same data).
+	ra, err := sa.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := sb.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.LnLBits != rb.LnLBits {
+		t.Errorf("squeezed tenants disagree: %s vs %s", ra.LnLBits, rb.LnLBits)
+	}
+}
+
+// TestServiceValidation pins the cheap guards: bad names, duplicate
+// names, unknown sessions and bad edges all fail cleanly.
+func TestServiceValidation(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, _ := writeTestAlignment(t, dir, 8, 150, 23)
+	srv := newTestServer(t, ServerConfig{DataDir: dir})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	if _, err := c.CreateSession(SessionConfig{Name: "../evil", Path: alnPath}); err == nil {
+		t.Error("path-traversal name accepted")
+	}
+	if _, err := c.CreateSession(baseSession("dup", alnPath)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(baseSession("dup", alnPath)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.Evaluate("ghost", EvalSpec{}); err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "no session") {
+		t.Errorf("evaluate on missing session: %v", err)
+	}
+	if _, err := c.Evaluate("dup", EvalSpec{Edge: 10_000}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := c.DeleteSession("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SessionInfo("dup"); err == nil {
+		t.Error("deleted session still answers")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dup.aln")); !os.IsNotExist(err) {
+		t.Error("delete left the session alignment behind")
+	}
+}
+
+// TestServiceOptimizeAndTree smokes the optimize job and the tree
+// endpoint: smoothing improves (or keeps) the likelihood and the
+// Newick round-trips.
+func TestServiceOptimizeAndTree(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, _, _ := writeTestAlignment(t, dir, 8, 200, 29)
+	srv := newTestServer(t, ServerConfig{DataDir: dir})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	c := NewClient(hs.URL)
+
+	if _, err := c.CreateSession(baseSession("opt", alnPath)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Evaluate("opt", EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Optimize("opt", OptimizeSpec{Passes: 2})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if rep.LnL < before.LnL {
+		t.Errorf("smoothing worsened lnL: %v -> %v", before.LnL, rep.LnL)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(rep.Newick), ";") {
+		t.Errorf("optimize newick malformed: %q", rep.Newick)
+	}
+	nwk, err := c.Tree("opt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nwk != rep.Newick {
+		t.Errorf("tree endpoint %q != optimize newick %q", nwk, rep.Newick)
+	}
+}

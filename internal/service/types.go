@@ -1,0 +1,211 @@
+package service
+
+// Wire types of the PLF service: everything a client sends or receives
+// is defined here, JSON-encoded on the wire. The likelihoods carry
+// their raw float64 bit pattern alongside the decimal rendering so
+// bit-for-bit comparisons (the repo's standard equivalence check)
+// survive the JSON round trip.
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SessionConfig describes a named session: alignment + model + tree,
+// plus its resource quota. It is submitted at creation and persisted in
+// the session's park checkpoint so a restarted daemon can revive the
+// session on the next request.
+type SessionConfig struct {
+	// Name identifies the session in URLs and on the /debug endpoint.
+	// Letters, digits, '.', '_' and '-' only (it names files on disk).
+	Name string `json:"name"`
+
+	// Alignment is the inline alignment text; Path is a server-side
+	// file instead. Exactly one must be set.
+	Alignment string `json:"alignment,omitempty"`
+	Path      string `json:"path,omitempty"`
+	// Format is "phylip" (default) or "fasta".
+	Format string `json:"format,omitempty"`
+	// DataType is "dna" (default) or "aa".
+	DataType string `json:"data_type,omitempty"`
+
+	// Model selects the substitution model: JC, K80, HKY, GTR (default)
+	// for DNA, POISSON for protein.
+	Model string `json:"model,omitempty"`
+	// Kappa is the K80/HKY transition/transversion ratio (default 2).
+	Kappa float64 `json:"kappa,omitempty"`
+	// Alpha enables Γ rate heterogeneity when > 0, over Cats categories
+	// (default 4).
+	Alpha float64 `json:"alpha,omitempty"`
+	Cats  int     `json:"cats,omitempty"`
+	// PInv is the +I invariant-sites proportion (0 = disabled).
+	PInv float64 `json:"pinv,omitempty"`
+	// UniformFreqs uses uniform instead of empirical base frequencies.
+	UniformFreqs bool `json:"uniform_freqs,omitempty"`
+
+	// Newick is the starting/fixed tree; TreePath a server-side file;
+	// when both are empty StartTree picks the construction ("parsimony"
+	// default, "nj" or "random", seeded by Seed).
+	Newick    string `json:"newick,omitempty"`
+	TreePath  string `json:"tree_path,omitempty"`
+	StartTree string `json:"start_tree,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+
+	// MemLimit is the session's ancestral-vector RAM quota in bytes —
+	// the paper's -L per tenant. 0, or a quota covering every vector,
+	// runs the session in RAM; otherwise the vectors live behind an
+	// out-of-core manager whose slot pool the daemon resizes to keep
+	// all tenants inside the global -mem-budget.
+	MemLimit int64 `json:"mem_limit,omitempty"`
+	// Strategy is the replacement strategy for out-of-core sessions
+	// (random, lru (default), lfu, topological).
+	Strategy string `json:"strategy,omitempty"`
+
+	// Workers sets the PLF kernel worker goroutines (default 1; results
+	// are identical for any value). Kernel and Precision mirror the CLI
+	// flags (default auto / f64).
+	Workers   int    `json:"workers,omitempty"`
+	Kernel    string `json:"kernel,omitempty"`
+	Precision string `json:"precision,omitempty"`
+}
+
+// fill applies the CLI-compatible defaults in place.
+func (c *SessionConfig) fill() {
+	if c.Format == "" {
+		c.Format = "phylip"
+	}
+	if c.DataType == "" {
+		c.DataType = "dna"
+	}
+	if c.Model == "" {
+		c.Model = "GTR"
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 2.0
+	}
+	if c.Cats <= 0 {
+		c.Cats = 4
+	}
+	if c.StartTree == "" {
+		c.StartTree = "parsimony"
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Strategy == "" {
+		c.Strategy = "lru"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+}
+
+// validName reports whether name is safe to use in URLs and filenames.
+func validName(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return name != "." && name != ".."
+}
+
+// EvalSpec is one evaluate request against a session.
+type EvalSpec struct {
+	// Edge indexes the tree's edge list; the likelihood is evaluated at
+	// that branch after whatever partial traversal it needs (default 0).
+	Edge int `json:"edge"`
+	// Length, when set, evaluates the sum table at this hypothetical
+	// branch length instead of the edge's current one (the tree is not
+	// modified).
+	Length *float64 `json:"length,omitempty"`
+	// Full forces a fresh full engine pass (invalidate + complete
+	// traversal) before evaluating — what a one-shot CLI run pays. The
+	// default reuses valid ancestral vectors from earlier requests in
+	// the batch/session, which is the entire point of coalescing;
+	// results are bit-identical either way.
+	Full bool `json:"full,omitempty"`
+}
+
+// EvalReply is the evaluate response: the likelihood plus the
+// per-request timing ledger describing what batching did to it.
+type EvalReply struct {
+	Session string  `json:"session,omitempty"`
+	Edge    int     `json:"edge"`
+	LnL     float64 `json:"lnl"`
+	// LnLBits is math.Float64bits(LnL) in hex — the bit-for-bit
+	// comparison token (JSON float round-trips are not trusted).
+	LnLBits string `json:"lnl_bits"`
+	// Batch is the session-wide sequence number of the coalesced batch
+	// this request rode in; BatchSize the number of requests in it.
+	Batch     int64 `json:"batch"`
+	BatchSize int   `json:"batch_size"`
+	// WaitMicros is the time from enqueue to batch execution start
+	// (queueing + coalescing window); ExecMicros the execution span of
+	// the whole batch.
+	WaitMicros int64 `json:"wait_us"`
+	ExecMicros int64 `json:"exec_us"`
+}
+
+// FormatLnLBits renders a float64's bit pattern the way EvalReply and
+// the CLI's -lnl-bits flag print it.
+func FormatLnLBits(lnl float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(lnl))
+}
+
+// OptimizeSpec requests branch-length smoothing on the session tree.
+type OptimizeSpec struct {
+	// Passes bounds the smoothing sweeps (default 2); Eps is the early
+	// exit threshold on per-sweep improvement (default 1e-3).
+	Passes int     `json:"passes,omitempty"`
+	Eps    float64 `json:"eps,omitempty"`
+}
+
+// OptimizeReply reports the smoothed tree.
+type OptimizeReply struct {
+	Session string  `json:"session,omitempty"`
+	LnL     float64 `json:"lnl"`
+	LnLBits string  `json:"lnl_bits"`
+	Newick  string  `json:"newick"`
+}
+
+// SessionInfo is the status document for one session.
+type SessionInfo struct {
+	Name     string `json:"name"`
+	State    string `json:"state"` // "active" or "parked"
+	Taxa     int    `json:"taxa"`
+	Sites    int    `json:"sites"`
+	Patterns int    `json:"patterns"`
+	// OutOfCore reports whether the session's vectors live behind the
+	// OOC manager; Slots is its current live pool size (0 in-core or
+	// parked); QuotaBytes the configured vector quota; GrantBytes what
+	// the governor currently allows (== quota unless squeezed).
+	OutOfCore  bool  `json:"out_of_core"`
+	Slots      int   `json:"slots"`
+	QuotaBytes int64 `json:"quota_bytes"`
+	GrantBytes int64 `json:"grant_bytes"`
+	// LnL is the last likelihood the session computed (0 before the
+	// first evaluate); LnLBits its bit pattern.
+	LnL     float64 `json:"lnl"`
+	LnLBits string  `json:"lnl_bits"`
+	// Evals, Batches, Parks, Revives count the session's lifetime
+	// activity (they survive park/revive cycles, not daemon restarts).
+	Evals   int64 `json:"evals"`
+	Batches int64 `json:"batches"`
+	Parks   int64 `json:"parks"`
+	Revives int64 `json:"revives"`
+	// LastUsed is the last request touch (the idle reaper's clock).
+	LastUsed time.Time `json:"last_used"`
+}
+
+// errorReply is the JSON error envelope.
+type errorReply struct {
+	Error string `json:"error"`
+}
