@@ -15,7 +15,12 @@
 //   - the protein kernel ablation (generic versus the aa20 set on a
 //     simulated k=20 dataset, identical likelihoods enforced);
 //   - the precision ablation (f64 versus end-to-end f32: accuracy gap,
-//     manifest-verified store halving, f32 sync/async bit-identity).
+//     manifest-verified store halving, f32 sync/async bit-identity);
+//   - the tier ablation (local FileStore baseline versus cold / warm /
+//     recompute-policy arms over a latency-injected remote object store
+//     behind a local write-back cache, bit-identical likelihoods
+//     enforced), recording per-arm wall-clock, tier counters and the
+//     fraction of read demand served without a remote trip.
 //
 // CI uploads the file as an artifact so regressions between commits —
 // kernel slowdowns, creeping instrumentation cost or resize-machinery
@@ -28,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"oocphylo/internal/experiments"
 )
@@ -77,6 +83,30 @@ type proteinBlock struct {
 	PCacheHitRate float64    `json:"pcache_hit_rate"`
 }
 
+// tierRow is one (RTT, arm) measurement of the tier ablation.
+type tierRow struct {
+	Arm           string  `json:"arm"`
+	RTTMs         float64 `json:"rtt_ms"`
+	Seconds       float64 `json:"seconds"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	RemoteVecRead int64   `json:"remote_vectors_read"`
+	Coalesced     int64   `json:"coalesced"`
+	SingleFlight  int64   `json:"single_flight"`
+	Recomputes    int64   `json:"policy_recomputes"`
+	LocalFraction float64 `json:"local_fraction"`
+	WarmStart     bool    `json:"warm_start"`
+}
+
+// tierBlock is the tiered-storage section of the baseline.
+type tierBlock struct {
+	Taxa           int       `json:"taxa"`
+	Sites          int       `json:"sites"`
+	Lanes          int       `json:"lanes"`
+	Rows           []tierRow `json:"rows"`
+	LnLBitsMatched bool      `json:"lnl_bits_matched"`
+}
+
 // precisionBlock is the f32-versus-f64 section of the baseline.
 type precisionBlock struct {
 	Taxa              int     `json:"taxa"`
@@ -91,7 +121,7 @@ type precisionBlock struct {
 	SyncAsyncBitMatch bool    `json:"f32_sync_async_bits_matched"`
 }
 
-// baseline is the BENCH_6.json schema.
+// baseline is the BENCH_8.json schema.
 type baseline struct {
 	Schema        string         `json:"schema"`
 	GoVersion     string         `json:"go_version"`
@@ -108,6 +138,7 @@ type baseline struct {
 	Resize        resizeBlock    `json:"resize"`
 	Protein       proteinBlock   `json:"protein"`
 	Precision     precisionBlock `json:"precision"`
+	Tiers         tierBlock      `json:"tiers"`
 }
 
 func main() {
@@ -119,7 +150,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchsmoke", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_6.json", "output JSON path")
+	out := fs.String("out", "BENCH_8.json", "output JSON path")
 	taxa := fs.Int("taxa", 48, "simulated taxa")
 	sites := fs.Int("sites", 1500, "simulated sites")
 	traversals := fs.Int("traversals", 3, "full traversals in the newview phase")
@@ -137,7 +168,7 @@ func run(args []string) error {
 		return err
 	}
 	b := baseline{
-		Schema:        "oocphylo/benchsmoke/v4",
+		Schema:        "oocphylo/benchsmoke/v5",
 		GoVersion:     runtime.Version(),
 		GOARCH:        runtime.GOARCH,
 		Taxa:          *taxa,
@@ -228,6 +259,39 @@ func run(args []string) error {
 		SyncAsyncBitMatch: true, // RunPrecisionAblation errors on any mismatch
 	}
 
+	// Tier ablation at smoke scale: one modest RTT, counters still
+	// meaningful (the cold arm misses, the warm arm serves locally).
+	tcfg := experiments.TierAblationConfig{
+		Workload: experiments.SearchWorkloadConfig{
+			Taxa: 24, Sites: 80, Seed: *seed, SPRRadius: 3, Rounds: 1,
+		},
+		Lanes: 2,
+		RTTs:  []time.Duration{2 * time.Millisecond},
+	}
+	trows, err := experiments.RunTierAblation(tcfg)
+	if err != nil {
+		return err
+	}
+	b.Tiers = tierBlock{
+		Taxa: tcfg.Workload.Taxa, Sites: tcfg.Workload.Sites, Lanes: tcfg.Lanes,
+		LnLBitsMatched: true, // RunTierAblation errors on any mismatch
+	}
+	for _, r := range trows {
+		b.Tiers.Rows = append(b.Tiers.Rows, tierRow{
+			Arm:           r.Arm,
+			RTTMs:         float64(r.RTT) / 1e6,
+			Seconds:       r.Elapsed.Seconds(),
+			CacheHits:     r.Tier.CacheHits,
+			CacheMisses:   r.Tier.CacheMisses,
+			RemoteVecRead: r.Tier.RemoteVectorsRead,
+			Coalesced:     r.Tier.Coalesced,
+			SingleFlight:  r.Tier.SingleFlight,
+			Recomputes:    r.PolicyRecomputes,
+			LocalFraction: r.LocalFraction,
+			WarmStart:     r.Tier.WarmStart,
+		})
+	}
+
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err
@@ -242,6 +306,7 @@ func run(args []string) error {
 		rres.Resizes, rres.Low, rres.Slots, rres.FixedTime.Seconds(), rres.ResizeTime.Seconds(), 100*rres.Overhead())
 	experiments.WriteKernelAblationTable(os.Stdout, pres, pcfg)
 	experiments.WritePrecisionAblationTable(os.Stdout, prres, prcfg)
+	experiments.WriteTierTable(os.Stdout, trows, tcfg)
 	fmt.Printf("baseline written to %s\n", *out)
 	return nil
 }

@@ -17,6 +17,10 @@
 //	-fig batching  service daemon's request coalescing: N concurrent
 //	               evaluates in shared engine passes vs N independent
 //	               passes, bit-identical lnL (not in the paper)
+//	-fig tiers  tiered vector storage: local FileStore baseline vs
+//	            cold / warm / recompute-policy arms over a remote
+//	            object store behind a write-back cache, per injected
+//	            RTT; bit-identical lnL (not in the paper)
 //	-fig timeline  Chrome trace of a fully instrumented run (compute +
 //	               I/O worker lanes); explicit only — it writes the
 //	               trace JSON to -trace-out, not stdout
@@ -46,7 +50,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, protein, resize, batching or all")
+	fig := fs.String("fig", "all", "which figure to regenerate: 2, 3, 4, 5, async, kernels, protein, resize, batching, tiers or all")
 	taxa := fs.Int("taxa", 0, "taxa for figures 2-4 (0 = scaled default; paper: 1288 or 1908)")
 	sites := fs.Int("sites", 0, "sites for figures 2-4 (0 = scaled default; paper: 1200 or 1424)")
 	f5taxa := fs.Int("f5taxa", 0, "taxa for figure 5 (0 = scaled default; paper: 8192)")
@@ -200,6 +204,28 @@ func run(args []string) error {
 			return err
 		}
 		experiments.WriteBatchingTable(out, bres)
+		fmt.Fprintln(out)
+	}
+	if want("tiers") {
+		fmt.Fprintln(out, "== Tier ablation: remote object store + local write-back cache ==")
+		tcfg := experiments.TierAblationConfig{
+			Workload: experiments.SearchWorkloadConfig{Seed: *seed},
+		}
+		if *full {
+			// The acceptance workload: a 128-taxon search, warm cache
+			// within 1.25x of the local FileStore baseline at 10 ms RTT.
+			tcfg.Workload.Taxa, tcfg.Workload.Sites = 128, 1200
+			tcfg.CheckWallClock = true
+		} else {
+			tcfg.Workload.Taxa, tcfg.Workload.Sites = 32, 120
+			tcfg.Workload.SPRRadius, tcfg.Workload.Rounds = 3, 1
+			tcfg.RTTs = []time.Duration{2 * time.Millisecond, 10 * time.Millisecond}
+		}
+		rows, err := experiments.RunTierAblation(tcfg)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTierTable(out, rows, tcfg)
 	}
 	if *fig == "timeline" {
 		fmt.Fprintln(out, "== Timeline: Chrome trace of an instrumented out-of-core run ==")
@@ -221,7 +247,7 @@ func run(args []string) error {
 		fmt.Fprintf(out, "trace written to %s (load in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		return nil
 	}
-	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("protein") && !want("resize") && !want("batching") {
+	if !want("2") && !want("3") && !want("4") && !want("5") && !want("async") && !want("kernels") && !want("protein") && !want("resize") && !want("batching") && !want("tiers") {
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
 	return nil

@@ -123,6 +123,10 @@ type options struct {
 	ckptEvery   time.Duration
 	crashAfter  int64
 	lnlBits     bool
+	store       string
+	cacheDir    string
+	cacheBytes  int64
+	remoteLanes int
 }
 
 func run(args []string, out *os.File) error {
@@ -143,6 +147,10 @@ func run(args []string, out *os.File) error {
 	fs.Int64Var(&o.memLimit, "L", 0, "ancestral-vector RAM limit in bytes (0 = all in RAM)")
 	fs.StringVar(&o.strategy, "strategy", "lru", "replacement strategy: random, lru, lfu, topological")
 	fs.StringVar(&o.backing, "backing", "", "backing file for out-of-core vectors (default: temp file)")
+	fs.StringVar(&o.store, "store", "", "vector store URL: remote://host:port/object keeps out-of-core vectors on an object store behind a local write-back cache (default: the -backing file)")
+	fs.StringVar(&o.cacheDir, "cache-dir", "", "local write-back cache directory for -store remote:// (default: temp dir, removed on exit; a persistent dir warm-starts the next run)")
+	fs.Int64Var(&o.cacheBytes, "cache-bytes", 0, "byte budget for the local cache tier with -store remote:// (0 = room for every vector)")
+	fs.IntVar(&o.remoteLanes, "remote-lanes", 2, "parallel remote fetch lanes for -store remote://")
 	fs.BoolVar(&o.noReadSkip, "no-read-skipping", false, "disable the read-skipping optimisation")
 	fs.IntVar(&o.sprRadius, "radius", 5, "lazy-SPR rearrangement radius")
 	fs.IntVar(&o.rounds, "rounds", 10, "maximum SPR improvement rounds")
@@ -253,7 +261,7 @@ func run(args []string, out *os.File) error {
 	if o.precision == plf.PrecisionF32 {
 		fmt.Fprintf(out, "Precision: float32 compute (%d B per ancestral vector, half of f64)\n", vecLen*8)
 	}
-	prov, mgr, cs, cleanup, err := buildProvider(o, t, vecLen, resumeMan, out)
+	prov, mgr, cs, tier, cleanup, err := buildProvider(o, t, vecLen, resumeMan, out)
 	if err != nil {
 		return err
 	}
@@ -262,6 +270,7 @@ func run(args []string, out *os.File) error {
 		mgr.Instrument(reg, tr)
 	}
 	ooc.InstrumentChecksumStore(reg, cs)
+	ooc.InstrumentTieredStore(reg, tier)
 
 	e, err := plf.NewWithPrecision(t, pats, m, prov, o.precision)
 	if err != nil {
@@ -675,7 +684,7 @@ func buildStartTree(kind string, pats *bio.Patterns, seed int64) (*tree.Tree, er
 // checkpoints can carry the store manifest. A resume with an explicit
 // -backing path revalidates an existing file against the checkpoint's
 // manifest and falls back to a fresh file when validation fails.
-func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *os.File) (plf.VectorProvider, *ooc.Manager, *ooc.ChecksumStore, func(), error) {
+func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *os.File) (plf.VectorProvider, *ooc.Manager, *ooc.ChecksumStore, *ooc.TieredStore, func(), error) {
 	n := t.NumInner()
 	noop := func() {}
 	// Validate the strategy name up front so a typo fails even when the
@@ -683,18 +692,21 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 	switch strings.ToLower(o.strategy) {
 	case "random", "rand", "lru", "lfu", "topological", "topo":
 	default:
-		return nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+		return nil, nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 	need := int64(n) * int64(vecLen) * 8
 	if o.memLimit <= 0 || need <= o.memLimit {
 		if o.memLimit > 0 {
 			fmt.Fprintf(out, "Memory limit %d B covers all %d vectors; running in RAM\n", o.memLimit, n)
 		}
-		return plf.NewInMemoryProvider(n, vecLen), nil, nil, noop, nil
+		if o.store != "" {
+			fmt.Fprintf(out, "Note: -store %s unused — all vectors fit in RAM (set -L to go out of core)\n", o.store)
+		}
+		return plf.NewInMemoryProvider(n, vecLen), nil, nil, nil, noop, nil
 	}
 	slots := int(o.memLimit / (int64(vecLen) * 8))
 	if slots < ooc.MinSlots {
-		return nil, nil, nil, noop, fmt.Errorf(
+		return nil, nil, nil, nil, noop, fmt.Errorf(
 			"memory limit %d B holds only %d vectors of %d B; the PLF needs at least %d (m >= 3)",
 			o.memLimit, slots, vecLen*8, ooc.MinSlots)
 	}
@@ -709,28 +721,41 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 	case "topological", "topo":
 		strat = ooc.NewTopological(t)
 	default:
-		return nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
+		return nil, nil, nil, nil, noop, fmt.Errorf("unknown strategy %q", o.strategy)
 	}
-	path := o.backing
-	cleanup := noop
-	if path == "" {
-		f, err := os.CreateTemp("", "oocraxml-vectors-*.bin")
-		if err != nil {
-			return nil, nil, nil, noop, err
-		}
-		path = f.Name()
-		f.Close()
-		cleanup = func() {
-			os.Remove(path)
-			if o.verifyStore {
-				os.Remove(path + ".sum")
+	var (
+		store   ooc.Store
+		cs      *ooc.ChecksumStore
+		tier    *ooc.TieredStore
+		path    string
+		err     error
+		cleanup = noop
+	)
+	if o.store != "" {
+		store, cs, tier, cleanup, err = openRemoteStore(o, n, vecLen, man, out)
+		path = o.store
+	} else {
+		path = o.backing
+		if path == "" {
+			f, ferr := os.CreateTemp("", "oocraxml-vectors-*.bin")
+			if ferr != nil {
+				return nil, nil, nil, nil, noop, ferr
+			}
+			path = f.Name()
+			f.Close()
+			p := path
+			cleanup = func() {
+				os.Remove(p)
+				if o.verifyStore {
+					os.Remove(p + ".sum")
+				}
 			}
 		}
+		store, cs, err = openStore(o, path, n, vecLen, man, out)
 	}
-	store, cs, err := openStore(o, path, n, vecLen, man, out)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, noop, err
+		return nil, nil, nil, nil, noop, err
 	}
 	if o.crashAfter > 0 {
 		// The crashpoint wraps the outermost store, so the scheduled kill
@@ -753,10 +778,14 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 	if err != nil {
 		store.Close()
 		cleanup()
-		return nil, nil, nil, noop, err
+		return nil, nil, nil, nil, noop, err
 	}
-	fmt.Fprintf(out, "Out-of-core: %d of %d vectors in RAM (%.1f%%), strategy %s, backing file %s\n",
-		slots, n, 100*float64(slots)/float64(n), strat.Name(), path)
+	where := "backing file " + path
+	if o.store != "" {
+		where = "remote store " + path
+	}
+	fmt.Fprintf(out, "Out-of-core: %d of %d vectors in RAM (%.1f%%), strategy %s, %s\n",
+		slots, n, 100*float64(slots)/float64(n), strat.Name(), where)
 	if o.async {
 		// Report the effective values: the manager and engine clamp
 		// non-positive worker counts and depths to their defaults.
@@ -769,7 +798,7 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 		}
 		fmt.Fprintf(out, "Async pipeline: %d fetch workers, prefetch depth %d\n", workers, depth)
 	}
-	if o.verifyStore {
+	if o.verifyStore && o.store == "" {
 		fmt.Fprintf(out, "Integrity: checksum sidecar %s.sum, %d I/O retries\n", path, o.ioRetries)
 	}
 	closer := cleanup
@@ -777,7 +806,7 @@ func buildProvider(o options, t *tree.Tree, vecLen int, man *ooc.Manifest, out *
 	// in-flight fetches and queued write-backs) before the store goes
 	// away. Closing the (possibly checksum-wrapped) store closes the
 	// whole wrapper chain down to the backing file.
-	return mgr, mgr, cs, func() { mgr.Close(); store.Close(); closer() }, nil
+	return mgr, mgr, cs, tier, func() { mgr.Close(); store.Close(); closer() }, nil
 }
 
 // openStore opens the backing store for buildProvider, reusing and
@@ -847,6 +876,126 @@ func openStore(o options, path string, n, vecLen int, man *ooc.Manifest, out *os
 	}
 	cs.SetPrecision(o.precision)
 	return cs, cs, nil
+}
+
+// openRemoteStore builds the tiered stack for -store remote://: an
+// ObjectStore on the remote endpoint behind a local write-back cache
+// in -cache-dir, with the optional -verify-store checksum sidecar kept
+// in the cache dir — local, so remote bytes are verified end-to-end on
+// every read. The returned cleanup closes the remote connection (the
+// tier does not own it) and removes a temporary cache dir; callers run
+// it after closing the returned store.
+func openRemoteStore(o options, n, vecLen int, man *ooc.Manifest, out *os.File) (ooc.Store, *ooc.ChecksumStore, *ooc.TieredStore, func(), error) {
+	noop := func() {}
+	if !ooc.IsRemoteURL(o.store) {
+		return nil, nil, nil, noop, fmt.Errorf("-store %q: want a remote://host:port/object URL (local runs use -backing)", o.store)
+	}
+	if _, err := ooc.ParseRemoteURL(o.store); err != nil {
+		return nil, nil, nil, noop, err
+	}
+	if man != nil {
+		storePrec := man.Precision
+		if storePrec == "" {
+			storePrec = plf.PrecisionF64
+		}
+		if storePrec != o.precision {
+			return nil, nil, nil, noop, &ooc.PrecisionMismatchError{Store: man.Precision, Run: o.precision}
+		}
+	}
+	obj, err := ooc.OpenObjectStore(o.store, n, vecLen)
+	if err == nil {
+		fmt.Fprintf(out, "Adopting existing remote object %s\n", o.store)
+	} else if obj, err = ooc.NewObjectStore(o.store, n, vecLen); err != nil {
+		return nil, nil, nil, noop, fmt.Errorf("remote store %s: %w", o.store, err)
+	}
+	cacheDir, rmCache := o.cacheDir, noop
+	if cacheDir == "" {
+		dir, derr := os.MkdirTemp("", "oocraxml-cache-*")
+		if derr != nil {
+			obj.Close()
+			return nil, nil, nil, noop, derr
+		}
+		cacheDir = dir
+		rmCache = func() { os.RemoveAll(dir) }
+	} else if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		obj.Close()
+		return nil, nil, nil, noop, err
+	}
+	closer := func() { obj.Close(); rmCache() }
+	tcfg := ooc.TieredConfig{
+		NumVectors: n, VectorLen: vecLen,
+		CacheDir:     cacheDir,
+		CacheVectors: cacheVectorBudget(o.cacheBytes, n, vecLen),
+		Lanes:        o.remoteLanes,
+	}
+	ts, err := ooc.NewTieredStore(obj, tcfg)
+	if err != nil {
+		closer()
+		return nil, nil, nil, noop, err
+	}
+	if ts.WarmStart() {
+		fmt.Fprintf(out, "Warm start: adopted the cache tier left in %s\n", cacheDir)
+	}
+	fmt.Fprintf(out, "Cache tier: %d of %d vectors under %s, %d remote lanes\n",
+		tcfg.CacheVectors, n, cacheDir, tcfg.Lanes)
+	if !o.verifyStore {
+		return ts, nil, ts, closer, nil
+	}
+	sum := filepath.Join(cacheDir, "vectors.sum")
+	// Resume: try to adopt the existing sidecar against the checkpoint
+	// manifest, exactly like a local backing file. Any validation
+	// failure short of a precision mismatch rebuilds the sidecar —
+	// every vector is recomputable, so that costs I/O, not correctness.
+	if o.resume != "" && man != nil {
+		cs, cerr := ooc.OpenChecksumStore(ts, sum, n, vecLen)
+		if cerr != nil {
+			fmt.Fprintf(out, "Checksum sidecar %s not reusable (%v); rebuilding\n", sum, cerr)
+		} else {
+			cs.SetPrecision(o.precision)
+			verr := cs.VerifyManifest(*man)
+			switch {
+			case verr == nil:
+				fmt.Fprintf(out, "Remote store %s validated against checkpoint manifest\n", o.store)
+				return cs, cs, ts, closer, nil
+			case ooc.IsPrecisionMismatch(verr):
+				cs.Close()
+				closer()
+				return nil, nil, nil, noop, verr
+			default:
+				fmt.Fprintf(out, "Remote store fails checkpoint manifest validation (%v); rebuilding store\n", verr)
+				cs.Close() // closes ts too
+				if ts, err = ooc.NewTieredStore(obj, tcfg); err != nil {
+					closer()
+					return nil, nil, nil, noop, err
+				}
+			}
+		}
+	}
+	cs, err := ooc.NewChecksumStore(ts, sum, n, vecLen)
+	if err != nil {
+		ts.Close()
+		closer()
+		return nil, nil, nil, noop, err
+	}
+	cs.SetPrecision(o.precision)
+	fmt.Fprintf(out, "Integrity: checksum sidecar %s, %d I/O retries\n", sum, o.ioRetries)
+	return cs, cs, ts, closer, nil
+}
+
+// cacheVectorBudget converts -cache-bytes into cache-tier slots,
+// defaulting to "hold everything" and flooring at one vector.
+func cacheVectorBudget(budget int64, n, vecLen int) int {
+	if budget <= 0 {
+		return n
+	}
+	cv := int(budget / (int64(vecLen) * 8))
+	if cv < 1 {
+		cv = 1
+	}
+	if cv > n {
+		cv = n
+	}
+	return cv
 }
 
 // runBootstrap infers o.bootstraps replicate trees (parsimony stepwise-

@@ -42,6 +42,9 @@ func runServe(args []string, out *os.File) error {
 	batchMax := fs.Int("batch-max", service.DefaultMaxBatch, "flush a coalesced evaluate batch at this many requests")
 	batchWait := fs.Duration("batch-wait", service.DefaultMaxWait, "flush a coalesced evaluate batch this long after its first request")
 	idle := fs.Duration("idle-park", 0, "park sessions with no request for this long (0 = never)")
+	storeURL := fs.String("store", "", "remote object-store endpoint (remote://host:port, or remote://host:port/namespace to share one server between daemons): out-of-core sessions keep their vectors there behind a per-session write-back cache in -data")
+	cacheBytes := fs.Int64("cache-bytes", 0, "per-session byte budget for the local cache tier with -store (0 = room for every vector)")
+	remoteLanes := fs.Int("remote-lanes", 2, "parallel remote fetch lanes per session with -store")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +54,9 @@ func runServe(args []string, out *os.File) error {
 		MemBudget:   *memBudget,
 		Batch:       service.BatcherConfig{MaxBatch: *batchMax, MaxWait: *batchWait},
 		IdleTimeout: *idle,
+		StoreURL:    *storeURL,
+		CacheBytes:  *cacheBytes,
+		RemoteLanes: *remoteLanes,
 	})
 	if err != nil {
 		return err
@@ -64,6 +70,9 @@ func runServe(args []string, out *os.File) error {
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(out, "oocraxml daemon on http://%s/ (sessions under /v1/, debug under /debug/)\n", ln.Addr())
 	fmt.Fprintf(out, "Data directory: %s\n", *dataDir)
+	if *storeURL != "" {
+		fmt.Fprintf(out, "Vector store: %s (%d lanes, per-session cache in %s)\n", *storeURL, *remoteLanes, *dataDir)
+	}
 	if adopted := srv.Sessions(); len(adopted) > 0 {
 		names := make([]string, 0, len(adopted))
 		for _, info := range adopted {

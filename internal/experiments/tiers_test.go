@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// smallTierConfig keeps the ablation fast enough for the unit suite
+// while preserving every ratio the assertions turn on.
+func smallTierConfig() TierAblationConfig {
+	return TierAblationConfig{
+		Workload: SearchWorkloadConfig{
+			Taxa: 24, Sites: 80, Seed: 5, SPRRadius: 3, Rounds: 1,
+		},
+		RTTs: []time.Duration{2 * time.Millisecond},
+	}
+}
+
+// TestTierAblationArms runs the full four-arm ablation at one injected
+// RTT. RunTierAblation itself enforces the acceptance counters: every
+// arm bit-identical to the local FileStore baseline and the warm arm
+// serving >= 70% of read demand without a remote trip.
+func TestTierAblationArms(t *testing.T) {
+	rows, err := RunTierAblation(smallTierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// local + (cold, warm, recompute) per RTT.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byArm := map[string]TierAblationRow{}
+	for _, r := range rows {
+		byArm[r.Arm] = r
+	}
+	cold, warm := byArm["cold"], byArm["warm"]
+	if cold.Tier.RemoteVectorsRead == 0 {
+		t.Errorf("cold arm never read from the remote tier: %+v", cold.Tier)
+	}
+	if !warm.Tier.WarmStart {
+		t.Error("warm arm did not warm-start")
+	}
+	if warm.LocalFraction < cold.LocalFraction {
+		t.Errorf("warm served less locally than cold: %.2f < %.2f",
+			warm.LocalFraction, cold.LocalFraction)
+	}
+	var sb strings.Builder
+	WriteTierTable(&sb, rows, smallTierConfig())
+	for _, want := range []string{"local", "cold", "warm", "recompute", "lnL identical"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+	t.Logf("\n%s", sb.String())
+}
+
+// TestTierAblationRecomputePolicyFires checks the recompute arm at a
+// punishing RTT: the policy must convert at least one remote fetch and
+// the likelihood must still match bit-for-bit (RunTierAblation errors
+// otherwise).
+func TestTierAblationRecomputePolicyFires(t *testing.T) {
+	cfg := smallTierConfig()
+	cfg.Workload.Taxa = 16
+	cfg.Workload.Sites = 60
+	cfg.Workload.SPRRadius = 2
+	cfg.RTTs = []time.Duration{8 * time.Millisecond}
+	cfg.RecomputeCacheFraction = 0.1
+	rows, err := RunTierAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Arm == "recompute" {
+			if r.PolicyRecomputes == 0 {
+				t.Errorf("policy never fired on a starved cache at 20ms RTT: %+v", r)
+			}
+			return
+		}
+	}
+	t.Fatal("no recompute row")
+}
+
+// TestTierAblationAsyncPipeline is the differential arm of the suite:
+// the async I/O pipeline over the tiered stack must be bit-identical
+// too (RunTierAblation compares against the async local baseline).
+func TestTierAblationAsyncPipeline(t *testing.T) {
+	cfg := smallTierConfig()
+	cfg.Async = true
+	if _, err := RunTierAblation(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

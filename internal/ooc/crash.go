@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"sync/atomic"
+	"time"
 )
 
 // CrashExitCode is the exit status of a fired crashpoint — distinct
@@ -94,3 +95,12 @@ func CrashPoint(seed int64, cycle int, base, jitter int64) int64 {
 	}
 	return n
 }
+
+// Sync forwards to the inner store.
+func (s *CrashStore) Sync() error { return SyncStore(s.inner) }
+
+// FetchCost forwards to the inner store.
+func (s *CrashStore) FetchCost(vi int) (time.Duration, bool) { return StoreFetchCost(s.inner, vi) }
+
+// MemOverheadBytes forwards to the inner store.
+func (s *CrashStore) MemOverheadBytes() int64 { return StoreMemOverhead(s.inner) }

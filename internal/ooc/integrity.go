@@ -456,7 +456,9 @@ func (s *ChecksumStore) Verify() ([]int, error) {
 }
 
 // Sync flushes the sidecar (header refreshed from the current state) to
-// stable storage.
+// stable storage, then syncs the inner store when it supports it — a
+// checkpoint that persists this store's manifest must know the vectors
+// it describes are durable too.
 func (s *ChecksumStore) Sync() error {
 	if err := s.writeHeader(); err != nil {
 		return err
@@ -464,7 +466,19 @@ func (s *ChecksumStore) Sync() error {
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("ooc: syncing sidecar: %w", err)
 	}
-	return nil
+	return SyncStore(s.inner)
+}
+
+// FetchCost forwards the fetch-vs-recompute estimate to the inner
+// store; verification adds no transfer cost.
+func (s *ChecksumStore) FetchCost(vi int) (time.Duration, bool) {
+	return StoreFetchCost(s.inner, vi)
+}
+
+// MemOverheadBytes reports the checksum tables (16 bytes per vector)
+// plus whatever the inner store tracks.
+func (s *ChecksumStore) MemOverheadBytes() int64 {
+	return int64(s.n)*16 + StoreMemOverhead(s.inner)
 }
 
 // Close implements Store: it seals the sidecar (so OpenChecksumStore

@@ -114,6 +114,13 @@ type Config struct {
 	// the synchronous demand path and in the async pipeline workers
 	// alike. The zero value disables retries.
 	Retry RetryPolicy
+
+	// SyncWrites asks Flush to also push the backing store's own
+	// buffers to stable storage (fsync for a FileStore, a full
+	// write-back drain for a TieredStore) before returning. Checkpoint
+	// and park paths set this so "flushed" means "durable", not merely
+	// "handed to the store".
+	SyncWrites bool
 }
 
 // SlotsForFraction returns m = max(MinSlots, round(f*n)) capped at n —
@@ -382,6 +389,28 @@ func (m *Manager) Resident(vi int) bool {
 	return vi >= 0 && vi < len(m.itemSlot) && m.itemSlot[vi] >= 0
 }
 
+// FetchCost implements the fetch-vs-recompute oracle over the slot
+// pool: a resident vector is free and local; anything else costs
+// whatever the backing store estimates (zero/local for stores that do
+// not track latency). The engine's recompute policy consults this to
+// decide whether re-deriving a vector from its children beats paying a
+// remote round trip for it.
+func (m *Manager) FetchCost(vi int) (time.Duration, bool) {
+	if m.Resident(vi) {
+		return 0, false
+	}
+	return StoreFetchCost(m.cfg.Store, vi)
+}
+
+// MemOverheadBytes reports heap the backing store holds on the
+// manager's behalf — cache-tier indexes and in-flight remote buffers —
+// so budget-aware callers (the Watchdog, Resize policies) can charge it
+// against the same soft budget as the slot pool. Zero for plain
+// file/memory stores.
+func (m *Manager) MemOverheadBytes() int64 {
+	return StoreMemOverhead(m.cfg.Store)
+}
+
 // Vector implements plf.VectorProvider: the paper's getxvector(). It
 // returns the RAM address of vector vi, swapping it in if necessary.
 // write declares that the caller overwrites the entire vector before
@@ -648,6 +677,9 @@ func (m *Manager) Flush() error {
 		m.stats.Writes++
 		m.stats.BytesWritten += int64(m.cfg.VectorLen) * 8
 		m.dirty[s] = false
+	}
+	if m.cfg.SyncWrites {
+		return SyncStore(m.cfg.Store)
 	}
 	return nil
 }

@@ -1,0 +1,161 @@
+package ooc
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/ooc/remote"
+)
+
+func TestParseRemoteURL(t *testing.T) {
+	ep, err := ParseRemoteURL("remote://127.0.0.1:9000/run1.vec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep != "http://127.0.0.1:9000/o/run1.vec" {
+		t.Errorf("endpoint = %q", ep)
+	}
+	for _, bad := range []string{"file:///x", "remote://hostonly", "remote:///obj", "remote://h:1/a/b"} {
+		if _, err := ParseRemoteURL(bad); err == nil {
+			t.Errorf("ParseRemoteURL(%q) should fail", bad)
+		}
+	}
+	if !IsRemoteURL("remote://h:1/o") || IsRemoteURL("/tmp/x.vec") {
+		t.Error("IsRemoteURL misclassifies")
+	}
+}
+
+func TestObjectStoreRoundTrip(t *testing.T) {
+	srv, err := remote.NewServer(remote.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := NewObjectStore(srv.ObjectURL("v"), 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	src := []float64{1.5, -2.25, 1e30, 3.25e-12}
+	if err := s.WriteVector(2, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4)
+	if err := s.ReadVector(2, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Errorf("pos %d: %v != %v (must round-trip bit-exact)", i, dst[i], src[i])
+		}
+	}
+	// Never-written vectors read as zeros, like a fresh backing file.
+	if err := s.ReadVector(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("fresh vector pos %d = %v, want 0", i, v)
+		}
+	}
+	// Ranged write + read of three adjacent vectors in one request.
+	buf := make([]float64, 12)
+	for i := range buf {
+		buf[i] = float64(i) + 0.5
+	}
+	if err := s.WriteRange(context.Background(), 3, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 12)
+	if err := s.ReadRange(context.Background(), 3, 3, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		if got[i] != buf[i] {
+			t.Fatalf("ranged read pos %d: %v != %v", i, got[i], buf[i])
+		}
+	}
+	// Bounds checks.
+	if err := s.ReadVector(6, dst); err == nil {
+		t.Error("out-of-range read must fail")
+	}
+	if err := s.ReadRange(nil, 4, 3, make([]float64, 12)); err == nil {
+		t.Error("out-of-range ranged read must fail")
+	}
+	if err := s.WriteVector(0, make([]float64, 3)); err == nil {
+		t.Error("short write must fail")
+	}
+	// The latency EWMA is live and reported as a remote fetch cost.
+	if d, remote := s.FetchCost(0); !remote || d <= 0 {
+		t.Errorf("FetchCost = (%v, %v), want remote with positive cost", d, remote)
+	}
+}
+
+func TestObjectStoreOpenValidatesGeometry(t *testing.T) {
+	srv, err := remote.NewServer(remote.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	url := srv.ObjectURL("geom")
+	if _, err := NewObjectStore(url, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenObjectStore(url, 4, 8); err != nil {
+		t.Errorf("matching geometry must open: %v", err)
+	}
+	if _, err := OpenObjectStore(url, 5, 8); err == nil {
+		t.Error("size mismatch must fail")
+	}
+	if _, err := OpenObjectStore(srv.ObjectURL("absent"), 4, 8); err == nil {
+		t.Error("missing object must fail")
+	}
+}
+
+func TestObjectStoreTransientErrors(t *testing.T) {
+	srv, err := remote.NewServer(remote.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewObjectStore(srv.ObjectURL("t"), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // connection refused from here on
+	err = s.ReadVector(0, make([]float64, 2))
+	if err == nil {
+		t.Fatal("read against a dead server must fail")
+	}
+	if !IsTransient(err) {
+		t.Errorf("network failure should be transient (retryable): %v", err)
+	}
+	if !strings.Contains(err.Error(), "remote") {
+		t.Errorf("error should identify the remote path: %v", err)
+	}
+}
+
+func TestObjectStoreLatencyObserved(t *testing.T) {
+	srv, err := remote.NewServer(remote.ServerConfig{
+		Device: iosim.Device{Latency: 5 * time.Millisecond, Bandwidth: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := NewObjectStore(srv.ObjectURL("lat"), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	buf := make([]float64, 4)
+	if err := s.ReadVector(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.EstLatency(); got < 4*time.Millisecond {
+		t.Errorf("EstLatency = %v after a 5ms-injected read", got)
+	}
+}

@@ -170,6 +170,72 @@ func (m *Manager) traceSpan(op obs.EventOp, vi, slot int, start time.Time, dur t
 	m.mx.tracer.Emit(op, computeLane, int32(vi), int32(slot), start, dur)
 }
 
+// InstrumentTieredStore exports a tiered store's per-tier counters and
+// remote latency to the registry. Counters (hits, misses, bytes per
+// tier, coalesce/single-flight wins, evictions) follow the mirrored
+// pattern — a publisher copies the TierStats snapshot on every debug
+// scrape. Remote request latency is a native histogram fed per request
+// from the fetch lanes and write-back paths, so the debug endpoint
+// reports p50/p90/p99 round-trip times.
+func InstrumentTieredStore(reg *obs.Registry, ts *TieredStore) {
+	InstrumentTieredStoreAs(reg, ts, "tier.")
+}
+
+// InstrumentTieredStoreAs is InstrumentTieredStore with a caller-chosen
+// name prefix, so hosts with several tiered stores (one per service
+// session) keep their counters apart.
+func InstrumentTieredStoreAs(reg *obs.Registry, ts *TieredStore, prefix string) {
+	if reg == nil || ts == nil {
+		return
+	}
+	type mirrors struct {
+		cacheHits, cacheMisses, remoteReads, remoteWrites *obs.Counter
+		remoteVecsR, remoteVecsW                          *obs.Counter
+		bytesCache, bytesFetched, bytesPushed             *obs.Counter
+		coalesced, singleFlight                           *obs.Counter
+		evictions, dirtyWB                                *obs.Counter
+		estRTT                                            *obs.FloatGauge
+	}
+	c := mirrors{
+		cacheHits:    reg.Counter(prefix + "cache_hits"),
+		cacheMisses:  reg.Counter(prefix + "cache_misses"),
+		remoteReads:  reg.Counter(prefix + "remote_reads"),
+		remoteWrites: reg.Counter(prefix + "remote_writes"),
+		remoteVecsR:  reg.Counter(prefix + "remote_vectors_read"),
+		remoteVecsW:  reg.Counter(prefix + "remote_vectors_written"),
+		bytesCache:   reg.Counter(prefix + "bytes_from_cache"),
+		bytesFetched: reg.Counter(prefix + "bytes_fetched"),
+		bytesPushed:  reg.Counter(prefix + "bytes_pushed"),
+		coalesced:    reg.Counter(prefix + "coalesced"),
+		singleFlight: reg.Counter(prefix + "single_flight"),
+		evictions:    reg.Counter(prefix + "evictions"),
+		dirtyWB:      reg.Counter(prefix + "dirty_writebacks"),
+		estRTT:       reg.FloatGauge(prefix + "est_rtt_seconds"),
+	}
+	reg.AddPublisher(func() {
+		st := ts.Stats()
+		c.cacheHits.Set(st.CacheHits)
+		c.cacheMisses.Set(st.CacheMisses)
+		c.remoteReads.Set(st.RemoteReads)
+		c.remoteWrites.Set(st.RemoteWrites)
+		c.remoteVecsR.Set(st.RemoteVectorsRead)
+		c.remoteVecsW.Set(st.RemoteVectorsWritten)
+		c.bytesCache.Set(st.BytesFromCache)
+		c.bytesFetched.Set(st.BytesFetched)
+		c.bytesPushed.Set(st.BytesPushed)
+		c.coalesced.Set(st.Coalesced)
+		c.singleFlight.Set(st.SingleFlight)
+		c.evictions.Set(st.Evictions)
+		c.dirtyWB.Set(st.DirtyWritebacks)
+		c.estRTT.Set(st.EstRTT.Seconds())
+	})
+	h := reg.Histogram(prefix+"remote_seconds", nil)
+	ts.ObserveRemoteLatency(h.Observe)
+	if ts.WarmStart() {
+		reg.SetInfo(prefix+"warm_start", "true")
+	}
+}
+
 // InstrumentChecksumStore mirrors a checksum store's verification
 // counter into the registry (the store sits below the manager and has
 // no reference to it).

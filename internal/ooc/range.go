@@ -1,0 +1,127 @@
+package ooc
+
+// Ranged I/O: the storage-side prerequisite for the tiered store. A
+// local file serves one vector per syscall cheaply, but a remote
+// backend pays a full network round trip per request — so the unit of
+// transfer must be allowed to grow. RangeStore extends Store with
+// contiguous multi-vector transfers and context-aware cancellation;
+// TieredStore coalesces adjacent misses into one ReadRange call, and
+// Sync pushes adjacent dirty vectors in one WriteRange.
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// FetchCoster estimates what a demand read of vector vi would cost.
+// The bool reports whether the vector is "remote" — not servable from
+// a local tier — which is what makes recomputing it from resident
+// children worth considering (the plf engine's fetch-vs-recompute
+// policy matches this method structurally).
+type FetchCoster interface {
+	FetchCost(vi int) (time.Duration, bool)
+}
+
+// MemOverheader reports heap bytes a store holds beyond the manager's
+// slot pool (cache indexes, in-flight transfer buffers). Watchdog and
+// Resize subtract it from the memory budget so -mem-budget stays
+// honest when a cache tier sits under the slots.
+type MemOverheader interface {
+	MemOverheadBytes() int64
+}
+
+// StoreFetchCost queries s's fetch cost, reporting (0, false) — local,
+// free — when s has no estimate.
+func StoreFetchCost(s Store, vi int) (time.Duration, bool) {
+	if fc, ok := s.(FetchCoster); ok {
+		return fc.FetchCost(vi)
+	}
+	return 0, false
+}
+
+// StoreMemOverhead queries s's memory overhead (0 when untracked).
+func StoreMemOverhead(s Store) int64 {
+	if mo, ok := s.(MemOverheader); ok {
+		return mo.MemOverheadBytes()
+	}
+	return 0
+}
+
+// RangeStore is a Store that can also move count adjacent vectors
+// [vi, vi+count) in a single ranged request. dst/src hold the vectors
+// back to back (count * vecLen float64s). Implementations honour ctx
+// cancellation where the transport allows it; a nil ctx means
+// context.Background(). The Store concurrency contract carries over:
+// concurrent ranged calls are safe when their vector ranges are
+// disjoint (or both are reads).
+type RangeStore interface {
+	Store
+	// ReadRange fills dst with vectors [vi, vi+count).
+	ReadRange(ctx context.Context, vi, count int, dst []float64) error
+	// WriteRange persists src as vectors [vi, vi+count).
+	WriteRange(ctx context.Context, vi, count int, src []float64) error
+}
+
+// Syncer is implemented by stores that can force buffered state to
+// stable storage (FileStore fsync, ChecksumStore sidecar flush,
+// TieredStore dirty write-back). Manager.Flush calls it when
+// Config.SyncWrites is set, and the service park path relies on it.
+type Syncer interface {
+	Sync() error
+}
+
+// SyncStore syncs s if it implements Syncer, else does nothing. Wrapper
+// stores forward Sync to their inner store through this helper, so a
+// sync request reaches every layer that has one.
+func SyncStore(s Store) error {
+	if sy, ok := s.(Syncer); ok {
+		return sy.Sync()
+	}
+	return nil
+}
+
+// checkRange validates a ranged call against a store's geometry.
+func checkRange(n, vecLen, vi, count, bufLen int, op string) error {
+	if count < 1 || vi < 0 || vi+count > n {
+		return fmt.Errorf("ooc: ranged %s [%d,%d) out of range (n=%d)", op, vi, vi+count, n)
+	}
+	if bufLen != count*vecLen {
+		return fmt.Errorf("ooc: ranged %s buffer %d floats, want %d", op, bufLen, count*vecLen)
+	}
+	return nil
+}
+
+// ReadRangeOf performs a ranged read against any Store: natively when
+// the store is a RangeStore, else as a per-vector loop. The loop
+// fallback checks ctx between vectors so slow stores stay cancellable.
+func ReadRangeOf(ctx context.Context, s Store, vecLen, vi, count int, dst []float64) error {
+	if rs, ok := s.(RangeStore); ok {
+		return rs.ReadRange(ctx, vi, count, dst)
+	}
+	for i := 0; i < count; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := s.ReadVector(vi+i, dst[i*vecLen:(i+1)*vecLen]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteRangeOf is the write-side counterpart of ReadRangeOf.
+func WriteRangeOf(ctx context.Context, s Store, vecLen, vi, count int, src []float64) error {
+	if rs, ok := s.(RangeStore); ok {
+		return rs.WriteRange(ctx, vi, count, src)
+	}
+	for i := 0; i < count; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := s.WriteVector(vi+i, src[i*vecLen:(i+1)*vecLen]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package remote
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+)
+
+func TestServerRangedGetPut(t *testing.T) {
+	s, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr() + "/o/obj"
+
+	// Create a 32-byte object.
+	req, _ := http.NewRequest(http.MethodPut, base+"?truncate=32", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("truncate: HTTP %d", resp.StatusCode)
+	}
+	if got := s.Size("obj"); got != 32 {
+		t.Fatalf("size = %d, want 32", got)
+	}
+
+	// Ranged PUT in the middle.
+	req, _ = http.NewRequest(http.MethodPut, base, strings.NewReader("ABCDEFGH"))
+	req.Header.Set("Content-Range", "bytes 8-15/*")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ranged put: HTTP %d", resp.StatusCode)
+	}
+
+	// Ranged GET reads it back; the zero region stays zero.
+	req, _ = http.NewRequest(http.MethodGet, base, nil)
+	req.Header.Set("Range", "bytes=6-17")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("ranged get: HTTP %d", resp.StatusCode)
+	}
+	if want := "\x00\x00ABCDEFGH\x00\x00"; string(body) != want {
+		t.Fatalf("ranged get = %q, want %q", body, want)
+	}
+	if cr := resp.Header.Get("Content-Range"); cr != "bytes 6-17/32" {
+		t.Errorf("Content-Range = %q", cr)
+	}
+
+	// Writes past the end grow the object.
+	req, _ = http.NewRequest(http.MethodPut, base, strings.NewReader("xy"))
+	req.Header.Set("Content-Range", "bytes 40-41/*")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := s.Size("obj"); got != 42 {
+		t.Errorf("size after grow = %d, want 42", got)
+	}
+
+	// HEAD reports the size; a missing object is 404.
+	resp, err = http.Head(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.ContentLength != 42 {
+		t.Errorf("HEAD Content-Length = %d, want 42", resp.ContentLength)
+	}
+	resp, err = http.Head("http://" + s.Addr() + "/o/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("HEAD missing: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	// Unsatisfiable range.
+	req, _ = http.NewRequest(http.MethodGet, base, nil)
+	req.Header.Set("Range", "bytes=100-120")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("past-end range: HTTP %d, want 416", resp.StatusCode)
+	}
+}
+
+func TestServerLatencyInjection(t *testing.T) {
+	s, err := NewServer(ServerConfig{
+		Device: iosim.Device{Name: "wan", Latency: 20 * time.Millisecond, Bandwidth: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr() + "/o/x"
+	req, _ := http.NewRequest(http.MethodPut, base+"?truncate=64", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	start := time.Now()
+	req, _ = http.NewRequest(http.MethodGet, base, nil)
+	req.Header.Set("Range", "bytes=0-63")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("injected 20ms latency but request took %v", elapsed)
+	}
+	if s.Clock().Ops() == 0 {
+		t.Error("clock ledger not charged")
+	}
+}
+
+func TestServerConcurrentRanges(t *testing.T) {
+	s, err := NewServer(ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr() + "/o/c"
+	req, _ := http.NewRequest(http.MethodPut, base+"?truncate=800", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			payload := strings.Repeat(string(rune('a'+i)), 100)
+			req, _ := http.NewRequest(http.MethodPut, base, strings.NewReader(payload))
+			req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/*", i*100, i*100+99))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		req, _ := http.NewRequest(http.MethodGet, base, nil)
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", i*100, i*100+99))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if want := strings.Repeat(string(rune('a'+i)), 100); string(body) != want {
+			t.Fatalf("stripe %d corrupted: %q...", i, body[:8])
+		}
+	}
+}

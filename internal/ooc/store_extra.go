@@ -86,91 +86,3 @@ func (s *Float32FileStore) WriteVector(vi int, src []float64) error {
 
 // Close implements Store.
 func (s *Float32FileStore) Close() error { return s.f.Close() }
-
-// TieredStore is the paper's §5 three-layer vision in store form: a
-// bounded fast tier (think accelerator or NVRAM) in front of a large
-// slow tier (disk). Reads hit the fast tier when possible; writes land
-// in the fast tier, demoting the least-recently-touched vector to the
-// slow tier when full. Combined with SimStore wrappers carrying
-// different device models, it prices RAM ⇄ accelerator ⇄ disk
-// hierarchies. A mutex over the placement map makes it safe for the
-// concurrent distinct-vector calls the async pipeline issues (tier
-// bookkeeping is shared state even when the vectors are distinct).
-type TieredStore struct {
-	fast, slow Store
-	capacity   int
-
-	mu sync.Mutex
-	// inFast maps vector -> recency stamp (0 = not in fast tier).
-	inFast map[int]int64
-	now    int64
-
-	// FastHits and SlowReads count where reads were served.
-	FastHits, SlowReads int64
-	// Demotions counts vectors pushed from fast to slow.
-	Demotions int64
-}
-
-// NewTieredStore layers fast (holding at most capacity vectors) over
-// slow. Both stores must be sized for the full vector count, because
-// any vector may live in either tier over its lifetime.
-func NewTieredStore(fast, slow Store, capacity int) (*TieredStore, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("ooc: tiered store capacity %d < 1", capacity)
-	}
-	return &TieredStore{fast: fast, slow: slow, capacity: capacity, inFast: make(map[int]int64)}, nil
-}
-
-// ReadVector implements Store.
-func (t *TieredStore) ReadVector(vi int, dst []float64) error {
-	t.mu.Lock()
-	if stamp := t.inFast[vi]; stamp != 0 {
-		t.now++
-		t.inFast[vi] = t.now
-		t.FastHits++
-		t.mu.Unlock()
-		return t.fast.ReadVector(vi, dst)
-	}
-	t.SlowReads++
-	t.mu.Unlock()
-	return t.slow.ReadVector(vi, dst)
-}
-
-// WriteVector implements Store: writes land in the fast tier, demoting
-// the stalest resident if the tier is full. The mutex is held across
-// the demotion so the placement map always reflects the tier contents.
-func (t *TieredStore) WriteVector(vi int, src []float64) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.inFast[vi] == 0 && len(t.inFast) >= t.capacity {
-		// Demote the least recently touched fast-tier vector.
-		victim, oldest := -1, int64(math.MaxInt64)
-		for v, stamp := range t.inFast {
-			if stamp < oldest {
-				victim, oldest = v, stamp
-			}
-		}
-		buf := make([]float64, len(src))
-		if err := t.fast.ReadVector(victim, buf); err != nil {
-			return err
-		}
-		if err := t.slow.WriteVector(victim, buf); err != nil {
-			return err
-		}
-		delete(t.inFast, victim)
-		t.Demotions++
-	}
-	t.now++
-	t.inFast[vi] = t.now
-	return t.fast.WriteVector(vi, src)
-}
-
-// Close implements Store; it closes both tiers.
-func (t *TieredStore) Close() error {
-	err1 := t.fast.Close()
-	err2 := t.slow.Close()
-	if err1 != nil {
-		return err1
-	}
-	return err2
-}

@@ -1,0 +1,756 @@
+package ooc
+
+// TieredStore — the storage substrate for remote-backed runs. It
+// composes the three tiers the ROADMAP's cluster story needs:
+//
+//	RAM slots (ooc.Manager)
+//	   │ miss / write-back
+//	   ▼
+//	local write-back cache  — bounded FileStore + CRC64 sidecar in
+//	   │                      CacheDir; LRU; dirty vectors pushed to
+//	   │ miss / dirty evict   the remote tier BEFORE the slot is reused
+//	   ▼
+//	remote backend          — any Store; ranged (RangeStore) backends
+//	                          get adjacent misses coalesced into one
+//	                          request, issued over N parallel lanes
+//
+// Latency hiding and request economy:
+//
+//   - Single-flight: concurrent misses on the same vector join one
+//     in-flight fetch instead of issuing duplicate remote reads.
+//   - Coalescing: a lane grabs a maximal run of adjacent vector
+//     indices from the miss queue and fetches them with one ranged
+//     request — under load (the async pipeline's fetch workers missing
+//     together) the queue naturally batches.
+//   - Lanes: up to Lanes goroutines keep ranged requests in flight
+//     concurrently, so remote latency overlaps.
+//
+// Crash safety: a dirty victim is written to the remote tier before
+// its cache slot is reused, so the cache never holds the only copy of
+// a vector while that copy is being discarded. Warm restarts are
+// opportunistic: Sync/Close persist a cache index bound to the cache
+// sidecar's manifest; on open, any mismatch (torn index, unclean
+// sidecar, geometry change) discards the cache and cold-starts —
+// correctness never depends on the cache surviving.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TieredConfig configures a TieredStore.
+type TieredConfig struct {
+	// NumVectors and VectorLen fix the store geometry (float64 carrier
+	// units, like every other Store).
+	NumVectors, VectorLen int
+	// CacheDir holds the cache file, its checksum sidecar and the warm
+	// index. Created if missing.
+	CacheDir string
+	// CacheVectors bounds the cache tier (in vectors, >= 1).
+	CacheVectors int
+	// Lanes is the number of parallel remote fetch lanes (default 2).
+	Lanes int
+	// MaxCoalesce caps how many adjacent vectors one ranged remote read
+	// may carry (default 16).
+	MaxCoalesce int
+	// EstRTT seeds the fetch-cost estimate before any remote request
+	// has been observed (default 5ms). The live EWMA replaces it.
+	EstRTT time.Duration
+}
+
+func (c *TieredConfig) fill() error {
+	if c.NumVectors < 1 || c.VectorLen < 1 {
+		return fmt.Errorf("ooc: tiered store geometry %dx%d invalid", c.NumVectors, c.VectorLen)
+	}
+	if c.CacheVectors < 1 {
+		return fmt.Errorf("ooc: tiered store cache capacity %d < 1", c.CacheVectors)
+	}
+	if c.CacheVectors > c.NumVectors {
+		c.CacheVectors = c.NumVectors
+	}
+	if c.CacheDir == "" {
+		return fmt.Errorf("ooc: tiered store needs a cache directory")
+	}
+	if c.Lanes < 1 {
+		c.Lanes = 2
+	}
+	if c.MaxCoalesce < 1 {
+		c.MaxCoalesce = 16
+	}
+	if c.EstRTT <= 0 {
+		c.EstRTT = defaultRemoteCost
+	}
+	return nil
+}
+
+// TierStats is a snapshot of the tier counters.
+type TierStats struct {
+	// CacheHits and CacheMisses count reads served by / missing the
+	// local cache tier (a read served from a pending dirty write-back
+	// buffer counts as a hit — it never left the machine).
+	CacheHits, CacheMisses int64
+	// RemoteReads and RemoteWrites count ranged remote REQUESTS;
+	// RemoteVectorsRead / RemoteVectorsWritten the vectors they carried.
+	RemoteReads, RemoteWrites               int64
+	RemoteVectorsRead, RemoteVectorsWritten int64
+	// BytesFromCache and BytesFetched split read traffic by the tier
+	// that served it; BytesPushed is remote write-back volume.
+	BytesFromCache, BytesFetched, BytesPushed int64
+	// Coalesced counts vectors that rode an existing ranged request
+	// instead of costing their own round trip.
+	Coalesced int64
+	// SingleFlight counts misses that joined an in-flight fetch.
+	SingleFlight int64
+	// Evictions counts cache slots recycled; DirtyWritebacks the subset
+	// that had to push a dirty vector remote first.
+	Evictions, DirtyWritebacks int64
+	// WarmStart reports whether the cache was adopted from a previous
+	// cleanly closed run.
+	WarmStart bool
+	// EstRTT is the live remote-latency estimate (EWMA over requests).
+	EstRTT time.Duration
+}
+
+// tierFetch is one in-flight remote read (single-flight unit).
+type tierFetch struct {
+	vi   int
+	buf  []float64
+	err  error
+	done chan struct{}
+}
+
+// tierWB is a dirty victim's payload in flight to the remote tier;
+// reads of the vector are served from buf until the write lands.
+type tierWB struct {
+	vi   int
+	buf  []float64
+	done chan struct{}
+}
+
+// TieredStore implements Store over a local write-back cache backed by
+// a remote store. Safe for the Store contract's concurrency (distinct
+// vectors; plus concurrent reads of the same vector, which single-
+// flight turns into one remote request).
+type TieredStore struct {
+	remote Store
+	cfg    TieredConfig
+
+	// mu guards the cache tier: placement maps, recency, dirty flags,
+	// pending write-backs and the cache store's I/O. Cache I/O is local
+	// and fast; remote I/O never runs under mu.
+	mu     sync.Mutex
+	cache  *ChecksumStore
+	slotOf map[int]int // vi -> cache slot
+	viOf   []int       // slot -> vi (-1 = free)
+	stamp  []int64     // slot -> recency
+	dirty  []bool      // slot -> modified since last remote push
+	now    int64
+	free   []int
+	wb     map[int]*tierWB // vi -> in-flight dirty write-back
+	// firstErr latches the first background write-back failure (lane
+	// admissions have no caller to report to); surfaced by Sync/Close.
+	firstErr error
+
+	// fmu guards the miss queue and single-flight map.
+	fmu      sync.Mutex
+	fcond    *sync.Cond
+	queue    []*tierFetch
+	inflight map[int]*tierFetch
+	closed   bool
+	lanes    sync.WaitGroup
+
+	warm     bool
+	latNanos atomic.Int64
+
+	st struct {
+		cacheHits, cacheMisses     atomic.Int64
+		remoteReads, remoteWrites  atomic.Int64
+		remoteVecsR, remoteVecsW   atomic.Int64
+		bytesCache, bytesFetched   atomic.Int64
+		bytesPushed                atomic.Int64
+		coalesced, singleFlight    atomic.Int64
+		evictions, dirtyWritebacks atomic.Int64
+	}
+
+	// remoteLatObs mirrors per-request remote latency into a registry
+	// histogram when instrumented (nil otherwise). Read under fmu.
+	remoteLatObs func(seconds float64)
+}
+
+const tierIndexName = "cache.idx"
+
+// tierIndex is the warm-restart index persisted next to the cache
+// file. Manifest binds it to the exact sidecar state it was written
+// under; any divergence cold-starts the cache.
+type tierIndex struct {
+	NumVectors   int      `json:"num_vectors"`
+	VectorLen    int      `json:"vector_len"`
+	CacheVectors int      `json:"cache_vectors"`
+	Slots        []int    `json:"slots"` // slot -> vi (-1 = free)
+	Manifest     Manifest `json:"manifest"`
+}
+
+// NewTieredStore opens a tiered store over remote. If CacheDir holds a
+// cleanly closed cache from a previous run with the same geometry it
+// is adopted warm; otherwise the cache starts cold. The remote store
+// is NOT closed by Close — the caller owns it (it may be shared).
+func NewTieredStore(remote Store, cfg TieredConfig) (*TieredStore, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.CacheDir, 0o755); err != nil {
+		return nil, fmt.Errorf("ooc: creating cache dir: %w", err)
+	}
+	s := &TieredStore{
+		remote:   remote,
+		cfg:      cfg,
+		slotOf:   make(map[int]int),
+		viOf:     make([]int, cfg.CacheVectors),
+		stamp:    make([]int64, cfg.CacheVectors),
+		dirty:    make([]bool, cfg.CacheVectors),
+		wb:       make(map[int]*tierWB),
+		inflight: make(map[int]*tierFetch),
+	}
+	s.fcond = sync.NewCond(&s.fmu)
+	for i := range s.viOf {
+		s.viOf[i] = -1
+	}
+	if err := s.openCache(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Lanes; i++ {
+		s.lanes.Add(1)
+		go s.lane()
+	}
+	return s, nil
+}
+
+// openCache adopts a warm cache when the on-disk index and sidecar
+// agree, else creates a fresh (cold) cache. The index file is removed
+// either way: it only ever describes a cleanly closed cache, so its
+// absence is the crash marker.
+func (s *TieredStore) openCache() error {
+	cachePath := filepath.Join(s.cfg.CacheDir, "cache.vec")
+	sumPath := cachePath + ".sum"
+	idxPath := filepath.Join(s.cfg.CacheDir, tierIndexName)
+
+	if idx, ok := s.loadIndex(idxPath); ok {
+		os.Remove(idxPath)
+		if fs, err := OpenFileStore(cachePath, s.cfg.CacheVectors, s.cfg.VectorLen); err == nil {
+			if cs, err := OpenChecksumStore(fs, sumPath, s.cfg.CacheVectors, s.cfg.VectorLen); err == nil {
+				if err := cs.VerifyManifest(idx.Manifest); err == nil {
+					s.cache = cs
+					s.warm = true
+					for slot, vi := range idx.Slots {
+						s.viOf[slot] = vi
+						if vi >= 0 {
+							s.slotOf[vi] = slot
+						} else {
+							s.free = append(s.free, slot)
+						}
+					}
+					return nil
+				}
+				cs.Close()
+			} else {
+				fs.Close()
+			}
+		}
+	} else {
+		os.Remove(idxPath)
+	}
+
+	fs, err := NewFileStore(cachePath, s.cfg.CacheVectors, s.cfg.VectorLen)
+	if err != nil {
+		return err
+	}
+	cs, err := NewChecksumStore(fs, sumPath, s.cfg.CacheVectors, s.cfg.VectorLen)
+	if err != nil {
+		fs.Close()
+		return err
+	}
+	s.cache = cs
+	for i := s.cfg.CacheVectors - 1; i >= 0; i-- {
+		s.free = append(s.free, i)
+	}
+	return nil
+}
+
+func (s *TieredStore) loadIndex(path string) (*tierIndex, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var idx tierIndex
+	if json.Unmarshal(data, &idx) != nil {
+		return nil, false
+	}
+	if idx.NumVectors != s.cfg.NumVectors || idx.VectorLen != s.cfg.VectorLen ||
+		idx.CacheVectors != s.cfg.CacheVectors || len(idx.Slots) != s.cfg.CacheVectors {
+		return nil, false
+	}
+	return &idx, true
+}
+
+// WarmStart reports whether the cache was adopted from a previous run.
+func (s *TieredStore) WarmStart() bool { return s.warm }
+
+// ObserveRemoteLatency registers fn to receive every remote request's
+// wall-clock duration in seconds (nil unregisters). Instrumentation
+// uses it to feed a latency histogram without touching the hot path
+// when nothing listens.
+func (s *TieredStore) ObserveRemoteLatency(fn func(seconds float64)) {
+	s.fmu.Lock()
+	s.remoteLatObs = fn
+	s.fmu.Unlock()
+}
+
+// Stats snapshots the tier counters.
+func (s *TieredStore) Stats() TierStats {
+	return TierStats{
+		CacheHits:            s.st.cacheHits.Load(),
+		CacheMisses:          s.st.cacheMisses.Load(),
+		RemoteReads:          s.st.remoteReads.Load(),
+		RemoteWrites:         s.st.remoteWrites.Load(),
+		RemoteVectorsRead:    s.st.remoteVecsR.Load(),
+		RemoteVectorsWritten: s.st.remoteVecsW.Load(),
+		BytesFromCache:       s.st.bytesCache.Load(),
+		BytesFetched:         s.st.bytesFetched.Load(),
+		BytesPushed:          s.st.bytesPushed.Load(),
+		Coalesced:            s.st.coalesced.Load(),
+		SingleFlight:         s.st.singleFlight.Load(),
+		Evictions:            s.st.evictions.Load(),
+		DirtyWritebacks:      s.st.dirtyWritebacks.Load(),
+		WarmStart:            s.warm,
+		EstRTT:               time.Duration(s.latNanos.Load()),
+	}
+}
+
+// ReadVector implements Store: cache tier first, then a single-flight,
+// possibly coalesced remote fetch.
+func (s *TieredStore) ReadVector(vi int, dst []float64) error {
+	if vi < 0 || vi >= s.cfg.NumVectors {
+		return fmt.Errorf("ooc: tiered store read out of range: %d", vi)
+	}
+	if len(dst) != s.cfg.VectorLen {
+		return fmt.Errorf("ooc: tiered store read size %d, want %d", len(dst), s.cfg.VectorLen)
+	}
+	s.mu.Lock()
+	if slot, ok := s.slotOf[vi]; ok {
+		s.now++
+		s.stamp[slot] = s.now
+		err := s.cache.ReadVector(slot, dst)
+		wasDirty := s.dirty[slot]
+		if err != nil && IsCorruption(err) && !wasDirty {
+			// Clean cached copy rotted locally: drop it and refetch the
+			// authoritative remote copy instead of failing the read.
+			delete(s.slotOf, vi)
+			s.viOf[slot] = -1
+			s.free = append(s.free, slot)
+		} else {
+			s.mu.Unlock()
+			if err == nil {
+				s.st.cacheHits.Add(1)
+				s.st.bytesCache.Add(int64(len(dst)) * 8)
+			}
+			return err
+		}
+	}
+	if w, ok := s.wb[vi]; ok {
+		// Dirty write-back in flight: its buffer is the newest copy.
+		copy(dst, w.buf)
+		s.mu.Unlock()
+		s.st.cacheHits.Add(1)
+		s.st.bytesCache.Add(int64(len(dst)) * 8)
+		return nil
+	}
+	s.mu.Unlock()
+
+	s.st.cacheMisses.Add(1)
+	f, joined := s.joinFetch(vi)
+	if joined {
+		s.st.singleFlight.Add(1)
+	}
+	<-f.done
+	if f.err != nil {
+		return f.err
+	}
+	copy(dst, f.buf)
+	return nil
+}
+
+// WriteVector implements Store: write-back semantics — the payload
+// lands dirty in the cache tier and reaches the remote tier on
+// eviction or Sync.
+func (s *TieredStore) WriteVector(vi int, src []float64) error {
+	if vi < 0 || vi >= s.cfg.NumVectors {
+		return fmt.Errorf("ooc: tiered store write out of range: %d", vi)
+	}
+	if len(src) != s.cfg.VectorLen {
+		return fmt.Errorf("ooc: tiered store write size %d, want %d", len(src), s.cfg.VectorLen)
+	}
+	// A write supersedes any in-flight write-back of the same vector;
+	// wait for it so remote writes of one vector stay ordered.
+	s.mu.Lock()
+	w := s.wb[vi]
+	s.mu.Unlock()
+	if w != nil {
+		<-w.done
+	}
+	return s.admit(vi, src, true)
+}
+
+// Close drains the lanes, pushes dirty state remote, seals the cache
+// (sidecar + warm index) and closes it. The remote store stays open —
+// the caller owns it.
+func (s *TieredStore) Close() error {
+	s.fmu.Lock()
+	s.closed = true
+	s.fcond.Broadcast()
+	s.fmu.Unlock()
+	s.lanes.Wait()
+	first := s.Sync()
+	if err := s.cache.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Sync pushes every dirty cached vector to the remote tier (coalescing
+// adjacent runs into ranged writes), syncs the cache file + sidecar,
+// and persists the warm-restart index. Callers must be quiesced (no
+// concurrent reads/writes), the same contract as Manager.Flush.
+func (s *TieredStore) Sync() error {
+	s.mu.Lock()
+	for {
+		var ch chan struct{}
+		for _, w := range s.wb {
+			ch = w.done
+			break
+		}
+		if ch == nil {
+			break
+		}
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+	type dv struct{ vi, slot int }
+	var dirties []dv
+	for slot, d := range s.dirty {
+		if d && s.viOf[slot] >= 0 {
+			dirties = append(dirties, dv{s.viOf[slot], slot})
+		}
+	}
+	sort.Slice(dirties, func(i, j int) bool { return dirties[i].vi < dirties[j].vi })
+	vecLen := s.cfg.VectorLen
+	var first error
+	for i := 0; i < len(dirties); {
+		j := i + 1
+		for j < len(dirties) && j-i < s.cfg.MaxCoalesce && dirties[j].vi == dirties[j-1].vi+1 {
+			j++
+		}
+		buf := make([]float64, (j-i)*vecLen)
+		for k := i; k < j; k++ {
+			if err := s.cache.ReadVector(dirties[k].slot, buf[(k-i)*vecLen:(k-i+1)*vecLen]); err != nil && first == nil {
+				first = err
+			}
+		}
+		start := time.Now()
+		err := WriteRangeOf(nil, s.remote, vecLen, dirties[i].vi, j-i, buf)
+		s.remoteObserved(time.Since(start))
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+		} else {
+			s.st.remoteWrites.Add(1)
+			s.st.remoteVecsW.Add(int64(j - i))
+			s.st.bytesPushed.Add(int64(len(buf)) * 8)
+			s.st.coalesced.Add(int64(j - i - 1))
+			for k := i; k < j; k++ {
+				s.dirty[dirties[k].slot] = false
+			}
+		}
+		i = j
+	}
+	if s.firstErr != nil && first == nil {
+		first = s.firstErr
+	}
+	s.mu.Unlock()
+	if err := SyncStore(s.remote); err != nil && first == nil {
+		first = err
+	}
+	if err := s.cache.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if first == nil {
+		first = s.writeIndex()
+	}
+	return first
+}
+
+// writeIndex persists the warm-restart index, bound to the sidecar's
+// current manifest, with a temp-file rename so it is atomic.
+func (s *TieredStore) writeIndex() error {
+	s.mu.Lock()
+	idx := tierIndex{
+		NumVectors:   s.cfg.NumVectors,
+		VectorLen:    s.cfg.VectorLen,
+		CacheVectors: s.cfg.CacheVectors,
+		Slots:        append([]int(nil), s.viOf...),
+		Manifest:     s.cache.Manifest(),
+	}
+	s.mu.Unlock()
+	data, err := json.Marshal(idx)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.CacheDir, tierIndexName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("ooc: writing cache index: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// FetchCost implements the engine's fetch-vs-recompute hook: a cached
+// (or write-back-pending) vector costs nothing remote; anything else
+// costs one remote round trip at the live latency estimate.
+func (s *TieredStore) FetchCost(vi int) (time.Duration, bool) {
+	s.mu.Lock()
+	_, cached := s.slotOf[vi]
+	if !cached {
+		_, cached = s.wb[vi]
+	}
+	s.mu.Unlock()
+	if cached {
+		return 0, false
+	}
+	if d := time.Duration(s.latNanos.Load()); d > 0 {
+		return d, true
+	}
+	return s.cfg.EstRTT, true
+}
+
+// MemOverheadBytes estimates the tier's heap footprint beyond the
+// manager's slot pool: placement maps and per-slot metadata, plus the
+// float64 buffers held by in-flight fetches and write-backs. Watchdog
+// and Resize subtract it from the memory budget.
+func (s *TieredStore) MemOverheadBytes() int64 {
+	const mapEntry = 48 // rough per-entry cost of a map[int]int
+	s.mu.Lock()
+	n := int64(len(s.slotOf))*mapEntry + int64(len(s.wb))*(mapEntry+int64(s.cfg.VectorLen)*8)
+	s.mu.Unlock()
+	s.fmu.Lock()
+	n += int64(len(s.inflight)) * (mapEntry + int64(s.cfg.VectorLen)*8)
+	s.fmu.Unlock()
+	n += int64(s.cfg.CacheVectors) * (8 + 8 + 1) // viOf, stamp, dirty
+	n += int64(s.cfg.Lanes) * int64(s.cfg.MaxCoalesce) * int64(s.cfg.VectorLen) * 8
+	return n
+}
+
+// joinFetch registers interest in vector vi, joining an in-flight
+// fetch when one exists (single-flight).
+func (s *TieredStore) joinFetch(vi int) (*tierFetch, bool) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if f, ok := s.inflight[vi]; ok {
+		return f, true
+	}
+	f := &tierFetch{vi: vi, buf: make([]float64, s.cfg.VectorLen), done: make(chan struct{})}
+	s.inflight[vi] = f
+	s.queue = append(s.queue, f)
+	s.fcond.Signal()
+	return f, false
+}
+
+// lane is one remote fetch worker: it takes a maximal adjacent run
+// from the miss queue, issues one ranged read, admits the results to
+// the cache and wakes the waiters.
+func (s *TieredStore) lane() {
+	defer s.lanes.Done()
+	vecLen := s.cfg.VectorLen
+	for {
+		s.fmu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.fcond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.fmu.Unlock()
+			return
+		}
+		sort.Slice(s.queue, func(i, j int) bool { return s.queue[i].vi < s.queue[j].vi })
+		run := []*tierFetch{s.queue[0]}
+		i := 1
+		for i < len(s.queue) && len(run) < s.cfg.MaxCoalesce && s.queue[i].vi == run[len(run)-1].vi+1 {
+			run = append(run, s.queue[i])
+			i++
+		}
+		s.queue = append(s.queue[:0:0], s.queue[i:]...)
+		if len(s.queue) > 0 {
+			// More work remains: wake a sibling lane so runs overlap.
+			s.fcond.Signal()
+		}
+		s.fmu.Unlock()
+
+		buf := make([]float64, len(run)*vecLen)
+		start := time.Now()
+		err := ReadRangeOf(nil, s.remote, vecLen, run[0].vi, len(run), buf)
+		s.remoteObserved(time.Since(start))
+		s.st.remoteReads.Add(1)
+		if err == nil {
+			s.st.remoteVecsR.Add(int64(len(run)))
+			s.st.bytesFetched.Add(int64(len(buf)) * 8)
+			s.st.coalesced.Add(int64(len(run) - 1))
+		}
+		for k, f := range run {
+			if err != nil {
+				f.err = err
+				continue
+			}
+			copy(f.buf, buf[k*vecLen:(k+1)*vecLen])
+			if aerr := s.admit(f.vi, f.buf, false); aerr != nil {
+				// The fetch itself succeeded — the waiter gets its data;
+				// an admission (eviction write-back) failure is latched
+				// for Sync/Close like a lost pipeline write-back.
+				s.noteErr(aerr)
+			}
+		}
+		s.fmu.Lock()
+		for _, f := range run {
+			delete(s.inflight, f.vi)
+		}
+		s.fmu.Unlock()
+		for _, f := range run {
+			close(f.done)
+		}
+	}
+}
+
+// remoteObserved charges one remote round trip to the latency EWMA and
+// to the instrumented histogram, when one is attached.
+func (s *TieredStore) remoteObserved(d time.Duration) {
+	s.observeLatency(d)
+	s.fmu.Lock()
+	obs := s.remoteLatObs
+	s.fmu.Unlock()
+	if obs != nil {
+		obs(d.Seconds())
+	}
+}
+
+func (s *TieredStore) observeLatency(d time.Duration) {
+	for {
+		old := s.latNanos.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/4
+		}
+		if s.latNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *TieredStore) noteErr(err error) {
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+}
+
+// admit installs data as vector vi in the cache tier, evicting an LRU
+// victim when full. A dirty victim is copied out under the lock and
+// pushed to the remote tier after it is released — remote-first with
+// respect to slot reuse (the slot's new content is only trusted
+// because the old content is either clean on the remote or carried by
+// the pending write-back buffer that readers consult).
+func (s *TieredStore) admit(vi int, data []float64, markDirty bool) error {
+	var pushWB *tierWB
+	s.mu.Lock()
+	if slot, ok := s.slotOf[vi]; ok {
+		err := s.cache.WriteVector(slot, data)
+		if err == nil {
+			s.now++
+			s.stamp[slot] = s.now
+			if markDirty {
+				s.dirty[slot] = true
+			}
+		}
+		s.mu.Unlock()
+		return err
+	}
+	var slot int
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		// LRU victim.
+		victim, oldest := -1, int64(1<<62)
+		for sl, st := range s.stamp {
+			if s.viOf[sl] >= 0 && st < oldest {
+				victim, oldest = sl, st
+			}
+		}
+		if victim < 0 {
+			s.mu.Unlock()
+			return fmt.Errorf("ooc: tiered store cache has no evictable slot")
+		}
+		vvi := s.viOf[victim]
+		if s.dirty[victim] {
+			wbuf := make([]float64, s.cfg.VectorLen)
+			if err := s.cache.ReadVector(victim, wbuf); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("ooc: evicting dirty vector %d: %w", vvi, err)
+			}
+			pushWB = &tierWB{vi: vvi, buf: wbuf, done: make(chan struct{})}
+			s.wb[vvi] = pushWB
+			s.st.dirtyWritebacks.Add(1)
+		}
+		delete(s.slotOf, vvi)
+		s.dirty[victim] = false
+		s.st.evictions.Add(1)
+		slot = victim
+	}
+	err := s.cache.WriteVector(slot, data)
+	if err != nil {
+		s.viOf[slot] = -1
+		s.free = append(s.free, slot)
+	} else {
+		s.viOf[slot] = vi
+		s.slotOf[vi] = slot
+		s.now++
+		s.stamp[slot] = s.now
+		s.dirty[slot] = markDirty
+	}
+	s.mu.Unlock()
+
+	if pushWB != nil {
+		start := time.Now()
+		werr := WriteRangeOf(nil, s.remote, s.cfg.VectorLen, pushWB.vi, 1, pushWB.buf)
+		s.remoteObserved(time.Since(start))
+		if werr == nil {
+			s.st.remoteWrites.Add(1)
+			s.st.remoteVecsW.Add(1)
+			s.st.bytesPushed.Add(int64(len(pushWB.buf)) * 8)
+		}
+		s.mu.Lock()
+		if s.wb[pushWB.vi] == pushWB {
+			delete(s.wb, pushWB.vi)
+		}
+		s.mu.Unlock()
+		close(pushWB.done)
+		if werr != nil && err == nil {
+			err = fmt.Errorf("ooc: writing back evicted vector %d: %w", pushWB.vi, werr)
+		}
+	}
+	return err
+}

@@ -1,0 +1,150 @@
+package ooc
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/obs"
+)
+
+// TestInstrumentTieredStore checks that the mirrored tier counters and
+// the native remote-latency histogram land on a registry snapshot.
+func TestInstrumentTieredStore(t *testing.T) {
+	const n, vecLen = 12, 8
+	ts, _, _ := newTierFixture(t, n, vecLen, 4, 1,
+		iosim.Device{Latency: 2 * time.Millisecond, Bandwidth: 1e9})
+	defer ts.Close()
+	reg := obs.NewRegistry()
+	InstrumentTieredStore(reg, ts)
+
+	for vi := 0; vi < n; vi++ {
+		if err := ts.WriteVector(vi, tierVec(vecLen, vi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read back newest-first: the last writes still sit in the 4-slot
+	// cache (hits), the rest come back from the remote tier (misses).
+	buf := make([]float64, vecLen)
+	for vi := n - 1; vi >= 0; vi-- {
+		if err := ts.ReadVector(vi, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	st := ts.Stats()
+	for name, want := range map[string]int64{
+		"tier.cache_hits":             st.CacheHits,
+		"tier.cache_misses":           st.CacheMisses,
+		"tier.remote_reads":           st.RemoteReads,
+		"tier.remote_writes":          st.RemoteWrites,
+		"tier.remote_vectors_read":    st.RemoteVectorsRead,
+		"tier.bytes_fetched":          st.BytesFetched,
+		"tier.bytes_from_cache":       st.BytesFromCache,
+		"tier.coalesced":              st.Coalesced,
+		"tier.evictions":              st.Evictions,
+		"tier.dirty_writebacks":       st.DirtyWritebacks,
+		"tier.remote_vectors_written": st.RemoteVectorsWritten,
+	} {
+		if got := s.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if st.RemoteReads == 0 || st.CacheHits == 0 {
+		t.Fatalf("workload produced no tier traffic: %+v", st)
+	}
+	h, ok := s.Histograms["tier.remote_seconds"]
+	if !ok || h.Count == 0 {
+		t.Errorf("remote latency histogram empty: ok=%v count=%d", ok, h.Count)
+	}
+	// Every remote request (reads, eviction write-backs, sync pushes)
+	// must have been observed exactly once.
+	if want := st.RemoteReads + st.RemoteWrites; h.Count != want {
+		t.Errorf("histogram count %d, want %d remote requests", h.Count, want)
+	}
+	if g := s.FloatGauges["tier.est_rtt_seconds"]; g <= 0 {
+		t.Errorf("tier.est_rtt_seconds = %v, want > 0", g)
+	}
+}
+
+// TestManagerSyncWritesAndTierBudget exercises the manager-level tier
+// hooks: SyncWrites makes Flush durable through the tier (index written,
+// remote pushed), FetchCost distinguishes resident/cached/remote, and
+// MemOverheadBytes feeds the watchdog's effective budget.
+func TestManagerSyncWritesAndTierBudget(t *testing.T) {
+	const n, vecLen = 16, 8
+	ts, srv, _ := newTierFixture(t, n, vecLen, 8, 1, iosim.Device{})
+	m, err := NewManager(Config{
+		NumVectors: n, VectorLen: vecLen, Slots: 4,
+		Strategy: NewLRU(n), Store: ts, SyncWrites: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := 0; vi < n; vi++ {
+		v, err := m.Vector(vi, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range v {
+			v[j] = float64(vi)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// SyncWrites drove the tier's Sync: every vector is on the remote.
+	if got, want := srv.Size("vec"), int64(n*vecLen*8); got != want {
+		t.Errorf("remote object size %d, want %d", got, want)
+	}
+
+	// Resident vectors are free; non-resident ones cost the tier's view
+	// (cached → local, truly remote → positive estimate).
+	var resident, absent int
+	for vi := 0; vi < n; vi++ {
+		d, rem := m.FetchCost(vi)
+		if m.Resident(vi) {
+			resident++
+			if rem || d != 0 {
+				t.Errorf("resident vector %d FetchCost = (%v, %v)", vi, d, rem)
+			}
+		} else {
+			absent++
+		}
+	}
+	if resident == 0 || absent == 0 {
+		t.Fatalf("expected a mix of resident and evicted vectors: %d/%d", resident, absent)
+	}
+	if m.MemOverheadBytes() <= 0 {
+		t.Error("a tiered store must report cache-tier overhead")
+	}
+
+	// The watchdog charges that overhead against its soft budget: with
+	// budget - overhead pushed below HeapAlloc, a shrink fires even
+	// though HeapAlloc alone sits under SoftBudget.
+	overhead := m.MemOverheadBytes()
+	wd, err := NewWatchdog(m, WatchdogConfig{
+		SoftBudget: overhead + 1000,
+		CheckEvery: 1,
+		ReadMem: func(ms *runtime.MemStats) {
+			ms.HeapAlloc = 1500 // > budget-overhead, < budget
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wd.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if ws := wd.Stats(); ws.Shrinks != 1 {
+		t.Errorf("watchdog ignored store overhead: %+v", ws)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -125,9 +125,19 @@ func (w *Watchdog) Check(pinned ...int) error {
 	var ms runtime.MemStats
 	w.cfg.ReadMem(&ms)
 	cur := w.mgr.Slots()
+	// The store tier's bookkeeping (cache index, in-flight remote
+	// buffers) lives on the same heap but is not the watchdog's to
+	// reclaim — shrinking slots cannot free it. Charge it against the
+	// budget so the slot pool absorbs the squeeze, flooring at a small
+	// positive budget so a pathological overhead report cannot wedge
+	// the comparison.
+	budget := w.cfg.SoftBudget - w.mgr.MemOverheadBytes()
+	if budget < 1 {
+		budget = 1
+	}
 	target := cur
 	switch {
-	case int64(ms.HeapAlloc) > w.cfg.SoftBudget && cur > w.cfg.MinSlots:
+	case int64(ms.HeapAlloc) > budget && cur > w.cfg.MinSlots:
 		target = cur - step(cur, w.cfg.ShrinkFraction)
 		if target < w.cfg.MinSlots {
 			target = w.cfg.MinSlots
@@ -139,7 +149,7 @@ func (w *Watchdog) Check(pinned ...int) error {
 		if target >= cur {
 			target = cur
 		}
-	case float64(ms.HeapAlloc) < w.cfg.GrowBelow*float64(w.cfg.SoftBudget) && cur < w.cfg.MaxSlots:
+	case float64(ms.HeapAlloc) < w.cfg.GrowBelow*float64(budget) && cur < w.cfg.MaxSlots:
 		target = cur + step(cur, w.cfg.GrowFraction)
 		if target > w.cfg.MaxSlots {
 			target = w.cfg.MaxSlots

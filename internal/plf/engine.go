@@ -47,6 +47,10 @@ type Stats struct {
 	// of its children, so corruption costs extra newviews, not the
 	// run).
 	Recoveries int64
+	// PolicyRecomputes counts valid vectors the fetch-vs-recompute
+	// policy chose to recompute locally instead of fetching from a
+	// remote store tier (see EnableRecomputePolicy).
+	PolicyRecomputes int64
 	// PCacheHits / PCacheMisses count branch-length transition-matrix
 	// cache lookups (see pcache.go); PCacheDrops counts wholesale
 	// resets after the cache filled. All zero under KernelGeneric,
@@ -97,6 +101,9 @@ type Engine struct {
 	// prefetchDepth is how many future plan steps to stage inputs for
 	// (see SetPrefetchDepth); values < 1 behave as 1.
 	prefetchDepth int
+	// recomputeThresh is the fetch-vs-recompute policy threshold (see
+	// EnableRecomputePolicy); <= 0 disables the policy.
+	recomputeThresh time.Duration
 	// workers is the PLF kernel fan-out (see SetWorkers); pool is the
 	// persistent goroutine pool serving it when workers > 1.
 	workers int
@@ -584,7 +591,7 @@ func (e *Engine) Traverse(edge *tree.Edge) error {
 	budget := e.recoveryBudget()
 	attempts := 0
 	for {
-		steps := tree.EdgeTraversal(e.T, edge, e.orient)
+		steps := e.planTraversal(edge)
 		err := e.Execute(steps)
 		if err == nil {
 			return nil

@@ -1,0 +1,112 @@
+package plf
+
+// Fetch-vs-recompute policy. With a tiered vector store, reading a
+// valid-but-evicted ancestral vector can mean a remote round trip;
+// recomputing it from its children is one newview over data that is
+// already local. Any inner vector is a pure function of its children
+// (the same identity the corruption-recovery path exploits), so the
+// engine may freely trade a fetch for a recompute without changing a
+// single bit of the result — only the I/O pattern moves.
+//
+// The policy runs at plan time: after EdgeTraversal emits the minimal
+// step list, every vector the plan would *read* (a valid inner child
+// not recomputed by the plan) is priced through the provider's
+// FetchCost oracle. A read that is remote and above the configured
+// threshold — and whose own inputs are local (tips, or vectors the
+// store can serve without a remote trip) and already oriented the right
+// way — is converted into a recompute by invalidating the node and
+// replanning. The orientation guard keeps the conversion exactly one
+// extra newview; the locality guard keeps it from cascading into the
+// very remote reads it is trying to avoid.
+
+import (
+	"time"
+
+	"oocphylo/internal/tree"
+)
+
+// fetchCoster is the structural interface a provider (or the store
+// below it) implements to price vector fetches. ooc.Manager forwards
+// it to the backing store; tiered stores answer with a live RTT
+// estimate for vectors that would need a remote trip.
+type fetchCoster interface {
+	FetchCost(vi int) (time.Duration, bool)
+}
+
+// EnableRecomputePolicy turns on fetch-vs-recompute planning: any
+// planned read the provider prices at or above threshold (and flags as
+// remote) is recomputed locally instead, when that recompute is a
+// single newview over local inputs. A zero or negative threshold
+// disables the policy. The policy is a no-op when the provider does not
+// implement FetchCost.
+func (e *Engine) EnableRecomputePolicy(threshold time.Duration) {
+	e.recomputeThresh = threshold
+}
+
+// planTraversal builds the minimal plan for edge and applies the
+// recompute policy to it.
+func (e *Engine) planTraversal(edge *tree.Edge) []tree.Step {
+	steps := tree.EdgeTraversal(e.T, edge, e.orient)
+	if e.recomputeThresh <= 0 {
+		return steps
+	}
+	fc, ok := e.prov.(fetchCoster)
+	if !ok {
+		return steps
+	}
+	// Each conversion invalidates one node, and invalidated nodes join
+	// the plan (never reconsidered), so the fixpoint is bounded by the
+	// inner-node count. In practice it converges in two rounds: the
+	// locality guard means replanning only introduces local reads.
+	for round := 0; round < e.T.NumInner(); round++ {
+		changed := false
+		inPlan := make(map[*tree.Node]bool, len(steps))
+		for i := range steps {
+			inPlan[steps[i].Node] = true
+		}
+		for i := range steps {
+			for _, c := range []*tree.Node{steps[i].Left, steps[i].Right} {
+				if c.IsTip() || inPlan[c] {
+					continue
+				}
+				d, remote := fc.FetchCost(e.vi(c))
+				if !remote || d < e.recomputeThresh {
+					continue
+				}
+				if !e.recomputeIsLocal(c, steps[i].Node, fc) {
+					continue
+				}
+				e.orient[c.Index] = nil
+				e.Stats.PolicyRecomputes++
+				inPlan[c] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		steps = tree.EdgeTraversal(e.T, edge, e.orient)
+	}
+	return steps
+}
+
+// recomputeIsLocal reports whether recomputing node c (oriented toward
+// parent) is exactly one newview over local inputs: each child of c
+// away from parent must be a tip, or an inner vector that is both
+// oriented toward c (so invalidating c does not drag its subtree into
+// the plan) and servable without a remote trip.
+func (e *Engine) recomputeIsLocal(c, parent *tree.Node, fc fetchCoster) bool {
+	for _, adj := range c.Adj {
+		g := adj.Other(c)
+		if g == parent || g.IsTip() {
+			continue
+		}
+		if e.orient[g.Index] != c {
+			return false
+		}
+		if _, remote := fc.FetchCost(e.vi(g)); remote {
+			return false
+		}
+	}
+	return true
+}

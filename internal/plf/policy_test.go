@@ -1,0 +1,143 @@
+package plf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"oocphylo/internal/tree"
+)
+
+// costedProvider wraps InMemoryProvider with a scripted per-vector
+// fetch cost, standing in for a tiered store with some vectors remote.
+type costedProvider struct {
+	*InMemoryProvider
+	cost map[int]time.Duration // vi -> remote RTT; absent = local
+}
+
+func (p *costedProvider) FetchCost(vi int) (time.Duration, bool) {
+	d, ok := p.cost[vi]
+	return d, ok
+}
+
+func TestRecomputePolicyTradesFetchForNewview(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	names := tipNames(12)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 60, rng, 0)
+	m := randomModel(t, rng, 0, true)
+	cl, err := CarrierLength(m, pats.NumPatterns(), PrecisionF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &costedProvider{
+		InMemoryProvider: NewInMemoryProvider(tr.NumInner(), cl),
+		cost:             map[int]time.Duration{},
+	}
+	e, err := New(tr, pats, m, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mark every vector remote-expensive. With the policy off, a second
+	// evaluation at a different edge fetches the valid vectors it reads.
+	for vi := 0; vi < tr.NumInner(); vi++ {
+		prov.cost[vi] = 20 * time.Millisecond
+	}
+	edge := tr.Edges[len(tr.Edges)/2]
+	if _, err := e.LogLikelihoodAt(edge); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.PolicyRecomputes != 0 {
+		t.Fatalf("policy fired while disabled: %d", e.Stats.PolicyRecomputes)
+	}
+
+	// Policy on: plan-time conversion recomputes remote-expensive reads
+	// whose inputs are local. Force a replan back at the first edge with
+	// everything priced remote except tips' parents' inputs — the policy
+	// must fire at least once and the likelihood must not move a bit.
+	e.EnableRecomputePolicy(10 * time.Millisecond)
+	nvBefore := e.Stats.Newviews
+	got, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("policy changed the likelihood: %v != %v", got, want)
+	}
+	if e.Stats.PolicyRecomputes == 0 {
+		t.Error("policy never converted a fetch into a recompute")
+	}
+	if e.Stats.Newviews == nvBefore {
+		t.Error("conversions must show up as extra newviews")
+	}
+
+	// Below threshold: no conversions.
+	for vi := range prov.cost {
+		prov.cost[vi] = time.Millisecond
+	}
+	fired := e.Stats.PolicyRecomputes
+	if _, err := e.LogLikelihoodAt(edge); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.PolicyRecomputes != fired {
+		t.Errorf("policy fired below threshold: %d -> %d", fired, e.Stats.PolicyRecomputes)
+	}
+}
+
+// TestRecomputePolicyLocalityGuard pins the conversion to exactly one
+// newview: a candidate whose own input is itself remote (or oriented
+// away) must not be converted, or the recompute would cascade into the
+// reads it was meant to avoid.
+func TestRecomputePolicyLocalityGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	names := tipNames(16)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 40, rng, 0)
+	m := randomModel(t, rng, 0, false)
+	cl, err := CarrierLength(m, pats.NumPatterns(), PrecisionF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &costedProvider{
+		InMemoryProvider: NewInMemoryProvider(tr.NumInner(), cl),
+		cost:             map[int]time.Duration{},
+	}
+	e, err := New(tr, pats, m, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableRecomputePolicy(10 * time.Millisecond)
+	want, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything remote-expensive: no candidate has local inputs, so
+	// the guard must hold the policy back entirely (deep inner nodes)
+	// or fire only where inputs are tips.
+	for vi := 0; vi < tr.NumInner(); vi++ {
+		prov.cost[vi] = time.Hour
+	}
+	got, err := e.LogLikelihoodAt(tr.Edges[len(tr.Edges)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("likelihood moved: %v != %v", got, want)
+	}
+	// Whatever fired, the recovery budget must never have been needed:
+	// the policy cannot loop (bounded fixpoint) and cannot corrupt.
+	if e.Stats.Recoveries != 0 {
+		t.Errorf("policy interacted with corruption recovery: %+v", e.Stats)
+	}
+}

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/ooc/remote"
+)
+
+// TestServiceRemoteStoreParkRevive pins the tiered-storage revive
+// story: a session whose vectors live on a (latency-injected, loopback)
+// object store is parked, the daemon dies, the local cache tier is
+// WIPED — and a fresh daemon over the same data directory still revives
+// the session bit-identically, refetching the vectors from the remote
+// tier under the park manifest's checksums.
+func TestServiceRemoteStoreParkRevive(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, vecBytes, need := writeTestAlignment(t, dir, 12, 300, 11)
+
+	rsrv, err := remote.NewServer(remote.ServerConfig{
+		Device: iosim.Device{Latency: time.Millisecond, Bandwidth: 1e9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	scfg := ServerConfig{
+		DataDir:     dir,
+		StoreURL:    "remote://" + rsrv.Addr(),
+		RemoteLanes: 2,
+	}
+
+	srv1, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseSession("wan", alnPath)
+	cfg.MemLimit = need / 2
+	if cfg.MemLimit < int64(ooc.MinSlots)*vecBytes {
+		t.Fatalf("dataset too small to go out of core")
+	}
+	ses, err := srv1.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ses.Evaluate(EvalSpec{Edge: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.Close(); err != nil { // parks: flush + sync through the tier
+		t.Fatalf("close: %v", err)
+	}
+	// Park pushed every vector remote.
+	if got := rsrv.Size("wan.vec"); got <= 0 {
+		t.Fatalf("remote object empty after park: %d bytes", got)
+	}
+	// The node loses its scratch disk: local cache tier gone. The
+	// checkpoint, sidecar and alignment in DataDir survive.
+	if err := os.RemoveAll(filepath.Join(dir, "wan.cache")); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	infos := srv2.Sessions()
+	if len(infos) != 1 || infos[0].State != "parked" {
+		t.Fatalf("restarted daemon sessions = %+v", infos)
+	}
+	ses2, ok := srv2.Session("wan")
+	if !ok {
+		t.Fatal("session not adopted")
+	}
+	after, err := ses2.Evaluate(EvalSpec{Edge: 1})
+	if err != nil {
+		t.Fatalf("evaluate after cache loss: %v", err)
+	}
+	if after.LnLBits != before.LnLBits {
+		t.Errorf("remote revive changed the likelihood: %s -> %s", before.LnLBits, after.LnLBits)
+	}
+}
+
+// TestServiceRemoteStoreCacheBytes pins the cache sizing knob: a tiny
+// CacheBytes budget forces eviction write-backs to the remote tier
+// during the run, and the session still answers correctly.
+func TestServiceRemoteStoreCacheBytes(t *testing.T) {
+	dir := t.TempDir()
+	alnPath, vecBytes, need := writeTestAlignment(t, dir, 12, 300, 19)
+
+	rsrv, err := remote.NewServer(remote.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+
+	// Local reference daemon answers the same session config.
+	ref, err := NewServer(ServerConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	srv, err := NewServer(ServerConfig{
+		DataDir:    dir,
+		StoreURL:   "remote://" + rsrv.Addr(),
+		CacheBytes: 4 * vecBytes, // four cached vectors: constant churn
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cfg := baseSession("tiny", alnPath)
+	cfg.MemLimit = need / 2
+	ses, err := srv.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ses.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rses, err := ref.CreateSession(baseSession("tiny", alnPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rses.Evaluate(EvalSpec{Edge: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LnLBits != want.LnLBits {
+		t.Errorf("starved cache changed the likelihood: %s != %s", got.LnLBits, want.LnLBits)
+	}
+}
+
+// TestServiceRemoteStoreNamespace pins the two accepted endpoint forms:
+// a bare remote://host:port maps a session to <name>.vec, and an
+// endpoint with one namespace segment maps it to <ns>.<name>.vec so
+// several daemons can share an object server. Anything deeper fails at
+// NewServer, not at the first session create.
+func TestServiceRemoteStoreNamespace(t *testing.T) {
+	if got := sessionObjectURL("remote://h:1", "s"); got != "remote://h:1/s.vec" {
+		t.Errorf("bare endpoint: got %q", got)
+	}
+	if got := sessionObjectURL("remote://h:1/", "s"); got != "remote://h:1/s.vec" {
+		t.Errorf("trailing slash: got %q", got)
+	}
+	if got := sessionObjectURL("remote://h:1/ns", "s"); got != "remote://h:1/ns.s.vec" {
+		t.Errorf("namespace endpoint: got %q", got)
+	}
+	if _, err := NewServer(ServerConfig{DataDir: t.TempDir(), StoreURL: "remote://h:1/a/b"}); err == nil {
+		t.Error("nested store path accepted; want startup error")
+	}
+
+	dir := t.TempDir()
+	alnPath, _, need := writeTestAlignment(t, dir, 12, 300, 13)
+	rsrv, err := remote.NewServer(remote.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rsrv.Close()
+	srv, err := NewServer(ServerConfig{
+		DataDir:  dir,
+		StoreURL: "remote://" + rsrv.Addr() + "/plf",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cfg := baseSession("ns", alnPath)
+	cfg.MemLimit = need / 2
+	ses, err := srv.CreateSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.Evaluate(EvalSpec{Edge: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rsrv.Size("plf.ns.vec"); got <= 0 {
+		t.Fatalf("namespaced remote object empty after park: %d bytes", got)
+	}
+}

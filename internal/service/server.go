@@ -54,6 +54,18 @@ type ServerConfig struct {
 	// (0 = never). Parking frees their RAM; the next request revives
 	// them from the checkpoint.
 	IdleTimeout time.Duration
+	// StoreURL, when set (remote://host:port), puts every out-of-core
+	// session's vectors on that object store behind a local write-back
+	// cache in DataDir (<name>.cache/). Each session uses the object
+	// <name>.vec; checksum sidecars stay local, so park manifests
+	// verify revived remote vectors exactly as they do local files.
+	StoreURL string
+	// CacheBytes bounds each session's local cache tier (0 = size the
+	// cache to hold every vector).
+	CacheBytes int64
+	// RemoteLanes is the per-session parallel remote fetch fan-out
+	// (0 = the tiered store's default).
+	RemoteLanes int
 }
 
 // admissionError is a quota rejection — mapped to 503, because the
@@ -99,6 +111,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
+	}
+	if cfg.StoreURL != "" {
+		// Fail at startup, not at the first session create: the
+		// endpoint must yield a valid object URL for any session name.
+		if _, err := ooc.ParseRemoteURL(sessionObjectURL(cfg.StoreURL, "probe")); err != nil {
+			return nil, fmt.Errorf("service: invalid store URL %q (want remote://host:port or remote://host:port/namespace): %w", cfg.StoreURL, err)
+		}
 	}
 	cfg.Batch.fill()
 	s := &Server{

@@ -90,11 +90,11 @@ type Session struct {
 	quota     int64 // configured vector quota (== needBytes when in-core)
 	grant     int64 // what the governor currently allows
 	// activity ledger (survives park/revive)
-	lnl              float64
-	round            int
-	evals, batches   int64
-	parks, revives   int64
-	resizes          int64
+	lnl            float64
+	round          int
+	evals, batches int64
+	parks, revives int64
+	resizes        int64
 
 	// engine state: owned by the loop goroutine, pointers mirrored
 	// under mu for the metrics publisher.
@@ -105,7 +105,11 @@ type Session struct {
 	mgr   *ooc.Manager
 	cs    *ooc.ChecksumStore
 	store ooc.Store
-	wd    *ooc.Watchdog
+	// remote is the object-store tier under a tiered stack (nil for
+	// local backing files). TieredStore.Close does not close it — the
+	// session owns it and closes it last.
+	remote ooc.Store
+	wd     *ooc.Watchdog
 
 	batcher *Batcher
 	mx      sessionMetrics
@@ -481,10 +485,23 @@ func (s *Session) setupEngine(t *tree.Tree, m *model.Model, man *ooc.Manifest) e
 		if err != nil {
 			return err
 		}
+		// A tiered store's cache index and in-flight buffers live on the
+		// same heap as the slots: charge them against the grant so the
+		// session's true footprint stays inside it.
+		if ov := ooc.StoreMemOverhead(store); ov > 0 {
+			slots = int((grant - ov) / vecBytes)
+			if slots < ooc.MinSlots {
+				slots = ooc.MinSlots
+			}
+			if slots > n {
+				slots = n
+			}
+		}
 		mgr, err := ooc.NewManager(ooc.Config{
 			NumVectors: n, VectorLen: vecLen, Slots: slots,
 			Strategy: strat, ReadSkipping: true, Store: store,
-			Retry: ooc.RetryPolicy{Max: 3},
+			Retry:      ooc.RetryPolicy{Max: 3},
+			SyncWrites: true,
 		})
 		if err != nil {
 			store.Close()
@@ -549,6 +566,9 @@ func (s *Session) openStore(n, vecLen int, man *ooc.Manifest) (ooc.Store, *ooc.C
 	if precision == "" {
 		precision = plf.PrecisionF64
 	}
+	if s.srv.cfg.StoreURL != "" {
+		return s.openRemoteStore(n, vecLen, man, precision)
+	}
 	if man != nil {
 		storePrec := man.Precision
 		if storePrec == "" {
@@ -585,6 +605,125 @@ func (s *Session) openStore(n, vecLen int, man *ooc.Manifest) (ooc.Store, *ooc.C
 	}
 	cs.SetPrecision(precision)
 	return cs, cs, nil
+}
+
+// sessionObjectURL maps the daemon's configured store endpoint to the
+// object URL for one named session. The endpoint is either bare
+// (remote://host:port → object <name>.vec) or carries one namespace
+// segment (remote://host:port/ns → object ns.<name>.vec), so several
+// daemons can share one object server; the object stays a single path
+// segment either way, which is all the remote protocol allows.
+func sessionObjectURL(storeURL, name string) string {
+	base := strings.TrimSuffix(storeURL, "/")
+	if host, ns, ok := strings.Cut(strings.TrimPrefix(base, "remote://"), "/"); ok && ns != "" {
+		return "remote://" + host + "/" + ns + "." + name + ".vec"
+	}
+	return base + "/" + name + ".vec"
+}
+
+// openRemoteStore builds the session's tiered stack: an ObjectStore on
+// the daemon's remote endpoint (object <name>.vec), a local write-back
+// cache under DataDir/<name>.cache, and an outer ChecksumStore whose
+// sidecar stays local — so a park checkpoint's manifest verifies a
+// revived session's remote vectors exactly like a local backing file.
+func (s *Session) openRemoteStore(n, vecLen int, man *ooc.Manifest, precision string) (ooc.Store, *ooc.ChecksumStore, error) {
+	url := sessionObjectURL(s.srv.cfg.StoreURL, s.name)
+	if _, err := ooc.ParseRemoteURL(url); err != nil {
+		return nil, nil, err
+	}
+	obj, err := ooc.OpenObjectStore(url, n, vecLen)
+	if err != nil {
+		if obj, err = ooc.NewObjectStore(url, n, vecLen); err != nil {
+			return nil, nil, fmt.Errorf("service: remote store %s: %w", url, err)
+		}
+	}
+	tcfg := ooc.TieredConfig{
+		NumVectors: n, VectorLen: vecLen,
+		CacheDir:     filepath.Join(s.srv.cfg.DataDir, s.name+".cache"),
+		CacheVectors: remoteCacheVectors(s.srv.cfg.CacheBytes, n, vecLen),
+		Lanes:        s.srv.cfg.RemoteLanes,
+	}
+	if err := os.MkdirAll(tcfg.CacheDir, 0o755); err != nil {
+		obj.Close()
+		return nil, nil, err
+	}
+	ts, err := ooc.NewTieredStore(obj, tcfg)
+	if err != nil {
+		obj.Close()
+		return nil, nil, err
+	}
+	if man != nil {
+		storePrec := man.Precision
+		if storePrec == "" {
+			storePrec = plf.PrecisionF64
+		}
+		if storePrec != precision {
+			ts.Close()
+			obj.Close()
+			return nil, nil, &ooc.PrecisionMismatchError{Store: man.Precision, Run: precision}
+		}
+		cs, cerr := ooc.OpenChecksumStore(ts, s.vecPath+".sum", n, vecLen)
+		if cerr == nil {
+			cs.SetPrecision(precision)
+			if verr := cs.VerifyManifest(*man); verr == nil {
+				s.remote = obj
+				s.instrumentTier(ts)
+				return cs, cs, nil
+			} else if ooc.IsPrecisionMismatch(verr) {
+				cs.Close()
+				obj.Close()
+				return nil, nil, verr
+			}
+		}
+		// Adoption failed: the Close above (or the failed open) tore the
+		// tier down — rebuild it for the fresh path. Every vector is
+		// recomputable, so this costs I/O, never correctness.
+		if cerr == nil {
+			cs.Close()
+		} else {
+			ts.Close()
+		}
+		if ts, err = ooc.NewTieredStore(obj, tcfg); err != nil {
+			obj.Close()
+			return nil, nil, err
+		}
+	}
+	cs, err := ooc.NewChecksumStore(ts, s.vecPath+".sum", n, vecLen)
+	if err != nil {
+		ts.Close()
+		obj.Close()
+		return nil, nil, err
+	}
+	cs.SetPrecision(precision)
+	s.remote = obj
+	s.instrumentTier(ts)
+	return cs, cs, nil
+}
+
+// instrumentTier exports the session's tier counters under a
+// per-session prefix on the daemon's /debug/vars. A revive builds a
+// fresh TieredStore; re-instrumenting registers the same named
+// instruments (the registry is idempotent by name) and a newer
+// publisher, which runs after — and therefore overrides — the stale
+// one from the parked incarnation.
+func (s *Session) instrumentTier(ts *ooc.TieredStore) {
+	ooc.InstrumentTieredStoreAs(s.srv.reg, ts, "svc.session."+s.name+".tier.")
+}
+
+// remoteCacheVectors converts a byte budget into cache-tier slots,
+// defaulting to "hold everything" and flooring at one vector.
+func remoteCacheVectors(budget int64, n, vecLen int) int {
+	if budget <= 0 {
+		return n
+	}
+	cv := int(budget / (int64(vecLen) * 8))
+	if cv < 1 {
+		cv = 1
+	}
+	if cv > n {
+		cv = n
+	}
+	return cv
 }
 
 // newStrategy builds a replacement strategy by name.
@@ -710,8 +849,11 @@ func (s *Session) closeProvider() {
 	if s.store != nil {
 		s.store.Close()
 	}
+	if s.remote != nil {
+		s.remote.Close()
+	}
 	s.mu.Lock()
-	s.mgr, s.cs, s.store = nil, nil, nil
+	s.mgr, s.cs, s.store, s.remote = nil, nil, nil, nil
 	s.mu.Unlock()
 }
 
@@ -889,7 +1031,11 @@ func (s *Session) resizeTo(grant int64) {
 		if !active || s.mgr == nil || vecBytes == 0 {
 			return nil
 		}
-		target := int(grant / vecBytes)
+		eff := grant
+		if ov := s.mgr.MemOverheadBytes(); ov > 0 && ov < eff {
+			eff -= ov
+		}
+		target := int(eff / vecBytes)
 		if target < ooc.MinSlots {
 			target = ooc.MinSlots
 		}
