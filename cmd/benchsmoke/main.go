@@ -50,13 +50,16 @@ type phaseRow struct {
 
 // obsBlock is the observability-overhead section of the baseline.
 type obsBlock struct {
-	Taxa        int     `json:"taxa"`
-	Sites       int     `json:"sites"`
-	Traversals  int     `json:"traversals"`
-	Reps        int     `json:"reps"`
-	OffSeconds  float64 `json:"obs_off_seconds"`
-	OnSeconds   float64 `json:"obs_on_seconds"`
-	OverheadPct float64 `json:"obs_overhead_pct"`
+	Taxa            int     `json:"taxa"`
+	Sites           int     `json:"sites"`
+	Traversals      int     `json:"traversals"`
+	Reps            int     `json:"reps"`
+	OffSeconds      float64 `json:"obs_off_seconds"`
+	OnSeconds       float64 `json:"obs_on_seconds"`
+	OverheadPct     float64 `json:"obs_overhead_pct"`
+	SpansSeconds    float64 `json:"obs_spans_seconds"`
+	SpanOverheadPct float64 `json:"obs_span_overhead_pct"`
+	SpanCount       int64   `json:"obs_span_count"`
 }
 
 // resizeBlock is the resize-overhead section of the baseline.
@@ -196,9 +199,12 @@ func run(args []string) error {
 	}
 	b.Obs = obsBlock{
 		Taxa: *taxa, Sites: *sites, Traversals: *traversals, Reps: *obsReps,
-		OffSeconds:  ores.OffSeconds,
-		OnSeconds:   ores.OnSeconds,
-		OverheadPct: ores.OverheadPct,
+		OffSeconds:      ores.OffSeconds,
+		OnSeconds:       ores.OnSeconds,
+		OverheadPct:     ores.OverheadPct,
+		SpansSeconds:    ores.SpansSeconds,
+		SpanOverheadPct: ores.SpanOverheadPct,
+		SpanCount:       ores.SpanCount,
 	}
 
 	rres, err := experiments.RunResizeOverhead(experiments.ResizeAblationConfig{
@@ -300,8 +306,9 @@ func run(args []string) error {
 		return err
 	}
 	experiments.WriteKernelAblationTable(os.Stdout, res, cfg)
-	fmt.Printf("obs overhead: off %.3fs, on %.3fs (%+.2f%%), lnL bit-identical\n",
-		ores.OffSeconds, ores.OnSeconds, ores.OverheadPct)
+	fmt.Printf("obs overhead: off %.3fs, on %.3fs (%+.2f%%), spans %.3fs (%+.2f%%, %d spans), lnL bit-identical\n",
+		ores.OffSeconds, ores.OnSeconds, ores.OverheadPct,
+		ores.SpansSeconds, ores.SpanOverheadPct, ores.SpanCount)
 	fmt.Printf("resize overhead: %d resizes (%d<->%d slots), fixed %.3fs vs oscillating %.3fs (%+.2f%%), lnL bit-identical\n",
 		rres.Resizes, rres.Low, rres.Slots, rres.FixedTime.Seconds(), rres.ResizeTime.Seconds(), 100*rres.Overhead())
 	experiments.WriteKernelAblationTable(os.Stdout, pres, pcfg)

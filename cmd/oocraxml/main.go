@@ -204,6 +204,9 @@ func run(args []string, out *os.File) error {
 	}
 	if o.httpAddr != "" {
 		tr = obs.NewTracer(1 << 16)
+		// Mirror the ring's own health (drops included) into the
+		// registry so /debug/vars and the report expose it.
+		obs.RegisterTracerMetrics(reg, tr, nil)
 		addr, shutdown, err := obs.Serve(o.httpAddr, reg, tr)
 		if err != nil {
 			return err

@@ -214,6 +214,7 @@ func runClient(args []string, out *os.File) error {
 		full := fs.Bool("full", false, "force a fresh full engine pass before evaluating")
 		count := fs.Int("n", 1, "number of evaluate requests to issue")
 		concurrent := fs.Bool("concurrent", false, "issue the -n requests concurrently (rides the coalescing batcher)")
+		trace := fs.Bool("trace", false, "send a W3C traceparent per request and print the daemon's trace id + cost ledger (inspect with GET /debug/trace/{id})")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -223,6 +224,7 @@ func runClient(args []string, out *os.File) error {
 			spec.Length = &l
 		}
 		c := service.NewClient(*addr)
+		c.SetTrace(*trace)
 		replies := make([]service.EvalReply, *count)
 		errs := make([]error, *count)
 		if *concurrent {
@@ -248,6 +250,12 @@ func runClient(args []string, out *os.File) error {
 			fmt.Fprintf(out, "Log likelihood bits: %s\n", rep.LnLBits)
 			fmt.Fprintf(out, "Batch: seq=%d size=%d wait_us=%d exec_us=%d\n",
 				rep.Batch, rep.BatchSize, rep.WaitMicros, rep.ExecMicros)
+			if rep.TraceID != "" {
+				fmt.Fprintf(out, "Trace: %s\n", rep.TraceID)
+			}
+			if rep.Cost != nil {
+				fmt.Fprintf(out, "Cost: %s\n", rep.Cost.Header())
+			}
 		}
 		return nil
 

@@ -79,7 +79,7 @@ type TimelineResult struct {
 	LnL float64
 	// Events is the number of trace events held; Dropped how many the
 	// ring overwrote.
-	Events int
+	Events  int
 	Dropped int64
 	// Recoveries is the number of corrupt vectors healed during the run
 	// (only nonzero with WithFaults).
@@ -171,19 +171,36 @@ func RunTimeline(cfg TimelineConfig, traceW io.Writer) (TimelineResult, error) {
 // the same workload — the acceptance bound on the obs layer's cost.
 type ObsOverheadResult struct {
 	// OffSeconds and OnSeconds are the best-of-reps wall times without
-	// and with full instrumentation (registry + tracer).
+	// and with full instrumentation (registry + tracer); SpansSeconds
+	// additionally runs the whole workload under a request span, so
+	// every fault-in, eviction and kernel pass is span-recorded.
 	OffSeconds, OnSeconds float64
+	SpansSeconds          float64
 	// OverheadPct is (on-off)/off in percent; negative values (noise)
-	// mean the instrumented run happened to be faster.
-	OverheadPct float64
-	// LnLOff and LnLOn must be bit-identical: observation never steers.
-	LnLOff, LnLOn float64
+	// mean the instrumented run happened to be faster. SpanOverheadPct
+	// is the same ratio for the span-traced arm.
+	OverheadPct     float64
+	SpanOverheadPct float64
+	// LnLOff, LnLOn and LnLSpans must be bit-identical: observation
+	// never steers.
+	LnLOff, LnLOn, LnLSpans float64
+	// SpanCount is the number of spans the traced arm recorded (> 0
+	// proves the arm actually traced).
+	SpanCount int64
 }
+
+// Instrumentation arms of the overhead experiment.
+const (
+	obsArmOff   = iota // no registry, no tracer, nil spans
+	obsArmOn           // registry + tracer (the PR-3 acceptance arm)
+	obsArmSpans        // registry + tracer + a request span over the run
+)
 
 // RunObsOverhead measures the end-to-end cost of instrumentation on a
 // full-traversal workload: reps repetitions each way, best wall time
 // kept (minimum is the standard noise-robust choice for micro-scale
-// wall clocks).
+// wall clocks). Three arms: bare, metrics+ring, and metrics+ring with
+// the whole workload under a request span.
 func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadResult, error) {
 	var res ObsOverheadResult
 	if taxa == 0 {
@@ -202,7 +219,7 @@ func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadR
 	if err != nil {
 		return res, err
 	}
-	run := func(instrumented bool) (float64, time.Duration, error) {
+	run := func(arm int) (float64, time.Duration, error) {
 		vecLen := plf.VectorLength(d.Model, d.Patterns.NumPatterns())
 		n := d.Tree.NumInner()
 		mgr, err := ooc.NewManager(ooc.Config{
@@ -221,11 +238,21 @@ func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadR
 			return 0, 0, err
 		}
 		e.EnablePrefetch(true)
-		if instrumented {
+		var root *obs.Span
+		if arm >= obsArmOn {
 			reg := obs.NewRegistry()
 			tr := obs.NewTracer(65536)
 			mgr.Instrument(reg, tr)
 			e.Instrument(reg, tr)
+		}
+		if arm == obsArmSpans {
+			col := obs.NewSpanCollector(8)
+			root = col.StartTrace("workload")
+			e.SetSpan(root)
+			defer func() {
+				root.End()
+				res.SpanCount = col.Total()
+			}()
 		}
 		lnl, wall, err := fullTraversalWorkload(e, t, traversals)
 		if err != nil {
@@ -236,11 +263,11 @@ func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadR
 		}
 		return lnl, wall, nil
 	}
-	best := func(instrumented bool) (float64, float64, error) {
+	best := func(arm int) (float64, float64, error) {
 		bestWall := time.Duration(0)
 		var lnl float64
 		for i := 0; i < reps; i++ {
-			l, wall, err := run(instrumented)
+			l, wall, err := run(arm)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -251,11 +278,15 @@ func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadR
 		}
 		return lnl, bestWall.Seconds(), nil
 	}
-	res.LnLOff, res.OffSeconds, err = best(false)
+	res.LnLOff, res.OffSeconds, err = best(obsArmOff)
 	if err != nil {
 		return res, err
 	}
-	res.LnLOn, res.OnSeconds, err = best(true)
+	res.LnLOn, res.OnSeconds, err = best(obsArmOn)
+	if err != nil {
+		return res, err
+	}
+	res.LnLSpans, res.SpansSeconds, err = best(obsArmSpans)
 	if err != nil {
 		return res, err
 	}
@@ -263,8 +294,13 @@ func RunObsOverhead(taxa, sites, traversals, reps int, seed int64) (ObsOverheadR
 		return res, fmt.Errorf("experiments: instrumentation changed the answer: off %v, on %v",
 			res.LnLOff, res.LnLOn)
 	}
+	if res.LnLOff != res.LnLSpans {
+		return res, fmt.Errorf("experiments: span tracing changed the answer: off %v, spans %v",
+			res.LnLOff, res.LnLSpans)
+	}
 	if res.OffSeconds > 0 {
 		res.OverheadPct = (res.OnSeconds - res.OffSeconds) / res.OffSeconds * 100
+		res.SpanOverheadPct = (res.SpansSeconds - res.OffSeconds) / res.OffSeconds * 100
 	}
 	return res, nil
 }

@@ -47,7 +47,13 @@ func TestRunObsOverheadBitIdentical(t *testing.T) {
 	if res.LnLOff != res.LnLOn {
 		t.Fatalf("lnL differs: off %v on %v", res.LnLOff, res.LnLOn)
 	}
-	if res.OffSeconds <= 0 || res.OnSeconds <= 0 {
+	if res.LnLOff != res.LnLSpans {
+		t.Fatalf("lnL differs: off %v spans %v", res.LnLOff, res.LnLSpans)
+	}
+	if res.OffSeconds <= 0 || res.OnSeconds <= 0 || res.SpansSeconds <= 0 {
 		t.Fatalf("non-positive wall times: %+v", res)
+	}
+	if res.SpanCount == 0 {
+		t.Fatal("span-traced arm recorded no spans")
 	}
 }

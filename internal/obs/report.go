@@ -15,7 +15,7 @@ import (
 
 // sectionOrder pins the known layers to a stable, narrative order;
 // unknown prefixes follow alphabetically.
-var sectionOrder = []string{"plf", "ooc", "pipe", "search"}
+var sectionOrder = []string{"plf", "ooc", "pipe", "search", "svc", "slo", "obs"}
 
 // sectionTitles maps prefixes to human headings.
 var sectionTitles = map[string]string{
@@ -23,6 +23,9 @@ var sectionTitles = map[string]string{
 	"ooc":    "out-of-core manager",
 	"pipe":   "async I/O pipeline",
 	"search": "tree search",
+	"svc":    "PLF service",
+	"slo":    "SLO burn rates",
+	"obs":    "observability health",
 }
 
 // WriteReport renders the snapshot as the consolidated -stats report.

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the evaluator through simulated time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestSLOFastBurnFiresOnErrorBurst(t *testing.T) {
+	ev := NewSLOEvaluator(nil)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	ev.SetClock(clk.now)
+
+	var good, total int64
+	ev.Add(SLO{
+		Name:      "availability",
+		Objective: 0.999,
+		Window:    30 * 24 * time.Hour,
+		SLI:       func() (int64, int64) { return good, total },
+	})
+
+	// Healthy minute-by-minute traffic: 100 req/min, all good.
+	for i := 0; i < 6; i++ {
+		good += 100
+		total += 100
+		rep := ev.Report()
+		if rep.SLOs[0].Firing {
+			t.Fatalf("healthy traffic fired at sample %d: %+v", i, rep.SLOs[0])
+		}
+		clk.advance(time.Minute)
+	}
+
+	// Sudden outage: the next two minutes are 50% errors. The 5m fast
+	// window still holds some healthy traffic, but the windowed error
+	// ratio (100/500 = 20%) over a 0.1% budget is a burn rate of 200 —
+	// far past the fast threshold of 14.4.
+	for i := 0; i < 2; i++ {
+		good += 50
+		total += 100
+		clk.advance(time.Minute)
+	}
+	rep := ev.Report()
+	s := rep.SLOs[0]
+	if !s.Firing {
+		t.Fatalf("error burst did not fire: %+v", s)
+	}
+	var fast, slow BurnStatus
+	for _, b := range s.Burns {
+		switch b.Name {
+		case "fast":
+			fast = b
+		case "slow":
+			slow = b
+		}
+	}
+	if !fast.Firing {
+		t.Errorf("fast rule not firing: %+v", fast)
+	}
+	// The 1h window still includes the healthy ramp, so its rate is
+	// diluted — but 100 errors / 800 total is still 125× budget.
+	if !slow.Firing {
+		t.Errorf("slow rule not firing: %+v", slow)
+	}
+	if fast.Rate <= slow.Rate {
+		t.Errorf("fast rate %v should exceed diluted slow rate %v", fast.Rate, slow.Rate)
+	}
+	if s.GoodRatio <= 0.8 || s.GoodRatio >= 1 {
+		t.Errorf("good ratio %v out of range", s.GoodRatio)
+	}
+	if s.BudgetUsed <= 1 {
+		t.Errorf("budget used %v: a 12.5%% cumulative error rate blows a 99.9%% budget", s.BudgetUsed)
+	}
+
+	// Recovery: error-free traffic pushes the fast window back under
+	// threshold once the burst ages out.
+	for i := 0; i < 7; i++ {
+		good += 100
+		total += 100
+		clk.advance(time.Minute)
+		rep = ev.Report()
+	}
+	for _, b := range rep.SLOs[0].Burns {
+		if b.Name == "fast" && b.Firing {
+			t.Errorf("fast rule still firing %d min after recovery: %+v", 7, b)
+		}
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	reg := NewRegistry()
+	errs := reg.Counter("svc.http.errors")
+	reqs := reg.Counter("svc.http.requests")
+	ev := NewSLOEvaluator(nil)
+	ev.Add(SLO{Name: "availability", Objective: 0.99, SLI: ErrorSLI(errs, reqs)})
+	ev.Publish(reg)
+
+	reqs.Add(1000)
+	errs.Add(20) // 2% errors against a 1% budget
+	snap := reg.Snapshot()
+	if got := snap.FloatGauges["slo.availability.good_ratio"]; got != 0.98 {
+		t.Errorf("good_ratio gauge = %v, want 0.98", got)
+	}
+	if got := snap.FloatGauges["slo.availability.budget_used"]; got < 1.9 || got > 2.1 {
+		t.Errorf("budget_used gauge = %v, want ~2", got)
+	}
+	if _, ok := snap.FloatGauges["slo.availability.burn_fast"]; !ok {
+		t.Error("burn_fast gauge missing from snapshot")
+	}
+	if _, ok := snap.Gauges["slo.availability.firing"]; !ok {
+		t.Error("firing gauge missing from snapshot")
+	}
+
+	var buf bytes.Buffer
+	ev.WriteText(&buf)
+	if !strings.Contains(buf.String(), "availability") {
+		t.Errorf("text report missing SLO name:\n%s", buf.String())
+	}
+}
+
+func TestSLONilAndInvalid(t *testing.T) {
+	var ev *SLOEvaluator
+	ev.Add(SLO{Name: "x", Objective: 0.9, SLI: func() (int64, int64) { return 0, 0 }})
+	ev.SetClock(time.Now)
+	ev.Publish(nil)
+	if rep := ev.Report(); len(rep.SLOs) != 0 {
+		t.Fatal("nil evaluator reported SLOs")
+	}
+
+	live := NewSLOEvaluator(nil)
+	live.Add(SLO{Name: "no-sli", Objective: 0.9}) // nil SLI
+	live.Add(SLO{Name: "bad-objective", Objective: 1.5, SLI: func() (int64, int64) { return 0, 0 }})
+	if rep := live.Report(); len(rep.SLOs) != 0 {
+		t.Fatalf("invalid SLOs were registered: %+v", rep.SLOs)
+	}
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	h := FormatTraceparent(tid, sid)
+	if len(h) != 55 {
+		t.Fatalf("traceparent %q: length %d, want 55", h, len(h))
+	}
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own format", h)
+	}
+	if gotT != tid || gotS != sid {
+		t.Fatalf("round trip changed ids: %v/%v -> %v/%v", tid, sid, gotT, gotS)
+	}
+	for _, bad := range []string{
+		"",
+		"00-" + strings.Repeat("0", 32) + "-" + sid.String() + "-01", // zero trace id
+		"01-" + tid.String() + "-" + sid.String() + "-01",            // wrong version
+		"00-" + tid.String() + "-" + sid.String() + "-1",             // truncated flags
+		"00-zz" + tid.String()[2:] + "-" + sid.String() + "-01",      // bad hex
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Errorf("ParseTraceparent accepted %q", bad)
+		}
+	}
+}
+
+func TestCostHeaderRoundTrip(t *testing.T) {
+	c := Cost{
+		VectorsFaulted: 12, LocalReads: 7, BytesLocal: 8192,
+		RemoteGets: 3, BytesRemote: 16384, BytesPushed: 4096,
+		Recomputes: 2, Newviews: 31, PCacheHits: 5,
+		WaitMicros: 120, ExecMicros: 4500,
+	}
+	got, ok := ParseCostHeader(c.Header())
+	if !ok {
+		t.Fatalf("ParseCostHeader rejected %q", c.Header())
+	}
+	if got != c {
+		t.Fatalf("round trip changed cost: %+v -> %+v", c, got)
+	}
+	if _, ok := ParseCostHeader("faults=notanumber"); ok {
+		t.Error("ParseCostHeader accepted a non-numeric value")
+	}
+	if _, ok := ParseCostHeader(""); ok {
+		t.Error("ParseCostHeader accepted an empty header")
+	}
+	sum := c.Add(Cost{VectorsFaulted: 1, ExecMicros: 10})
+	if sum.VectorsFaulted != 13 || sum.ExecMicros != 4510 || sum.Newviews != 31 {
+		t.Fatalf("Add: %+v", sum)
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", 1)
+	sp.SetAttrStr("k", "v")
+	sp.AddCost(Cost{Newviews: 1})
+	sp.LinkTo(nil)
+	sp.EmitChild("x", time.Now(), time.Millisecond)
+	sp.End()
+	if child := sp.StartChild("c"); child != nil {
+		t.Fatal("nil span produced a non-nil child")
+	}
+	if sp.Traceparent() != "" {
+		t.Fatal("nil span has a traceparent")
+	}
+	var col *SpanCollector
+	if col.StartTrace("x") != nil || col.StartRemoteChild("x", "") != nil {
+		t.Fatal("nil collector produced a span")
+	}
+	if col.Total() != 0 || col.Dropped() != 0 || col.TraceCount() != 0 {
+		t.Fatal("nil collector reports nonzero state")
+	}
+}
+
+func TestSpanCollectorLedgerAndLookup(t *testing.T) {
+	col := NewSpanCollector(8)
+	root := col.StartTrace("request")
+	root.SetAttr("edge", 3)
+	child := root.StartChild("fault_in")
+	child.AddCost(Cost{VectorsFaulted: 1, BytesRemote: 4096})
+	child.End()
+	root.AddCost(Cost{Newviews: 9})
+	root.EmitChild("evict", time.Now().Add(-time.Millisecond), time.Millisecond,
+		Attr{Key: "vid", Int: 7})
+	root.End()
+
+	view, ok := col.Trace(root.TraceID().String())
+	if !ok {
+		t.Fatalf("trace %s not found", root.TraceID())
+	}
+	if len(view.Spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3 (root, child, emitted)", len(view.Spans))
+	}
+	want := Cost{VectorsFaulted: 1, BytesRemote: 4096, Newviews: 9}
+	if view.Cost != want {
+		t.Fatalf("trace ledger %+v, want %+v", view.Cost, want)
+	}
+	// The child must point at the root.
+	var foundChild bool
+	for _, s := range view.Spans {
+		if s.Name == "fault_in" {
+			foundChild = true
+			if s.Parent != root.ID().String() {
+				t.Errorf("child parent %q, want %q", s.Parent, root.ID())
+			}
+		}
+	}
+	if !foundChild {
+		t.Fatal("child span missing from trace view")
+	}
+	if _, ok := col.Trace("not-a-trace-id"); ok {
+		t.Error("lookup of a malformed id succeeded")
+	}
+}
+
+func TestSpanCollectorEvictionAndDrops(t *testing.T) {
+	col := NewSpanCollector(4)
+	var first *Span
+	for i := 0; i < 6; i++ {
+		sp := col.StartTrace(fmt.Sprintf("t%d", i))
+		if i == 0 {
+			first = sp
+		}
+		sp.End()
+	}
+	if col.TraceCount() != 4 {
+		t.Fatalf("collector holds %d traces, want 4", col.TraceCount())
+	}
+	if _, ok := col.Trace(first.TraceID().String()); ok {
+		t.Error("oldest trace survived eviction")
+	}
+	if col.Dropped() == 0 {
+		t.Error("eviction did not count dropped spans")
+	}
+	// A span landing after its trace was evicted is dropped, not lost
+	// silently.
+	before := col.Dropped()
+	first.StartChild("late").End()
+	if col.Dropped() != before+1 {
+		t.Errorf("late span: dropped %d, want %d", col.Dropped(), before+1)
+	}
+}
+
+func TestStartRemoteChildContinuesTrace(t *testing.T) {
+	col := NewSpanCollector(8)
+	header, traceID := NewTraceparent()
+	sp := col.StartRemoteChild("http", header)
+	if sp.TraceID().String() != traceID {
+		t.Fatalf("remote child trace %s, want %s", sp.TraceID(), traceID)
+	}
+	sp.End()
+	if _, ok := col.Trace(traceID); !ok {
+		t.Fatal("continued trace not registered")
+	}
+	// Malformed header: a fresh trace, not a nil span.
+	sp2 := col.StartRemoteChild("http", "garbage")
+	if sp2 == nil || sp2.TraceID().IsZero() {
+		t.Fatal("malformed traceparent did not start a fresh trace")
+	}
+}
+
+func TestWriteChromeTraceSpansAndFlows(t *testing.T) {
+	col := NewSpanCollector(8)
+	a := col.StartTrace("request-a")
+	pass := a.StartChild("engine_pass")
+	b := col.StartTrace("request-b")
+	b.LinkTo(pass)
+	pass.End()
+	a.End()
+	b.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, col); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	var spans, flowS, flowF int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			spans++
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		}
+	}
+	if spans != 3 {
+		t.Errorf("chrome trace has %d complete spans, want 3", spans)
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("flow events s=%d f=%d, want 1/1 (the LinkTo arrow)", flowS, flowF)
+	}
+}
+
+// TestConcurrentScrapeSpansAndDrain hammers span creation, Prometheus
+// scraping and ring draining from racing goroutines — the -race
+// acceptance for the whole exposition path.
+func TestConcurrentScrapeSpansAndDrain(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(64)
+	col := NewSpanCollector(8)
+	RegisterTracerMetrics(reg, tr, col)
+	evaluator := NewSLOEvaluator(nil)
+	reqs := reg.Counter("svc.http.requests")
+	errs := reg.Counter("svc.http.errors")
+	evaluator.Add(SLO{Name: "availability", Objective: 0.999, SLI: ErrorSLI(errs, reqs)})
+	evaluator.Publish(reg)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sp := col.StartTrace("req")
+				sp.SetAttr("g", int64(g))
+				child := sp.StartChild("work")
+				child.AddCost(Cost{Newviews: 1})
+				child.End()
+				sp.End()
+				tr.Emit(OpFaultIn, int32(i%8), int32(i), 0, time.Now(), time.Microsecond)
+				reqs.Inc()
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var buf bytes.Buffer
+				if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				var trace bytes.Buffer
+				if err := WriteChromeTrace(&trace, tr, col); err != nil {
+					t.Errorf("WriteChromeTrace: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if col.Total() == 0 {
+		t.Fatal("no spans recorded")
+	}
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obs_spans_total") {
+		t.Error("Prometheus exposition missing obs_spans_total")
+	}
+}

@@ -228,49 +228,66 @@ func (t *Tracer) Events() []Event {
 	return out
 }
 
+// Epoch returns the tracer's time origin (all event timestamps are
+// nanoseconds since it). Zero time for a nil tracer.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
+}
+
 // WriteChromeTrace writes the held events as Chrome trace_event JSON
 // (the "JSON Object Format": {"traceEvents": [...]}) loadable in
 // chrome://tracing and Perfetto. Spans are complete ("ph":"X") events
-// with microsecond timestamps; lanes carry thread_name metadata.
+// with microsecond timestamps; lanes carry thread_name metadata. For
+// the span-aware merged export see the package-level WriteChromeTrace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
-	first := true
 	if t != nil {
-		events := t.Events()
-		// Lane metadata first, sorted for deterministic output.
-		t.laneMu.Lock()
-		tids := make([]int, 0, len(t.laneNam))
-		for tid := range t.laneNam {
-			tids = append(tids, int(tid))
-		}
-		sort.Ints(tids)
-		for _, tid := range tids {
-			if !first {
-				fmt.Fprint(bw, ",")
-			}
-			first = false
-			fmt.Fprintf(bw, "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}",
-				tid, t.laneNam[int32(tid)])
-		}
-		t.laneMu.Unlock()
-		for _, e := range events {
-			if !first {
-				fmt.Fprint(bw, ",")
-			}
-			first = false
-			// Instant events use ph:"i" with a scope; spans ph:"X".
-			if e.Dur <= 0 {
-				fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"vid\":%d,\"slot\":%d}}",
-					e.Op.String(), e.Op.Cat(), e.TID, float64(e.Start)/1e3, e.VID, e.Slot)
-				continue
-			}
-			fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"vid\":%d,\"slot\":%d}}",
-				e.Op.String(), e.Op.Cat(), e.TID, float64(e.Start)/1e3, float64(e.Dur)/1e3, e.VID, e.Slot)
-		}
+		t.writeChromeEvents(bw, true)
 	}
 	fmt.Fprint(bw, "\n]}\n")
 	return bw.Flush()
+}
+
+// writeChromeEvents emits the ring's events (pid 1) into an open
+// traceEvents array; first reports whether no element has been written
+// yet, and the updated flag is returned.
+func (t *Tracer) writeChromeEvents(bw *bufio.Writer, first bool) bool {
+	events := t.Events()
+	// Lane metadata first, sorted for deterministic output.
+	t.laneMu.Lock()
+	tids := make([]int, 0, len(t.laneNam))
+	for tid := range t.laneNam {
+		tids = append(tids, int(tid))
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		if !first {
+			fmt.Fprint(bw, ",")
+		}
+		first = false
+		fmt.Fprintf(bw, "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":%q}}",
+			tid, t.laneNam[int32(tid)])
+	}
+	t.laneMu.Unlock()
+	for _, e := range events {
+		if !first {
+			fmt.Fprint(bw, ",")
+		}
+		first = false
+		// Instant events use ph:"i" with a scope; spans ph:"X".
+		if e.Dur <= 0 {
+			fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":%q,\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"vid\":%d,\"slot\":%d}}",
+				e.Op.String(), e.Op.Cat(), e.TID, float64(e.Start)/1e3, e.VID, e.Slot)
+			continue
+		}
+		fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"vid\":%d,\"slot\":%d}}",
+			e.Op.String(), e.Op.Cat(), e.TID, float64(e.Start)/1e3, float64(e.Dur)/1e3, e.VID, e.Slot)
+	}
+	return first
 }
 
 func min64(a, b int64) int64 {

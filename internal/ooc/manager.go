@@ -158,6 +158,10 @@ type Manager struct {
 	// zero value means uninstrumented: every obs call is a nil-check
 	// no-op and no clock is read.
 	mx managerObs
+	// span, when set via SetSpan, is the request-scoped tracing span
+	// fault-ins and evictions are emitted under (nil when untraced).
+	// Guarded by mu like the rest of the demand path.
+	span *obs.Span
 
 	// slots holds the m vector-wide RAM buffers.
 	slots [][]float64
@@ -288,6 +292,16 @@ func (m *Manager) SetContext(ctx context.Context) {
 	m.ctx = ctx
 }
 
+// SetSpan attributes subsequent demand-path activity (fault-in,
+// eviction, join-wait child spans) to the given request span; nil
+// detaches. Callers set it around one request's serialized work, the
+// same discipline as SetContext.
+func (m *Manager) SetSpan(sp *obs.Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.span = sp
+}
+
 // Stats returns a copy of the access counters. Safe from any
 // goroutine: the mutex guarantees the copy is not torn mid-operation.
 func (m *Manager) Stats() Stats {
@@ -359,6 +373,7 @@ func (m *Manager) joinSlot(s int) error {
 	if m.mx.on {
 		m.traceSpan(obs.OpJoinWait, f.vi, s, start, wait)
 	}
+	m.span.EmitChild("ooc.join_wait", start, wait, obs.Attr{Key: "vid", Int: int64(f.vi)})
 	return f.err
 }
 
@@ -466,7 +481,7 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	}
 	m.stats.Misses++
 	var missStart time.Time
-	if m.mx.on {
+	if m.mx.on || m.span != nil {
 		missStart = time.Now()
 	}
 
@@ -497,10 +512,12 @@ func (m *Manager) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
 	m.itemSlot[vi] = slot
 	m.dirty[slot] = write
 	m.prefetched[slot] = false
-	if m.mx.on {
+	if m.mx.on || m.span != nil {
 		dur := time.Since(missStart)
 		m.mx.faultIn.Observe(dur.Seconds())
 		m.traceSpan(obs.OpFaultIn, vi, slot, missStart, dur)
+		m.span.EmitChild("ooc.fault_in", missStart, dur,
+			obs.Attr{Key: "vid", Int: int64(vi)}, obs.Attr{Key: "slot", Int: int64(slot)})
 	}
 	return m.slots[slot], nil
 }
@@ -594,26 +611,31 @@ func (m *Manager) evict(victim, slot int) error {
 	// read and never modified), so WriteBackDirty may skip it safely.
 	if m.cfg.WriteBack == WriteBackAlways || m.dirty[slot] {
 		var ws time.Time
-		if m.mx.on {
+		if m.mx.on || m.span != nil {
 			ws = time.Now()
 		}
 		if m.pipe != nil {
 			if err := m.asyncWriteBack(victim, slot); err != nil {
 				return err
 			}
-			if m.mx.on {
+			if m.mx.on || m.span != nil {
 				// Async: the span covers only the hand-off (spare wait);
 				// the store write itself lands in pipe.write_back_seconds.
-				m.traceSpan(obs.OpEvict, victim, slot, ws, time.Since(ws))
+				dur := time.Since(ws)
+				m.traceSpan(obs.OpEvict, victim, slot, ws, dur)
+				m.span.EmitChild("ooc.evict", ws, dur,
+					obs.Attr{Key: "vid", Int: int64(victim)}, obs.Attr{Key: "slot", Int: int64(slot)})
 			}
 		} else {
 			if err := m.stall(func() error { return m.storeWrite(victim, m.slots[slot]) }); err != nil {
 				return err
 			}
-			if m.mx.on {
+			if m.mx.on || m.span != nil {
 				dur := time.Since(ws)
 				m.mx.evictWrite.Observe(dur.Seconds())
 				m.traceSpan(obs.OpEvict, victim, slot, ws, dur)
+				m.span.EmitChild("ooc.evict", ws, dur,
+					obs.Attr{Key: "vid", Int: int64(victim)}, obs.Attr{Key: "slot", Int: int64(slot)})
 			}
 		}
 		m.stats.Writes++

@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // IsRemoteURL reports whether s names a remote object (remote://…).
@@ -147,6 +149,16 @@ func (s *ObjectStore) ReadRange(ctx context.Context, vi, count int, dst []float6
 		return err
 	}
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to))
+	// An active span makes this GET a traced child hop: the traceparent
+	// header carries the trace into the remote store's own spans.
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		child := sp.StartChild("remote.get")
+		child.SetAttr("vi", int64(vi))
+		child.SetAttr("count", int64(count))
+		child.SetAttr("bytes", int64(count)*int64(s.vecLen)*8)
+		req.Header.Set("traceparent", child.Traceparent())
+		defer child.End()
+	}
 	start := time.Now()
 	resp, err := s.client.Do(req)
 	if err != nil {
@@ -178,6 +190,14 @@ func (s *ObjectStore) WriteRange(ctx context.Context, vi, count int, src []float
 		return err
 	}
 	req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/*", from, to))
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		child := sp.StartChild("remote.put")
+		child.SetAttr("vi", int64(vi))
+		child.SetAttr("count", int64(count))
+		child.SetAttr("bytes", int64(count)*int64(s.vecLen)*8)
+		req.Header.Set("traceparent", child.Traceparent())
+		defer child.End()
+	}
 	start := time.Now()
 	if err := s.do(req, func(code int) error { return s.httpErr("write", vi, count, code) }); err != nil {
 		return err

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"oocphylo/internal/iosim"
+	"oocphylo/internal/obs"
 )
 
 // ServerConfig injects a device model into every request: each GET/PUT
@@ -42,6 +43,10 @@ type ServerConfig struct {
 	// Scale multiplies the injected sleep (default 1 when Device has any
 	// latency/bandwidth; 0 disables sleeping but still charges Clock).
 	Scale float64
+	// Spans, when set, records one server-side span per object request
+	// carrying an inbound traceparent header — the last hop of a traced
+	// evaluate (client → daemon → tiered store → here).
+	Spans *obs.SpanCollector
 }
 
 // Server is the loopback object server. Create with NewServer, which
@@ -121,6 +126,11 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	if name == "" || strings.Contains(name, "/") {
 		http.Error(w, "bad object name", http.StatusBadRequest)
 		return
+	}
+	if tp := r.Header.Get("traceparent"); tp != "" && s.cfg.Spans != nil {
+		sp := s.cfg.Spans.StartRemoteChild("obj."+strings.ToLower(r.Method), tp)
+		sp.SetAttrStr("object", name)
+		defer sp.End()
 	}
 	switch r.Method {
 	case http.MethodHead:

@@ -34,6 +34,7 @@ package ooc
 // correctness never depends on the cache surviving.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -42,6 +43,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // TieredConfig configures a TieredStore.
@@ -117,12 +120,15 @@ type TierStats struct {
 	EstRTT time.Duration
 }
 
-// tierFetch is one in-flight remote read (single-flight unit).
+// tierFetch is one in-flight remote read (single-flight unit). span is
+// the request-scoped span active when the miss was enqueued (nil when
+// untraced); the servicing lane parents its remote spans under it.
 type tierFetch struct {
 	vi   int
 	buf  []float64
 	err  error
 	done chan struct{}
+	span *obs.Span
 }
 
 // tierWB is a dirty victim's payload in flight to the remote tier;
@@ -167,6 +173,11 @@ type TieredStore struct {
 
 	warm     bool
 	latNanos atomic.Int64
+
+	// span is the request-scoped tracing span tier activity is currently
+	// attributed to (nil when untraced). Lanes read it concurrently with
+	// the session loop setting it, hence atomic.
+	span atomic.Pointer[obs.Span]
 
 	st struct {
 		cacheHits, cacheMisses     atomic.Int64
@@ -300,6 +311,15 @@ func (s *TieredStore) loadIndex(path string) (*tierIndex, bool) {
 
 // WarmStart reports whether the cache was adopted from a previous run.
 func (s *TieredStore) WarmStart() bool { return s.warm }
+
+// SetSpan attributes subsequent tier activity (remote fetch/write-back
+// spans) to the given request span; nil detaches. Safe to call from
+// the session loop while lanes are in flight — a lane parents each
+// remote request under the span captured when its miss was enqueued.
+func (s *TieredStore) SetSpan(sp *obs.Span) { s.span.Store(sp) }
+
+// currentSpan returns the active request span (nil when untraced).
+func (s *TieredStore) currentSpan() *obs.Span { return s.span.Load() }
 
 // ObserveRemoteLatency registers fn to receive every remote request's
 // wall-clock duration in seconds (nil unregisters). Instrumentation
@@ -462,9 +482,18 @@ func (s *TieredStore) Sync() error {
 				first = err
 			}
 		}
+		ctx := context.Background()
+		var syncSpan *obs.Span
+		if sp := s.currentSpan(); sp != nil {
+			syncSpan = sp.StartChild("tier.remote_put")
+			syncSpan.SetAttr("vi", int64(dirties[i].vi))
+			syncSpan.SetAttr("count", int64(j-i))
+			ctx = obs.ContextWithSpan(ctx, syncSpan)
+		}
 		start := time.Now()
-		err := WriteRangeOf(nil, s.remote, vecLen, dirties[i].vi, j-i, buf)
+		err := WriteRangeOf(ctx, s.remote, vecLen, dirties[i].vi, j-i, buf)
 		s.remoteObserved(time.Since(start))
+		syncSpan.End()
 		if err != nil {
 			if first == nil {
 				first = err
@@ -564,7 +593,7 @@ func (s *TieredStore) joinFetch(vi int) (*tierFetch, bool) {
 	if f, ok := s.inflight[vi]; ok {
 		return f, true
 	}
-	f := &tierFetch{vi: vi, buf: make([]float64, s.cfg.VectorLen), done: make(chan struct{})}
+	f := &tierFetch{vi: vi, buf: make([]float64, s.cfg.VectorLen), done: make(chan struct{}), span: s.currentSpan()}
 	s.inflight[vi] = f
 	s.queue = append(s.queue, f)
 	s.fcond.Signal()
@@ -601,9 +630,25 @@ func (s *TieredStore) lane() {
 		s.fmu.Unlock()
 
 		buf := make([]float64, len(run)*vecLen)
+		// Parent the ranged remote read under the first traced miss in
+		// the run: the whole run is one coalesced request, so one span
+		// (with the run geometry as attributes) covers it.
+		var fetchSpan *obs.Span
+		ctx := context.Background()
+		for _, f := range run {
+			if f.span != nil {
+				fetchSpan = f.span.StartChild("tier.remote_get")
+				fetchSpan.SetAttr("vi", int64(run[0].vi))
+				fetchSpan.SetAttr("count", int64(len(run)))
+				fetchSpan.SetAttr("bytes", int64(len(buf))*8)
+				ctx = obs.ContextWithSpan(ctx, fetchSpan)
+				break
+			}
+		}
 		start := time.Now()
-		err := ReadRangeOf(nil, s.remote, vecLen, run[0].vi, len(run), buf)
+		err := ReadRangeOf(ctx, s.remote, vecLen, run[0].vi, len(run), buf)
 		s.remoteObserved(time.Since(start))
+		fetchSpan.End()
 		s.st.remoteReads.Add(1)
 		if err == nil {
 			s.st.remoteVecsR.Add(int64(len(run)))
@@ -734,9 +779,18 @@ func (s *TieredStore) admit(vi int, data []float64, markDirty bool) error {
 	s.mu.Unlock()
 
 	if pushWB != nil {
+		ctx := context.Background()
+		var wbSpan *obs.Span
+		if sp := s.currentSpan(); sp != nil {
+			wbSpan = sp.StartChild("tier.remote_put")
+			wbSpan.SetAttr("vi", int64(pushWB.vi))
+			wbSpan.SetAttr("bytes", int64(len(pushWB.buf))*8)
+			ctx = obs.ContextWithSpan(ctx, wbSpan)
+		}
 		start := time.Now()
-		werr := WriteRangeOf(nil, s.remote, s.cfg.VectorLen, pushWB.vi, 1, pushWB.buf)
+		werr := WriteRangeOf(ctx, s.remote, s.cfg.VectorLen, pushWB.vi, 1, pushWB.buf)
 		s.remoteObserved(time.Since(start))
+		wbSpan.End()
 		if werr == nil {
 			s.st.remoteWrites.Add(1)
 			s.st.remoteVecsW.Add(1)

@@ -136,6 +136,10 @@ type Engine struct {
 	// eobs holds the observability instruments (see obs.go); the zero
 	// value means uninstrumented and costs one nil/bool check per site.
 	eobs engineObs
+	// span, when set via SetSpan, is the request-scoped tracing span
+	// traversal/evaluate child spans are emitted under (nil when
+	// untraced: one nil check per public call, no clock).
+	span *obs.Span
 
 	// ctx, when set, cancels traversals at the next step boundary (see
 	// SetContext); safePoint, when set, runs between newview calls —
@@ -366,6 +370,18 @@ func (e *Engine) SetContext(ctx context.Context) {
 	}
 }
 
+// SetSpan attributes subsequent engine work to the given request span:
+// Execute and LogLikelihoodAt emit child spans under it, and the span
+// is forwarded to the vector provider when it supports one
+// (ooc.Manager does), so fault-ins and evictions land in the same
+// trace. nil detaches. Same single-goroutine discipline as SetContext.
+func (e *Engine) SetSpan(sp *obs.Span) {
+	e.span = sp
+	if p, ok := e.prov.(interface{ SetSpan(*obs.Span) }); ok {
+		p.SetSpan(sp)
+	}
+}
+
 // SetSafePoint installs fn to run before every newview call — the
 // point where the engine holds no vector address, so the hook may
 // restructure the provider (the memory watchdog resizes the slot pool
@@ -397,6 +413,10 @@ func (e *Engine) Execute(steps []tree.Step) error {
 	if depth < 1 {
 		depth = 1
 	}
+	var spanStart time.Time
+	if e.span != nil && len(steps) > 0 {
+		spanStart = time.Now()
+	}
 	for i := range steps {
 		if err := e.atSafePoint(); err != nil {
 			return err
@@ -411,6 +431,10 @@ func (e *Engine) Execute(steps []tree.Step) error {
 		}
 	}
 	tree.ApplyOrientation(e.orient, steps)
+	if e.span != nil && len(steps) > 0 {
+		e.span.EmitChild("plf.newviews", spanStart, time.Since(spanStart),
+			obs.Attr{Key: "steps", Int: int64(len(steps))})
+	}
 	return nil
 }
 
@@ -615,6 +639,10 @@ func (e *Engine) FullTraversal(edge *tree.Edge) error {
 // Traverse, it recovers from corrupt-vector reads (here: an endpoint
 // vector read by the evaluation itself) by recomputing.
 func (e *Engine) LogLikelihoodAt(edge *tree.Edge) (float64, error) {
+	var spanStart time.Time
+	if e.span != nil {
+		spanStart = time.Now()
+	}
 	budget := e.recoveryBudget()
 	attempts := 0
 	for {
@@ -623,6 +651,10 @@ func (e *Engine) LogLikelihoodAt(edge *tree.Edge) (float64, error) {
 		}
 		lnl, err := e.evaluate(edge)
 		if err == nil {
+			if e.span != nil {
+				e.span.EmitChild("plf.evaluate", spanStart, time.Since(spanStart),
+					obs.Attr{Key: "edge", Int: int64(edge.Index)})
+			}
 			return lnl, nil
 		}
 		if !e.recoverCorruption(err, &attempts, budget) {

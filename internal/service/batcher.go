@@ -22,6 +22,8 @@ package service
 import (
 	"errors"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // ErrSessionClosed is returned for requests that reach a session whose
@@ -55,9 +57,12 @@ func (c *BatcherConfig) fill() {
 	}
 }
 
-// evalJob is one enqueued evaluate request plus its reply path.
+// evalJob is one enqueued evaluate request plus its reply path. span,
+// when non-nil, is the server-side request span: the executor parents
+// its engine/store spans under it and fills its cost ledger.
 type evalJob struct {
 	spec EvalSpec
+	span *obs.Span
 	enq  time.Time
 	// res is filled by the executor; done is closed/sent once afterwards.
 	res  EvalReply
@@ -96,7 +101,12 @@ func newBatcher(cfg BatcherConfig, exec func([]*evalJob)) *Batcher {
 // Submit enqueues one evaluate request and blocks until its batch has
 // executed. Safe from any goroutine.
 func (b *Batcher) Submit(spec EvalSpec) (EvalReply, error) {
-	j := &evalJob{spec: spec, enq: time.Now(), done: make(chan struct{})}
+	return b.SubmitTraced(spec, nil)
+}
+
+// SubmitTraced is Submit carrying the request's span (nil = untraced).
+func (b *Batcher) SubmitTraced(spec EvalSpec, sp *obs.Span) (EvalReply, error) {
+	j := &evalJob{spec: spec, span: sp, enq: time.Now(), done: make(chan struct{})}
 	select {
 	case b.submit <- j:
 	case <-b.quit:

@@ -13,13 +13,23 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // Client talks to one daemon.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	trace bool
 }
+
+// SetTrace toggles distributed tracing: when on, every request carries
+// a freshly minted W3C traceparent header, so the daemon records a full
+// server-side trace (session loop → batcher → engine → manager → tiered
+// store → remote object store) and returns the trace id and cost ledger
+// in the evaluate reply and the X-OOC-Trace / X-OOC-Cost headers.
+func (c *Client) SetTrace(on bool) { c.trace = on }
 
 // NewClient targets a daemon at addr ("host:port" or a full URL).
 func NewClient(addr string) *Client {
@@ -49,6 +59,10 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.trace {
+		header, _ := obs.NewTraceparent()
+		req.Header.Set("traceparent", header)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -82,9 +82,11 @@ func IsAdmissionError(err error) bool {
 
 // Server hosts the sessions and the governor.
 type Server struct {
-	cfg ServerConfig
-	reg *obs.Registry
-	tr  *obs.Tracer
+	cfg   ServerConfig
+	reg   *obs.Registry
+	tr    *obs.Tracer
+	spans *obs.SpanCollector
+	slo   *obs.SLOEvaluator
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -95,9 +97,11 @@ type Server struct {
 	mxParks, mxRevives       *obs.Counter
 	mxResizes, mxBatches     *obs.Counter
 	mxEvals                  *obs.Counter
+	mxHTTPReqs, mxHTTPErrs   *obs.Counter
 	mxSessions, mxActive     *obs.Gauge
 	mxGranted                *obs.Gauge
 	mxBatchSize, mxBatchExec *obs.Histogram
+	mxReqSeconds             *obs.Histogram
 
 	reaperQuit chan struct{}
 	reaperDone chan struct{}
@@ -124,6 +128,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		reg:      obs.NewRegistry(),
 		tr:       obs.NewTracer(1 << 16),
+		spans:    obs.NewSpanCollector(256),
 		sessions: make(map[string]*Session),
 	}
 	s.mxAdmitted = s.reg.Counter("svc.admitted")
@@ -138,8 +143,24 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.mxGranted = s.reg.Gauge("svc.granted_bytes")
 	s.mxBatchSize = s.reg.Histogram("svc.batch.size", []float64{1, 2, 4, 8, 16, 32, 64})
 	s.mxBatchExec = s.reg.Histogram("svc.batch.exec_seconds", nil)
+	s.mxHTTPReqs = s.reg.Counter("svc.http.requests")
+	s.mxHTTPErrs = s.reg.Counter("svc.http.errors")
+	s.mxReqSeconds = s.reg.Histogram("svc.request_seconds",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5})
 	s.reg.SetInfo("svc.mem_budget", fmt.Sprintf("%d", cfg.MemBudget))
 	s.reg.AddPublisher(s.publish)
+	obs.RegisterTracerMetrics(s.reg, s.tr, s.spans)
+
+	// The daemon's SLOs: request availability (non-5xx ratio) and
+	// latency (requests answered inside 500 ms — a bucket bound of the
+	// request histogram, so the SLI is exact). Publish comes after every
+	// Add, per the evaluator's pre-resolution contract.
+	s.slo = obs.NewSLOEvaluator(nil)
+	s.slo.Add(obs.SLO{Name: "availability", Objective: 0.999,
+		SLI: obs.ErrorSLI(s.mxHTTPErrs, s.mxHTTPReqs)})
+	s.slo.Add(obs.SLO{Name: "latency", Objective: 0.99,
+		SLI: obs.LatencySLI(s.mxReqSeconds, 0.5)})
+	s.slo.Publish(s.reg)
 
 	if err := s.adoptParked(); err != nil {
 		return nil, err
@@ -153,6 +174,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Registry exposes the server's metrics registry (tests and the CLI's
 // shutdown report read it).
 func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Spans exposes the server's span collector (tests and the traced CI
+// smoke inspect recorded traces through it).
+func (s *Server) Spans() *obs.SpanCollector { return s.spans }
+
+// SLO exposes the burn-rate evaluator behind /debug/slo.
+func (s *Server) SLO() *obs.SLOEvaluator { return s.slo }
 
 // publish mirrors the live tenancy picture into the gauges.
 func (s *Server) publish() {
@@ -520,23 +548,70 @@ func (s *Server) Close() error {
 // HTTP surface.
 
 // Handler mounts the service routes onto the observability mux, so one
-// listener serves /v1/* and /debug/*.
+// listener serves /v1/* and /debug/*. Every /v1 route runs under the
+// traced middleware: always metered (the SLO inputs), and span-recorded
+// when the request carries a W3C traceparent header.
 func (s *Server) Handler() http.Handler {
-	mux := obs.NewMux(s.reg, s.tr)
+	mux := obs.NewMux(s.reg, s.tr, obs.WithSpans(s.spans), obs.WithSLO(s.slo))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
-	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /v1/sessions", s.handleList)
-	mux.HandleFunc("GET /v1/sessions/{name}", s.handleInfo)
-	mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
-	mux.HandleFunc("POST /v1/sessions/{name}/evaluate", s.handleEvaluate)
-	mux.HandleFunc("POST /v1/sessions/{name}/newview", s.handleNewview)
-	mux.HandleFunc("POST /v1/sessions/{name}/optimize", s.handleOptimize)
-	mux.HandleFunc("POST /v1/sessions/{name}/park", s.handlePark)
-	mux.HandleFunc("GET /v1/sessions/{name}/tree", s.handleTree)
+	v1 := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.traced(pattern, h))
+	}
+	v1("POST /v1/sessions", s.handleCreate)
+	v1("GET /v1/sessions", s.handleList)
+	v1("GET /v1/sessions/{name}", s.handleInfo)
+	v1("DELETE /v1/sessions/{name}", s.handleDelete)
+	v1("POST /v1/sessions/{name}/evaluate", s.handleEvaluate)
+	v1("POST /v1/sessions/{name}/newview", s.handleNewview)
+	v1("POST /v1/sessions/{name}/optimize", s.handleOptimize)
+	v1("POST /v1/sessions/{name}/park", s.handlePark)
+	v1("GET /v1/sessions/{name}/tree", s.handleTree)
 	return mux
+}
+
+// traced wraps one /v1 route. Every request lands in the svc.http.*
+// counters and the request-latency histogram — the SLO inputs — and a
+// request carrying a traceparent header additionally gets a server-side
+// root span, its trace id echoed in the X-OOC-Trace response header,
+// under which the handler chain (batcher, engine, manager, tiered
+// store, remote client) parents everything it records. An untraced
+// request pays one header lookup.
+func (s *Server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var sp *obs.Span
+		if tp := r.Header.Get("traceparent"); tp != "" {
+			sp = s.spans.StartRemoteChild("http "+name, tp)
+			sp.SetAttrStr("path", r.URL.Path)
+			w.Header().Set("X-OOC-Trace", sp.TraceID().String())
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.mxHTTPReqs.Inc()
+		if sw.status >= 500 {
+			s.mxHTTPErrs.Inc()
+		}
+		s.mxReqSeconds.Observe(time.Since(start).Seconds())
+		if sp != nil {
+			sp.SetAttr("status", int64(sw.status))
+			sp.End()
+		}
+	}
+}
+
+// statusWriter captures the response status for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -610,10 +685,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("service: bad evaluate spec: %w", err))
 		return
 	}
-	rep, err := ses.Evaluate(spec)
+	rep, err := ses.EvaluateTraced(spec, obs.SpanFromContext(r.Context()))
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if rep.Cost != nil {
+		w.Header().Set("X-OOC-Cost", rep.Cost.Header())
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -107,8 +107,11 @@ type Session struct {
 	store ooc.Store
 	// remote is the object-store tier under a tiered stack (nil for
 	// local backing files). TieredStore.Close does not close it — the
-	// session owns it and closes it last.
+	// session owns it and closes it last. tier is the tiered store
+	// itself (nil for local backing files): the cost-attribution
+	// snapshots read its counters and traced requests set its span.
 	remote ooc.Store
+	tier   *ooc.TieredStore
 	wd     *ooc.Watchdog
 
 	batcher *Batcher
@@ -707,6 +710,9 @@ func (s *Session) openRemoteStore(n, vecLen int, man *ooc.Manifest, precision st
 // publisher, which runs after — and therefore overrides — the stale
 // one from the parked incarnation.
 func (s *Session) instrumentTier(ts *ooc.TieredStore) {
+	s.mu.Lock()
+	s.tier = ts
+	s.mu.Unlock()
 	ooc.InstrumentTieredStoreAs(s.srv.reg, ts, "svc.session."+s.name+".tier.")
 }
 
@@ -853,7 +859,7 @@ func (s *Session) closeProvider() {
 		s.remote.Close()
 	}
 	s.mu.Lock()
-	s.mgr, s.cs, s.store, s.remote = nil, nil, nil, nil
+	s.mgr, s.cs, s.store, s.remote, s.tier = nil, nil, nil, nil, nil
 	s.mu.Unlock()
 }
 
@@ -884,15 +890,52 @@ func (s *Session) close(remove bool) {
 // batch, on the loop goroutine. The first request pays whatever
 // traversal its edge needs; later requests reuse every ancestral vector
 // that is still valid — bit-identical to fresh passes, just cheaper.
+//
+// Tracing: the batch runs under one shared engine-pass span, parented
+// in the first traced request's trace (a span cannot have parents in
+// two traces, so the other traced requests record flow LINKS to it —
+// the Chrome export draws the arrows). Around each request's slice of
+// the pass, the engine/manager/tier span hooks point at that request's
+// span, and the before/after movement of the layer counters becomes the
+// request's cost ledger — exact attribution, because this loop is the
+// only goroutine advancing them.
 func (s *Session) execBatch(batch []*evalJob) {
 	err := s.do(func() error {
 		if err := s.ensureLive(); err != nil {
 			return err
 		}
 		seq := s.batcher.seq
+		var pass *obs.Span
+		for _, j := range batch {
+			if j.span != nil {
+				pass = j.span.StartChild("svc.engine_pass")
+				pass.SetAttr("batch", seq)
+				pass.SetAttr("size", int64(len(batch)))
+				break
+			}
+		}
 		execStart := time.Now()
 		for _, j := range batch {
+			var before costSnapshot
+			if pass != nil {
+				s.attachSpans(j.span)
+			}
+			if j.span != nil {
+				j.span.EmitChild("svc.batch_wait", j.enq, execStart.Sub(j.enq))
+				before = s.costSnapshot()
+			}
 			lnl, jerr := s.evalOne(j.spec)
+			var cost *obs.Cost
+			if j.span != nil {
+				delta := s.costSnapshot().sub(before)
+				delta.WaitMicros = execStart.Sub(j.enq).Microseconds()
+				j.span.AddCost(delta)
+				if pass != nil && j.span.TraceID() != pass.TraceID() {
+					j.span.LinkTo(pass)
+				}
+				c := delta
+				cost = &c
+			}
 			if jerr != nil {
 				j.err = jerr
 				continue
@@ -905,12 +948,26 @@ func (s *Session) execBatch(batch []*evalJob) {
 				Batch:      seq,
 				BatchSize:  len(batch),
 				WaitMicros: execStart.Sub(j.enq).Microseconds(),
+				Cost:       cost,
 			}
+			if j.span != nil {
+				j.res.TraceID = j.span.TraceID().String()
+			}
+		}
+		if pass != nil {
+			s.attachSpans(nil)
+			pass.End()
 		}
 		exec := time.Since(execStart).Microseconds()
 		for _, j := range batch {
+			if j.span != nil {
+				j.span.AddCost(obs.Cost{ExecMicros: exec})
+			}
 			if j.err == nil {
 				j.res.ExecMicros = exec
+				if j.res.Cost != nil {
+					j.res.Cost.ExecMicros = exec
+				}
 			}
 		}
 		s.mu.Lock()
@@ -927,6 +984,68 @@ func (s *Session) execBatch(batch []*evalJob) {
 			}
 		}
 	}
+}
+
+// attachSpans points the engine (and, through it, the out-of-core
+// manager) and the tiered store at sp for one request's slice of the
+// batch. Loop goroutine only; the tier's fetch lanes capture the
+// current span per enqueued miss, so the hand-off is race-free.
+func (s *Session) attachSpans(sp *obs.Span) {
+	if s.eng != nil {
+		s.eng.SetSpan(sp)
+	}
+	if s.tier != nil {
+		s.tier.SetSpan(sp)
+	}
+}
+
+// costSnapshot captures the monotonic layer counters cost attribution
+// differences around one request (loop goroutine: nothing else advances
+// them while it holds the engine).
+type costSnapshot struct {
+	mgr     ooc.Stats
+	tier    ooc.TierStats
+	hasTier bool
+	eng     plf.Stats
+}
+
+func (s *Session) costSnapshot() costSnapshot {
+	var snap costSnapshot
+	if s.mgr != nil {
+		snap.mgr = s.mgr.Stats()
+	}
+	if s.tier != nil {
+		snap.tier = s.tier.Stats()
+		snap.hasTier = true
+	}
+	if s.eng != nil {
+		snap.eng = s.eng.Stats
+	}
+	return snap
+}
+
+// sub converts the counter movement since before into one request's
+// cost ledger entry. Under a tiered store the local/remote split comes
+// from the tier counters; a plain backing file charges every manager
+// read as local.
+func (after costSnapshot) sub(before costSnapshot) obs.Cost {
+	c := obs.Cost{
+		VectorsFaulted: after.mgr.Misses - before.mgr.Misses,
+		Recomputes:     after.eng.PolicyRecomputes - before.eng.PolicyRecomputes,
+		Newviews:       after.eng.Newviews - before.eng.Newviews,
+		PCacheHits:     after.eng.PCacheHits - before.eng.PCacheHits,
+	}
+	if after.hasTier {
+		c.LocalReads = after.tier.CacheHits - before.tier.CacheHits
+		c.BytesLocal = after.tier.BytesFromCache - before.tier.BytesFromCache
+		c.RemoteGets = after.tier.RemoteReads - before.tier.RemoteReads
+		c.BytesRemote = after.tier.BytesFetched - before.tier.BytesFetched
+		c.BytesPushed = after.tier.BytesPushed - before.tier.BytesPushed
+	} else {
+		c.LocalReads = after.mgr.Reads - before.mgr.Reads
+		c.BytesLocal = after.mgr.BytesRead - before.mgr.BytesRead
+	}
+	return c
 }
 
 // evalOne answers one evaluate spec. Loop goroutine, engine live.
@@ -952,8 +1071,15 @@ func (s *Session) evalOne(spec EvalSpec) (float64, error) {
 
 // Evaluate submits one request through the coalescing batcher.
 func (s *Session) Evaluate(spec EvalSpec) (EvalReply, error) {
+	return s.EvaluateTraced(spec, nil)
+}
+
+// EvaluateTraced is Evaluate under a server-side request span: the
+// batch executor parents its engine/store spans beneath sp and fills
+// the reply's trace id and cost ledger.
+func (s *Session) EvaluateTraced(spec EvalSpec, sp *obs.Span) (EvalReply, error) {
 	s.touch()
-	return s.batcher.Submit(spec)
+	return s.batcher.SubmitTraced(spec, sp)
 }
 
 // Newview forces a fresh full engine pass (invalidate + complete

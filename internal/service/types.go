@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"oocphylo/internal/obs"
 )
 
 // SessionConfig describes a named session: alignment + model + tree,
@@ -152,6 +154,14 @@ type EvalReply struct {
 	// the whole batch.
 	WaitMicros int64 `json:"wait_us"`
 	ExecMicros int64 `json:"exec_us"`
+	// TraceID is set when the request carried a W3C traceparent header:
+	// the 32-hex id under which the daemon recorded the request's spans
+	// (GET /debug/trace/{id} replays them). Cost is this request's
+	// resource ledger — counter deltas attributed to exactly this
+	// request by the serialized session loop, the same numbers the
+	// X-OOC-Cost response header carries.
+	TraceID string    `json:"trace_id,omitempty"`
+	Cost    *obs.Cost `json:"cost,omitempty"`
 }
 
 // FormatLnLBits renders a float64's bit pattern the way EvalReply and
