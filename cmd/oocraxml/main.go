@@ -127,6 +127,10 @@ type options struct {
 	cacheDir    string
 	cacheBytes  int64
 	remoteLanes int
+
+	remoteDeadline time.Duration
+	hedgeAfter     time.Duration
+	spillDir       string
 }
 
 func run(args []string, out *os.File) error {
@@ -151,6 +155,9 @@ func run(args []string, out *os.File) error {
 	fs.StringVar(&o.cacheDir, "cache-dir", "", "local write-back cache directory for -store remote:// (default: temp dir, removed on exit; a persistent dir warm-starts the next run)")
 	fs.Int64Var(&o.cacheBytes, "cache-bytes", 0, "byte budget for the local cache tier with -store remote:// (0 = room for every vector)")
 	fs.IntVar(&o.remoteLanes, "remote-lanes", 2, "parallel remote fetch lanes for -store remote://")
+	fs.DurationVar(&o.remoteDeadline, "remote-deadline", 0, "deadline per remote request attempt for -store remote:// (0 = none); expiries are retried with jittered backoff, then trip the circuit breaker into degraded (cache+recompute) mode")
+	fs.DurationVar(&o.hedgeAfter, "hedge-after", 0, "launch a duplicate remote read when the first is still in flight after this long with -store remote:// (0 = no hedging)")
+	fs.StringVar(&o.spillDir, "spill-dir", "", "directory for the write-back spill journal with -store remote:// (default: the cache dir); absorbs dirty evictions during remote outages, replayed on recovery")
 	fs.BoolVar(&o.noReadSkip, "no-read-skipping", false, "disable the read-skipping optimisation")
 	fs.IntVar(&o.sprRadius, "radius", 5, "lazy-SPR rearrangement radius")
 	fs.IntVar(&o.rounds, "rounds", 10, "maximum SPR improvement rounds")
@@ -930,6 +937,16 @@ func openRemoteStore(o options, n, vecLen int, man *ooc.Manifest, out *os.File) 
 		CacheDir:     cacheDir,
 		CacheVectors: cacheVectorBudget(o.cacheBytes, n, vecLen),
 		Lanes:        o.remoteLanes,
+		// Network fault tolerance: a per-attempt deadline and jittered
+		// retry budget distinct from -io-retries (disk), a breaker that
+		// flips the engine into cache+recompute degraded mode, optional
+		// tail hedging, and a spill journal for dirty evictions the
+		// remote cannot take.
+		RemoteDeadline: o.remoteDeadline,
+		RemoteRetry:    ooc.RetryPolicy{Max: 3},
+		Breaker:        ooc.BreakerConfig{Threshold: 5},
+		HedgeAfter:     o.hedgeAfter,
+		SpillDir:       o.spillDir,
 	}
 	ts, err := ooc.NewTieredStore(obj, tcfg)
 	if err != nil {

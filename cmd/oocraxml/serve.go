@@ -45,18 +45,26 @@ func runServe(args []string, out *os.File) error {
 	storeURL := fs.String("store", "", "remote object-store endpoint (remote://host:port, or remote://host:port/namespace to share one server between daemons): out-of-core sessions keep their vectors there behind a per-session write-back cache in -data")
 	cacheBytes := fs.Int64("cache-bytes", 0, "per-session byte budget for the local cache tier with -store (0 = room for every vector)")
 	remoteLanes := fs.Int("remote-lanes", 2, "parallel remote fetch lanes per session with -store")
+	remoteDeadline := fs.Duration("remote-deadline", 0, "deadline per remote store request attempt with -store (0 = none); expiries are retried with jittered backoff, then trip the circuit breaker")
+	hedgeAfter := fs.Duration("hedge-after", 0, "launch a duplicate remote read when the first is still in flight after this long with -store (0 = no hedging)")
+	spillDir := fs.String("spill-dir", "", "directory for per-session write-back spill journals with -store (default: the session cache directory in -data); absorbs dirty evictions during remote outages, replayed on recovery")
+	reqTimeout := fs.Duration("request-timeout", 0, "end-to-end deadline per /v1 request (0 = none); expiry answers 503 + Retry-After")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv, err := service.NewServer(service.ServerConfig{
-		DataDir:     *dataDir,
-		MemBudget:   *memBudget,
-		Batch:       service.BatcherConfig{MaxBatch: *batchMax, MaxWait: *batchWait},
-		IdleTimeout: *idle,
-		StoreURL:    *storeURL,
-		CacheBytes:  *cacheBytes,
-		RemoteLanes: *remoteLanes,
+		DataDir:        *dataDir,
+		MemBudget:      *memBudget,
+		Batch:          service.BatcherConfig{MaxBatch: *batchMax, MaxWait: *batchWait},
+		IdleTimeout:    *idle,
+		StoreURL:       *storeURL,
+		CacheBytes:     *cacheBytes,
+		RemoteLanes:    *remoteLanes,
+		RemoteDeadline: *remoteDeadline,
+		HedgeAfter:     *hedgeAfter,
+		SpillDir:       *spillDir,
+		RequestTimeout: *reqTimeout,
 	})
 	if err != nil {
 		return err

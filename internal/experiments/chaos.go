@@ -1,0 +1,333 @@
+package experiments
+
+// Chaos soak: the proof obligation of the network fault-tolerance
+// layer. One deterministic tree search runs twice — once against a
+// clean local store (the reference bits) and once against a loopback
+// remote object store whose every request passes through a seeded
+// chaos policy: connection drops, stalls past the client deadline,
+// mid-body truncations, 503 bursts, corrupt payloads, and a scheduled
+// partition that flaps the remote up and down for whole request
+// windows. The fault-tolerance stack underneath the engine — jittered
+// retries, per-request deadlines, hedged reads, the circuit breaker,
+// degraded-mode recompute, and the crash-safe write-back spill
+// journal — must turn all of that into nothing more than extra local
+// compute: the soak FAILS unless the chaotic run finishes with
+// bit-identical likelihood, the breaker actually tripped (the chaos
+// was real), and after recovery the journal replays every absorbed
+// write-back to the remote store and drains to empty.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"oocphylo/internal/iosim"
+	"oocphylo/internal/ooc"
+	"oocphylo/internal/ooc/remote"
+	"oocphylo/internal/plf"
+	"oocphylo/internal/search"
+	"oocphylo/internal/tree"
+)
+
+// ChaosSoakConfig configures RunChaosSoak.
+type ChaosSoakConfig struct {
+	// Workload is the shared search workload (defaults as in the tier
+	// ablation: 128 taxa).
+	Workload SearchWorkloadConfig
+	// MemFraction sets the manager's RAM-slot fraction (default 0.25).
+	MemFraction float64
+	// CacheFraction sizes the local cache tier as a fraction of the
+	// vector count (default 0.35 — small enough that remote traffic,
+	// and therefore injected faults, actually happen).
+	CacheFraction float64
+	// Lanes is the tiered store's remote fan-out (default 2).
+	Lanes int
+	// Chaos is the fault mix. Zero-valued fields get soak defaults: a
+	// few percent each of drops, stalls, truncations, 503s and corrupt
+	// bodies, plus a partition flap schedule (40 healthy requests, then
+	// 12 dropped wholesale, repeating).
+	Chaos iosim.ChaosConfig
+	// RemoteDeadline bounds each remote attempt (default 250ms — a
+	// stalled request trips it instead of hanging the lane).
+	RemoteDeadline time.Duration
+	// HedgeAfter launches the tail hedge (default 50ms).
+	HedgeAfter time.Duration
+	// Breaker is the circuit-breaker config (default threshold 4,
+	// cooldown 100ms — short, so the soak exercises several
+	// open/half-open/closed cycles inside one search).
+	Breaker ooc.BreakerConfig
+	// Dir is the scratch directory (default: fresh temp dir, removed
+	// afterwards).
+	Dir string
+}
+
+func (c *ChaosSoakConfig) fill() {
+	c.Workload.fill()
+	if c.MemFraction == 0 {
+		c.MemFraction = 0.25
+	}
+	if c.CacheFraction == 0 {
+		c.CacheFraction = 0.35
+	}
+	if c.Lanes == 0 {
+		c.Lanes = 2
+	}
+	ch := &c.Chaos
+	if ch.DropProb == 0 && ch.StallProb == 0 && ch.TruncateProb == 0 &&
+		ch.ErrorProb == 0 && ch.CorruptProb == 0 {
+		ch.DropProb, ch.StallProb, ch.TruncateProb = 0.04, 0.02, 0.02
+		ch.ErrorProb, ch.CorruptProb = 0.04, 0.02
+	}
+	if ch.Stall == 0 {
+		ch.Stall = 400 * time.Millisecond // > RemoteDeadline: stalls become timeouts
+	}
+	if ch.PartitionEvery == 0 && ch.PartitionFor == 0 {
+		ch.PartitionEvery, ch.PartitionFor = 40, 12
+	}
+	if c.RemoteDeadline == 0 {
+		c.RemoteDeadline = 250 * time.Millisecond
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 50 * time.Millisecond
+	}
+	if c.Breaker.Threshold == 0 {
+		c.Breaker = ooc.BreakerConfig{Threshold: 4, Cooldown: 100 * time.Millisecond}
+	}
+}
+
+// ChaosSoakResult reports what the soak survived.
+type ChaosSoakResult struct {
+	// LnL is the final likelihood — identical between arms by
+	// construction (the run fails otherwise).
+	LnL float64
+	// CleanElapsed / ChaosElapsed are the two arms' wall-clocks.
+	CleanElapsed, ChaosElapsed time.Duration
+	// Chaos counts what the fault injector actually did.
+	Chaos iosim.ChaosStats
+	// Tier is the chaotic arm's tier counter snapshot (breaker trips,
+	// hedges, journal traffic, retries).
+	Tier ooc.TierStats
+	// Recoveries counts engine-level read recoveries (unreadable or
+	// corrupt vectors converted to recomputes); DegradedRecomputes the
+	// plan-time conversions degraded mode forced.
+	Recoveries, DegradedRecomputes int64
+}
+
+// RunChaosSoak runs both arms and enforces the acceptance conditions.
+func RunChaosSoak(cfg ChaosSoakConfig) (*ChaosSoakResult, error) {
+	cfg.fill()
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "chaos"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	w, err := newTierWorkload(cfg.Workload, cfg.MemFraction)
+	if err != nil {
+		return nil, err
+	}
+	res := &ChaosSoakResult{}
+
+	// Clean arm: plain local backing file, the reference bits.
+	fs, err := ooc.NewFileStore(filepath.Join(dir, "clean.vec"), w.nVec, w.vecLen)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := w.run(fs, false, 0)
+	fs.Close()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: clean arm: %w", err)
+	}
+	res.LnL = clean.LnL
+	res.CleanElapsed = clean.Elapsed
+
+	// Chaotic arm: loopback remote behind the fault injector, full
+	// fault-tolerance stack, and an OUTER checksum layer — the cache
+	// tier trusts what it admits, so a corrupt GET body is only caught
+	// by checksums ABOVE the tier, where the engine's recovery path
+	// turns it into a recompute.
+	chaos := iosim.NewChaos(cfg.Chaos)
+	chaos.Disable() // hold fire while the stack comes up
+	srv, err := remote.NewServer(remote.ServerConfig{
+		Device: iosim.Device{Name: "wan", Latency: time.Millisecond, Bandwidth: 500e6},
+		Chaos:  chaos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	obj, err := ooc.NewObjectStore(srv.ObjectURL("soak"), w.nVec, w.vecLen)
+	if err != nil {
+		return nil, err
+	}
+	defer obj.Close()
+	obj.SetDeadline(cfg.RemoteDeadline)
+	cacheDir := filepath.Join(dir, "cache")
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	cacheVecs := int(cfg.CacheFraction*float64(w.nVec) + 0.5)
+	if cacheVecs < 1 {
+		cacheVecs = 1
+	}
+	ts, err := ooc.NewTieredStore(obj, ooc.TieredConfig{
+		NumVectors: w.nVec, VectorLen: w.vecLen,
+		CacheDir: cacheDir, CacheVectors: cacheVecs,
+		Lanes:          cfg.Lanes,
+		RemoteDeadline: cfg.RemoteDeadline,
+		RemoteRetry:    ooc.RetryPolicy{Max: 2, Rand: rand.New(rand.NewSource(cfg.Workload.Seed + 7)).Float64},
+		Breaker:        cfg.Breaker,
+		HedgeAfter:     cfg.HedgeAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cs, err := ooc.NewChecksumStore(ts, filepath.Join(dir, "soak.sum"), w.nVec, w.vecLen)
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+
+	chaos.Enable()
+	chaotic, recov, degraded, err := runChaosArm(w, cs)
+	if err != nil {
+		cs.Close()
+		return nil, fmt.Errorf("experiments: chaos arm: %w", err)
+	}
+
+	// Recovery phase: lift every fault, probe until the breaker
+	// recloses (the workload has stopped, so nothing else feeds the
+	// half-open probe), then flush. The spill journal must replay
+	// whatever outages forced it to absorb and drain to empty — zero
+	// lost write-backs.
+	chaos.Disable()
+	rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = ProbeChaosRecovery(rctx, ts)
+	rcancel()
+	if err != nil {
+		cs.Close()
+		return nil, fmt.Errorf("experiments: breaker never reclosed after recovery: %w", err)
+	}
+	if err := ts.Sync(); err != nil {
+		cs.Close()
+		return nil, fmt.Errorf("experiments: post-recovery sync: %w", err)
+	}
+	res.Tier = ts.Stats()
+	if err := cs.Close(); err != nil {
+		return nil, fmt.Errorf("experiments: close: %w", err)
+	}
+	res.ChaosElapsed = chaotic.Elapsed
+	res.Chaos = chaos.Stats()
+	res.Recoveries = recov
+	res.DegradedRecomputes = degraded
+
+	// Acceptance.
+	if chaotic.LnL != clean.LnL {
+		return nil, fmt.Errorf("experiments: chaos soak diverged: %.12f != clean %.12f",
+			chaotic.LnL, clean.LnL)
+	}
+	injected := res.Chaos.Drops + res.Chaos.Stalls + res.Chaos.Truncations +
+		res.Chaos.Errors + res.Chaos.Corruptions + res.Chaos.Partitioned
+	if injected == 0 {
+		return nil, fmt.Errorf("experiments: chaos soak injected no faults (%d requests) — nothing was proven", res.Chaos.Requests)
+	}
+	if res.Tier.BreakerOpens == 0 {
+		return nil, fmt.Errorf("experiments: breaker never opened despite %d injected faults", injected)
+	}
+	// Zero lost write-backs: every absorbed record was either replayed
+	// to the remote store or superseded by a newer dirty copy that
+	// itself reached the store — depth 0 after a successful Sync is
+	// exactly that invariant.
+	if res.Tier.JournalDepth != 0 {
+		return nil, fmt.Errorf("experiments: journal still holds %d vectors after recovery", res.Tier.JournalDepth)
+	}
+	return res, nil
+}
+
+// runChaosArm replays the identical search over the chaotic stack and
+// returns the row plus the engine's recovery ledger.
+func runChaosArm(w *tierWorkload, store ooc.Store) (TierAblationRow, int64, int64, error) {
+	var row TierAblationRow
+	names := make([]string, w.data.Tree.NumTips)
+	for i := range names {
+		names[i] = w.data.Tree.Nodes[i].Name
+	}
+	start, err := tree.RandomTopology(names, rand.New(rand.NewSource(w.cfg.Seed+1)), 0.05, 0.15)
+	if err != nil {
+		return row, 0, 0, err
+	}
+	mgr, err := ooc.NewManager(ooc.Config{
+		NumVectors: w.nVec, VectorLen: w.vecLen, Slots: w.slots,
+		Strategy: ooc.NewLRU(w.nVec), ReadSkipping: true,
+		Store: store,
+	})
+	if err != nil {
+		return row, 0, 0, err
+	}
+	e, err := plf.New(start, w.data.Patterns, w.data.Model, mgr)
+	if err != nil {
+		mgr.Close()
+		return row, 0, 0, err
+	}
+	t0 := time.Now()
+	sr, err := search.New(e, search.Options{
+		SPRRadius: w.cfg.SPRRadius, MaxRounds: w.cfg.Rounds,
+	}).Run()
+	if err != nil {
+		mgr.Close()
+		return row, 0, 0, err
+	}
+	if err := mgr.Flush(); err != nil {
+		mgr.Close()
+		return row, 0, 0, err
+	}
+	if err := mgr.Close(); err != nil {
+		return row, 0, 0, err
+	}
+	row.Elapsed = time.Since(t0)
+	row.LnL = sr.LnL
+	return row, e.Stats.Recoveries, e.Stats.DegradedRecomputes, nil
+}
+
+// ProbeChaosRecovery drives a degraded tier back to closed: called
+// after Chaos.Disable, it probes until the breaker recloses or ctx
+// expires. The soak's search traffic usually does this on its own (any
+// dirty write-back doubles as a probe); this helper is for tests that
+// stop the workload while the breaker is still open.
+func ProbeChaosRecovery(ctx context.Context, ts *ooc.TieredStore) error {
+	for ts.Degraded() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = ts.ProbeRemote(ctx)
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil
+}
+
+// WriteChaosTable renders the soak result.
+func WriteChaosTable(wr io.Writer, res *ChaosSoakResult, cfg ChaosSoakConfig) {
+	cfg.fill()
+	fmt.Fprintf(wr, "Chaos soak: %d taxa, %d sites, seed %d, deadline %v, hedge %v, breaker %d/%v\n",
+		cfg.Workload.Taxa, cfg.Workload.Sites, cfg.Chaos.Seed,
+		cfg.RemoteDeadline, cfg.HedgeAfter, cfg.Breaker.Threshold, cfg.Breaker.Cooldown)
+	fmt.Fprintf(wr, "  lnL %.6f bit-identical to clean run (clean %v, chaos %v, %.2fx)\n",
+		res.LnL, res.CleanElapsed.Round(time.Millisecond), res.ChaosElapsed.Round(time.Millisecond),
+		float64(res.ChaosElapsed)/float64(res.CleanElapsed))
+	c := res.Chaos
+	fmt.Fprintf(wr, "  injected: %d drops, %d stalls, %d truncations, %d 5xx, %d corruptions, %d partitioned of %d requests\n",
+		c.Drops, c.Stalls, c.Truncations, c.Errors, c.Corruptions, c.Partitioned, c.Requests)
+	t := res.Tier
+	fmt.Fprintf(wr, "  survived: %d remote errors, %d retries, %d breaker opens, %d short-circuits, %d hedges (%d won)\n",
+		t.RemoteErrors, t.RemoteRetries, t.BreakerOpens, t.ShortCircuits, t.Hedges, t.HedgeWins)
+	fmt.Fprintf(wr, "  journal: %d absorbed, %d replayed, depth %d after recovery; %d journal-served reads\n",
+		t.JournalAppends, t.JournalReplayed, t.JournalDepth, t.JournalHits)
+	fmt.Fprintf(wr, "  engine: %d read recoveries, %d degraded-mode recomputes\n",
+		res.Recoveries, res.DegradedRecomputes)
+}

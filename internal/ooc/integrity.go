@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/crc64"
 	"math"
+	"math/rand"
 	"os"
 	"sync/atomic"
 	"time"
@@ -105,16 +106,37 @@ var ErrTransientIO = errors.New("transient I/O error")
 func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }
 
 // RetryPolicy caps the retry loop applied to transient store errors:
-// up to Max re-issues with exponential backoff starting at Base and
-// capped at Cap. The zero value disables retries (first error wins).
+// up to Max re-issues with full-jitter exponential backoff starting at
+// Base and capped at Cap. The zero value disables retries (first error
+// wins).
 type RetryPolicy struct {
 	// Max is the number of re-issues after the initial attempt.
 	Max int
-	// Base is the delay before the first retry (default 200µs when Max
-	// > 0); each subsequent retry doubles it.
+	// Base is the backoff envelope before the first retry (default
+	// 200µs when Max > 0); each subsequent retry doubles it.
 	Base time.Duration
-	// Cap bounds the per-retry delay (default 50ms).
+	// Cap bounds the per-retry envelope (default 50ms).
 	Cap time.Duration
+	// Rand supplies the uniform variates for full-jitter backoff: each
+	// sleep is drawn uniformly from (0, envelope]. Deterministic
+	// doubling would wake every remote lane at the same instant after a
+	// shared outage — a synchronized retry storm — so jitter is always
+	// on; nil uses the (goroutine-safe) global math/rand source, tests
+	// inject a seeded func to stay deterministic.
+	Rand func() float64
+}
+
+// jittered draws one full-jitter sleep from the envelope d.
+func (rp RetryPolicy) jittered(d time.Duration) time.Duration {
+	f := rand.Float64
+	if rp.Rand != nil {
+		f = rp.Rand
+	}
+	j := time.Duration(f() * float64(d))
+	if j <= 0 {
+		j = 1
+	}
+	return j
 }
 
 // run executes op, re-issuing it per the policy while the error is
@@ -142,14 +164,15 @@ func (rp RetryPolicy) runCtx(ctx context.Context, counter *atomic.Int64, op func
 		if delay > cap {
 			delay = cap
 		}
+		sleep := rp.jittered(delay)
 		if ctx != nil {
 			select {
-			case <-time.After(delay):
+			case <-time.After(sleep):
 			case <-ctx.Done():
 				return fmt.Errorf("ooc: retry abandoned after %w: %w", err, ctx.Err())
 			}
 		} else {
-			time.Sleep(delay)
+			time.Sleep(sleep)
 		}
 		delay *= 2
 		if counter != nil {
@@ -479,6 +502,12 @@ func (s *ChecksumStore) FetchCost(vi int) (time.Duration, bool) {
 // plus whatever the inner store tracks.
 func (s *ChecksumStore) MemOverheadBytes() int64 {
 	return int64(s.n)*16 + StoreMemOverhead(s.inner)
+}
+
+// Degraded forwards the inner store's degraded signal (remote circuit
+// open), so the planner sees it through the checksum wrapper.
+func (s *ChecksumStore) Degraded() bool {
+	return StoreDegraded(s.inner)
 }
 
 // Close implements Store: it seals the sidecar (so OpenChecksumStore

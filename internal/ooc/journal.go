@@ -1,0 +1,322 @@
+package ooc
+
+// Write-back spill journal — the durability backstop for the remote
+// tier. The tiered store's crash-safety story ("a dirty victim is
+// written to the remote tier before its slot is reused") breaks down
+// during a network outage: the push fails and the cache slot is needed
+// NOW. Rather than latching an error and losing the newest copy of the
+// vector, the eviction appends it to this journal — an append-only,
+// CRC-bound file in the cache directory — and the run keeps going. On
+// recovery (a successful probe through the circuit breaker, or Sync)
+// the journal is replayed to the remote tier, newest record per
+// vector, and truncated once empty: zero lost write-backs.
+//
+// While a vector sits in the journal, the journal holds its
+// authoritative newest copy (unless the cache re-dirties it, which
+// supersedes the entry): reads consult the journal before fetching
+// remote, and FetchCost prices journaled vectors as local.
+//
+// On-disk format (all little-endian):
+//
+//	header (16 B): magic "OOCSPL1\n" | uint32 numVectors | uint32 vecLen
+//	record       : uint32 vi | uint32 count | uint64 seq
+//	               count*8 B payload | uint64 CRC64(header+payload)
+//
+// Appends are fsynced — the journal is the only durable copy of the
+// vector it absorbs. Replay after a crash reads records until the
+// first torn or CRC-failing one (the crash tail) and keeps the highest
+// seq per vector; superseded and replayed records are dropped from the
+// in-memory index but stay in the file until it drains empty, at which
+// point it is truncated back to the header. Replaying a record twice
+// is harmless (remote PUTs are idempotent), so a crash mid-drain
+// re-pushes at worst.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+const (
+	spillMagic      = "OOCSPL1\n"
+	spillHeaderSize = 16
+	spillRecHdrSize = 16
+)
+
+// SpillJournal absorbs dirty write-backs the remote tier cannot accept
+// and replays them on recovery. Safe for concurrent use.
+type SpillJournal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	nvec int
+	vlen int
+	seq  uint64
+	// live maps vi -> newest payload (its own copy). Bounded by the
+	// dirty set of one outage; MemBytes charges it to the watchdog.
+	live map[int][]float64
+
+	appends, replayed, discards int64
+	fileBytes                   int64
+}
+
+// OpenSpillJournal opens (or creates) the journal at path and replays
+// any surviving records into the in-memory index. A journal whose
+// geometry does not match is discarded: it belongs to a different run,
+// and the only caller that can hold stale dirty state (a crashed run)
+// restarts from a checkpoint that recomputes it anyway.
+func OpenSpillJournal(path string, numVectors, vecLen int) (*SpillJournal, error) {
+	if numVectors < 1 || vecLen < 1 {
+		return nil, fmt.Errorf("ooc: spill journal geometry %dx%d invalid", numVectors, vecLen)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: opening spill journal: %w", err)
+	}
+	j := &SpillJournal{
+		f:    f,
+		path: path,
+		nvec: numVectors,
+		vlen: vecLen,
+		live: make(map[int][]float64),
+	}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans the file, keeping the newest valid record per vector
+// and truncating any crash tail (torn or CRC-failing suffix).
+func (j *SpillJournal) replay() error {
+	info, err := j.f.Stat()
+	if err != nil {
+		return err
+	}
+	if info.Size() < spillHeaderSize {
+		return j.reset()
+	}
+	hdr := make([]byte, spillHeaderSize)
+	if _, err := j.f.ReadAt(hdr, 0); err != nil {
+		return j.reset()
+	}
+	if string(hdr[:8]) != spillMagic ||
+		binary.LittleEndian.Uint32(hdr[8:]) != uint32(j.nvec) ||
+		binary.LittleEndian.Uint32(hdr[12:]) != uint32(j.vlen) {
+		return j.reset()
+	}
+	off := int64(spillHeaderSize)
+	rec := make([]byte, spillRecHdrSize+j.vlen*8+8)
+	for off+int64(len(rec)) <= info.Size() {
+		if _, err := j.f.ReadAt(rec, off); err != nil {
+			break
+		}
+		vi := int(binary.LittleEndian.Uint32(rec[0:]))
+		count := int(binary.LittleEndian.Uint32(rec[4:]))
+		seq := binary.LittleEndian.Uint64(rec[8:])
+		sum := binary.LittleEndian.Uint64(rec[len(rec)-8:])
+		if vi < 0 || vi >= j.nvec || count != j.vlen ||
+			crc64.Checksum(rec[:len(rec)-8], crcTable) != sum {
+			break
+		}
+		buf := make([]float64, j.vlen)
+		for i := range buf {
+			buf[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[spillRecHdrSize+i*8:]))
+		}
+		j.live[vi] = buf
+		if seq >= j.seq {
+			j.seq = seq + 1
+		}
+		off += int64(len(rec))
+	}
+	// Drop the crash tail so new appends land on a clean boundary.
+	if off < info.Size() {
+		if err := j.f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	j.fileBytes = off
+	_, err = j.f.Seek(off, io.SeekStart)
+	return err
+}
+
+// reset truncates the journal to an empty, well-formed state.
+func (j *SpillJournal) reset() error {
+	j.live = make(map[int][]float64)
+	j.seq = 0
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	hdr := make([]byte, spillHeaderSize)
+	copy(hdr, spillMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(j.nvec))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(j.vlen))
+	if _, err := j.f.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	j.fileBytes = spillHeaderSize
+	if _, err := j.f.Seek(spillHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Reset discards every journaled record (used on cache cold start: the
+// entries belong to a run whose state is being rebuilt from scratch).
+func (j *SpillJournal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reset()
+}
+
+// Append absorbs data as the newest copy of vector vi. The record is
+// fsynced before Append returns — from here on the journal, not the
+// failed remote push, owns the vector's durability.
+func (j *SpillJournal) Append(vi int, data []float64) error {
+	if vi < 0 || vi >= j.nvec || len(data) != j.vlen {
+		return fmt.Errorf("ooc: spill journal append vi=%d len=%d invalid", vi, len(data))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := make([]byte, spillRecHdrSize+j.vlen*8+8)
+	binary.LittleEndian.PutUint32(rec[0:], uint32(vi))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(j.vlen))
+	binary.LittleEndian.PutUint64(rec[8:], j.seq)
+	for i, x := range data {
+		binary.LittleEndian.PutUint64(rec[spillRecHdrSize+i*8:], math.Float64bits(x))
+	}
+	sum := crc64.Checksum(rec[:len(rec)-8], crcTable)
+	binary.LittleEndian.PutUint64(rec[len(rec)-8:], sum)
+	if _, err := j.f.WriteAt(rec, j.fileBytes); err != nil {
+		return fmt.Errorf("ooc: spill journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("ooc: spill journal sync: %w", err)
+	}
+	j.fileBytes += int64(len(rec))
+	j.seq++
+	buf := make([]float64, j.vlen)
+	copy(buf, data)
+	j.live[vi] = buf
+	j.appends++
+	return nil
+}
+
+// Snapshot copies the journaled payload of vi into dst, reporting
+// whether one exists.
+func (j *SpillJournal) Snapshot(vi int, dst []float64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	buf, ok := j.live[vi]
+	if ok {
+		copy(dst, buf)
+	}
+	return ok
+}
+
+// Has reports whether vi has a pending journaled payload.
+func (j *SpillJournal) Has(vi int) bool {
+	j.mu.Lock()
+	_, ok := j.live[vi]
+	j.mu.Unlock()
+	return ok
+}
+
+// Pending returns the journaled vector indices in ascending order.
+func (j *SpillJournal) Pending() []int {
+	j.mu.Lock()
+	vis := make([]int, 0, len(j.live))
+	for vi := range j.live {
+		vis = append(vis, vi)
+	}
+	j.mu.Unlock()
+	sort.Ints(vis)
+	return vis
+}
+
+// Depth reports how many vectors are pending replay.
+func (j *SpillJournal) Depth() int {
+	j.mu.Lock()
+	n := len(j.live)
+	j.mu.Unlock()
+	return n
+}
+
+// Remove marks vi replayed (its bytes reached the remote tier). When
+// the last pending vector drains, the file is truncated back to its
+// header — the observable "journal replayed to empty" state.
+func (j *SpillJournal) Remove(vi int) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.live[vi]; !ok {
+		return nil
+	}
+	delete(j.live, vi)
+	j.replayed++
+	if len(j.live) == 0 {
+		return j.reset()
+	}
+	return nil
+}
+
+// Discard drops vi's entry without counting a replay: a newer copy of
+// the vector went dirty in the cache (or was pushed remote directly),
+// superseding the journaled bytes.
+func (j *SpillJournal) Discard(vi int) {
+	j.mu.Lock()
+	if _, ok := j.live[vi]; ok {
+		delete(j.live, vi)
+		j.discards++
+		if len(j.live) == 0 {
+			j.reset()
+		}
+	}
+	j.mu.Unlock()
+}
+
+// SpillStats is a snapshot of the journal counters.
+type SpillStats struct {
+	// Appends counts write-backs absorbed; Replayed those pushed to the
+	// remote tier on recovery; Discards entries superseded before
+	// replay. Depth is the current pending count, FileBytes the on-disk
+	// size (header-only when empty).
+	Appends, Replayed, Discards int64
+	Depth                       int
+	FileBytes                   int64
+}
+
+// Stats snapshots the journal counters.
+func (j *SpillJournal) Stats() SpillStats {
+	j.mu.Lock()
+	s := SpillStats{
+		Appends:   j.appends,
+		Replayed:  j.replayed,
+		Discards:  j.discards,
+		Depth:     len(j.live),
+		FileBytes: j.fileBytes,
+	}
+	j.mu.Unlock()
+	return s
+}
+
+// MemBytes reports the heap held by the in-memory index.
+func (j *SpillJournal) MemBytes() int64 {
+	j.mu.Lock()
+	n := int64(len(j.live)) * (48 + int64(j.vlen)*8)
+	j.mu.Unlock()
+	return n
+}
+
+// Close closes the journal file. Pending entries stay on disk and are
+// replayed by the next open.
+func (j *SpillJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

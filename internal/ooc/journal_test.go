@@ -1,0 +1,229 @@
+package ooc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func journalVec(vlen, seed int) []float64 {
+	v := make([]float64, vlen)
+	for i := range v {
+		v[i] = float64(seed*100 + i)
+	}
+	return v
+}
+
+func openTestJournal(t *testing.T, dir string, nvec, vlen int) *SpillJournal {
+	t.Helper()
+	j, err := OpenSpillJournal(filepath.Join(dir, "spill.jrnl"), nvec, vlen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestSpillJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, 8, 4)
+	defer j.Close()
+
+	if j.Depth() != 0 || j.Has(3) {
+		t.Fatal("fresh journal not empty")
+	}
+	for _, vi := range []int{3, 1, 5} {
+		if err := j.Append(vi, journalVec(4, vi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-append vi 3 with newer bytes: newest wins.
+	newest := journalVec(4, 42)
+	if err := j.Append(3, newest); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Pending(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("Pending = %v, want [1 3 5]", got)
+	}
+	dst := make([]float64, 4)
+	if !j.Snapshot(3, dst) {
+		t.Fatal("Snapshot(3) missing")
+	}
+	for i := range newest {
+		if dst[i] != newest[i] {
+			t.Fatalf("pos %d: %v != %v (newest append must win)", i, dst[i], newest[i])
+		}
+	}
+	if j.Snapshot(0, dst) {
+		t.Error("Snapshot of absent vector claimed success")
+	}
+	s := j.Stats()
+	if s.Appends != 4 || s.Depth != 3 || s.Replayed != 0 {
+		t.Errorf("stats = %+v, want 4 appends / depth 3", s)
+	}
+	// Invalid appends are rejected outright.
+	if err := j.Append(-1, journalVec(4, 0)); err == nil {
+		t.Error("negative vi accepted")
+	}
+	if err := j.Append(0, journalVec(3, 0)); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestSpillJournalReplayAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, 8, 4)
+	j.Append(2, journalVec(4, 2))
+	j.Append(6, journalVec(4, 6))
+	j.Append(2, journalVec(4, 99)) // supersedes the first record for vi 2
+	j.Close()
+
+	j2 := openTestJournal(t, dir, 8, 4)
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 2 || got[0] != 2 || got[1] != 6 {
+		t.Fatalf("Pending after reopen = %v, want [2 6]", got)
+	}
+	dst := make([]float64, 4)
+	j2.Snapshot(2, dst)
+	want := journalVec(4, 99)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("pos %d: %v != %v (replay must keep the newest seq)", i, dst[i], want[i])
+		}
+	}
+	// New appends after a replay must not collide with replayed seqs.
+	if err := j2.Append(6, journalVec(4, 7)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openTestJournal(t, dir, 8, 4)
+	defer j3.Close()
+	j3.Snapshot(6, dst)
+	if dst[0] != journalVec(4, 7)[0] {
+		t.Error("post-replay append lost after second reopen")
+	}
+}
+
+func TestSpillJournalCrashTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spill.jrnl")
+	j := openTestJournal(t, dir, 8, 4)
+	j.Append(1, journalVec(4, 1))
+	j.Append(2, journalVec(4, 2))
+	j.Close()
+
+	// Simulate a torn final record: chop off its trailing CRC bytes.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTestJournal(t, dir, 8, 4)
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Pending after torn tail = %v, want [1]", got)
+	}
+	// The tail is gone from the file too, so new appends land cleanly.
+	if err := j2.Append(3, journalVec(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3 := openTestJournal(t, dir, 8, 4)
+	defer j3.Close()
+	if got := j3.Pending(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Pending after recovery append = %v, want [1 3]", got)
+	}
+}
+
+func TestSpillJournalCorruptRecordDropped(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spill.jrnl")
+	j := openTestJournal(t, dir, 8, 4)
+	j.Append(1, journalVec(4, 1))
+	j.Append(2, journalVec(4, 2))
+	j.Close()
+
+	// Flip a payload byte in the LAST record: its CRC fails, so replay
+	// keeps the first record and truncates from the damage on.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := f.Stat()
+	recSize := int64(spillRecHdrSize + 4*8 + 8)
+	if _, err := f.WriteAt([]byte{0xFF}, info.Size()-recSize+spillRecHdrSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := openTestJournal(t, dir, 8, 4)
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Pending after corrupt record = %v, want [1]", got)
+	}
+}
+
+func TestSpillJournalGeometryMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, 8, 4)
+	j.Append(1, journalVec(4, 1))
+	j.Close()
+
+	// Same path, different geometry: the journal belongs to another run
+	// and must come up empty rather than replay foreign bytes.
+	j2 := openTestJournal(t, dir, 8, 6)
+	defer j2.Close()
+	if j2.Depth() != 0 {
+		t.Fatalf("geometry-mismatched journal replayed %d vectors", j2.Depth())
+	}
+}
+
+func TestSpillJournalDrainTruncatesToHeader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spill.jrnl")
+	j := openTestJournal(t, dir, 8, 4)
+	defer j.Close()
+	for vi := 0; vi < 3; vi++ {
+		j.Append(vi, journalVec(4, vi))
+	}
+	for vi := 0; vi < 3; vi++ {
+		if err := j.Remove(vi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Depth() != 0 {
+		t.Fatalf("depth after drain = %d", j.Depth())
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != spillHeaderSize {
+		t.Errorf("drained journal is %d bytes, want header-only %d", info.Size(), spillHeaderSize)
+	}
+	s := j.Stats()
+	if s.Replayed != 3 || s.FileBytes != spillHeaderSize {
+		t.Errorf("stats after drain = %+v", s)
+	}
+	// Removing an absent vector is a no-op, not an error.
+	if err := j.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillJournalDiscardDoesNotCountReplay(t *testing.T) {
+	dir := t.TempDir()
+	j := openTestJournal(t, dir, 8, 4)
+	defer j.Close()
+	j.Append(4, journalVec(4, 4))
+	j.Discard(4)
+	s := j.Stats()
+	if s.Depth != 0 || s.Replayed != 0 || s.Discards != 1 {
+		t.Errorf("stats after discard = %+v, want depth 0, 0 replayed, 1 discard", s)
+	}
+	j.Discard(4) // idempotent
+	if s := j.Stats(); s.Discards != 1 {
+		t.Errorf("double discard counted: %+v", s)
+	}
+}

@@ -379,14 +379,21 @@ func (m *Manager) joinSlot(s int) error {
 
 // demandRead reads vi into dst on the compute thread, retrying
 // transient errors per the configured policy. Under the async pipeline
-// it consults the write queue first (read-after-write).
+// it consults the write queue first (read-after-write). A read the
+// store cannot serve right now — retries exhausted on transient I/O,
+// or the remote circuit open — is wrapped in a VectorReadError so the
+// engine can recompute the vector instead of failing the pass.
 func (m *Manager) demandRead(vi int, dst []float64) error {
-	return m.cfg.Retry.runCtx(m.ctx, &m.retried, func() error {
+	err := m.cfg.Retry.runCtx(m.ctx, &m.retried, func() error {
 		if m.pipe != nil {
 			return m.pipe.readThrough(vi, dst)
 		}
 		return m.cfg.Store.ReadVector(vi, dst)
 	})
+	if err != nil && (IsTransient(err) || IsCircuitOpen(err)) {
+		return &VectorReadError{Vi: vi, Err: err}
+	}
+	return err
 }
 
 // storeWrite writes buf as vector vi on the compute thread, retrying
@@ -415,6 +422,14 @@ func (m *Manager) FetchCost(vi int) (time.Duration, bool) {
 		return 0, false
 	}
 	return StoreFetchCost(m.cfg.Store, vi)
+}
+
+// Degraded reports whether the backing store's remote tier is
+// temporarily unavailable (circuit breaker open). The engine's planner
+// matches this structurally and flips to recompute-preferred while it
+// holds, so passes keep completing from cache + local compute.
+func (m *Manager) Degraded() bool {
+	return StoreDegraded(m.cfg.Store)
 }
 
 // MemOverheadBytes reports heap the backing store holds on the

@@ -58,7 +58,17 @@ type ObjectStore struct {
 	// latNanos is an EWMA of observed per-request latency, feeding
 	// FetchCost when no tier sits in front to measure it instead.
 	latNanos atomic.Int64
+
+	// deadlineNanos bounds each request (0 = none); see SetDeadline.
+	deadlineNanos atomic.Int64
 }
+
+// SetDeadline bounds every subsequent request to d (0 removes the
+// bound). A stalled or partitioned backend then costs one deadline per
+// attempt instead of an unbounded hang; the resulting timeout error is
+// wrapped transient, so retry budgets and the circuit breaker see it
+// like any other failed attempt.
+func (s *ObjectStore) SetDeadline(d time.Duration) { s.deadlineNanos.Store(int64(d)) }
 
 // defaultRemoteCost stands in for the request latency before any
 // request has been observed.
@@ -144,10 +154,11 @@ func (s *ObjectStore) ReadRange(ctx context.Context, vi, count int, dst []float6
 	}
 	from := int64(vi) * int64(s.vecLen) * 8
 	to := from + int64(count)*int64(s.vecLen)*8 - 1
-	req, err := s.newRequest(ctx, http.MethodGet, "", nil)
+	req, cancel, err := s.newRequest(ctx, http.MethodGet, "", nil)
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", from, to))
 	// An active span makes this GET a traced child hop: the traceparent
 	// header carries the trace into the remote store's own spans.
@@ -185,10 +196,11 @@ func (s *ObjectStore) WriteRange(ctx context.Context, vi, count int, src []float
 	}
 	from := int64(vi) * int64(s.vecLen) * 8
 	to := from + int64(count)*int64(s.vecLen)*8 - 1
-	req, err := s.newRequest(ctx, http.MethodPut, "", encodeVectors(src))
+	req, cancel, err := s.newRequest(ctx, http.MethodPut, "", encodeVectors(src))
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	req.Header.Set("Content-Range", fmt.Sprintf("bytes %d-%d/*", from, to))
 	if sp := obs.SpanFromContext(ctx); sp != nil {
 		child := sp.StartChild("remote.put")
@@ -242,11 +254,20 @@ func (s *ObjectStore) observeLatency(d time.Duration) {
 	}
 }
 
-func (s *ObjectStore) newRequest(ctx context.Context, method, query string, body io.Reader) (*http.Request, error) {
+func (s *ObjectStore) newRequest(ctx context.Context, method, query string, body io.Reader) (*http.Request, context.CancelFunc, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return http.NewRequestWithContext(ctx, method, s.endpoint+query, body)
+	cancel := context.CancelFunc(func() {})
+	if d := time.Duration(s.deadlineNanos.Load()); d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, s.endpoint+query, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return req, cancel, nil
 }
 
 // do runs a request expecting a 2xx reply with no interesting body.

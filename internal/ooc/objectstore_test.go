@@ -159,3 +159,71 @@ func TestObjectStoreLatencyObserved(t *testing.T) {
 		t.Errorf("EstLatency = %v after a 5ms-injected read", got)
 	}
 }
+
+// TestObjectStoreContextCancelMidGet covers the ISSUE's cancellation
+// case: a ranged GET against a stalled backend must abort promptly when
+// the caller's context is cancelled, not wait out the stall.
+func TestObjectStoreContextCancelMidGet(t *testing.T) {
+	chaos := iosim.NewChaos(iosim.ChaosConfig{StallProb: 1, Stall: 3 * time.Second})
+	chaos.Disable() // setup traffic passes cleanly
+	srv, err := remote.NewServer(remote.ServerConfig{Chaos: chaos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := NewObjectStore(srv.ObjectURL("cancel"), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	chaos.Enable()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	buf := make([]float64, 4*4)
+	start := time.Now()
+	err = s.ReadRange(ctx, 0, 4, buf)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled ranged GET returned success")
+	}
+	if elapsed >= time.Second {
+		t.Errorf("cancellation took %v — the stall was waited out", elapsed)
+	}
+}
+
+// TestObjectStoreDeadline pins SetDeadline: with no caller context at
+// all, a stalled request must still be bounded, and the timeout must
+// surface as a transient (retryable) error.
+func TestObjectStoreDeadline(t *testing.T) {
+	chaos := iosim.NewChaos(iosim.ChaosConfig{StallProb: 1, Stall: 3 * time.Second})
+	chaos.Disable()
+	srv, err := remote.NewServer(remote.ServerConfig{Chaos: chaos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	s, err := NewObjectStore(srv.ObjectURL("deadline"), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetDeadline(50 * time.Millisecond)
+	chaos.Enable()
+
+	start := time.Now()
+	err = s.ReadVector(0, make([]float64, 4))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("deadlined read against a stalled server returned success")
+	}
+	if !IsTransient(err) {
+		t.Errorf("deadline expiry should be transient: %v", err)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("deadline not enforced: read took %v", elapsed)
+	}
+}

@@ -194,6 +194,12 @@ func InstrumentTieredStoreAs(reg *obs.Registry, ts *TieredStore, prefix string) 
 		bytesCache, bytesFetched, bytesPushed             *obs.Counter
 		coalesced, singleFlight                           *obs.Counter
 		evictions, dirtyWB                                *obs.Counter
+		remoteErrors, remoteRetries                       *obs.Counter
+		breakerOpens, shortCircuits                       *obs.Counter
+		hedges, hedgeWins                                 *obs.Counter
+		journalHits, journalAppends, journalReplayed      *obs.Counter
+		journalDepth, journalBytes, degraded              *obs.Gauge
+		breakerState                                      *obs.Gauge
 		estRTT                                            *obs.FloatGauge
 	}
 	c := mirrors{
@@ -210,7 +216,20 @@ func InstrumentTieredStoreAs(reg *obs.Registry, ts *TieredStore, prefix string) 
 		singleFlight: reg.Counter(prefix + "single_flight"),
 		evictions:    reg.Counter(prefix + "evictions"),
 		dirtyWB:      reg.Counter(prefix + "dirty_writebacks"),
-		estRTT:       reg.FloatGauge(prefix + "est_rtt_seconds"),
+		remoteErrors:    reg.Counter(prefix + "remote_errors"),
+		remoteRetries:   reg.Counter(prefix + "remote_retries"),
+		breakerOpens:    reg.Counter(prefix + "breaker_opens"),
+		shortCircuits:   reg.Counter(prefix + "short_circuits"),
+		hedges:          reg.Counter(prefix + "hedges"),
+		hedgeWins:       reg.Counter(prefix + "hedge_wins"),
+		journalHits:     reg.Counter(prefix + "journal_hits"),
+		journalAppends:  reg.Counter(prefix + "journal_appends"),
+		journalReplayed: reg.Counter(prefix + "journal_replayed"),
+		journalDepth:    reg.Gauge(prefix + "journal_depth"),
+		breakerState:    reg.Gauge(prefix + "breaker_state"),
+		journalBytes:    reg.Gauge(prefix + "journal_bytes"),
+		degraded:        reg.Gauge(prefix + "degraded"),
+		estRTT:          reg.FloatGauge(prefix + "est_rtt_seconds"),
 	}
 	reg.AddPublisher(func() {
 		st := ts.Stats()
@@ -227,8 +246,32 @@ func InstrumentTieredStoreAs(reg *obs.Registry, ts *TieredStore, prefix string) 
 		c.singleFlight.Set(st.SingleFlight)
 		c.evictions.Set(st.Evictions)
 		c.dirtyWB.Set(st.DirtyWritebacks)
+		c.remoteErrors.Set(st.RemoteErrors)
+		c.remoteRetries.Set(st.RemoteRetries)
+		c.breakerOpens.Set(st.BreakerOpens)
+		c.shortCircuits.Set(st.ShortCircuits)
+		c.hedges.Set(st.Hedges)
+		c.hedgeWins.Set(st.HedgeWins)
+		c.journalHits.Set(st.JournalHits)
+		c.journalAppends.Set(st.JournalAppends)
+		c.journalReplayed.Set(st.JournalReplayed)
+		c.journalDepth.Set(st.JournalDepth)
+		c.journalBytes.Set(st.JournalBytes)
+		// Breaker position as a numeric gauge (0 closed, 1 open,
+		// 2 half-open) so dashboards can alert on transitions.
+		if b := ts.Breaker(); b != nil {
+			c.breakerState.Set(int64(b.State()))
+		}
+		if st.Degraded {
+			c.degraded.Set(1)
+		} else {
+			c.degraded.Set(0)
+		}
 		c.estRTT.Set(st.EstRTT.Seconds())
 	})
+	if ts.Breaker() != nil {
+		reg.SetInfo(prefix+"breaker", "enabled")
+	}
 	h := reg.Histogram(prefix+"remote_seconds", nil)
 	ts.ObserveRemoteLatency(h.Observe)
 	if ts.WarmStart() {

@@ -48,6 +48,25 @@ func StoreMemOverhead(s Store) int64 {
 	return 0
 }
 
+// Degrader is implemented by stores that can report their remote
+// backend as temporarily unavailable (circuit breaker open). While
+// degraded, the plf engine flips its fetch-vs-recompute policy so
+// every valid-but-remote read becomes a local recompute, and the
+// service layer reports not-ready on /readyz.
+type Degrader interface {
+	Degraded() bool
+}
+
+// StoreDegraded queries s's degraded signal (false when untracked).
+// Wrapper stores forward Degraded through this helper so the signal
+// crosses checksum and instrumentation layers.
+func StoreDegraded(s Store) bool {
+	if d, ok := s.(Degrader); ok {
+		return d.Degraded()
+	}
+	return false
+}
+
 // RangeStore is a Store that can also move count adjacent vectors
 // [vi, vi+count) in a single ranged request. dst/src hold the vectors
 // back to back (count * vecLen float64s). Implementations honour ctx

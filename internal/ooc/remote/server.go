@@ -47,6 +47,13 @@ type ServerConfig struct {
 	// carrying an inbound traceparent header — the last hop of a traced
 	// evaluate (client → daemon → tiered store → here).
 	Spans *obs.SpanCollector
+	// Chaos, when set, is consulted once per request and its verdict
+	// applied: connection drops, pre-serve stalls, mid-body truncation,
+	// 503 bursts, corrupt GET bodies, and full partitions. Stored
+	// objects are never mutated by a fault — write-path truncation and
+	// corruption degrade to a dropped connection before the body is
+	// read, so every byte that lands in an object arrived intact.
+	Chaos *iosim.Chaos
 }
 
 // Server is the loopback object server. Create with NewServer, which
@@ -132,6 +139,29 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		sp.SetAttrStr("object", name)
 		defer sp.End()
 	}
+	fault := iosim.FaultNone
+	if s.cfg.Chaos != nil {
+		var stall time.Duration
+		fault, stall = s.cfg.Chaos.Next()
+		switch fault {
+		case iosim.FaultDrop:
+			// Partition / connection drop: abort before any response
+			// byte. http.ErrAbortHandler severs the connection without
+			// logging a handler panic.
+			panic(http.ErrAbortHandler)
+		case iosim.FaultError:
+			http.Error(w, "injected unavailability", http.StatusServiceUnavailable)
+			return
+		case iosim.FaultStall:
+			time.Sleep(stall)
+		case iosim.FaultTruncate, iosim.FaultCorrupt:
+			if r.Method != http.MethodGet {
+				// Never mangle the write path's stored bytes: degrade
+				// to a drop before the body is consumed.
+				panic(http.ErrAbortHandler)
+			}
+		}
+	}
 	switch r.Method {
 	case http.MethodHead:
 		s.mu.Lock()
@@ -146,7 +176,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 
 	case http.MethodGet:
-		s.handleGet(w, r, name)
+		s.handleGet(w, r, name, fault)
 
 	case http.MethodPut:
 		s.handlePut(w, r, name)
@@ -162,7 +192,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, name string) {
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, name string, fault iosim.Fault) {
 	s.mu.Lock()
 	obj, ok := s.objects[name]
 	s.mu.Unlock()
@@ -207,6 +237,19 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request, name string) 
 	buf := make([]byte, n)
 	copy(buf, s.objects[name][from:from+n])
 	s.mu.Unlock()
+	switch fault {
+	case iosim.FaultTruncate:
+		// Half the promised Content-Length, then a severed connection:
+		// the client sees io.ErrUnexpectedEOF mid-body.
+		w.Write(buf[:len(buf)/2])
+		panic(http.ErrAbortHandler)
+	case iosim.FaultCorrupt:
+		// Flip one bit of the served copy (never the stored object);
+		// the checksum layer above the tiered store catches it.
+		if len(buf) > 0 {
+			buf[0] ^= 0x01
+		}
+	}
 	w.Write(buf)
 }
 

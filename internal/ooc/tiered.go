@@ -65,6 +65,30 @@ type TieredConfig struct {
 	// EstRTT seeds the fetch-cost estimate before any remote request
 	// has been observed (default 5ms). The live EWMA replaces it.
 	EstRTT time.Duration
+
+	// --- Network fault tolerance (the remote tier treated as an
+	// unreliable network service, not a slow disk) ---
+
+	// RemoteDeadline bounds each remote request attempt (0 = none). A
+	// stalled backend then costs one deadline per attempt instead of a
+	// hung engine pass.
+	RemoteDeadline time.Duration
+	// RemoteRetry re-issues failed remote attempts with full-jitter
+	// backoff — a budget distinct from the manager's disk RetryPolicy,
+	// so network tuning never loosens local-disk handling. The zero
+	// value disables remote retries.
+	RemoteRetry RetryPolicy
+	// Breaker configures the per-backend circuit breaker. A breaker is
+	// installed only when Breaker.Threshold > 0; without one the tier
+	// keeps the pre-breaker fail-per-request behavior.
+	Breaker BreakerConfig
+	// HedgeAfter launches a second, identical ranged GET when the
+	// first is still in flight after this delay, taking whichever
+	// completes first (0 = no hedging). Reads only — a hedged write
+	// could reorder against its twin.
+	HedgeAfter time.Duration
+	// SpillDir holds the write-back spill journal (default CacheDir).
+	SpillDir string
 }
 
 func (c *TieredConfig) fill() error {
@@ -88,6 +112,9 @@ func (c *TieredConfig) fill() error {
 	}
 	if c.EstRTT <= 0 {
 		c.EstRTT = defaultRemoteCost
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = c.CacheDir
 	}
 	return nil
 }
@@ -118,6 +145,36 @@ type TierStats struct {
 	WarmStart bool
 	// EstRTT is the live remote-latency estimate (EWMA over requests).
 	EstRTT time.Duration
+
+	// --- Network fault tolerance ---
+
+	// RemoteErrors counts failed remote request attempts (timeouts,
+	// drops, 5xx); RemoteRetries the re-issues the jittered remote
+	// budget paid for them.
+	RemoteErrors, RemoteRetries int64
+	// BreakerState renders the circuit breaker position ("closed",
+	// "open", "half-open"; "" when no breaker is configured).
+	// BreakerOpens counts trips, ShortCircuits requests refused
+	// locally while open.
+	BreakerState  string
+	BreakerOpens  int64
+	ShortCircuits int64
+	// Hedges counts second GETs launched on the tail; HedgeWins the
+	// subset that beat the first request.
+	Hedges, HedgeWins int64
+	// JournalHits counts reads served from the spill journal's pending
+	// payloads; JournalAppends dirty write-backs the journal absorbed;
+	// JournalReplayed records replayed to the remote tier on recovery;
+	// JournalDepth vectors currently pending; JournalBytes the on-disk
+	// journal size.
+	JournalHits     int64
+	JournalAppends  int64
+	JournalReplayed int64
+	JournalDepth    int64
+	JournalBytes    int64
+	// Degraded reports the breaker not closed: the remote tier is
+	// presumed unavailable and the engine answers from cache+recompute.
+	Degraded bool
 }
 
 // tierFetch is one in-flight remote read (single-flight unit). span is
@@ -174,6 +231,15 @@ type TieredStore struct {
 	warm     bool
 	latNanos atomic.Int64
 
+	// breaker (nil unless configured) guards every remote request;
+	// journal absorbs dirty write-backs the remote cannot take.
+	breaker       *Breaker
+	journal       *SpillJournal
+	retriedRemote atomic.Int64
+	drainBusy     atomic.Bool
+	closing       atomic.Bool
+	bg            sync.WaitGroup
+
 	// span is the request-scoped tracing span tier activity is currently
 	// attributed to (nil when untraced). Lanes read it concurrently with
 	// the session loop setting it, hence atomic.
@@ -187,6 +253,9 @@ type TieredStore struct {
 		bytesPushed                atomic.Int64
 		coalesced, singleFlight    atomic.Int64
 		evictions, dirtyWritebacks atomic.Int64
+		remoteErrors               atomic.Int64
+		hedges, hedgeWins          atomic.Int64
+		journalHits                atomic.Int64
 	}
 
 	// remoteLatObs mirrors per-request remote latency into a registry
@@ -235,11 +304,68 @@ func NewTieredStore(remote Store, cfg TieredConfig) (*TieredStore, error) {
 	if err := s.openCache(); err != nil {
 		return nil, err
 	}
+	if cfg.Breaker.Threshold > 0 {
+		s.breaker = NewBreaker(cfg.Breaker)
+		s.breaker.OnTransition(s.noteBreakerTransition)
+	}
+	if cfg.SpillDir != cfg.CacheDir {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			s.cache.Close()
+			return nil, fmt.Errorf("ooc: creating spill dir: %w", err)
+		}
+	}
+	j, err := OpenSpillJournal(filepath.Join(cfg.SpillDir, spillJournalName), cfg.NumVectors, cfg.VectorLen)
+	if err != nil {
+		s.cache.Close()
+		return nil, err
+	}
+	if !s.warm && j.Depth() > 0 {
+		// Cold start: the cache (and any journal written alongside it)
+		// belongs to a run whose state is being rebuilt from scratch —
+		// replaying its spilled vectors into the fresh object would
+		// resurrect another run's bytes. A crashed outage-run loses
+		// nothing here: it restarts from a checkpoint and recomputes.
+		if err := j.Reset(); err != nil {
+			j.Close()
+			s.cache.Close()
+			return nil, err
+		}
+	}
+	s.journal = j
 	for i := 0; i < cfg.Lanes; i++ {
 		s.lanes.Add(1)
 		go s.lane()
 	}
 	return s, nil
+}
+
+const spillJournalName = "spill.jrnl"
+
+// Breaker exposes the remote tier's circuit breaker (nil when not
+// configured), for instrumentation and tests.
+func (s *TieredStore) Breaker() *Breaker { return s.breaker }
+
+// Journal exposes the write-back spill journal, for instrumentation
+// and tests.
+func (s *TieredStore) Journal() *SpillJournal { return s.journal }
+
+// Degraded implements Degrader: true while the breaker is anything but
+// closed — the remote tier is presumed unavailable, the engine planner
+// flips valid-but-remote reads into local recomputes, and the service
+// layer reports not-ready.
+func (s *TieredStore) Degraded() bool {
+	return s.breaker != nil && s.breaker.State() != BreakerClosed
+}
+
+// noteBreakerTransition records breaker state changes as zero-width
+// child spans on the active request span, so a traced evaluate shows
+// exactly when the remote tier tripped open / probed / recovered.
+func (s *TieredStore) noteBreakerTransition(from, to BreakerState) {
+	if sp := s.currentSpan(); sp != nil {
+		ev := sp.StartChild("tier.breaker_" + to.String())
+		ev.SetAttrStr("from", from.String())
+		ev.End()
+	}
 }
 
 // openCache adopts a warm cache when the on-disk index and sidecar
@@ -333,7 +459,7 @@ func (s *TieredStore) ObserveRemoteLatency(fn func(seconds float64)) {
 
 // Stats snapshots the tier counters.
 func (s *TieredStore) Stats() TierStats {
-	return TierStats{
+	ts := TierStats{
 		CacheHits:            s.st.cacheHits.Load(),
 		CacheMisses:          s.st.cacheMisses.Load(),
 		RemoteReads:          s.st.remoteReads.Load(),
@@ -349,7 +475,27 @@ func (s *TieredStore) Stats() TierStats {
 		DirtyWritebacks:      s.st.dirtyWritebacks.Load(),
 		WarmStart:            s.warm,
 		EstRTT:               time.Duration(s.latNanos.Load()),
+		RemoteErrors:         s.st.remoteErrors.Load(),
+		RemoteRetries:        s.retriedRemote.Load(),
+		Hedges:               s.st.hedges.Load(),
+		HedgeWins:            s.st.hedgeWins.Load(),
+		JournalHits:          s.st.journalHits.Load(),
 	}
+	if s.breaker != nil {
+		bs := s.breaker.Stats()
+		ts.BreakerState = s.breaker.State().String()
+		ts.BreakerOpens = bs.Opens
+		ts.ShortCircuits = bs.ShortCircuits
+		ts.Degraded = s.Degraded()
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		ts.JournalAppends = js.Appends
+		ts.JournalReplayed = js.Replayed
+		ts.JournalDepth = int64(js.Depth)
+		ts.JournalBytes = js.FileBytes
+	}
+	return ts
 }
 
 // ReadVector implements Store: cache tier first, then a single-flight,
@@ -392,6 +538,14 @@ func (s *TieredStore) ReadVector(vi int, dst []float64) error {
 	}
 	s.mu.Unlock()
 
+	// A journaled vector's newest bytes live here, not remote (the
+	// remote copy is stale until replay): serve locally.
+	if s.journal != nil && s.journal.Snapshot(vi, dst) {
+		s.st.journalHits.Add(1)
+		s.st.bytesCache.Add(int64(len(dst)) * 8)
+		return nil
+	}
+
 	s.st.cacheMisses.Add(1)
 	f, joined := s.joinFetch(vi)
 	if joined {
@@ -430,12 +584,19 @@ func (s *TieredStore) WriteVector(vi int, src []float64) error {
 // (sidecar + warm index) and closes it. The remote store stays open —
 // the caller owns it.
 func (s *TieredStore) Close() error {
+	s.closing.Store(true)
 	s.fmu.Lock()
 	s.closed = true
 	s.fcond.Broadcast()
 	s.fmu.Unlock()
 	s.lanes.Wait()
+	s.bg.Wait()
 	first := s.Sync()
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	if err := s.cache.Close(); err != nil && first == nil {
 		first = err
 	}
@@ -490,12 +651,27 @@ func (s *TieredStore) Sync() error {
 			syncSpan.SetAttr("count", int64(j-i))
 			ctx = obs.ContextWithSpan(ctx, syncSpan)
 		}
-		start := time.Now()
-		err := WriteRangeOf(ctx, s.remote, vecLen, dirties[i].vi, j-i, buf)
-		s.remoteObserved(time.Since(start))
+		err := s.remoteCall(ctx, false, dirties[i].vi, j-i, buf)
 		syncSpan.End()
 		if err != nil {
-			if first == nil {
+			// Remote unavailable mid-sync: spill the run to the journal
+			// instead of failing the sync. Once every vector's newest
+			// bytes are durable SOMEWHERE (remote or journal), the sync
+			// has done its job; recovery replays the journal.
+			spilled := s.journal != nil
+			if spilled {
+				for k := i; k < j; k++ {
+					if jerr := s.journal.Append(dirties[k].vi, buf[(k-i)*vecLen:(k-i+1)*vecLen]); jerr != nil {
+						spilled = false
+						break
+					}
+				}
+			}
+			if spilled {
+				for k := i; k < j; k++ {
+					s.dirty[dirties[k].slot] = false
+				}
+			} else if first == nil {
 				first = err
 			}
 		} else {
@@ -513,7 +689,13 @@ func (s *TieredStore) Sync() error {
 		first = s.firstErr
 	}
 	s.mu.Unlock()
-	if err := SyncStore(s.remote); err != nil && first == nil {
+	// Best-effort journal replay: a healed network empties it here; a
+	// still-down one leaves the entries durable on disk (Sync's job is
+	// durability, not connectivity).
+	if s.journal != nil && s.journal.Depth() > 0 {
+		s.drainNow(context.Background())
+	}
+	if err := SyncStore(s.remote); err != nil && first == nil && !IsTransient(err) && !IsCircuitOpen(err) {
 		first = err
 	}
 	if err := s.cache.Sync(); err != nil && first == nil {
@@ -559,6 +741,9 @@ func (s *TieredStore) FetchCost(vi int) (time.Duration, bool) {
 		_, cached = s.wb[vi]
 	}
 	s.mu.Unlock()
+	if !cached && s.journal != nil && s.journal.Has(vi) {
+		cached = true // journal payloads are served locally
+	}
 	if cached {
 		return 0, false
 	}
@@ -582,6 +767,9 @@ func (s *TieredStore) MemOverheadBytes() int64 {
 	s.fmu.Unlock()
 	n += int64(s.cfg.CacheVectors) * (8 + 8 + 1) // viOf, stamp, dirty
 	n += int64(s.cfg.Lanes) * int64(s.cfg.MaxCoalesce) * int64(s.cfg.VectorLen) * 8
+	if s.journal != nil {
+		n += s.journal.MemBytes()
+	}
 	return n
 }
 
@@ -645,9 +833,7 @@ func (s *TieredStore) lane() {
 				break
 			}
 		}
-		start := time.Now()
-		err := ReadRangeOf(ctx, s.remote, vecLen, run[0].vi, len(run), buf)
-		s.remoteObserved(time.Since(start))
+		err := s.remoteCall(ctx, true, run[0].vi, len(run), buf)
 		fetchSpan.End()
 		s.st.remoteReads.Add(1)
 		if err == nil {
@@ -704,6 +890,205 @@ func (s *TieredStore) observeLatency(d time.Duration) {
 	}
 }
 
+// remoteCall is the single guarded gateway for remote I/O: circuit
+// breaker admission, a per-attempt deadline, the jittered remote retry
+// budget, and (for reads, when configured) a hedged second request on
+// the tail. buf is read for writes and filled for reads.
+func (s *TieredStore) remoteCall(ctx context.Context, read bool, vi, count int, buf []float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opName := "write"
+	if read {
+		opName = "read"
+	}
+	op := func() error {
+		if s.breaker != nil && !s.breaker.Allow() {
+			return fmt.Errorf("ooc: remote %s [%d,%d): %w", opName, vi, vi+count, ErrCircuitOpen)
+		}
+		actx := ctx
+		cancel := context.CancelFunc(nil)
+		if s.cfg.RemoteDeadline > 0 {
+			actx, cancel = context.WithTimeout(ctx, s.cfg.RemoteDeadline)
+		}
+		start := time.Now()
+		var err error
+		switch {
+		case read && s.cfg.HedgeAfter > 0:
+			err = s.hedgedRead(actx, vi, count, buf)
+		case read:
+			err = ReadRangeOf(actx, s.remote, s.cfg.VectorLen, vi, count, buf)
+		default:
+			err = WriteRangeOf(actx, s.remote, s.cfg.VectorLen, vi, count, buf)
+		}
+		if cancel != nil {
+			cancel()
+		}
+		s.remoteObserved(time.Since(start))
+		if s.breaker != nil {
+			switch {
+			case err == nil:
+				s.breaker.Success()
+			case ctx.Err() != nil:
+				// The CALLER's context ended — says nothing about the
+				// backend; release the probe slot without judging it.
+				s.breaker.Cancelled()
+			default:
+				s.breaker.Failure()
+			}
+		}
+		if err != nil {
+			s.st.remoteErrors.Add(1)
+		}
+		return err
+	}
+	err := s.cfg.RemoteRetry.runCtx(ctx, &s.retriedRemote, op)
+	if err == nil {
+		s.maybeDrain()
+	}
+	return err
+}
+
+// hedgedRead races a duplicate ranged GET against a slow first one.
+// Both requests get private buffers — an abandoned loser may still be
+// writing into its buffer when the winner's bytes are returned — and
+// the loser is cancelled via context.
+func (s *TieredStore) hedgedRead(ctx context.Context, vi, count int, dst []float64) error {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		buf   []float64
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedge bool) {
+		buf := make([]float64, len(dst))
+		go func() {
+			err := ReadRangeOf(hctx, s.remote, s.cfg.VectorLen, vi, count, buf)
+			ch <- result{buf, err, hedge}
+		}()
+	}
+	launch(false)
+	outstanding, hedged := 1, false
+	timer := time.NewTimer(s.cfg.HedgeAfter)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				outstanding++
+				s.st.hedges.Add(1)
+				launch(true)
+			}
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				copy(dst, r.buf)
+				if r.hedge {
+					s.st.hedgeWins.Add(1)
+				}
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return firstErr
+			}
+		}
+	}
+}
+
+// maybeDrain kicks off a background journal replay when there is
+// something to replay and no drain is already running. Called after
+// every successful remote request — the cheapest possible "the
+// network is back" signal.
+func (s *TieredStore) maybeDrain() {
+	if s.journal == nil || s.closing.Load() || s.journal.Depth() == 0 {
+		return
+	}
+	if !s.drainBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		defer s.drainBusy.Store(false)
+		s.drainJournal(context.Background())
+	}()
+}
+
+// drainNow runs a synchronous journal replay, waiting out any
+// background drain first (Sync/Close path — callers are quiesced).
+func (s *TieredStore) drainNow(ctx context.Context) error {
+	if s.journal == nil {
+		return nil
+	}
+	for !s.drainBusy.CompareAndSwap(false, true) {
+		time.Sleep(time.Millisecond)
+	}
+	defer s.drainBusy.Store(false)
+	return s.drainJournal(ctx)
+}
+
+// drainJournal replays pending journal records to the remote tier —
+// newest copy per vector, CRC-verified at journal open, end-to-end
+// verified by the checksum layer above the tier on the next read.
+// Entries superseded by a dirty cache copy are discarded (the cache
+// push carries newer bytes). Stops at the first error, leaving the
+// remainder durable on disk for the next recovery signal.
+func (s *TieredStore) drainJournal(ctx context.Context) error {
+	buf := make([]float64, s.cfg.VectorLen)
+	for _, vi := range s.journal.Pending() {
+		s.mu.Lock()
+		slot, cached := s.slotOf[vi]
+		superseded := cached && s.dirty[slot]
+		s.mu.Unlock()
+		if superseded {
+			s.journal.Discard(vi)
+			continue
+		}
+		if !s.journal.Snapshot(vi, buf) {
+			continue
+		}
+		rctx := ctx
+		var span *obs.Span
+		if sp := s.currentSpan(); sp != nil {
+			span = sp.StartChild("tier.journal_replay")
+			span.SetAttr("vi", int64(vi))
+			rctx = obs.ContextWithSpan(ctx, span)
+		}
+		err := s.remoteCall(rctx, false, vi, 1, buf)
+		span.End()
+		if err != nil {
+			return err
+		}
+		s.st.remoteWrites.Add(1)
+		s.st.remoteVecsW.Add(1)
+		s.st.bytesPushed.Add(int64(len(buf)) * 8)
+		if err := s.journal.Remove(vi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProbeRemote issues one guarded single-vector read and discards the
+// data. Degraded mode deliberately stops touching the remote tier,
+// which also starves the breaker of the probe traffic it needs to
+// notice recovery; health loops call this to keep probing. No-op when
+// the breaker is closed.
+func (s *TieredStore) ProbeRemote(ctx context.Context) error {
+	if !s.Degraded() {
+		return nil
+	}
+	buf := make([]float64, s.cfg.VectorLen)
+	return s.remoteCall(ctx, true, 0, 1, buf)
+}
+
 func (s *TieredStore) noteErr(err error) {
 	s.mu.Lock()
 	if s.firstErr == nil {
@@ -728,6 +1113,12 @@ func (s *TieredStore) admit(vi int, data []float64, markDirty bool) error {
 			s.stamp[slot] = s.now
 			if markDirty {
 				s.dirty[slot] = true
+				if s.journal != nil {
+					// The dirty cache copy supersedes any journaled
+					// payload; replaying the old bytes would be wasted
+					// (and transiently wrong) work.
+					s.journal.Discard(vi)
+				}
 			}
 		}
 		s.mu.Unlock()
@@ -775,6 +1166,9 @@ func (s *TieredStore) admit(vi int, data []float64, markDirty bool) error {
 		s.now++
 		s.stamp[slot] = s.now
 		s.dirty[slot] = markDirty
+		if markDirty && s.journal != nil {
+			s.journal.Discard(vi)
+		}
 	}
 	s.mu.Unlock()
 
@@ -787,14 +1181,23 @@ func (s *TieredStore) admit(vi int, data []float64, markDirty bool) error {
 			wbSpan.SetAttr("bytes", int64(len(pushWB.buf))*8)
 			ctx = obs.ContextWithSpan(ctx, wbSpan)
 		}
-		start := time.Now()
-		werr := WriteRangeOf(ctx, s.remote, s.cfg.VectorLen, pushWB.vi, 1, pushWB.buf)
-		s.remoteObserved(time.Since(start))
+		werr := s.remoteCall(ctx, false, pushWB.vi, 1, pushWB.buf)
 		wbSpan.End()
 		if werr == nil {
 			s.st.remoteWrites.Add(1)
 			s.st.remoteVecsW.Add(1)
 			s.st.bytesPushed.Add(int64(len(pushWB.buf)) * 8)
+		} else if s.journal != nil {
+			// The remote tier cannot take this vector and its cache
+			// slot is already promised away: the journal absorbs the
+			// only remaining copy, durably, before any reader could
+			// miss both the wb buffer and the journal and fetch the
+			// stale remote bytes. Replayed on recovery.
+			if jerr := s.journal.Append(pushWB.vi, pushWB.buf); jerr == nil {
+				werr = nil
+			} else {
+				werr = fmt.Errorf("ooc: spilling evicted vector %d: %v (remote: %w)", pushWB.vi, jerr, werr)
+			}
 		}
 		s.mu.Lock()
 		if s.wb[pushWB.vi] == pushWB {

@@ -1,0 +1,155 @@
+package plf
+
+// Degraded-mode tests: a provider whose remote tier is unavailable
+// (circuit breaker open) must flip the recompute policy so every
+// valid-but-remote read becomes a local newview, and a read that fails
+// mid-pass with a FailedVector error must be absorbed by the recovery
+// path — in both cases with a bit-identical likelihood.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"oocphylo/internal/tree"
+)
+
+// outageProvider stands in for a tiered store riding out a network
+// outage: scripted fetch costs, a Degraded toggle, and one-shot read
+// failures carrying the failed vector index.
+type outageProvider struct {
+	*InMemoryProvider
+	cost     map[int]time.Duration
+	degraded bool
+	failOnce map[int]bool // vi -> fail the next non-write access
+	failures int
+}
+
+func (p *outageProvider) FetchCost(vi int) (time.Duration, bool) {
+	d, ok := p.cost[vi]
+	return d, ok
+}
+
+func (p *outageProvider) Degraded() bool { return p.degraded }
+
+// unreadableError mimics ooc.VectorReadError without importing ooc —
+// the engine matches the FailedVector method structurally.
+type unreadableError struct{ vi int }
+
+func (e *unreadableError) Error() string {
+	return fmt.Sprintf("test: vector %d unreadable", e.vi)
+}
+func (e *unreadableError) FailedVector() int { return e.vi }
+
+func (p *outageProvider) Vector(vi int, write bool, pinned ...int) ([]float64, error) {
+	if !write && p.failOnce[vi] {
+		delete(p.failOnce, vi)
+		p.failures++
+		return nil, &unreadableError{vi: vi}
+	}
+	return p.InMemoryProvider.Vector(vi, write, pinned...)
+}
+
+func outageRig(t *testing.T, seed int64, taxa int) (*tree.Tree, *Engine, *outageProvider) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := tipNames(taxa)
+	tr, err := tree.RandomTopology(names, rng, 0.02, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := randomAlignment(t, names, 60, rng, 0)
+	m := randomModel(t, rng, 0, true)
+	cl, err := CarrierLength(m, pats.NumPatterns(), PrecisionF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &outageProvider{
+		InMemoryProvider: NewInMemoryProvider(tr.NumInner(), cl),
+		cost:             map[int]time.Duration{},
+		failOnce:         map[int]bool{},
+	}
+	e, err := New(tr, pats, m, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, e, prov
+}
+
+// TestDegradedModeConvertsRemoteReads pins the breaker-open policy
+// flip: while Degraded, every valid-but-remote read is converted to a
+// local recompute — even with the cost-threshold policy disabled — and
+// the likelihood does not move a bit.
+func TestDegradedModeConvertsRemoteReads(t *testing.T) {
+	tr, e, prov := outageRig(t, 31, 16)
+	want, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Outage: all vectors priced remote, breaker open. No
+	// EnableRecomputePolicy call — degraded mode must not depend on it.
+	for vi := 0; vi < tr.NumInner(); vi++ {
+		prov.cost[vi] = 20 * time.Millisecond
+	}
+	prov.degraded = true
+	edge := tr.Edges[len(tr.Edges)/2]
+	if _, err := e.LogLikelihoodAt(edge); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.LogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("degraded likelihood %v != clean %v (must be bit-identical)", got, want)
+	}
+	if e.Stats.DegradedRecomputes == 0 {
+		t.Error("no degraded recomputes despite remote-priced reads under an open breaker")
+	}
+
+	// Recovery: breaker closed again — the (still remote) costs alone
+	// must not convert anything while the threshold policy is off.
+	prov.degraded = false
+	fired := e.Stats.DegradedRecomputes
+	if _, err := e.LogLikelihoodAt(tr.Edges[1]); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.DegradedRecomputes != fired {
+		t.Errorf("degraded recomputes after recovery: %d -> %d", fired, e.Stats.DegradedRecomputes)
+	}
+}
+
+// TestUnreadableVectorRecoveredMidPass covers the breaker tripping (or
+// retries exhausting) in the middle of a pass: reads failing with a
+// FailedVector error are invalidated and recomputed from their
+// children, and the evaluation still lands bit-identical.
+func TestUnreadableVectorRecoveredMidPass(t *testing.T) {
+	tr, e, prov := outageRig(t, 37, 16)
+	edge := tr.Edges[len(tr.Edges)/3]
+	want, err := e.LogLikelihoodAt(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every inner vector's next read fails exactly once — the worst
+	// mid-pass outage the recovery budget must absorb (recomputes
+	// ground at tips, which are always local).
+	for vi := 0; vi < tr.NumInner(); vi++ {
+		prov.failOnce[vi] = true
+	}
+	got, err := e.LogLikelihoodAt(edge)
+	if err != nil {
+		t.Fatalf("pass failed despite recovery path: %v", err)
+	}
+	if got != want {
+		t.Fatalf("recovered likelihood %v != clean %v (must be bit-identical)", got, want)
+	}
+	if prov.failures == 0 {
+		t.Fatal("injection never fired — the pass read nothing")
+	}
+	if e.Stats.Recoveries == 0 {
+		t.Error("reads failed but Stats.Recoveries == 0")
+	}
+}

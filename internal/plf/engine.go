@@ -51,6 +51,12 @@ type Stats struct {
 	// policy chose to recompute locally instead of fetching from a
 	// remote store tier (see EnableRecomputePolicy).
 	PolicyRecomputes int64
+	// DegradedRecomputes counts the subset of PolicyRecomputes forced
+	// by degraded mode: the provider's remote tier was unavailable
+	// (circuit breaker open), so valid-but-remote reads were converted
+	// to local recomputes unconditionally to keep the engine answering
+	// bit-identically from cache plus recompute.
+	DegradedRecomputes int64
 	// PCacheHits / PCacheMisses count branch-length transition-matrix
 	// cache lookups (see pcache.go); PCacheDrops counts wholesale
 	// resets after the cache filled. All zero under KernelGeneric,
@@ -573,6 +579,15 @@ func corruptionVector(err error) (int, bool) {
 	var ce interface{ CorruptVector() int }
 	if errors.As(err, &ce) {
 		return ce.CorruptVector(), true
+	}
+	// An unreadable vector (transient I/O out of retries, remote
+	// circuit open — any error with a FailedVector() int method, e.g.
+	// *ooc.VectorReadError) recovers the same way: the bytes are gone
+	// for now, but the recompute identity re-derives them exactly. In
+	// degraded mode the replan then avoids every other remote read too.
+	var fe interface{ FailedVector() int }
+	if errors.As(err, &fe) {
+		return fe.FailedVector(), true
 	}
 	return -1, false
 }

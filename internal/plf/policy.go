@@ -18,6 +18,18 @@ package plf
 // replanning. The orientation guard keeps the conversion exactly one
 // extra newview; the locality guard keeps it from cascading into the
 // very remote reads it is trying to avoid.
+//
+// Degraded mode flips the same machinery from an optimization into a
+// survival strategy. When the provider reports Degraded() — the remote
+// tier's circuit breaker is open — every remote read WILL fail, so the
+// cost threshold and both guards are dropped: any valid-but-remote
+// read, the evaluation edge's own endpoints included, is invalidated
+// and recomputed, cascading down until the plan grounds out in tips
+// and locally served vectors. The result is still bit-identical (a
+// recompute reproduces the stored bytes exactly); only the work moves
+// from the network to the CPU. Degraded conversion needs no
+// EnableRecomputePolicy opt-in — a breaker-open store degrades every
+// run that sits on top of it.
 
 import (
 	"time"
@@ -33,12 +45,20 @@ type fetchCoster interface {
 	FetchCost(vi int) (time.Duration, bool)
 }
 
+// degrader is the structural interface a provider implements to report
+// its remote tier unavailable (circuit breaker open). ooc.Manager
+// forwards it to the backing store.
+type degrader interface {
+	Degraded() bool
+}
+
 // EnableRecomputePolicy turns on fetch-vs-recompute planning: any
 // planned read the provider prices at or above threshold (and flags as
 // remote) is recomputed locally instead, when that recompute is a
 // single newview over local inputs. A zero or negative threshold
 // disables the policy. The policy is a no-op when the provider does not
-// implement FetchCost.
+// implement FetchCost. Degraded-mode conversion (see above) is active
+// regardless of the threshold.
 func (e *Engine) EnableRecomputePolicy(threshold time.Duration) {
 	e.recomputeThresh = threshold
 }
@@ -47,22 +67,46 @@ func (e *Engine) EnableRecomputePolicy(threshold time.Duration) {
 // recompute policy to it.
 func (e *Engine) planTraversal(edge *tree.Edge) []tree.Step {
 	steps := tree.EdgeTraversal(e.T, edge, e.orient)
-	if e.recomputeThresh <= 0 {
-		return steps
-	}
 	fc, ok := e.prov.(fetchCoster)
 	if !ok {
 		return steps
 	}
+	degraded := false
+	if dg, ok := e.prov.(degrader); ok && dg.Degraded() {
+		degraded = true
+	}
+	if e.recomputeThresh <= 0 && !degraded {
+		return steps
+	}
 	// Each conversion invalidates one node, and invalidated nodes join
 	// the plan (never reconsidered), so the fixpoint is bounded by the
-	// inner-node count. In practice it converges in two rounds: the
-	// locality guard means replanning only introduces local reads.
+	// inner-node count. With the locality guard it converges in about
+	// two rounds; in degraded mode the cascade may walk a whole evicted
+	// subtree down to its tips, still within the same bound.
 	for round := 0; round < e.T.NumInner(); round++ {
 		changed := false
 		inPlan := make(map[*tree.Node]bool, len(steps))
 		for i := range steps {
 			inPlan[steps[i].Node] = true
+		}
+		// The evaluation itself reads the two endpoint vectors, which
+		// EdgeTraversal leaves out of the plan when they are valid. A
+		// valid-but-remote endpoint is just as unreadable while
+		// degraded as any planned read — convert it too.
+		if degraded {
+			for _, end := range []*tree.Node{edge.N[0], edge.N[1]} {
+				if end.IsTip() || inPlan[end] || e.orient[end.Index] == nil {
+					continue
+				}
+				if _, remote := fc.FetchCost(e.vi(end)); !remote {
+					continue
+				}
+				e.orient[end.Index] = nil
+				e.Stats.PolicyRecomputes++
+				e.Stats.DegradedRecomputes++
+				inPlan[end] = true
+				changed = true
+			}
 		}
 		for i := range steps {
 			for _, c := range []*tree.Node{steps[i].Left, steps[i].Right} {
@@ -70,14 +114,22 @@ func (e *Engine) planTraversal(edge *tree.Edge) []tree.Step {
 					continue
 				}
 				d, remote := fc.FetchCost(e.vi(c))
-				if !remote || d < e.recomputeThresh {
+				if !remote {
 					continue
 				}
-				if !e.recomputeIsLocal(c, steps[i].Node, fc) {
-					continue
+				if !degraded {
+					if d < e.recomputeThresh {
+						continue
+					}
+					if !e.recomputeIsLocal(c, steps[i].Node, fc) {
+						continue
+					}
 				}
 				e.orient[c.Index] = nil
 				e.Stats.PolicyRecomputes++
+				if degraded {
+					e.Stats.DegradedRecomputes++
+				}
 				inPlan[c] = true
 				changed = true
 			}

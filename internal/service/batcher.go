@@ -20,6 +20,7 @@ package service
 // endpoint can see what coalescing actually did to their latency.
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -106,14 +107,29 @@ func (b *Batcher) Submit(spec EvalSpec) (EvalReply, error) {
 
 // SubmitTraced is Submit carrying the request's span (nil = untraced).
 func (b *Batcher) SubmitTraced(spec EvalSpec, sp *obs.Span) (EvalReply, error) {
+	return b.SubmitCtx(context.Background(), spec, sp)
+}
+
+// SubmitCtx is SubmitTraced under a request deadline: when ctx expires
+// before the batch replies, the caller gets ctx.Err() immediately. The
+// job itself still executes with its batch (evaluates are pure, so the
+// orphaned result is simply dropped) — the deadline bounds the CALLER's
+// wait, which is what an HTTP request timeout means.
+func (b *Batcher) SubmitCtx(ctx context.Context, spec EvalSpec, sp *obs.Span) (EvalReply, error) {
 	j := &evalJob{spec: spec, span: sp, enq: time.Now(), done: make(chan struct{})}
 	select {
 	case b.submit <- j:
 	case <-b.quit:
 		return EvalReply{}, ErrSessionClosed
+	case <-ctx.Done():
+		return EvalReply{}, ctx.Err()
 	}
-	<-j.done
-	return j.res, j.err
+	select {
+	case <-j.done:
+		return j.res, j.err
+	case <-ctx.Done():
+		return EvalReply{}, ctx.Err()
+	}
 }
 
 // Close stops the flush loop after draining the batch in flight, if

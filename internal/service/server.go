@@ -22,12 +22,15 @@ package service
 // whichever tenant is computing).
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -66,6 +69,27 @@ type ServerConfig struct {
 	// RemoteLanes is the per-session parallel remote fetch fan-out
 	// (0 = the tiered store's default).
 	RemoteLanes int
+	// RemoteDeadline bounds each remote store request attempt; retries
+	// get a fresh deadline (0 = none). Only meaningful with StoreURL.
+	RemoteDeadline time.Duration
+	// HedgeAfter launches a second identical remote read when the first
+	// is still in flight after this long (0 = no hedging).
+	HedgeAfter time.Duration
+	// SpillDir overrides where each session's write-back spill journal
+	// lives (default: inside the session's cache directory). Point it at
+	// a different disk to keep outage spill off the cache volume.
+	SpillDir string
+	// RequestTimeout bounds one /v1 request end-to-end; expiry maps to
+	// 503 + Retry-After (0 = no deadline).
+	RequestTimeout time.Duration
+	// RetryAfter is the hint written on 503 responses (default 1s).
+	RetryAfter time.Duration
+	// ShedDepth is the spill-journal high-water mark: while a session's
+	// remote tier is degraded (circuit open) AND its journal holds at
+	// least this many vectors, new evaluates for it are shed with 503 +
+	// Retry-After instead of piling more dirty state onto local disk.
+	// 0 = half the session's vector count.
+	ShedDepth int
 }
 
 // admissionError is a quota rejection — mapped to 503, because the
@@ -553,10 +577,17 @@ func (s *Server) Close() error {
 // when the request carries a W3C traceparent header.
 func (s *Server) Handler() http.Handler {
 	mux := obs.NewMux(s.reg, s.tr, obs.WithSpans(s.spans), obs.WithSLO(s.slo))
+	// /healthz is pure liveness: the process is up and serving. /readyz
+	// additionally asks whether the daemon can serve at full fidelity —
+	// a session whose remote tier is circuit-open still ANSWERS
+	// (degraded mode recomputes instead of fetching, the journal absorbs
+	// write-backs), but a load balancer should prefer a replica whose
+	// remote tier is healthy.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	v1 := func(pattern string, h http.HandlerFunc) {
 		mux.HandleFunc(pattern, s.traced(pattern, h))
 	}
@@ -582,6 +613,11 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) traced(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		var sp *obs.Span
 		if tp := r.Header.Get("traceparent"); tp != "" {
 			sp = s.spans.StartRemoteChild("http "+name, tp)
@@ -620,13 +656,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds renders the configured 503 hint (minimum 1s).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
 // writeErr maps service errors onto HTTP statuses: admission → 503
-// (retryable once a tenant parks), closed → 409, the rest → 400.
-func writeErr(w http.ResponseWriter, err error) {
+// (retryable once a tenant parks), remote-tier failures — circuit
+// open, transient I/O, a request deadline that expired while the tier
+// was struggling — → 503 + Retry-After (the condition clears when the
+// breaker recloses), closed → 409, the rest → 400.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
 	switch {
-	case IsAdmissionError(err):
+	case IsAdmissionError(err), ooc.IsCircuitOpen(err), ooc.IsTransient(err),
+		errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 	case err == ErrSessionClosed:
 		status = http.StatusConflict
 	}
@@ -636,12 +686,12 @@ func writeErr(w http.ResponseWriter, err error) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var cfg SessionConfig
 	if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
-		writeErr(w, fmt.Errorf("service: bad session config: %w", err))
+		s.writeErr(w, fmt.Errorf("service: bad session config: %w", err))
 		return
 	}
 	ses, err := s.CreateSession(cfg)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, ses.infoSnapshot())
@@ -669,7 +719,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if err := s.DeleteSession(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
@@ -682,12 +732,19 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	var spec EvalSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, fmt.Errorf("service: bad evaluate spec: %w", err))
+		s.writeErr(w, fmt.Errorf("service: bad evaluate spec: %w", err))
 		return
 	}
-	rep, err := ses.EvaluateTraced(spec, obs.SpanFromContext(r.Context()))
+	if shed, depth := s.shouldShed(ses); shed {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeJSON(w, http.StatusServiceUnavailable, errorReply{Error: fmt.Sprintf(
+			"service: session %q shedding load: remote tier degraded with %d vectors spilled (retry after breaker recovery)",
+			ses.name, depth)})
+		return
+	}
+	rep, err := ses.EvaluateCtx(r.Context(), spec, obs.SpanFromContext(r.Context()))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if rep.Cost != nil {
@@ -703,12 +760,12 @@ func (s *Server) handleNewview(w http.ResponseWriter, r *http.Request) {
 	}
 	var spec EvalSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, fmt.Errorf("service: bad newview spec: %w", err))
+		s.writeErr(w, fmt.Errorf("service: bad newview spec: %w", err))
 		return
 	}
 	rep, err := ses.Newview(spec.Edge)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -721,12 +778,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	var spec OptimizeSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, fmt.Errorf("service: bad optimize spec: %w", err))
+		s.writeErr(w, fmt.Errorf("service: bad optimize spec: %w", err))
 		return
 	}
 	rep, err := ses.Optimize(spec)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -738,7 +795,7 @@ func (s *Server) handlePark(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := ses.do(ses.park); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ses.infoSnapshot())
@@ -751,8 +808,77 @@ func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
 	}
 	nwk, err := ses.Tree()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"session": ses.name, "newick": nwk})
+}
+
+// ---------------------------------------------------------------------
+// Readiness and load shedding.
+
+// readyReply is the /readyz document.
+type readyReply struct {
+	Ready bool `json:"ready"`
+	// Degraded lists sessions whose remote tier is circuit-open. They
+	// still answer (cache + recompute + journal), at reduced fidelity.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// handleReady answers /readyz: 200 while every session's remote tier is
+// healthy (or local), 503 + Retry-After while any is degraded. Each
+// poll also nudges the degraded tiers with a bounded probe — a fully
+// degraded workload goes local and would otherwise starve the breaker
+// of the traffic it needs to half-open and detect recovery.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]*Session, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		list = append(list, ses)
+	}
+	s.mu.Unlock()
+	var rep readyReply
+	for _, ses := range list {
+		hasTier, degraded, _ := ses.tierHealth()
+		if !hasTier || !degraded {
+			continue
+		}
+		rep.Degraded = append(rep.Degraded, ses.name)
+		if tier := ses.tierStore(); tier != nil {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = tier.ProbeRemote(ctx)
+			}()
+		}
+	}
+	sort.Strings(rep.Degraded)
+	rep.Ready = len(rep.Degraded) == 0
+	if !rep.Ready {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		writeJSON(w, http.StatusServiceUnavailable, rep)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// shouldShed decides whether an evaluate for ses must be refused:
+// only while the session's remote tier is degraded AND its spill
+// journal is past the high-water mark — degraded alone is fine (that
+// is what recompute and the journal are for); deep spill on top of an
+// outage means local disk is absorbing unbounded dirty state.
+func (s *Server) shouldShed(ses *Session) (bool, int64) {
+	hasTier, degraded, depth := ses.tierHealth()
+	if !hasTier || !degraded {
+		return false, 0
+	}
+	hw := int64(s.cfg.ShedDepth)
+	if hw <= 0 {
+		_, _, _, _, _, n := ses.memShape()
+		hw = int64(n) / 2
+		if hw < 1 {
+			hw = 1
+		}
+	}
+	return depth >= hw, depth
 }

@@ -17,6 +17,7 @@ package service
 // is left.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -645,6 +646,18 @@ func (s *Session) openRemoteStore(n, vecLen int, man *ooc.Manifest, precision st
 		CacheDir:     filepath.Join(s.srv.cfg.DataDir, s.name+".cache"),
 		CacheVectors: remoteCacheVectors(s.srv.cfg.CacheBytes, n, vecLen),
 		Lanes:        s.srv.cfg.RemoteLanes,
+		// The fault-tolerance stack: per-attempt deadlines, a jittered
+		// retry budget for the network (distinct from the disk policy the
+		// manager runs), a circuit breaker so a dead remote fails fast
+		// into degraded mode, tail hedging, and the write-back spill
+		// journal that absorbs dirty evictions during outages.
+		RemoteDeadline: s.srv.cfg.RemoteDeadline,
+		RemoteRetry:    ooc.RetryPolicy{Max: 3},
+		Breaker:        ooc.BreakerConfig{Threshold: 5},
+		HedgeAfter:     s.srv.cfg.HedgeAfter,
+	}
+	if s.srv.cfg.SpillDir != "" {
+		tcfg.SpillDir = filepath.Join(s.srv.cfg.SpillDir, s.name+".spill")
 	}
 	if err := os.MkdirAll(tcfg.CacheDir, 0o755); err != nil {
 		obj.Close()
@@ -1078,8 +1091,37 @@ func (s *Session) Evaluate(spec EvalSpec) (EvalReply, error) {
 // batch executor parents its engine/store spans beneath sp and fills
 // the reply's trace id and cost ledger.
 func (s *Session) EvaluateTraced(spec EvalSpec, sp *obs.Span) (EvalReply, error) {
+	return s.EvaluateCtx(context.Background(), spec, sp)
+}
+
+// EvaluateCtx is EvaluateTraced under the request's context: when the
+// server enforces a request deadline, a batch stuck behind a struggling
+// remote tier stops blocking the HTTP handler at that deadline.
+func (s *Session) EvaluateCtx(ctx context.Context, spec EvalSpec, sp *obs.Span) (EvalReply, error) {
 	s.touch()
-	return s.batcher.SubmitTraced(spec, sp)
+	return s.batcher.SubmitCtx(ctx, spec, sp)
+}
+
+// tierHealth reports the remote-tier condition for readiness and load
+// shedding: whether the session runs a tiered store at all, whether its
+// circuit breaker is open (degraded), and the spill journal's depth.
+func (s *Session) tierHealth() (hasTier, degraded bool, journalDepth int64) {
+	s.mu.Lock()
+	tier := s.tier
+	s.mu.Unlock()
+	if tier == nil {
+		return false, false, 0
+	}
+	st := tier.Stats()
+	return true, st.Degraded, st.JournalDepth
+}
+
+// tierStore returns the live tiered store (nil for local sessions or
+// while parked).
+func (s *Session) tierStore() *ooc.TieredStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tier
 }
 
 // Newview forces a fresh full engine pass (invalidate + complete
